@@ -1,0 +1,348 @@
+// Command adauditctl runs the paper's experiments — any figure or table —
+// against either an in-process simulated deployment or a remote platformd
+// over HTTP.
+//
+// Usage:
+//
+//	adauditctl [flags] <experiment>
+//
+// Experiments:
+//
+//	fig1 fig2 fig3 fig4 fig5 fig6   figures 1–6
+//	tab1 tab2 tab3                  tables 1–3
+//	methodology                     §3 consistency + granularity studies
+//	rounding                        §3 rounding-bounds robustness check
+//	lookalike mitigation delivery retarget   extension studies
+//	spec                            audit one ad-hoc composition (see -attrs/-topics/-spec-platform)
+//	all                             everything above
+//
+// Flags select the testbed:
+//
+//	-endpoint http://host:port   audit a remote platformd (otherwise an
+//	                             in-process deployment is built)
+//	-universe N -seed N          in-process deployment sizing
+//	-k N                         compositions per discovered set
+//	-qps N                       client-side rate limit for remote audits
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/adapi"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mitigation"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+func main() {
+	var (
+		endpoint  = flag.String("endpoint", "", "remote platformd base URL (empty = in-process)")
+		universe  = flag.Int("universe", 1<<17, "in-process simulated users per platform")
+		seed      = flag.Uint64("seed", 0, "deployment seed")
+		k         = flag.Int("k", 1000, "compositions per discovered set")
+		qps       = flag.Float64("qps", 50, "client-side query rate limit for remote audits")
+		granCalls = flag.Int("granularity-calls", 80000, "distinct calls for the granularity study")
+		out       = flag.String("out", "-", "output file (- = stdout)")
+		format    = flag.String("format", "text", "output format: text | json")
+
+		specPlatform = flag.String("spec-platform", "facebook-restricted", "platform for the spec experiment")
+		specAttrs    = flag.String("attrs", "", "spec experiment: attribute ids or name substrings, comma separated")
+		specTopics   = flag.String("topics", "", "spec experiment: topic ids or name substrings (google)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: adauditctl [flags] <fig1..fig6|tab1..tab3|methodology|rounding|lookalike|mitigation|all>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *endpoint, *universe, *seed, *k, *qps, *granCalls, *out, *format,
+		specArgs{platform: *specPlatform, attrs: *specAttrs, topics: *specTopics}); err != nil {
+		log.Fatalf("adauditctl: %v", err)
+	}
+}
+
+// newRunner builds the runner from either door.
+func newRunner(endpoint string, universe int, seed uint64, k int, qps float64) (*experiments.Runner, error) {
+	cfg := experiments.Config{K: k, Seed: seed + 1}
+	if endpoint == "" {
+		log.Printf("building in-process deployment (universe=%d, seed=%d)", universe, seed)
+		d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Deployment = d
+		return experiments.NewRunner(cfg)
+	}
+	log.Printf("auditing remote platformd at %s (rate limit %.0f qps)", endpoint, qps)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, name := range []string{
+		catalog.PlatformFacebookRestricted,
+		catalog.PlatformFacebook,
+		catalog.PlatformGoogle,
+		catalog.PlatformLinkedIn,
+	} {
+		c, err := adapi.NewClient(ctx, endpoint, name, adapi.ClientOptions{RateLimit: qps, Burst: qps})
+		if err != nil {
+			return nil, fmt.Errorf("connecting to %s: %w", name, err)
+		}
+		cfg.Providers = append(cfg.Providers, c)
+	}
+	return experiments.NewRunner(cfg)
+}
+
+// specArgs carries the ad-hoc spec experiment's selectors.
+type specArgs struct {
+	platform string
+	attrs    string
+	topics   string
+}
+
+// resolveOptions maps comma-separated ids or name substrings to option ids.
+func resolveOptions(sel string, names []string) ([]int, error) {
+	if sel == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(sel, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if id, err := strconv.Atoi(part); err == nil {
+			if id < 0 || id >= len(names) {
+				return nil, fmt.Errorf("option id %d out of range [0, %d)", id, len(names))
+			}
+			out = append(out, id)
+			continue
+		}
+		found := -1
+		for i, name := range names {
+			if strings.Contains(strings.ToLower(name), strings.ToLower(part)) {
+				if found >= 0 {
+					return nil, fmt.Errorf("selector %q is ambiguous (%q and %q)", part, names[found], name)
+				}
+				found = i
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("no option matches %q", part)
+		}
+		out = append(out, found)
+	}
+	return out, nil
+}
+
+// runSpec audits one ad-hoc composition against every standard class.
+func runSpec(w io.Writer, r *experiments.Runner, args specArgs) error {
+	a, err := r.Auditor(args.platform)
+	if err != nil {
+		return err
+	}
+	attrIDs, err := resolveOptions(args.attrs, a.Provider().AttributeNames())
+	if err != nil {
+		return fmt.Errorf("attrs: %w", err)
+	}
+	topicIDs, err := resolveOptions(args.topics, a.Provider().TopicNames())
+	if err != nil {
+		return fmt.Errorf("topics: %w", err)
+	}
+	var parts []targeting.Spec
+	for _, id := range attrIDs {
+		parts = append(parts, targeting.Attr(id))
+	}
+	for _, id := range topicIDs {
+		parts = append(parts, targeting.Topic(id))
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("spec experiment needs -attrs and/or -topics")
+	}
+	spec := targeting.And(parts...)
+	fmt.Fprintf(w, "# Ad-hoc audit on %s: %s\n", args.platform, a.Describe(spec))
+	fmt.Fprintf(w, "%-12s %-10s %-14s %-14s\n", "class", "rep_ratio", "recall", "total_reach")
+	for _, c := range core.StandardClasses() {
+		m, err := a.Audit(spec, c)
+		if err != nil {
+			fmt.Fprintf(w, "%-12s (unmeasurable: %v)\n", c, err)
+			continue
+		}
+		flag := ""
+		if core.OutsideFourFifths(m.RepRatio) {
+			flag = "  <- outside four-fifths"
+		}
+		fmt.Fprintf(w, "%-12s %-10.2f %-14d %-14d%s\n", c, m.RepRatio, m.Recall, m.TotalReach, flag)
+	}
+	return nil
+}
+
+func run(experiment, endpoint string, universe int, seed uint64, k int, qps float64, granCalls int, out, format string, sa specArgs) error {
+	if format != "text" && format != "json" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	w := io.Writer(os.Stdout)
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	r, err := newRunner(endpoint, universe, seed, k, qps)
+	if err != nil {
+		return err
+	}
+
+	emit := func(rows any, render func() error) error {
+		if format == "json" {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		return render()
+	}
+
+	runOne := func(name string) error {
+		start := time.Now()
+		defer func() { log.Printf("%s done in %v", name, time.Since(start)) }()
+		switch name {
+		case "fig1":
+			rows, err := r.Figure1()
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error {
+				return experiments.RenderBoxRows(w, "Figure 1: rep ratios on Facebook's restricted interface", rows)
+			})
+		case "fig2":
+			rows, err := r.Figure2()
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error {
+				return experiments.RenderBoxRows(w, "Figure 2: rep ratios on Facebook, Google, LinkedIn", rows)
+			})
+		case "fig3":
+			series, err := r.Figure3()
+			if err != nil {
+				return err
+			}
+			return emit(series, func() error {
+				return experiments.RenderRemovalSeries(w, "Figure 3: removal of skewed individual targetings (gender)", series)
+			})
+		case "fig4":
+			rows, err := r.Figure4()
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error {
+				return experiments.RenderBoxRows(w, "Figure 4: rep ratios across age ranges", rows)
+			})
+		case "fig5":
+			rows, err := r.Figure5()
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error {
+				return experiments.RenderRecallRows(w, "Figure 5: recalls of skewed targetings", rows)
+			})
+		case "fig6":
+			series, err := r.Figure6()
+			if err != nil {
+				return err
+			}
+			return emit(series, func() error {
+				return experiments.RenderRemovalSeries(w, "Figure 6: removal sweeps across age ranges", series)
+			})
+		case "tab1":
+			rows, err := r.Table1()
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error { return experiments.RenderTable1(w, rows) })
+		case "tab2":
+			rows, err := r.Table2(5)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error {
+				return experiments.RenderExamples(w, "Table 2: illustrative gender-skewed compositions", rows)
+			})
+		case "tab3":
+			rows, err := r.Table3(5)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error {
+				return experiments.RenderExamples(w, "Table 3: illustrative age-skewed compositions", rows)
+			})
+		case "methodology":
+			rows, err := r.Methodology(experiments.MethodologyConfig{GranularityCalls: granCalls})
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error { return experiments.RenderMethodology(w, rows) })
+		case "rounding":
+			rows, err := r.RoundingBounds(core.GenderClass(population.Male))
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error { return experiments.RenderRoundingBounds(w, rows) })
+		case "lookalike":
+			rows, err := r.LookalikeStudy(core.GenderClass(population.Male), 0, 0)
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error { return experiments.RenderLookalikeRows(w, rows) })
+		case "mitigation":
+			rows, err := r.MitigationStudy(core.GenderClass(population.Male), mitigation.EvalConfig{})
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error { return experiments.RenderMitigationRows(w, rows) })
+		case "delivery":
+			rows, err := r.DeliveryStudy()
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error { return experiments.RenderDeliveryRows(w, rows) })
+		case "retarget":
+			rows, err := r.RetargetingStudy(core.GenderClass(population.Male))
+			if err != nil {
+				return err
+			}
+			return emit(rows, func() error { return experiments.RenderRetargetingRows(w, rows) })
+		case "spec":
+			return runSpec(w, r, sa)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if experiment == "all" {
+		names := []string{"methodology", "rounding", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "tab2", "tab3", "mitigation"}
+		if endpoint == "" {
+			names = append(names, "lookalike", "delivery", "retarget")
+		}
+		for _, name := range names {
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	return runOne(experiment)
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/adapi"
+	"repro/internal/platform"
+)
+
+// runToString executes run() into a temp file and returns its contents.
+func runToString(t *testing.T, experiment, endpoint string) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "out.txt")
+	if err := run(experiment, endpoint, 12000, 7, 60, 500, 800, out, "text", specArgs{}); err != nil {
+		t.Fatalf("run(%s): %v", experiment, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunFig1InProcess(t *testing.T) {
+	got := runToString(t, "fig1", "")
+	for _, want := range []string{"Figure 1", "Individual", "Top 2-way", "facebook-restricted"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fig1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunTab1InProcess(t *testing.T) {
+	got := runToString(t, "tab1", "")
+	if !strings.Contains(got, "median_overlap") || !strings.Contains(got, "linkedin") {
+		t.Errorf("tab1 output malformed:\n%s", got)
+	}
+}
+
+func TestRunMethodology(t *testing.T) {
+	got := runToString(t, "methodology", "")
+	if !strings.Contains(got, "sig_digits") {
+		t.Errorf("methodology output malformed:\n%s", got)
+	}
+}
+
+func TestRunMitigation(t *testing.T) {
+	got := runToString(t, "mitigation", "")
+	if !strings.Contains(got, "AUC") {
+		t.Errorf("mitigation output malformed:\n%s", got)
+	}
+}
+
+func TestRunLookalike(t *testing.T) {
+	got := runToString(t, "lookalike", "")
+	if !strings.Contains(got, "special-ad") {
+		t.Errorf("lookalike output malformed:\n%s", got)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", "", 12000, 7, 50, 500, 800, "-", "text", specArgs{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRemoteEndpoint(t *testing.T) {
+	// Drive the CLI against a live platformd-equivalent server.
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: 7, UniverseSize: 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := adapi.NewServer(d, adapi.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	got := runToString(t, "fig1", ts.URL)
+	if !strings.Contains(got, "Top 2-way") {
+		t.Errorf("remote fig1 output malformed:\n%s", got)
+	}
+}
+
+func TestRunRemoteRejectsLookalike(t *testing.T) {
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: 7, UniverseSize: 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := adapi.NewServer(d, adapi.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// The lookalike study needs direct deployment access.
+	if err := run("lookalike", ts.URL, 12000, 7, 60, 500, 800, "-", "text", specArgs{}); err == nil {
+		t.Fatal("remote lookalike study should fail")
+	}
+}
+
+func TestRunSpecExperiment(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.txt")
+	err := run("spec", "", 12000, 7, 60, 500, 800, out, "text", specArgs{
+		platform: "facebook-restricted",
+		attrs:    "Interests — Electrical engineering,Interests — Cars",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{"Ad-hoc audit", "male", "rep_ratio"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("spec output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestResolveOptions(t *testing.T) {
+	names := []string{"Interests — Cars", "Interests — Boats", "Hobbies — Cars"}
+	ids, err := resolveOptions("1, Boats", names)
+	if err != nil || len(ids) != 2 || ids[0] != 1 || ids[1] != 1 {
+		t.Fatalf("resolveOptions = %v, %v", ids, err)
+	}
+	if _, err := resolveOptions("Cars", names); err == nil {
+		t.Fatal("ambiguous selector accepted")
+	}
+	if _, err := resolveOptions("Zeppelins", names); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+	if _, err := resolveOptions("99", names); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if got, err := resolveOptions("", names); err != nil || got != nil {
+		t.Fatalf("empty selector = %v, %v", got, err)
+	}
+	if err := run("spec", "", 12000, 7, 60, 500, 800, "-", "text", specArgs{platform: "facebook"}); err == nil {
+		t.Fatal("spec with no selectors accepted")
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := run("tab1", "", 12000, 7, 60, 500, 800, out, "json", specArgs{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("json tab1 has %d rows, want 12", len(rows))
+	}
+	if _, ok := rows[0]["MedianOverlap"]; !ok {
+		t.Fatal("json rows missing MedianOverlap")
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	if err := run("fig1", "", 12000, 7, 60, 500, 800, "-", "yaml", specArgs{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,373 @@
+// Command advertiser is the advertiser-side client of the simulated ad
+// platforms: it uploads customer lists (CSV → normalize → SHA-256 → upload),
+// registers tracking-pixel sites, builds pixel and lookalike audiences, and
+// requests size estimates for targeting compositions — all over the same
+// HTTP APIs platformd serves.
+//
+// Usage:
+//
+//	advertiser [-endpoint http://127.0.0.1:8700] [-platform facebook] <command> [args]
+//
+// Commands:
+//
+//	options                                list targeting options
+//	audiences                              list custom audiences
+//	upload -name N -csv FILE               create a PII audience from a CSV of email,phone rows
+//	lookalike -name N -source ID [-ratio R]  expand an audience
+//	pixel-site -domain D [-rate R] [-gender-load G] [-factor F]
+//	pixel-audience -name N -site ID [-event E] [-window DAYS]
+//	estimate [-attrs 1,2] [-topics 3] [-audiences 0] [-gender male|female] [-age 18-24,55+]
+//	demo                                   run the full flow end to end
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/adapi"
+	"repro/internal/pii"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+func main() {
+	var (
+		endpoint = flag.String("endpoint", "http://127.0.0.1:8700", "platformd base URL")
+		name     = flag.String("platform", "facebook", "interface to talk to")
+		qps      = flag.Float64("qps", 100, "client-side rate limit")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: advertiser [flags] <options|audiences|upload|lookalike|pixel-site|pixel-audience|estimate|demo>")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	client, err := adapi.NewClient(ctx, *endpoint, *name, adapi.ClientOptions{RateLimit: *qps, Burst: *qps})
+	if err != nil {
+		log.Fatalf("advertiser: connecting: %v", err)
+	}
+	if err := dispatch(ctx, client, flag.Arg(0), flag.Args()[1:]); err != nil {
+		log.Fatalf("advertiser: %v", err)
+	}
+}
+
+// dispatch routes one subcommand.
+func dispatch(ctx context.Context, c *adapi.Client, cmd string, args []string) error {
+	switch cmd {
+	case "options":
+		return cmdOptions(c)
+	case "audiences":
+		return cmdAudiences(ctx, c)
+	case "upload":
+		return cmdUpload(ctx, c, args)
+	case "lookalike":
+		return cmdLookalike(ctx, c, args)
+	case "pixel-site":
+		return cmdPixelSite(ctx, c, args)
+	case "pixel-audience":
+		return cmdPixelAudience(ctx, c, args)
+	case "estimate":
+		return cmdEstimate(ctx, c, args)
+	case "demo":
+		return cmdDemo(ctx, c)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func cmdOptions(c *adapi.Client) error {
+	attrs := c.AttributeNames()
+	fmt.Printf("%s: %d attributes, %d topics\n", c.Name(), len(attrs), len(c.TopicNames()))
+	for i, a := range attrs {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", len(attrs)-10)
+			break
+		}
+		fmt.Printf("  %4d  %s\n", i, a)
+	}
+	return nil
+}
+
+func cmdAudiences(ctx context.Context, c *adapi.Client) error {
+	infos, err := c.ListAudiences(ctx)
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Println("no custom audiences")
+		return nil
+	}
+	for _, info := range infos {
+		fmt.Printf("  #%-3d %-12s matched=%-8d %s\n", info.ID, info.Kind, info.Matched, info.Name)
+	}
+	return nil
+}
+
+// readCSVRecords parses email,phone rows (header optional) into PII records.
+func readCSVRecords(r io.Reader) ([]pii.Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []pii.Record
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(row) == 0 {
+			continue
+		}
+		email := strings.TrimSpace(row[0])
+		if strings.EqualFold(email, "email") {
+			continue // header
+		}
+		rec := pii.Record{Email: email}
+		if len(row) > 1 {
+			rec.Phone = strings.TrimSpace(row[1])
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func cmdUpload(ctx context.Context, c *adapi.Client, args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ContinueOnError)
+	name := fs.String("name", "", "audience name")
+	csvPath := fs.String("csv", "", "CSV file of email,phone rows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *csvPath == "" {
+		return fmt.Errorf("upload requires -name and -csv")
+	}
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := readCSVRecords(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hashing %d records (normalize -> SHA-256) ...\n", len(recs))
+	info, err := c.CreatePIIAudience(ctx, *name, pii.HashAll(recs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created audience #%d %q: %d of %d records matched\n",
+		info.ID, info.Name, info.Matched, len(recs))
+	return nil
+}
+
+func cmdLookalike(ctx context.Context, c *adapi.Client, args []string) error {
+	fs := flag.NewFlagSet("lookalike", flag.ContinueOnError)
+	name := fs.String("name", "", "audience name")
+	source := fs.Int("source", -1, "source audience id")
+	ratio := fs.Float64("ratio", 0.05, "expansion ratio of the platform population")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *source < 0 {
+		return fmt.Errorf("lookalike requires -name and -source")
+	}
+	info, err := c.CreateLookalike(ctx, *name, *source, *ratio)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created %s audience #%d %q from #%d (%d users)\n",
+		info.Kind, info.ID, info.Name, info.SourceID, info.Matched)
+	return nil
+}
+
+func cmdPixelSite(ctx context.Context, c *adapi.Client, args []string) error {
+	fs := flag.NewFlagSet("pixel-site", flag.ContinueOnError)
+	domain := fs.String("domain", "", "site domain")
+	rate := fs.Float64("rate", 0.05, "baseline visit rate")
+	genderLoad := fs.Float64("gender-load", 0, "visitor gender lean (positive = male)")
+	factor := fs.Int("factor", 0, "latent interest factor of the site's topic")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *domain == "" {
+		return fmt.Errorf("pixel-site requires -domain")
+	}
+	id, err := c.RegisterSite(ctx, *domain, *rate, *genderLoad,
+		[population.NumAgeRanges]float64{}, *factor)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered pixel on %s as site #%d\n", *domain, id)
+	return nil
+}
+
+func cmdPixelAudience(ctx context.Context, c *adapi.Client, args []string) error {
+	fs := flag.NewFlagSet("pixel-audience", flag.ContinueOnError)
+	name := fs.String("name", "", "audience name")
+	site := fs.Int("site", -1, "site id")
+	event := fs.String("event", "page-view", "page-view | add-to-cart | purchase")
+	window := fs.Int("window", 30, "lookback window in days")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *site < 0 {
+		return fmt.Errorf("pixel-audience requires -name and -site")
+	}
+	info, err := c.CreatePixelAudience(ctx, *name, *site, *event, *window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created pixel audience #%d %q (%d users)\n", info.ID, info.Name, info.Matched)
+	return nil
+}
+
+// parseIDList parses "1,2,3".
+func parseIDList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad id %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ageIDs maps display age ranges to ids.
+var ageIDs = map[string]int{"18-24": 0, "25-34": 1, "35-54": 2, "55+": 3}
+
+func cmdEstimate(ctx context.Context, c *adapi.Client, args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ContinueOnError)
+	attrs := fs.String("attrs", "", "attribute ids to AND, comma separated")
+	topics := fs.String("topics", "", "topic ids to AND (google)")
+	audiences := fs.String("audiences", "", "custom audience ids to AND")
+	gender := fs.String("gender", "", "male | female")
+	ages := fs.String("age", "", "age ranges to OR, e.g. 18-24,25-34")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var parts []targeting.Spec
+	ids, err := parseIDList(*attrs)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		parts = append(parts, targeting.Attr(id))
+	}
+	if ids, err = parseIDList(*topics); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		parts = append(parts, targeting.Topic(id))
+	}
+	if ids, err = parseIDList(*audiences); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		parts = append(parts, targeting.CustomAudience(id))
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("estimate requires at least one targeting option")
+	}
+	spec := targeting.And(parts...)
+	switch *gender {
+	case "":
+	case "male":
+		spec = targeting.WithGender(spec, int(population.Male))
+	case "female":
+		spec = targeting.WithGender(spec, int(population.Female))
+	default:
+		return fmt.Errorf("unknown gender %q", *gender)
+	}
+	if *ages != "" {
+		var ageList []int
+		for _, a := range strings.Split(*ages, ",") {
+			id, ok := ageIDs[strings.TrimSpace(a)]
+			if !ok {
+				return fmt.Errorf("unknown age range %q", a)
+			}
+			ageList = append(ageList, id)
+		}
+		spec = targeting.WithAge(spec, ageList...)
+	}
+	size, err := c.Estimate(ctx, platform.EstimateRequest{Spec: spec})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated audience size: %d\n", size)
+	return nil
+}
+
+// cmdDemo drives the whole advertiser flow against the live endpoint.
+func cmdDemo(ctx context.Context, c *adapi.Client) error {
+	fmt.Printf("== advertiser demo against %s ==\n\n", c.Name())
+
+	// 1. Estimate a composition of the first two attributes.
+	spec := targeting.And(targeting.Attr(0), targeting.Attr(1))
+	if c.CrossFeature() {
+		spec = targeting.And(targeting.Attr(0), targeting.Topic(0))
+	}
+	size, err := c.Estimate(ctx, platform.EstimateRequest{Spec: spec})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("composition estimate: %d\n", size)
+
+	// 2. Upload a small synthetic CSV.
+	csvData := "email,phone\n"
+	for i := 0; i < 60; i++ {
+		// Demo-only synthetic outside PII; matching is expected to be 0.
+		csvData += fmt.Sprintf("demo%d@example.org,+1 617 555 %04d\n", i, i)
+	}
+	recs, err := readCSVRecords(strings.NewReader(csvData))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uploading %d CSV records: ", len(recs))
+	if _, err := c.CreatePIIAudience(ctx, "demo-crm", pii.HashAll(recs)); err != nil {
+		fmt.Printf("rejected as expected (%v)\n", err)
+	} else {
+		fmt.Println("accepted")
+	}
+
+	// 3. Pixel site + audience.
+	siteID, err := c.RegisterSite(ctx, fmt.Sprintf("demo-%d.example", time.Now().UnixNano()),
+		0.05, 1.0, [population.NumAgeRanges]float64{}, 0)
+	if err != nil {
+		return err
+	}
+	info, err := c.CreatePixelAudience(ctx, "demo-visitors", siteID, "page-view", 60)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pixel audience #%d: %d visitors\n", info.ID, info.Matched)
+
+	// 4. Lookalike of the pixel audience, then estimate it ANDed with an
+	// attribute — the §2 composition surface in one line.
+	look, err := c.CreateLookalike(ctx, "demo-lookalike", info.ID, 0.05)
+	if err != nil {
+		return err
+	}
+	composed := targeting.And(targeting.CustomAudience(look.ID), targeting.Attr(0))
+	size, err = c.Estimate(ctx, platform.EstimateRequest{Spec: composed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s #%d ∧ attribute 0 estimate: %d\n", look.Kind, look.ID, size)
+	return nil
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/adapi"
+	"repro/internal/catalog"
+	"repro/internal/platform"
+)
+
+// testClient spins up a server and returns a connected client.
+func testClient(t *testing.T, name string) *adapi.Client {
+	t.Helper()
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: 7, UniverseSize: 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := adapi.NewServer(d, adapi.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := adapi.NewClient(context.Background(), ts.URL, name, adapi.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestReadCSVRecords(t *testing.T) {
+	csv := "email,phone\nAlice@Example.com,+1 617 555 0101\nbob@x.y\n"
+	recs, err := readCSVRecords(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(recs))
+	}
+	if recs[0].Email != "Alice@Example.com" || recs[0].Phone != "+1 617 555 0101" {
+		t.Fatalf("first record = %+v", recs[0])
+	}
+	if recs[1].Phone != "" {
+		t.Fatalf("second record phone = %q, want empty", recs[1].Phone)
+	}
+}
+
+func TestParseIDList(t *testing.T) {
+	ids, err := parseIDList("1, 2,3")
+	if err != nil || len(ids) != 3 || ids[2] != 3 {
+		t.Fatalf("parseIDList = %v, %v", ids, err)
+	}
+	if got, err := parseIDList(""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	if _, err := parseIDList("1,x"); err == nil {
+		t.Fatal("bad id accepted")
+	}
+}
+
+func TestDispatchCommands(t *testing.T) {
+	ctx := context.Background()
+	c := testClient(t, catalog.PlatformFacebook)
+
+	if err := dispatch(ctx, c, "options", nil); err != nil {
+		t.Fatalf("options: %v", err)
+	}
+	if err := dispatch(ctx, c, "audiences", nil); err != nil {
+		t.Fatalf("audiences (empty): %v", err)
+	}
+	if err := dispatch(ctx, c, "estimate", []string{"-attrs", "0,1", "-gender", "male"}); err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	if err := dispatch(ctx, c, "estimate", []string{"-attrs", "0", "-age", "18-24,55+"}); err != nil {
+		t.Fatalf("estimate with ages: %v", err)
+	}
+	if err := dispatch(ctx, c, "pixel-site", []string{"-domain", "x.example", "-rate", "0.08"}); err != nil {
+		t.Fatalf("pixel-site: %v", err)
+	}
+	if err := dispatch(ctx, c, "pixel-audience", []string{"-name", "v", "-site", "0", "-event", "page-view"}); err != nil {
+		t.Fatalf("pixel-audience: %v", err)
+	}
+	if err := dispatch(ctx, c, "lookalike", []string{"-name", "l", "-source", "0"}); err != nil {
+		t.Fatalf("lookalike: %v", err)
+	}
+	if err := dispatch(ctx, c, "audiences", nil); err != nil {
+		t.Fatalf("audiences (populated): %v", err)
+	}
+	if err := dispatch(ctx, c, "nope", nil); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestDispatchValidation(t *testing.T) {
+	ctx := context.Background()
+	c := testClient(t, catalog.PlatformLinkedIn)
+	cases := [][]string{
+		{"upload"},
+		{"lookalike"},
+		{"pixel-site"},
+		{"pixel-audience"},
+		{"estimate"},
+		{"estimate", "-attrs", "0", "-gender", "robot"},
+		{"estimate", "-attrs", "0", "-age", "12-13"},
+		{"estimate", "-attrs", "zzz"},
+	}
+	for _, args := range cases {
+		if err := dispatch(ctx, c, args[0], args[1:]); err == nil {
+			t.Errorf("dispatch(%v) accepted invalid input", args)
+		}
+	}
+}
+
+func TestUploadFromCSVFile(t *testing.T) {
+	ctx := context.Background()
+	c := testClient(t, catalog.PlatformGoogle)
+	// Build a CSV of real platform users' PII via a parallel deployment
+	// (same seed/size → same directory).
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: 7, UniverseSize: 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := d.Google.Directory()
+	var sb strings.Builder
+	sb.WriteString("email,phone\n")
+	for i := 0; i < 60; i++ {
+		sb.WriteString(dir.Email(i) + "," + dir.Phone(i) + "\n")
+	}
+	path := filepath.Join(t.TempDir(), "crm.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch(ctx, c, "upload", []string{"-name", "crm", "-csv", path}); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	infos, err := c.ListAudiences(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Matched != 60 {
+		t.Fatalf("audiences after upload = %+v", infos)
+	}
+}
+
+func TestDemo(t *testing.T) {
+	ctx := context.Background()
+	c := testClient(t, catalog.PlatformGoogle)
+	if err := dispatch(ctx, c, "demo", nil); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	if err := run(dir, 12000, 7, 60, 800); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"methodology.txt", "rounding_bounds.txt",
+		"figure1.txt", "figure2.txt", "figure3.txt",
+		"figure4.txt", "figure5.txt", "figure6.txt",
+		"table1.txt", "table2.txt", "table3.txt",
+		"ext_lookalike.txt", "ext_mitigation.txt",
+		"ext_delivery.txt", "ext_retargeting.txt", "REPORT.md",
+	}
+	for _, name := range want {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+			continue
+		}
+		if !strings.HasPrefix(string(data), "# ") {
+			t.Errorf("%s does not start with a title line", name)
+		}
+		if len(data) < 100 {
+			t.Errorf("%s suspiciously small (%d bytes)", name, len(data))
+		}
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	// A path under a regular file cannot be created.
+	tmp := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(filepath.Join(tmp, "sub"), 12000, 7, 50, 500); err == nil {
+		t.Fatal("creating results under a file should fail")
+	}
+}

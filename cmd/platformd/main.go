@@ -1,0 +1,116 @@
+// Command platformd serves the simulated ad platforms' size-estimate APIs
+// over HTTP, each in its own JSON dialect (Facebook delivery_estimate,
+// LinkedIn audienceCounts, Google's obfuscated reach estimate).
+//
+// Usage:
+//
+//	platformd [-addr :8700] [-seed N] [-universe 131072] [-qps 0] [-warm] [-v]
+//
+// Routes per interface (facebook-restricted, facebook, google, linkedin):
+//
+//	GET  /{name}/options
+//	POST /{name}/estimate
+//	POST /{name}/measure
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/adapi"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8700", "listen address")
+		seed     = flag.Uint64("seed", 0, "deployment seed (0 = default)")
+		universe = flag.Int("universe", 1<<17, "simulated users per platform")
+		qps      = flag.Float64("qps", 0, "per-interface rate limit in queries/sec (0 = unlimited)")
+		burst    = flag.Float64("burst", 20, "rate-limit burst capacity")
+		warm     = flag.Bool("warm", false, "materialize all option audiences before serving")
+		verbose  = flag.Bool("v", false, "log every request")
+	)
+	flag.Parse()
+	if err := run(*addr, *seed, *universe, *qps, *burst, *warm, *verbose); err != nil {
+		log.Fatalf("platformd: %v", err)
+	}
+}
+
+// buildHandler assembles the deployment and its HTTP handler.
+func buildHandler(seed uint64, universe int, qps, burst float64, warm, verbose bool) (http.Handler, *platform.Deployment, error) {
+	log.Printf("platformd: building deployment (universe=%d users/platform, seed=%d)", universe, seed)
+	start := time.Now()
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
+	if err != nil {
+		return nil, nil, err
+	}
+	log.Printf("platformd: deployment ready in %v", time.Since(start))
+	if warm {
+		start = time.Now()
+		for _, p := range d.Interfaces() {
+			p.Warm()
+			log.Printf("platformd: warmed %s (%d attributes, %d topics)",
+				p.Name(), len(p.Catalog().Attributes), len(p.Catalog().Topics))
+		}
+		log.Printf("platformd: warm-up done in %v", time.Since(start))
+	}
+
+	opts := adapi.ServerOptions{RateLimit: qps, Burst: burst}
+	if verbose {
+		opts.Logf = log.Printf
+	}
+	srv, err := adapi.NewServer(d, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv.Handler(), d, nil
+}
+
+func run(addr string, seed uint64, universe int, qps, burst float64, warm, verbose bool) error {
+	handler, d, err := buildHandler(seed, universe, qps, burst, warm, verbose)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("platformd: serving on http://%s", ln.Addr())
+	for _, p := range d.Interfaces() {
+		fmt.Printf("  %-20s http://%s/%s/{options,estimate,measure}\n", p.Name(), ln.Addr(), p.Name())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		log.Printf("platformd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutdownCtx)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/adapi"
+	"repro/internal/catalog"
+	"repro/internal/targeting"
+)
+
+func TestBuildHandlerServes(t *testing.T) {
+	handler, d, err := buildHandler(7, 8000, 0, 0, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.Facebook == nil {
+		t.Fatal("no deployment returned")
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// A full measure round trip through the served handler.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := adapi.NewClient(ctx, ts.URL, catalog.PlatformLinkedIn, adapi.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Measure(targeting.Attr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 {
+		t.Fatalf("estimate %d", v)
+	}
+}
+
+func TestBuildHandlerBadUniverse(t *testing.T) {
+	if _, _, err := buildHandler(7, 10, 0, 0, false, false); err == nil {
+		t.Fatal("tiny universe accepted")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run("256.256.256.256:99999", 7, 8000, 0, 0, false, false); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,33 @@
+// Package repro is a full Go reproduction of "On the Potential for
+// Discrimination via Composition" (Venkatadri & Mislove, ACM IMC 2020).
+//
+// The paper audited the advertiser interfaces of Facebook, Google, and
+// LinkedIn and showed that composing targeting options via logical AND
+// yields audiences far more demographically skewed than any individual
+// option — even on Facebook's sanitized "special ad categories" interface —
+// and that removing skewed individual options cannot fix it.
+//
+// Because the paper's substrate (the live 2020-era ad platforms) is not
+// reproducible, this module builds both sides:
+//
+//   - internal/core implements the paper's methodology: representation
+//     ratios (Equation 1), recall, greedy discovery of the most skewed
+//     compositions, audience-overlap and inclusion–exclusion union-recall
+//     analyses, removal sweeps, and the estimate consistency/granularity
+//     studies, all driven purely through rounded audience-size estimates.
+//   - internal/platform (with population, catalog, targeting, estimate,
+//     pii, pixel, lookalike) simulates the four advertiser interfaces the
+//     paper studies, down to each platform's composition rules, estimate
+//     rounding, custom-audience features, and Special Ad Audiences.
+//   - internal/adapi serves and consumes the platforms' JSON dialects over
+//     HTTP, including Google's obfuscated numeric-key encoding, so the
+//     audit also runs across the wire exactly like the paper's scraper.
+//   - internal/experiments regenerates every figure and table of the
+//     paper's evaluation; internal/mitigation implements and evaluates the
+//     outcome-based detection the paper proposes in §5.
+//
+// See DESIGN.md for the system inventory and substitution rationale, and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate every artifact and report its headline
+// statistic.
+package repro

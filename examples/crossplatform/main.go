@@ -1,0 +1,86 @@
+// crossplatform reproduces the paper's §4.2–4.3 cross-platform analysis:
+// individual-attribute skew on Facebook, Google, and LinkedIn; composition
+// amplification on each; and — where the platforms' boolean rules allow —
+// the overlap and union-recall analyses behind Table 1.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		universe = flag.Int("universe", 1<<16, "simulated users per platform")
+		k        = flag.Int("k", 250, "compositions per discovered set")
+	)
+	flag.Parse()
+
+	d, err := platform.NewDeployment(platform.DeployOptions{UniverseSize: *universe})
+	if err != nil {
+		log.Fatal(err)
+	}
+	female := core.GenderClass(population.Female)
+
+	for _, p := range []*platform.Interface{d.Facebook, d.Google, d.LinkedIn} {
+		a := core.NewAuditor(core.NewPlatformProvider(p))
+		fmt.Printf("=== %s (%d attributes, %d topics) ===\n",
+			a.PlatformName(), a.AttrCount(), a.TopicCount())
+
+		ind, err := a.Individuals(female)
+		if err != nil {
+			log.Fatal(err)
+		}
+		indBox, err := stats.NewBox(core.RepRatios(ind))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Individual rep ratios toward females: median %.2f, P90 %.2f\n",
+			indBox.Median, indBox.P90)
+
+		top, err := a.GreedyCompositions(ind, female, core.ComposeConfig{K: *k, Direction: core.Top})
+		if err != nil {
+			log.Fatal(err)
+		}
+		topBox, err := stats.NewBox(core.RepRatios(top))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Top 2-way compositions:               median %.2f, P90 %.2f\n",
+			topBox.Median, topBox.P90)
+
+		// Table 1 analyses: overlap of the top audiences and top-10 union
+		// recall — possible only where and-of-ors can intersect two
+		// compositions.
+		tops := core.TopOf(top, 10)
+		med, err := a.MedianOverlap(tops, female, core.OverlapConfig{MaxPairs: 45})
+		switch {
+		case errors.Is(err, core.ErrUnsupportedByPlatform):
+			fmt.Println("Overlap/union analyses: not expressible (no size statistics for the")
+			fmt.Println("  required boolean combination — the paper omits Google from Table 1)")
+		case err != nil:
+			log.Fatal(err)
+		default:
+			fmt.Printf("Median pairwise overlap of top-10 audiences: %.1f%%\n", med*100)
+			u, err := a.EstimateUnionRecall(tops, female, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pop, err := a.PopulationSize(female)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("Top-1 recall %d (%.2f%% of females); top-10 union %d (%.2f%%), converged=%v\n",
+				tops[0].Recall, 100*float64(tops[0].Recall)/float64(pop),
+				u.Estimate, 100*float64(u.Estimate)/float64(pop), u.Converged(0.1))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,62 @@
+// mitigationdemo runs the paper's §5 proposal end to end: a stream of
+// advertiser campaigns hits a platform; the platform audits each campaign's
+// *outcome* (the representation ratios of the composed audience) and flags
+// accounts that consistently target skewed audiences — without ever looking
+// at which targeting options they picked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mitigation"
+	"repro/internal/platform"
+	"repro/internal/population"
+)
+
+func main() {
+	var (
+		universe = flag.Int("universe", 1<<16, "simulated users")
+		honest   = flag.Int("honest", 15, "honest advertisers")
+		bad      = flag.Int("bad", 6, "discriminatory advertisers")
+	)
+	flag.Parse()
+
+	d, err := platform.NewDeployment(platform.DeployOptions{UniverseSize: *universe})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := core.NewAuditor(core.NewPlatformProvider(d.FacebookRestricted))
+	male := core.GenderClass(population.Male)
+
+	fmt.Printf("simulating %d honest + %d discriminatory advertisers on %s\n",
+		*honest, *bad, a.PlatformName())
+	fmt.Println("honest accounts run individual options and random compositions;")
+	fmt.Println("discriminatory accounts consistently run greedily skewed compositions.")
+	fmt.Println()
+
+	rep, err := mitigation.Evaluate(a, male, mitigation.EvalConfig{
+		HonestAdvertisers:         *honest,
+		DiscriminatoryAdvertisers: *bad,
+		CampaignsPerAdvertiser:    6,
+		PoolK:                     150,
+		Seed:                      11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("outcome-based detection (median + 3·MAD anomaly flagging):")
+	fmt.Printf("  mean excess-skew score, honest accounts:         %.3f\n", rep.HonestMeanScore)
+	fmt.Printf("  mean excess-skew score, discriminatory accounts: %.3f\n", rep.DiscrimMeanScore)
+	fmt.Printf("  ROC AUC:          %.3f\n", rep.AUC)
+	fmt.Printf("  true positives:   %d / %d\n", rep.TruePositives, rep.TruePositives+rep.FalseNegatives)
+	fmt.Printf("  false positives:  %d / %d\n", rep.FalsePositives, *honest)
+	fmt.Println()
+	fmt.Println("note the honest baseline is itself above zero: even honest targeting")
+	fmt.Println("compositions are often skewed (§4.3), which is why the detector flags")
+	fmt.Println("outliers against the platform's own baseline rather than using a fixed")
+	fmt.Println("four-fifths threshold.")
+}

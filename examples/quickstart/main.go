@@ -1,0 +1,69 @@
+// Quickstart: build a simulated ad deployment, audit one targeting option,
+// compose two options, and watch the representation ratio amplify — the
+// paper's "Electrical engineering ∧ Cars" example (§4.1) end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+func main() {
+	// A deployment simulates all four advertiser interfaces the paper
+	// studies. 1<<15 users per platform keeps the quickstart snappy.
+	d, err := platform.NewDeployment(platform.DeployOptions{UniverseSize: 1 << 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Audit Facebook's restricted interface — the sanitized interface for
+	// housing/credit/employment ads.
+	fbr := d.FacebookRestricted
+	auditor := core.NewAuditor(core.NewPlatformProvider(fbr))
+
+	// Find the paper's example options in the catalog.
+	cat := fbr.Catalog()
+	ee := cat.FindAttr("Interests — Electrical engineering")
+	cars := cat.FindAttr("Interests — Cars")
+	if ee < 0 || cars < 0 {
+		log.Fatal("expected pinned attributes missing")
+	}
+
+	male := core.GenderClass(population.Male)
+	mEE, err := auditor.Audit(targeting.Attr(ee), male)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mCars, err := auditor.Audit(targeting.Attr(cars), male)
+	if err != nil {
+		log.Fatal(err)
+	}
+	both, err := auditor.Audit(targeting.And(targeting.Attr(ee), targeting.Attr(cars)), male)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Representation ratios toward males (1.0 = parity, >1.25 violates the four-fifths rule):")
+	fmt.Printf("  %-45s %.2f  (reach %d)\n", mEE.Desc, mEE.RepRatio, mEE.TotalReach)
+	fmt.Printf("  %-45s %.2f  (reach %d)\n", mCars.Desc, mCars.RepRatio, mCars.TotalReach)
+	fmt.Printf("  %-45s %.2f  (reach %d)\n", both.Desc, both.RepRatio, both.TotalReach)
+	fmt.Println()
+	if both.RepRatio > mEE.RepRatio && both.RepRatio > mCars.RepRatio {
+		fmt.Println("Composition amplified the skew beyond both constituents —")
+		fmt.Println("the effect the paper demonstrates on the live platforms (paper: 3.71, 2.18 → 12.43).")
+	} else {
+		fmt.Println("(no amplification at this universe size — rerun with a larger one)")
+	}
+
+	// The same audit works identically on the other platforms; the
+	// advertiser door, however, refuses what each real interface refuses:
+	_, err = fbr.Estimate(platform.EstimateRequest{
+		Spec: targeting.WithGender(targeting.Attr(ee), int(population.Male)),
+	})
+	fmt.Printf("\nTargeting by gender on the restricted interface: %v\n", err)
+}

@@ -1,0 +1,84 @@
+// restrictedaudit walks through the paper's §4.1 experiment on Facebook's
+// restricted (special-ad-categories) interface: scan every individual
+// targeting attribute, then greedily discover the most skewed 2-way and
+// 3-way compositions, and compare the distributions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		universe = flag.Int("universe", 1<<16, "simulated users")
+		k        = flag.Int("k", 300, "compositions per discovered set")
+	)
+	flag.Parse()
+
+	d, err := platform.NewDeployment(platform.DeployOptions{UniverseSize: *universe})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := core.NewAuditor(core.NewPlatformProvider(d.FacebookRestricted))
+	male := core.GenderClass(population.Male)
+
+	fmt.Printf("Scanning %d individual attributes on %s...\n", a.AttrCount(), a.PlatformName())
+	ind, err := a.Individuals(male)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := func(label string, ms []core.Measurement) {
+		ratios := core.RepRatios(ms)
+		if len(ratios) == 0 {
+			fmt.Printf("  %-14s (no finite ratios)\n", label)
+			return
+		}
+		b, err := stats.NewBox(ratios)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, _ := stats.FractionOutside(ratios, core.FourFifthsLow, core.FourFifthsHigh)
+		fmt.Printf("  %-14s n=%-4d P10=%-6.2f median=%-6.2f P90=%-6.2f max=%-7.2f outside 4/5ths=%.0f%%\n",
+			label, b.N, b.P10, b.Median, b.P90, b.Max, out*100)
+	}
+
+	fmt.Println("\nRepresentation ratios toward males:")
+	report("Individual", ind)
+
+	sets := []struct {
+		label string
+		cfg   core.ComposeConfig
+	}{
+		{"Top 2-way", core.ComposeConfig{K: *k, Direction: core.Top}},
+		{"Bottom 2-way", core.ComposeConfig{K: *k, Direction: core.Bottom}},
+		{"Top 3-way", core.ComposeConfig{K: *k, Arity: 3, Direction: core.Top}},
+		{"Bottom 3-way", core.ComposeConfig{K: *k, Arity: 3, Direction: core.Bottom}},
+	}
+	for _, s := range sets {
+		ms, err := a.GreedyCompositions(ind, male, s.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(s.label, ms)
+	}
+
+	fmt.Println("\nMost skewed discovered compositions:")
+	top, err := a.GreedyCompositions(ind, male, core.ComposeConfig{K: *k, Direction: core.Top})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, m := range core.TopOf(top, 5) {
+		fmt.Printf("  %d. %-70s ratio %.2f, reach %d\n", i+1, m.Desc, m.RepRatio, m.TotalReach)
+	}
+	fmt.Println("\nDespite the sanitized option list, compositions remain far outside the")
+	fmt.Println("four-fifths bounds — the motivation for the paper's mitigation discussion (§5).")
+	os.Exit(0)
+}

@@ -1,0 +1,187 @@
+package adapi
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/pii"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+// remoteClient spins up a server and client for one interface.
+func remoteClient(t *testing.T, name string) (*Client, *platform.Deployment) {
+	t.Helper()
+	ts, d := startServer(t, ServerOptions{})
+	c, err := NewClient(context.Background(), ts.URL, name, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+// hashedUpload builds an upload of the first n users of an interface.
+func hashedUpload(p *platform.Interface, n int) []pii.HashedRecord {
+	dir := p.Directory()
+	var recs []pii.Record
+	for i := 0; i < n; i++ {
+		recs = append(recs, dir.RecordOf(i))
+	}
+	return pii.HashAll(recs)
+}
+
+func TestPIIAudienceOverHTTP(t *testing.T) {
+	c, d := remoteClient(t, catalog.PlatformLinkedIn)
+	ctx := context.Background()
+	info, err := c.CreatePIIAudience(ctx, "crm", hashedUpload(d.LinkedIn, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != platform.AudiencePII || info.Matched != 80 {
+		t.Fatalf("info = %+v", info)
+	}
+	// The audience is measurable through the LinkedIn dialect.
+	size, err := c.Measure(targeting.CustomAudience(info.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := d.LinkedIn.Measure(platform.EstimateRequest{Spec: targeting.CustomAudience(info.ID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != direct {
+		t.Fatalf("remote %d != direct %d", size, direct)
+	}
+	// Listing round trip.
+	list, err := c.ListAudiences(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "crm" {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestPIIAudienceTooSmallOverHTTP(t *testing.T) {
+	c, d := remoteClient(t, catalog.PlatformGoogle)
+	_, err := c.CreatePIIAudience(context.Background(), "tiny", hashedUpload(d.Google, 2))
+	if err == nil || !strings.Contains(err.Error(), "audience_too_small") {
+		t.Fatalf("want audience_too_small error, got %v", err)
+	}
+}
+
+func TestLookalikeOverHTTP(t *testing.T) {
+	c, d := remoteClient(t, catalog.PlatformFacebook)
+	ctx := context.Background()
+	seed, err := c.CreatePIIAudience(ctx, "seed", hashedUpload(d.Facebook, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	look, err := c.CreateLookalike(ctx, "expansion", seed.ID, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if look.Kind != platform.AudienceLookalike || look.SourceID != seed.ID {
+		t.Fatalf("lookalike info = %+v", look)
+	}
+	if _, err := c.CreateLookalike(ctx, "bad", 999, 0.05); err == nil ||
+		!strings.Contains(err.Error(), "unknown_audience") {
+		t.Fatalf("want unknown_audience, got %v", err)
+	}
+}
+
+func TestSpecialAdAudienceOverHTTP(t *testing.T) {
+	c, d := remoteClient(t, catalog.PlatformFacebookRestricted)
+	ctx := context.Background()
+	seed, err := c.CreatePIIAudience(ctx, "seed", hashedUpload(d.FacebookRestricted, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	look, err := c.CreateLookalike(ctx, "expansion", seed.ID, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if look.Kind != platform.AudienceSpecialAd {
+		t.Fatalf("restricted interface produced %s, want special-ad", look.Kind)
+	}
+}
+
+func TestPixelAudienceOverHTTP(t *testing.T) {
+	c, _ := remoteClient(t, catalog.PlatformGoogle)
+	ctx := context.Background()
+	siteID, err := c.RegisterSite(ctx, "cars.example", 0.06, 1.2,
+		[population.NumAgeRanges]float64{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.CreatePixelAudience(ctx, "cart-30d", siteID, "add-to-cart", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != platform.AudiencePixel || info.Matched == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	// Invalid event name.
+	if _, err := c.CreatePixelAudience(ctx, "x", siteID, "teleport", 30); err == nil ||
+		!strings.Contains(err.Error(), "bad_pixel_request") {
+		t.Fatalf("want bad_pixel_request, got %v", err)
+	}
+	// Unknown site 404s.
+	if _, err := c.CreatePixelAudience(ctx, "x", 99, "page-view", 30); err == nil ||
+		!strings.Contains(err.Error(), "unknown_site") {
+		t.Fatalf("want unknown_site, got %v", err)
+	}
+	// Duplicate site registration fails.
+	if _, err := c.RegisterSite(ctx, "cars.example", 0.06, 1.2,
+		[population.NumAgeRanges]float64{}, 0); err == nil {
+		t.Fatal("duplicate site accepted")
+	}
+	// Bad base rate rejected.
+	if _, err := c.RegisterSite(ctx, "other.example", 0, 0,
+		[population.NumAgeRanges]float64{}, 0); err == nil {
+		t.Fatal("zero base rate accepted")
+	}
+}
+
+func TestCustomAudienceDialects(t *testing.T) {
+	// Custom audience refs must survive every platform's wire dialect.
+	for _, name := range []string{
+		catalog.PlatformFacebook, catalog.PlatformGoogle, catalog.PlatformLinkedIn,
+	} {
+		c, err := CodecFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := targeting.And(targeting.CustomAudience(3), targeting.Attr(1))
+		canonicalRoundTrip(t, c, platform.EstimateRequest{Spec: spec})
+	}
+}
+
+func TestAudiencesMethodNotAllowed(t *testing.T) {
+	ts, _ := startServer(t, ServerOptions{})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/facebook/audiences", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAudienceMalformedBody(t *testing.T) {
+	ts, _ := startServer(t, ServerOptions{})
+	resp, err := http.Post(ts.URL+"/facebook/audiences", "application/json", strings.NewReader("{oops"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}

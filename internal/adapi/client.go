@@ -1,0 +1,220 @@
+package adapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// ClientOptions configures an API client.
+type ClientOptions struct {
+	// HTTPClient is the transport; nil selects a client with a 30 s timeout.
+	HTTPClient *http.Client
+	// RateLimit is the client-side query rate in queries per second
+	// (0 disables — the paper's crawler always rate-limited itself).
+	RateLimit float64
+	// Burst is the rate-limit burst capacity.
+	Burst float64
+	// MaxRetries bounds retries on 429 and 5xx responses. Zero selects 4.
+	MaxRetries int
+	// RetryBase is the initial backoff; zero selects 50 ms. Backoff doubles
+	// per attempt and honours Retry-After when present.
+	RetryBase time.Duration
+}
+
+// Client automates one platform interface's estimate API, implementing
+// core.Provider so the audit methodology runs unchanged over the network.
+type Client struct {
+	base    string
+	name    string
+	codec   Codec
+	hc      *http.Client
+	limiter *Limiter
+	opts    ClientOptions
+
+	attrs        []string
+	topics       []string
+	crossFeature bool
+}
+
+// NewClient connects to an adapi server at baseURL (e.g.
+// "http://127.0.0.1:8700") and prepares a provider for the named interface.
+// The option lists are fetched eagerly, mirroring the paper's initial crawl
+// of the targeting UI's default lists.
+func NewClient(ctx context.Context, baseURL, name string, opts ClientOptions) (*Client, error) {
+	codec, err := CodecFor(name)
+	if err != nil {
+		return nil, err
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 4
+	}
+	if opts.RetryBase == 0 {
+		opts.RetryBase = 50 * time.Millisecond
+	}
+	c := &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		name:  name,
+		codec: codec,
+		hc:    opts.HTTPClient,
+		opts:  opts,
+	}
+	if opts.RateLimit > 0 {
+		c.limiter = NewLimiter(opts.RateLimit, opts.Burst)
+	}
+	if err := c.fetchOptions(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// fetchOptions loads the interface's option lists.
+func (c *Client) fetchOptions(ctx context.Context) error {
+	body, err := c.do(ctx, http.MethodGet, c.base+"/"+c.name+"/options", nil)
+	if err != nil {
+		return fmt.Errorf("fetching options: %w", err)
+	}
+	var resp optionsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return fmt.Errorf("adapi: malformed options response: %w", err)
+	}
+	if resp.Platform != c.name {
+		return fmt.Errorf("adapi: options for %q, want %q", resp.Platform, c.name)
+	}
+	c.attrs = resp.Attributes
+	c.topics = resp.Topics
+	c.crossFeature = resp.CrossFeature
+	return nil
+}
+
+// Name implements core.Provider.
+func (c *Client) Name() string { return c.name }
+
+// AttributeNames implements core.Provider.
+func (c *Client) AttributeNames() []string { return c.attrs }
+
+// TopicNames implements core.Provider.
+func (c *Client) TopicNames() []string { return c.topics }
+
+// CrossFeature implements core.Provider.
+func (c *Client) CrossFeature() bool { return c.crossFeature }
+
+// Measure implements core.Provider: one auditor-door size query.
+func (c *Client) Measure(spec targeting.Spec) (int64, error) {
+	return c.MeasureContext(context.Background(), spec)
+}
+
+// MeasureContext is Measure with caller-controlled cancellation.
+func (c *Client) MeasureContext(ctx context.Context, spec targeting.Spec) (int64, error) {
+	return c.size(ctx, "/measure", platform.EstimateRequest{Spec: spec})
+}
+
+// Estimate queries the advertiser door, validating the spec as an
+// advertiser submission.
+func (c *Client) Estimate(ctx context.Context, req platform.EstimateRequest) (int64, error) {
+	return c.size(ctx, "/estimate", req)
+}
+
+// size issues one dialect-encoded size query.
+func (c *Client) size(ctx context.Context, door string, req platform.EstimateRequest) (int64, error) {
+	body, err := c.codec.EncodeRequest(req)
+	if err != nil {
+		return 0, err
+	}
+	respBody, err := c.do(ctx, http.MethodPost, c.base+"/"+c.name+door, body)
+	if err != nil {
+		return 0, err
+	}
+	return c.codec.DecodeResponse(respBody)
+}
+
+// do performs one HTTP exchange with rate limiting and bounded retries on
+// 429/5xx.
+func (c *Client) do(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	backoff := c.opts.RetryBase
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if err := c.limiter.Wait(ctx); err != nil {
+			return nil, err
+		}
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, reader)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+		} else {
+			respBody, readErr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+			resp.Body.Close()
+			if readErr != nil {
+				lastErr = readErr
+			} else {
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					return respBody, nil
+				case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+					lastErr = fmt.Errorf("adapi: server returned %d", resp.StatusCode)
+					if d := retryAfter(resp); d > backoff {
+						backoff = d
+					}
+				default:
+					return nil, decodeErrorEnvelope(resp.StatusCode, respBody)
+				}
+			}
+		}
+		if attempt == c.opts.MaxRetries {
+			break
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+	}
+	return nil, fmt.Errorf("adapi: giving up after %d attempts: %w", c.opts.MaxRetries+1, lastErr)
+}
+
+// retryAfter parses a Retry-After header as seconds.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	var secs float64
+	if _, err := fmt.Sscanf(v, "%f", &secs); err != nil || secs <= 0 || math.IsNaN(secs) {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// decodeErrorEnvelope reconstructs a typed error from an error body.
+func decodeErrorEnvelope(status int, body []byte) error {
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		return fmt.Errorf("adapi: server returned %d: %s", status, string(body))
+	}
+	return errorFromCode(env.Error.Code, env.Error.Message)
+}

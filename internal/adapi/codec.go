@@ -1,0 +1,118 @@
+package adapi
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// Codec translates between targeting specs and one platform's wire dialect.
+// The servers and clients share codecs, so a spec surviving an encode/decode
+// round trip is a tested invariant.
+type Codec interface {
+	// Platform returns the interface name the codec speaks for.
+	Platform() string
+	// EncodeRequest renders an estimate request in the platform dialect.
+	EncodeRequest(req platform.EstimateRequest) ([]byte, error)
+	// DecodeRequest parses a request body.
+	DecodeRequest(body []byte) (platform.EstimateRequest, error)
+	// EncodeResponse renders a size estimate.
+	EncodeResponse(size int64) ([]byte, error)
+	// DecodeResponse parses a size estimate from a response body.
+	DecodeResponse(body []byte) (int64, error)
+}
+
+// CodecFor returns the codec for a platform interface name.
+func CodecFor(name string) (Codec, error) {
+	switch name {
+	case catalog.PlatformFacebook, catalog.PlatformFacebookRestricted:
+		return facebookCodec{platform: name}, nil
+	case catalog.PlatformGoogle:
+		return googleCodec{}, nil
+	case catalog.PlatformLinkedIn:
+		return linkedInCodec{}, nil
+	default:
+		return nil, fmt.Errorf("adapi: no codec for platform %q", name)
+	}
+}
+
+// ageBounds maps the common age ranges to (min, max) years; max 0 means
+// unbounded (55+).
+var ageBounds = [][2]int{
+	{18, 24},
+	{25, 34},
+	{35, 54},
+	{55, 0},
+}
+
+// ageRangeFromBounds recovers the age-range index from (min, max).
+func ageRangeFromBounds(min, max int) (int, error) {
+	for i, b := range ageBounds {
+		if b[0] == min && b[1] == max {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("adapi: unknown age bounds [%d, %d]", min, max)
+}
+
+// splitClauses groups a spec side's clauses by feature kind, preserving
+// clause structure. The wire dialects physically cannot express empty or
+// kind-mixed clauses (true of the real platforms' formats), so those are
+// encoder errors.
+func splitClauses(clauses []targeting.Clause) (map[targeting.Kind][]targeting.Clause, error) {
+	out := make(map[targeting.Kind][]targeting.Clause)
+	for _, cl := range clauses {
+		if len(cl) == 0 {
+			return nil, targeting.ErrEmptyClause
+		}
+		k := cl[0].Kind
+		for _, r := range cl {
+			if r.Kind != k {
+				return nil, targeting.ErrMixedClause
+			}
+		}
+		out[k] = append(out[k], cl)
+	}
+	return out, nil
+}
+
+// clauseIDs extracts the option IDs of a single-kind clause.
+func clauseIDs(cl targeting.Clause) []int {
+	ids := make([]int, len(cl))
+	for i, r := range cl {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// regionCodes maps population.Region ids to country codes on the wire.
+var regionCodes = []string{"US", "CA", "GB", "IN", "BR", "XX"}
+
+// regionCode renders a region id as its wire country code.
+func regionCode(id int) (string, error) {
+	if id < 0 || id >= len(regionCodes) {
+		return "", fmt.Errorf("%w: location %d", targeting.ErrInvalidDemoValue, id)
+	}
+	return regionCodes[id], nil
+}
+
+// regionFromCode parses a wire country code.
+func regionFromCode(code string) (int, error) {
+	for i, c := range regionCodes {
+		if c == code {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("adapi: unknown country code %q", code)
+}
+
+// clauseOf builds a clause of one kind from option IDs.
+func clauseOf(kind targeting.Kind, ids []int) targeting.Clause {
+	cl := make(targeting.Clause, len(ids))
+	for i, id := range ids {
+		cl[i] = targeting.Ref{Kind: kind, ID: id}
+	}
+	return cl
+}

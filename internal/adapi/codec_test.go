@@ -1,0 +1,439 @@
+package adapi
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/platform"
+	"repro/internal/targeting"
+	"repro/internal/xrand"
+)
+
+func allCodecs(t *testing.T) []Codec {
+	t.Helper()
+	var out []Codec
+	for _, name := range []string{
+		catalog.PlatformFacebook,
+		catalog.PlatformFacebookRestricted,
+		catalog.PlatformGoogle,
+		catalog.PlatformLinkedIn,
+	} {
+		c, err := CodecFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestCodecForUnknown(t *testing.T) {
+	if _, err := CodecFor("myspace"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestCodecPlatformNames(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		if c.Platform() == "" {
+			t.Error("empty codec platform name")
+		}
+	}
+}
+
+// canonicalRoundTrip checks that a spec survives encode → decode up to
+// canonical equality.
+func canonicalRoundTrip(t *testing.T, c Codec, req platform.EstimateRequest) {
+	t.Helper()
+	body, err := c.EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", c.Platform(), err)
+	}
+	got, err := c.DecodeRequest(body)
+	if err != nil {
+		t.Fatalf("%s: decode: %v\nbody: %s", c.Platform(), err, body)
+	}
+	if targeting.Canonical(got.Spec) != targeting.Canonical(req.Spec) {
+		t.Fatalf("%s: spec round trip changed:\n in: %s\nout: %s\nbody: %s",
+			c.Platform(), targeting.Canonical(req.Spec), targeting.Canonical(got.Spec), body)
+	}
+	if got.Objective != req.Objective {
+		t.Fatalf("%s: objective round trip: %q -> %q", c.Platform(), req.Objective, got.Objective)
+	}
+}
+
+func TestRoundTripSimpleSpecs(t *testing.T) {
+	specs := []targeting.Spec{
+		targeting.Attr(3),
+		targeting.And(targeting.Attr(1), targeting.Attr(2)),
+		targeting.AnyAttr(4, 5, 6),
+		targeting.WithGender(targeting.Attr(1), 0),
+		targeting.WithAge(targeting.Attr(1), 0, 2),
+		targeting.WithAge(targeting.WithGender(targeting.AnyAttr(7, 8), 1), 3),
+		targeting.Excluding(targeting.Attr(1), targeting.AnyAttr(2, 3)),
+	}
+	for _, c := range allCodecs(t) {
+		for _, s := range specs {
+			canonicalRoundTrip(t, c, platform.EstimateRequest{Spec: s})
+		}
+	}
+}
+
+func TestRoundTripGoogleTopics(t *testing.T) {
+	c, err := CodecFor(catalog.PlatformGoogle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonicalRoundTrip(t, c, platform.EstimateRequest{
+		Spec: targeting.And(targeting.Attr(10), targeting.Topic(20)),
+	})
+	canonicalRoundTrip(t, c, platform.EstimateRequest{
+		Spec:                 targeting.Excluding(targeting.Topic(1), targeting.Topic(2)),
+		FrequencyCapPerMonth: 3,
+	})
+}
+
+func TestGoogleFrequencyCapRoundTrip(t *testing.T) {
+	c, _ := CodecFor(catalog.PlatformGoogle)
+	body, err := c.EncodeRequest(platform.EstimateRequest{
+		Spec:                 targeting.Attr(1),
+		FrequencyCapPerMonth: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecodeRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrequencyCapPerMonth != 7 {
+		t.Fatalf("cap round trip = %d", got.FrequencyCapPerMonth)
+	}
+}
+
+func TestObjectiveRoundTrip(t *testing.T) {
+	cases := map[string][]platform.Objective{
+		catalog.PlatformFacebook: {platform.ObjectiveReach, platform.ObjectiveTraffic},
+		catalog.PlatformGoogle:   {platform.ObjectiveBrandAwarenessReach, platform.ObjectiveTraffic},
+		catalog.PlatformLinkedIn: {platform.ObjectiveBrandAwareness, platform.ObjectiveTraffic},
+	}
+	for name, objs := range cases {
+		c, _ := CodecFor(name)
+		for _, o := range objs {
+			canonicalRoundTrip(t, c, platform.EstimateRequest{Spec: targeting.Attr(1), Objective: o})
+		}
+		// Unsupported objective is an encoder error.
+		if _, err := c.EncodeRequest(platform.EstimateRequest{Spec: targeting.Attr(1), Objective: "dance"}); !errors.Is(err, platform.ErrUnknownObjective) {
+			t.Errorf("%s: want ErrUnknownObjective, got %v", name, err)
+		}
+	}
+}
+
+func TestEncodeRejectsMixedClause(t *testing.T) {
+	mixed := targeting.Spec{Include: []targeting.Clause{{
+		{Kind: targeting.KindAttribute, ID: 1},
+		{Kind: targeting.KindGender, ID: 0},
+	}}}
+	for _, c := range allCodecs(t) {
+		if _, err := c.EncodeRequest(platform.EstimateRequest{Spec: mixed}); !errors.Is(err, targeting.ErrMixedClause) {
+			t.Errorf("%s: want ErrMixedClause, got %v", c.Platform(), err)
+		}
+	}
+}
+
+func TestEncodeRejectsEmptyClause(t *testing.T) {
+	empty := targeting.Spec{Include: []targeting.Clause{{}}}
+	for _, c := range allCodecs(t) {
+		if _, err := c.EncodeRequest(platform.EstimateRequest{Spec: empty}); !errors.Is(err, targeting.ErrEmptyClause) {
+			t.Errorf("%s: want ErrEmptyClause, got %v", c.Platform(), err)
+		}
+	}
+}
+
+func TestFacebookRejectsTopics(t *testing.T) {
+	c, _ := CodecFor(catalog.PlatformFacebook)
+	if _, err := c.EncodeRequest(platform.EstimateRequest{Spec: targeting.Topic(1)}); !errors.Is(err, targeting.ErrKindForbidden) {
+		t.Fatalf("want ErrKindForbidden, got %v", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		for _, v := range []int64{0, 40, 300, 1000, 46_000, 5_200_000, 2_400_000_000} {
+			body, err := c.EncodeResponse(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.DecodeResponse(body)
+			if err != nil {
+				t.Fatalf("%s: decode response: %v", c.Platform(), err)
+			}
+			if got != v {
+				t.Fatalf("%s: response round trip %d -> %d", c.Platform(), v, got)
+			}
+		}
+	}
+}
+
+func TestGoogleWireIsObfuscated(t *testing.T) {
+	// The Google dialect must not leak readable field names: all object
+	// keys are numeric strings, and the estimate travels as a string.
+	c, _ := CodecFor(catalog.PlatformGoogle)
+	body, err := c.EncodeRequest(platform.EstimateRequest{
+		Spec:                 targeting.WithGender(targeting.And(targeting.Attr(5), targeting.Topic(9)), 1),
+		FrequencyCapPerMonth: 1,
+		Objective:            platform.ObjectiveBrandAwarenessReach,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(body, &generic); err != nil {
+		t.Fatal(err)
+	}
+	assertNumericKeys(t, generic)
+	for _, word := range []string{"targeting", "attribute", "topic", "gender", "age", "spec"} {
+		if strings.Contains(strings.ToLower(string(body)), word) {
+			t.Fatalf("google wire leaks %q: %s", word, body)
+		}
+	}
+	resp, _ := c.EncodeResponse(123_000)
+	var rGeneric map[string]any
+	if err := json.Unmarshal(resp, &rGeneric); err != nil {
+		t.Fatal(err)
+	}
+	assertNumericKeys(t, rGeneric)
+	if !strings.Contains(string(resp), `"123000"`) {
+		t.Fatalf("google estimate should travel as a string: %s", resp)
+	}
+}
+
+// assertNumericKeys walks a decoded JSON tree checking every object key is
+// a decimal number.
+func assertNumericKeys(t *testing.T, v any) {
+	t.Helper()
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			for _, r := range k {
+				if r < '0' || r > '9' {
+					t.Fatalf("non-numeric key %q", k)
+				}
+			}
+			assertNumericKeys(t, sub)
+		}
+	case []any:
+		for _, sub := range x {
+			assertNumericKeys(t, sub)
+		}
+	}
+}
+
+func TestFacebookWireShape(t *testing.T) {
+	// Spot-check the Facebook dialect against its documented field names.
+	c, _ := CodecFor(catalog.PlatformFacebook)
+	body, err := c.EncodeRequest(platform.EstimateRequest{
+		Spec:      targeting.WithGender(targeting.And(targeting.Attr(3), targeting.AnyAttr(4, 5)), 0),
+		Objective: platform.ObjectiveReach,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	ts, ok := m["targeting_spec"].(map[string]any)
+	if !ok {
+		t.Fatalf("no targeting_spec: %s", body)
+	}
+	flex, ok := ts["flexible_spec"].([]any)
+	if !ok || len(flex) != 2 {
+		t.Fatalf("flexible_spec wrong: %s", body)
+	}
+	genders, ok := ts["genders"].([]any)
+	if !ok || len(genders) != 1 || genders[0].(float64) != 1 {
+		t.Fatalf("genders wrong (male must encode as 1): %s", body)
+	}
+	if m["optimization_goal"] != "REACH" {
+		t.Fatalf("optimization_goal wrong: %s", body)
+	}
+}
+
+func TestLinkedInWireShape(t *testing.T) {
+	// LinkedIn demographics ride as ordinary facets in the and-of-ors tree.
+	c, _ := CodecFor(catalog.PlatformLinkedIn)
+	body, err := c.EncodeRequest(platform.EstimateRequest{
+		Spec: targeting.WithAge(targeting.Attr(7), 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+	for _, want := range []string{`"and"`, `"or"`, "urn:li:attribute:7", "urn:li:ageRange:(55,2147483647)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("linkedin wire missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestRandomSpecRoundTripProperty(t *testing.T) {
+	// Property: any rule-shaped random spec survives the round trip on the
+	// platform whose dialect can express it.
+	fb, _ := CodecFor(catalog.PlatformFacebook)
+	g, _ := CodecFor(catalog.PlatformGoogle)
+	li, _ := CodecFor(catalog.PlatformLinkedIn)
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nClauses := 1 + rng.Intn(4)
+		var spec targeting.Spec
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(3)
+			var cl targeting.Clause
+			for j := 0; j < width; j++ {
+				cl = append(cl, targeting.Ref{Kind: targeting.KindAttribute, ID: rng.Intn(200)})
+			}
+			spec.Include = append(spec.Include, cl)
+		}
+		req := platform.EstimateRequest{Spec: spec}
+		for _, c := range []Codec{fb, li} {
+			body, err := c.EncodeRequest(req)
+			if err != nil {
+				return false
+			}
+			got, err := c.DecodeRequest(body)
+			if err != nil || targeting.Canonical(got.Spec) != targeting.Canonical(spec) {
+				return false
+			}
+		}
+		// Google expresses the same shape (validation happens server-side).
+		body, err := g.EncodeRequest(req)
+		if err != nil {
+			return false
+		}
+		got, err := g.DecodeRequest(body)
+		return err == nil && targeting.Canonical(got.Spec) == targeting.Canonical(spec)
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgeRangeFromBoundsUnknown(t *testing.T) {
+	if _, err := ageRangeFromBounds(19, 23); err == nil {
+		t.Fatal("unknown bounds accepted")
+	}
+}
+
+func TestErrorCodeMapping(t *testing.T) {
+	for _, e := range codeByError {
+		code := errorCode(e.err)
+		if code == codeInternal {
+			t.Errorf("error %v classified as internal", e.err)
+			continue
+		}
+		back := errorFromCode(code, "x")
+		if !errors.Is(back, e.err) {
+			t.Errorf("round trip lost error identity for %v (code %s)", e.err, code)
+		}
+	}
+	if errorCode(errors.New("boom")) != codeInternal {
+		t.Error("unknown errors must classify as internal")
+	}
+}
+
+func TestSplitClauses(t *testing.T) {
+	spec := targeting.WithGender(targeting.And(targeting.Attr(1), targeting.Topic(2)), 0)
+	byKind, err := splitClauses(spec.Include)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[targeting.Kind]int{
+		targeting.KindAttribute: 1,
+		targeting.KindTopic:     1,
+		targeting.KindGender:    1,
+	}
+	got := map[targeting.Kind]int{}
+	for k, cls := range byKind {
+		got[k] = len(cls)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("splitClauses = %v, want %v", got, want)
+	}
+}
+
+func TestLocationRoundTrip(t *testing.T) {
+	// The auditor's US scope must survive every dialect: FB geo_locations,
+	// Google's obfuscated geo groups, LinkedIn's locations facet.
+	spec := targeting.WithLocation(targeting.Attr(3), 0, 2) // US or GB
+	for _, c := range allCodecs(t) {
+		canonicalRoundTrip(t, c, platform.EstimateRequest{Spec: spec})
+	}
+	// Unknown region ids are encoder errors on the dialects that carry
+	// country-code strings; Google's numeric dialect passes ids through and
+	// the server rejects them at validation.
+	bad := targeting.WithLocation(targeting.Attr(3), 99)
+	for _, c := range allCodecs(t) {
+		if c.Platform() == catalog.PlatformGoogle {
+			continue
+		}
+		if _, err := c.EncodeRequest(platform.EstimateRequest{Spec: bad}); err == nil {
+			t.Errorf("%s: unknown region accepted", c.Platform())
+		}
+	}
+}
+
+func TestRegionCodes(t *testing.T) {
+	for id := 0; id < len(regionCodes); id++ {
+		code, err := regionCode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := regionFromCode(code)
+		if err != nil || back != id {
+			t.Fatalf("region %d -> %q -> %d (%v)", id, code, back, err)
+		}
+	}
+	if _, err := regionFromCode("ZZ"); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+func TestGooglePlacementRoundTrip(t *testing.T) {
+	c, _ := CodecFor(catalog.PlatformGoogle)
+	canonicalRoundTrip(t, c, platform.EstimateRequest{
+		Spec: targeting.And(targeting.Placement(3), targeting.Attr(1)),
+	})
+}
+
+func TestWireGolden(t *testing.T) {
+	// Golden wire bodies: these are the protocol. Changing them silently
+	// would break interoperability between old servers and new clients, so
+	// any intentional change must update this test.
+	req := platform.EstimateRequest{
+		Spec: targeting.WithLocation(
+			targeting.WithGender(targeting.And(targeting.AnyAttr(1, 2), targeting.Attr(3)), 0), 0),
+	}
+	golden := map[string]string{
+		catalog.PlatformFacebook: `{"targeting_spec":{"flexible_spec":[{"interests":[{"id":1},{"id":2}]},{"interests":[{"id":3}]}],"genders":[1],"geo_locations":{"countries":["US"]}}}`,
+		catalog.PlatformGoogle:   `{"1":{"2":{"3":[[1,2],[3]],"6":[1],"8":[[0]]}}}`,
+		catalog.PlatformLinkedIn: `{"include":{"and":[{"or":{"urn:li:adTargetingFacet:attributes":["urn:li:attribute:1","urn:li:attribute:2"]}},{"or":{"urn:li:adTargetingFacet:attributes":["urn:li:attribute:3"]}},{"or":{"urn:li:adTargetingFacet:genders":["urn:li:gender:MALE"]}},{"or":{"urn:li:adTargetingFacet:locations":["urn:li:geo:US"]}}]}}`,
+	}
+	for name, want := range golden {
+		c, err := CodecFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := c.EncodeRequest(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := strings.TrimSpace(string(body)); got != want {
+			t.Errorf("%s wire body changed:\n got: %s\nwant: %s", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package adapi is the network layer of the reproduction: HTTP servers that
+// expose each simulated platform's audience-size estimate API in that
+// platform's own JSON dialect, and clients that automate those APIs the way
+// the paper's scraper did (§3, "Automating size queries").
+//
+// Facebook's and LinkedIn's dialects are straightforward JSON; Google's
+// request and response bodies are obfuscated JSON keyed by opaque numeric
+// strings. The Google client embeds the key mapping the paper reports
+// recovering "by manually varying the targeting options systematically".
+package adapi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// Error codes carried in API error bodies so typed validation errors survive
+// the HTTP round trip: the audit methodology needs errors.Is to keep working
+// against a remote platform (e.g. detecting that Google cannot AND two
+// attributes).
+const (
+	codeEmptySpec        = "empty_spec"
+	codeEmptyClause      = "empty_clause"
+	codeMixedClause      = "mixed_clause"
+	codeExcludeForbidden = "exclude_forbidden"
+	codeKindForbidden    = "kind_forbidden"
+	codeDemoForbidden    = "demo_forbidden"
+	codeAndWithinFeature = "and_within_feature"
+	codeTooManyClauses   = "too_many_clauses"
+	codeUnknownOption    = "unknown_option"
+	codeDuplicateRef     = "duplicate_ref"
+	codeInvalidDemoValue = "invalid_demo_value"
+	codeUnknownObjective = "unknown_objective"
+	codeBadFrequencyCap  = "bad_frequency_cap"
+	codeMalformedRequest = "malformed_request"
+	codeInternal         = "internal"
+	codeRateLimited      = "rate_limited"
+	codeUnknownPlatform  = "unknown_platform"
+	codeMethodNotAllowed = "method_not_allowed"
+)
+
+// sentinelByCode maps wire codes back to the typed errors the audit uses.
+var sentinelByCode = map[string]error{
+	codeEmptySpec:        targeting.ErrEmptySpec,
+	codeEmptyClause:      targeting.ErrEmptyClause,
+	codeMixedClause:      targeting.ErrMixedClause,
+	codeExcludeForbidden: targeting.ErrExcludeForbidden,
+	codeKindForbidden:    targeting.ErrKindForbidden,
+	codeDemoForbidden:    targeting.ErrDemoForbidden,
+	codeAndWithinFeature: targeting.ErrAndWithinFeature,
+	codeTooManyClauses:   targeting.ErrTooManyClauses,
+	codeUnknownOption:    targeting.ErrUnknownOption,
+	codeDuplicateRef:     targeting.ErrDuplicateRef,
+	codeInvalidDemoValue: targeting.ErrInvalidDemoValue,
+	codeUnknownObjective: platform.ErrUnknownObjective,
+	codeBadFrequencyCap:  platform.ErrBadFrequencyCap,
+}
+
+// codeByError pairs typed errors with their wire codes, checked in order.
+var codeByError = []struct {
+	err  error
+	code string
+}{
+	{targeting.ErrEmptySpec, codeEmptySpec},
+	{targeting.ErrEmptyClause, codeEmptyClause},
+	{targeting.ErrMixedClause, codeMixedClause},
+	{targeting.ErrExcludeForbidden, codeExcludeForbidden},
+	{targeting.ErrDemoForbidden, codeDemoForbidden},
+	{targeting.ErrAndWithinFeature, codeAndWithinFeature},
+	{targeting.ErrTooManyClauses, codeTooManyClauses},
+	{targeting.ErrUnknownOption, codeUnknownOption},
+	{targeting.ErrDuplicateRef, codeDuplicateRef},
+	{targeting.ErrInvalidDemoValue, codeInvalidDemoValue},
+	{targeting.ErrKindForbidden, codeKindForbidden},
+	{platform.ErrUnknownObjective, codeUnknownObjective},
+	{platform.ErrBadFrequencyCap, codeBadFrequencyCap},
+}
+
+// errorCode classifies an error into a wire code.
+func errorCode(err error) string {
+	for _, e := range codeByError {
+		if errors.Is(err, e.err) {
+			return e.code
+		}
+	}
+	return codeInternal
+}
+
+// errorFromCode reconstructs a typed error from a wire code and message.
+func errorFromCode(code, message string) error {
+	if sentinel, ok := sentinelByCode[code]; ok {
+		return fmt.Errorf("adapi: remote rejected request: %w (%s)", sentinel, message)
+	}
+	return fmt.Errorf("adapi: remote error %s: %s", code, message)
+}

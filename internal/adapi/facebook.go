@@ -1,0 +1,247 @@
+package adapi
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// facebookCodec speaks the Marketing-API-style delivery_estimate dialect
+// used by both Facebook interfaces: OR-groups of interests under
+// flexible_spec, a merged exclusions group, genders as 1 (male) / 2
+// (female), and age ranges as min/max bounds.
+type facebookCodec struct {
+	platform string
+}
+
+// fbInterest is one option inside a flexible_spec group.
+type fbInterest struct {
+	ID int `json:"id"`
+}
+
+// fbFlexGroup is one OR-group.
+type fbFlexGroup struct {
+	Interests []fbInterest `json:"interests,omitempty"`
+}
+
+// fbAgeRange is a min/max age bound; Max 0 encodes "no upper bound".
+type fbAgeRange struct {
+	Min int `json:"min"`
+	Max int `json:"max,omitempty"`
+}
+
+// fbCustomAudience references a previously created custom audience.
+type fbCustomAudience struct {
+	ID int `json:"id"`
+}
+
+// fbGeoLocations is the location-targeting block.
+type fbGeoLocations struct {
+	Countries []string `json:"countries"`
+}
+
+// fbTargetingSpec is the targeting_spec body.
+type fbTargetingSpec struct {
+	FlexibleSpec    []fbFlexGroup        `json:"flexible_spec,omitempty"`
+	Exclusions      *fbFlexGroup         `json:"exclusions,omitempty"`
+	Genders         []int                `json:"genders,omitempty"`
+	AgeRanges       []fbAgeRange         `json:"age_ranges,omitempty"`
+	CustomAudiences [][]fbCustomAudience `json:"custom_audiences,omitempty"`
+	GeoLocations    *fbGeoLocations      `json:"geo_locations,omitempty"`
+}
+
+// fbRequest is the estimate request envelope.
+type fbRequest struct {
+	TargetingSpec    fbTargetingSpec `json:"targeting_spec"`
+	OptimizationGoal string          `json:"optimization_goal,omitempty"`
+}
+
+// fbResponse is the estimate response envelope.
+type fbResponse struct {
+	Data []struct {
+		EstimateMAU int64 `json:"estimate_mau"`
+	} `json:"data"`
+}
+
+func (c facebookCodec) Platform() string { return c.platform }
+
+// goalNames maps objectives to Facebook optimization goals.
+var goalNames = map[platform.Objective]string{
+	platform.ObjectiveReach:   "REACH",
+	platform.ObjectiveTraffic: "LINK_CLICKS",
+}
+
+// EncodeRequest implements Codec.
+func (c facebookCodec) EncodeRequest(req platform.EstimateRequest) ([]byte, error) {
+	byKind, err := splitClauses(req.Spec.Include)
+	if err != nil {
+		return nil, err
+	}
+	if len(byKind[targeting.KindTopic]) > 0 {
+		return nil, fmt.Errorf("%w: facebook has no topic feature", targeting.ErrKindForbidden)
+	}
+	var ts fbTargetingSpec
+	for _, cl := range byKind[targeting.KindCustomAudience] {
+		group := make([]fbCustomAudience, 0, len(cl))
+		for _, id := range clauseIDs(cl) {
+			group = append(group, fbCustomAudience{ID: id})
+		}
+		ts.CustomAudiences = append(ts.CustomAudiences, group)
+	}
+	for _, cl := range byKind[targeting.KindAttribute] {
+		group := fbFlexGroup{}
+		for _, id := range clauseIDs(cl) {
+			group.Interests = append(group.Interests, fbInterest{ID: id})
+		}
+		ts.FlexibleSpec = append(ts.FlexibleSpec, group)
+	}
+	// Facebook genders are 1-based (1=male, 2=female).
+	for _, cl := range byKind[targeting.KindGender] {
+		for _, id := range clauseIDs(cl) {
+			ts.Genders = append(ts.Genders, id+1)
+		}
+	}
+	for _, cl := range byKind[targeting.KindAge] {
+		for _, id := range clauseIDs(cl) {
+			if id < 0 || id >= len(ageBounds) {
+				return nil, fmt.Errorf("%w: age range %d", targeting.ErrInvalidDemoValue, id)
+			}
+			b := ageBounds[id]
+			ts.AgeRanges = append(ts.AgeRanges, fbAgeRange{Min: b[0], Max: b[1]})
+		}
+	}
+	for _, cl := range byKind[targeting.KindLocation] {
+		geo := &fbGeoLocations{}
+		for _, id := range clauseIDs(cl) {
+			code, err := regionCode(id)
+			if err != nil {
+				return nil, err
+			}
+			geo.Countries = append(geo.Countries, code)
+		}
+		if ts.GeoLocations != nil {
+			return nil, fmt.Errorf("%w: facebook supports one location block", targeting.ErrTooManyClauses)
+		}
+		ts.GeoLocations = geo
+	}
+	// All exclusion clauses merge into one OR-group: ¬(A∨B) ∧ ¬(C) ≡
+	// ¬(A∨B∨C). Only attribute exclusions are expressible.
+	if len(req.Spec.Exclude) > 0 {
+		exByKind, err := splitClauses(req.Spec.Exclude)
+		if err != nil {
+			return nil, err
+		}
+		for k := range exByKind {
+			if k != targeting.KindAttribute {
+				return nil, fmt.Errorf("%w: facebook exclusions accept attributes only", targeting.ErrKindForbidden)
+			}
+		}
+		ex := &fbFlexGroup{}
+		for _, cl := range exByKind[targeting.KindAttribute] {
+			for _, id := range clauseIDs(cl) {
+				ex.Interests = append(ex.Interests, fbInterest{ID: id})
+			}
+		}
+		ts.Exclusions = ex
+	}
+	goal := goalNames[req.Objective]
+	if req.Objective == "" {
+		goal = ""
+	} else if goal == "" {
+		return nil, fmt.Errorf("%w: %q", platform.ErrUnknownObjective, req.Objective)
+	}
+	return json.Marshal(fbRequest{TargetingSpec: ts, OptimizationGoal: goal})
+}
+
+// DecodeRequest implements Codec.
+func (c facebookCodec) DecodeRequest(body []byte) (platform.EstimateRequest, error) {
+	var req fbRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return platform.EstimateRequest{}, fmt.Errorf("adapi: malformed facebook request: %w", err)
+	}
+	var spec targeting.Spec
+	for _, g := range req.TargetingSpec.FlexibleSpec {
+		var cl targeting.Clause
+		for _, it := range g.Interests {
+			cl = append(cl, targeting.Ref{Kind: targeting.KindAttribute, ID: it.ID})
+		}
+		spec.Include = append(spec.Include, cl)
+	}
+	if gs := req.TargetingSpec.Genders; len(gs) > 0 {
+		var cl targeting.Clause
+		for _, g := range gs {
+			cl = append(cl, targeting.Ref{Kind: targeting.KindGender, ID: g - 1})
+		}
+		spec.Include = append(spec.Include, cl)
+	}
+	if ars := req.TargetingSpec.AgeRanges; len(ars) > 0 {
+		var cl targeting.Clause
+		for _, ar := range ars {
+			id, err := ageRangeFromBounds(ar.Min, ar.Max)
+			if err != nil {
+				return platform.EstimateRequest{}, err
+			}
+			cl = append(cl, targeting.Ref{Kind: targeting.KindAge, ID: id})
+		}
+		spec.Include = append(spec.Include, cl)
+	}
+	if geo := req.TargetingSpec.GeoLocations; geo != nil {
+		var cl targeting.Clause
+		for _, code := range geo.Countries {
+			id, err := regionFromCode(code)
+			if err != nil {
+				return platform.EstimateRequest{}, err
+			}
+			cl = append(cl, targeting.Ref{Kind: targeting.KindLocation, ID: id})
+		}
+		spec.Include = append(spec.Include, cl)
+	}
+	for _, group := range req.TargetingSpec.CustomAudiences {
+		var cl targeting.Clause
+		for _, ca := range group {
+			cl = append(cl, targeting.Ref{Kind: targeting.KindCustomAudience, ID: ca.ID})
+		}
+		spec.Include = append(spec.Include, cl)
+	}
+	if ex := req.TargetingSpec.Exclusions; ex != nil {
+		var cl targeting.Clause
+		for _, it := range ex.Interests {
+			cl = append(cl, targeting.Ref{Kind: targeting.KindAttribute, ID: it.ID})
+		}
+		spec.Exclude = append(spec.Exclude, cl)
+	}
+	out := platform.EstimateRequest{Spec: spec}
+	switch req.OptimizationGoal {
+	case "":
+	case "REACH":
+		out.Objective = platform.ObjectiveReach
+	case "LINK_CLICKS":
+		out.Objective = platform.ObjectiveTraffic
+	default:
+		return platform.EstimateRequest{}, fmt.Errorf("%w: %q", platform.ErrUnknownObjective, req.OptimizationGoal)
+	}
+	return out, nil
+}
+
+// EncodeResponse implements Codec.
+func (c facebookCodec) EncodeResponse(size int64) ([]byte, error) {
+	var resp fbResponse
+	resp.Data = append(resp.Data, struct {
+		EstimateMAU int64 `json:"estimate_mau"`
+	}{EstimateMAU: size})
+	return json.Marshal(resp)
+}
+
+// DecodeResponse implements Codec.
+func (c facebookCodec) DecodeResponse(body []byte) (int64, error) {
+	var resp fbResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return 0, fmt.Errorf("adapi: malformed facebook response: %w", err)
+	}
+	if len(resp.Data) != 1 {
+		return 0, fmt.Errorf("adapi: facebook response has %d data entries", len(resp.Data))
+	}
+	return resp.Data[0].EstimateMAU, nil
+}

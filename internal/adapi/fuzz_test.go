@@ -1,0 +1,107 @@
+package adapi
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// Fuzzing the decoders: whatever bytes arrive on the wire, DecodeRequest
+// and DecodeResponse must return an error or a value — never panic — and a
+// successfully decoded request must survive re-encode → re-decode
+// unchanged (decode is a retraction of encode).
+
+// seedBodies provides representative valid and broken bodies per dialect.
+func seedBodies(t interface{ Helper() }, name string) [][]byte {
+	c, err := CodecFor(name)
+	if err != nil {
+		panic(err)
+	}
+	var seeds [][]byte
+	for _, req := range []platform.EstimateRequest{
+		{Spec: targeting.Attr(1)},
+		{Spec: targeting.And(targeting.AnyAttr(1, 2), targeting.Attr(3))},
+		{Spec: targeting.WithAge(targeting.WithGender(targeting.Attr(0), 1), 0, 3)},
+		{Spec: targeting.Excluding(targeting.Attr(5), targeting.AnyAttr(6, 7))},
+		{Spec: targeting.And(targeting.CustomAudience(2), targeting.Attr(9))},
+	} {
+		if body, err := c.EncodeRequest(req); err == nil {
+			seeds = append(seeds, body)
+		}
+	}
+	seeds = append(seeds,
+		[]byte("{}"),
+		[]byte("[]"),
+		[]byte("{\"targeting_spec\":null}"),
+		[]byte("{\"1\":{\"2\":{\"3\":[[1,2]],\"7\":[[19,22]]}}}"),
+		[]byte("not json at all"),
+		[]byte("{\"include\":{\"and\":[{\"or\":{\"bogus\":[\"urn:li:attribute:x\"]}}]}}"),
+	)
+	return seeds
+}
+
+// fuzzDecode drives one codec's request decoder.
+func fuzzDecode(f *testing.F, name string) {
+	for _, s := range seedBodies(f, name) {
+		f.Add(s)
+	}
+	codec, err := CodecFor(name)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := codec.DecodeRequest(body)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		// Round-trip stability: re-encode and re-decode must preserve the
+		// canonical spec. Encoding may legitimately reject specs the wire
+		// cannot express (e.g. decoded demographic values out of range).
+		body2, err := codec.EncodeRequest(req)
+		if err != nil {
+			return
+		}
+		req2, err := codec.DecodeRequest(body2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\nbody: %s", err, body2)
+		}
+		if targeting.Canonical(req.Spec) != targeting.Canonical(req2.Spec) {
+			t.Fatalf("round trip changed spec:\n in: %s\nout: %s",
+				targeting.Canonical(req.Spec), targeting.Canonical(req2.Spec))
+		}
+	})
+}
+
+func FuzzFacebookDecodeRequest(f *testing.F) { fuzzDecode(f, catalog.PlatformFacebook) }
+func FuzzGoogleDecodeRequest(f *testing.F)   { fuzzDecode(f, catalog.PlatformGoogle) }
+func FuzzLinkedInDecodeRequest(f *testing.F) { fuzzDecode(f, catalog.PlatformLinkedIn) }
+
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add([]byte(`{"data":[{"estimate_mau":1000}]}`))
+	f.Add([]byte(`{"1":{"2":"46000"}}`))
+	f.Add([]byte(`{"elements":[{"total":300}]}`))
+	f.Add([]byte(`garbage`))
+	codecs := []string{catalog.PlatformFacebook, catalog.PlatformGoogle, catalog.PlatformLinkedIn}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, name := range codecs {
+			c, err := CodecFor(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Must not panic; error or value both fine.
+			if v, err := c.DecodeResponse(body); err == nil {
+				// A decoded estimate must re-encode and decode to itself.
+				body2, err := c.EncodeResponse(v)
+				if err != nil {
+					t.Fatalf("%s: re-encode failed: %v", name, err)
+				}
+				v2, err := c.DecodeResponse(body2)
+				if err != nil || v2 != v {
+					t.Fatalf("%s: response round trip %d -> %d (%v)", name, v, v2, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package adapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// googleCodec speaks the obfuscated reach-estimate dialect: bodies are JSON
+// keyed by opaque numeric strings and the estimate itself travels as a
+// decimal string. The field meanings below are the mapping an auditor
+// recovers by varying one targeting option at a time and diffing requests
+// (paper §3: "by manually varying the targeting options systematically, we
+// find a mapping between the targeting options and particular keys and
+// values in the obfuscated json"):
+//
+//	"1"        campaign envelope
+//	"1"."2"    targeting
+//	"1"."2"."3"  attribute OR-groups (lists of option ids)
+//	"1"."2"."4"  topic OR-groups
+//	"1"."2"."6"  genders (1 = male, 2 = female)
+//	"1"."2"."7"  age brackets as [min, max] pairs (max 0 = unbounded)
+//	"1"."2"."9"  exclusions {"3": attr groups, "4": topic groups}
+//	"1"."2"."8"  geo criterion groups (region ids)
+//	"1"."2"."12" managed-placement groups (publisher-site ids)
+//	"1"."2"."11" custom-audience (customer-match) groups
+//	"1"."5"    per-user monthly frequency cap
+//	"1"."10"   campaign objective enum (1 = display reach, 2 = traffic)
+//
+// Response: {"1": {"2": "<estimate as decimal string>"}}.
+type googleCodec struct{}
+
+type gExclude struct {
+	Attrs  [][]int `json:"3,omitempty"`
+	Topics [][]int `json:"4,omitempty"`
+}
+
+type gTargeting struct {
+	Attrs      [][]int   `json:"3,omitempty"`
+	Topics     [][]int   `json:"4,omitempty"`
+	Genders    []int     `json:"6,omitempty"`
+	Ages       [][2]int  `json:"7,omitempty"`
+	Exclude    *gExclude `json:"9,omitempty"`
+	Audiences  [][]int   `json:"11,omitempty"` // customer-match lists
+	Locations  [][]int   `json:"8,omitempty"`  // geo criterion groups
+	Placements [][]int   `json:"12,omitempty"` // managed placements
+}
+
+type gCampaign struct {
+	Targeting gTargeting `json:"2"`
+	FreqCap   int        `json:"5,omitempty"`
+	Objective int        `json:"10,omitempty"`
+}
+
+type gRequest struct {
+	Campaign gCampaign `json:"1"`
+}
+
+type gResult struct {
+	Estimate string `json:"2"`
+}
+
+type gResponse struct {
+	Result gResult `json:"1"`
+}
+
+func (googleCodec) Platform() string { return catalog.PlatformGoogle }
+
+// Google objective enum values.
+const (
+	gObjectiveDisplayReach = 1
+	gObjectiveTraffic      = 2
+)
+
+// EncodeRequest implements Codec.
+func (googleCodec) EncodeRequest(req platform.EstimateRequest) ([]byte, error) {
+	byKind, err := splitClauses(req.Spec.Include)
+	if err != nil {
+		return nil, err
+	}
+	var t gTargeting
+	for _, cl := range byKind[targeting.KindAttribute] {
+		t.Attrs = append(t.Attrs, clauseIDs(cl))
+	}
+	for _, cl := range byKind[targeting.KindTopic] {
+		t.Topics = append(t.Topics, clauseIDs(cl))
+	}
+	for _, cl := range byKind[targeting.KindCustomAudience] {
+		t.Audiences = append(t.Audiences, clauseIDs(cl))
+	}
+	for _, cl := range byKind[targeting.KindLocation] {
+		t.Locations = append(t.Locations, clauseIDs(cl))
+	}
+	for _, cl := range byKind[targeting.KindPlacement] {
+		t.Placements = append(t.Placements, clauseIDs(cl))
+	}
+	for _, cl := range byKind[targeting.KindGender] {
+		for _, id := range clauseIDs(cl) {
+			t.Genders = append(t.Genders, id+1)
+		}
+	}
+	for _, cl := range byKind[targeting.KindAge] {
+		for _, id := range clauseIDs(cl) {
+			if id < 0 || id >= len(ageBounds) {
+				return nil, fmt.Errorf("%w: age range %d", targeting.ErrInvalidDemoValue, id)
+			}
+			t.Ages = append(t.Ages, [2]int{ageBounds[id][0], ageBounds[id][1]})
+		}
+	}
+	if len(req.Spec.Exclude) > 0 {
+		exByKind, err := splitClauses(req.Spec.Exclude)
+		if err != nil {
+			return nil, err
+		}
+		ex := &gExclude{}
+		for k, cls := range exByKind {
+			switch k {
+			case targeting.KindAttribute:
+				for _, cl := range cls {
+					ex.Attrs = append(ex.Attrs, clauseIDs(cl))
+				}
+			case targeting.KindTopic:
+				for _, cl := range cls {
+					ex.Topics = append(ex.Topics, clauseIDs(cl))
+				}
+			default:
+				return nil, fmt.Errorf("%w: google exclusions accept attributes and topics only", targeting.ErrKindForbidden)
+			}
+		}
+		t.Exclude = ex
+	}
+	c := gCampaign{Targeting: t, FreqCap: req.FrequencyCapPerMonth}
+	switch req.Objective {
+	case "":
+	case platform.ObjectiveBrandAwarenessReach:
+		c.Objective = gObjectiveDisplayReach
+	case platform.ObjectiveTraffic:
+		c.Objective = gObjectiveTraffic
+	default:
+		return nil, fmt.Errorf("%w: %q", platform.ErrUnknownObjective, req.Objective)
+	}
+	return json.Marshal(gRequest{Campaign: c})
+}
+
+// DecodeRequest implements Codec.
+func (googleCodec) DecodeRequest(body []byte) (platform.EstimateRequest, error) {
+	var req gRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return platform.EstimateRequest{}, fmt.Errorf("adapi: malformed google request: %w", err)
+	}
+	t := req.Campaign.Targeting
+	var spec targeting.Spec
+	for _, ids := range t.Attrs {
+		spec.Include = append(spec.Include, clauseOf(targeting.KindAttribute, ids))
+	}
+	for _, ids := range t.Topics {
+		spec.Include = append(spec.Include, clauseOf(targeting.KindTopic, ids))
+	}
+	for _, ids := range t.Audiences {
+		spec.Include = append(spec.Include, clauseOf(targeting.KindCustomAudience, ids))
+	}
+	for _, ids := range t.Locations {
+		spec.Include = append(spec.Include, clauseOf(targeting.KindLocation, ids))
+	}
+	for _, ids := range t.Placements {
+		spec.Include = append(spec.Include, clauseOf(targeting.KindPlacement, ids))
+	}
+	if len(t.Genders) > 0 {
+		var cl targeting.Clause
+		for _, g := range t.Genders {
+			cl = append(cl, targeting.Ref{Kind: targeting.KindGender, ID: g - 1})
+		}
+		spec.Include = append(spec.Include, cl)
+	}
+	if len(t.Ages) > 0 {
+		var cl targeting.Clause
+		for _, a := range t.Ages {
+			id, err := ageRangeFromBounds(a[0], a[1])
+			if err != nil {
+				return platform.EstimateRequest{}, err
+			}
+			cl = append(cl, targeting.Ref{Kind: targeting.KindAge, ID: id})
+		}
+		spec.Include = append(spec.Include, cl)
+	}
+	if ex := t.Exclude; ex != nil {
+		for _, ids := range ex.Attrs {
+			spec.Exclude = append(spec.Exclude, clauseOf(targeting.KindAttribute, ids))
+		}
+		for _, ids := range ex.Topics {
+			spec.Exclude = append(spec.Exclude, clauseOf(targeting.KindTopic, ids))
+		}
+	}
+	out := platform.EstimateRequest{Spec: spec, FrequencyCapPerMonth: req.Campaign.FreqCap}
+	switch req.Campaign.Objective {
+	case 0:
+	case gObjectiveDisplayReach:
+		out.Objective = platform.ObjectiveBrandAwarenessReach
+	case gObjectiveTraffic:
+		out.Objective = platform.ObjectiveTraffic
+	default:
+		return platform.EstimateRequest{}, fmt.Errorf("%w: enum %d", platform.ErrUnknownObjective, req.Campaign.Objective)
+	}
+	return out, nil
+}
+
+// EncodeResponse implements Codec.
+func (googleCodec) EncodeResponse(size int64) ([]byte, error) {
+	return json.Marshal(gResponse{Result: gResult{Estimate: strconv.FormatInt(size, 10)}})
+}
+
+// DecodeResponse implements Codec.
+func (googleCodec) DecodeResponse(body []byte) (int64, error) {
+	var resp gResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return 0, fmt.Errorf("adapi: malformed google response: %w", err)
+	}
+	v, err := strconv.ParseInt(resp.Result.Estimate, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("adapi: google estimate %q is not a number: %w", resp.Result.Estimate, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,265 @@
+package adapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// linkedInCodec speaks the audienceCounts dialect: an and-of-ors targeting
+// criteria tree whose facets are URN-keyed lists. Gender and age are
+// ordinary facets (LinkedIn has no separate demographic dimension — paper §3
+// footnote 4), which is exactly how Class conditioning reaches the wire.
+type linkedInCodec struct{}
+
+// LinkedIn facet URNs.
+const (
+	liFacetAttribute = "urn:li:adTargetingFacet:attributes"
+	liFacetGender    = "urn:li:adTargetingFacet:genders"
+	liFacetAge       = "urn:li:adTargetingFacet:ageRanges"
+	liFacetAudience  = "urn:li:adTargetingFacet:audienceMatchingSegments"
+	liFacetLocation  = "urn:li:adTargetingFacet:locations"
+)
+
+// liOrTerm is one or-term: facet URN → member URN list.
+type liOrTerm struct {
+	Or map[string][]string `json:"or"`
+}
+
+// liCriteria is the and-of-ors tree.
+type liCriteria struct {
+	And []liOrTerm `json:"and,omitempty"`
+}
+
+// liRequest is the audienceCounts request body.
+type liRequest struct {
+	Include   *liCriteria `json:"include,omitempty"`
+	Exclude   *liCriteria `json:"exclude,omitempty"`
+	Objective string      `json:"objectiveType,omitempty"`
+}
+
+// liResponse is the audienceCounts response body.
+type liResponse struct {
+	Elements []struct {
+		Total int64 `json:"total"`
+	} `json:"elements"`
+}
+
+func (linkedInCodec) Platform() string { return catalog.PlatformLinkedIn }
+
+// liGenderURNs maps gender IDs to member URNs.
+var liGenderURNs = []string{"urn:li:gender:MALE", "urn:li:gender:FEMALE"}
+
+// liAgeURNs maps age-range IDs to member URNs.
+var liAgeURNs = []string{
+	"urn:li:ageRange:(18,24)",
+	"urn:li:ageRange:(25,34)",
+	"urn:li:ageRange:(35,54)",
+	"urn:li:ageRange:(55,2147483647)",
+}
+
+// liObjectives maps objectives to LinkedIn objective types.
+var liObjectives = map[platform.Objective]string{
+	platform.ObjectiveBrandAwareness: "BRAND_AWARENESS",
+	platform.ObjectiveTraffic:        "WEBSITE_VISIT",
+}
+
+// refToURN renders a ref as (facet, member URN).
+func refToURN(r targeting.Ref) (facet, urn string, err error) {
+	switch r.Kind {
+	case targeting.KindAttribute:
+		return liFacetAttribute, fmt.Sprintf("urn:li:attribute:%d", r.ID), nil
+	case targeting.KindGender:
+		if r.ID < 0 || r.ID >= len(liGenderURNs) {
+			return "", "", fmt.Errorf("%w: gender %d", targeting.ErrInvalidDemoValue, r.ID)
+		}
+		return liFacetGender, liGenderURNs[r.ID], nil
+	case targeting.KindAge:
+		if r.ID < 0 || r.ID >= len(liAgeURNs) {
+			return "", "", fmt.Errorf("%w: age %d", targeting.ErrInvalidDemoValue, r.ID)
+		}
+		return liFacetAge, liAgeURNs[r.ID], nil
+	case targeting.KindCustomAudience:
+		return liFacetAudience, fmt.Sprintf("urn:li:matchedAudience:%d", r.ID), nil
+	case targeting.KindLocation:
+		code, err := regionCode(r.ID)
+		if err != nil {
+			return "", "", err
+		}
+		return liFacetLocation, "urn:li:geo:" + code, nil
+	default:
+		return "", "", fmt.Errorf("%w: %s", targeting.ErrKindForbidden, r)
+	}
+}
+
+// urnToRef parses a member URN under a facet back into a ref.
+func urnToRef(facet, urn string) (targeting.Ref, error) {
+	switch facet {
+	case liFacetAudience:
+		const aPrefix = "urn:li:matchedAudience:"
+		if !strings.HasPrefix(urn, aPrefix) {
+			return targeting.Ref{}, fmt.Errorf("adapi: bad audience urn %q", urn)
+		}
+		id, err := strconv.Atoi(urn[len(aPrefix):])
+		if err != nil {
+			return targeting.Ref{}, fmt.Errorf("adapi: bad audience urn %q: %w", urn, err)
+		}
+		return targeting.Ref{Kind: targeting.KindCustomAudience, ID: id}, nil
+	case liFacetLocation:
+		const gPrefix = "urn:li:geo:"
+		if !strings.HasPrefix(urn, gPrefix) {
+			return targeting.Ref{}, fmt.Errorf("adapi: bad geo urn %q", urn)
+		}
+		id, err := regionFromCode(urn[len(gPrefix):])
+		if err != nil {
+			return targeting.Ref{}, err
+		}
+		return targeting.Ref{Kind: targeting.KindLocation, ID: id}, nil
+	case liFacetAttribute:
+		const prefix = "urn:li:attribute:"
+		if !strings.HasPrefix(urn, prefix) {
+			return targeting.Ref{}, fmt.Errorf("adapi: bad attribute urn %q", urn)
+		}
+		id, err := strconv.Atoi(urn[len(prefix):])
+		if err != nil {
+			return targeting.Ref{}, fmt.Errorf("adapi: bad attribute urn %q: %w", urn, err)
+		}
+		return targeting.Ref{Kind: targeting.KindAttribute, ID: id}, nil
+	case liFacetGender:
+		for i, u := range liGenderURNs {
+			if u == urn {
+				return targeting.Ref{Kind: targeting.KindGender, ID: i}, nil
+			}
+		}
+	case liFacetAge:
+		for i, u := range liAgeURNs {
+			if u == urn {
+				return targeting.Ref{Kind: targeting.KindAge, ID: i}, nil
+			}
+		}
+	}
+	return targeting.Ref{}, fmt.Errorf("adapi: unknown urn %q under facet %q", urn, facet)
+}
+
+// encodeCriteria renders clauses as an and-of-ors tree.
+func encodeCriteria(clauses []targeting.Clause) (*liCriteria, error) {
+	if len(clauses) == 0 {
+		return nil, nil
+	}
+	out := &liCriteria{}
+	for _, cl := range clauses {
+		if len(cl) == 0 {
+			return nil, targeting.ErrEmptyClause
+		}
+		term := liOrTerm{Or: make(map[string][]string)}
+		kind := cl[0].Kind
+		for _, r := range cl {
+			if r.Kind != kind {
+				return nil, targeting.ErrMixedClause
+			}
+			facet, urn, err := refToURN(r)
+			if err != nil {
+				return nil, err
+			}
+			term.Or[facet] = append(term.Or[facet], urn)
+		}
+		out.And = append(out.And, term)
+	}
+	return out, nil
+}
+
+// decodeCriteria parses an and-of-ors tree into clauses.
+func decodeCriteria(c *liCriteria) ([]targeting.Clause, error) {
+	if c == nil {
+		return nil, nil
+	}
+	var out []targeting.Clause
+	for _, term := range c.And {
+		var cl targeting.Clause
+		for facet, urns := range term.Or {
+			for _, urn := range urns {
+				r, err := urnToRef(facet, urn)
+				if err != nil {
+					return nil, err
+				}
+				cl = append(cl, r)
+			}
+		}
+		out = append(out, cl)
+	}
+	return out, nil
+}
+
+// EncodeRequest implements Codec.
+func (linkedInCodec) EncodeRequest(req platform.EstimateRequest) ([]byte, error) {
+	inc, err := encodeCriteria(req.Spec.Include)
+	if err != nil {
+		return nil, err
+	}
+	exc, err := encodeCriteria(req.Spec.Exclude)
+	if err != nil {
+		return nil, err
+	}
+	obj := ""
+	if req.Objective != "" {
+		var ok bool
+		obj, ok = liObjectives[req.Objective]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", platform.ErrUnknownObjective, req.Objective)
+		}
+	}
+	return json.Marshal(liRequest{Include: inc, Exclude: exc, Objective: obj})
+}
+
+// DecodeRequest implements Codec.
+func (linkedInCodec) DecodeRequest(body []byte) (platform.EstimateRequest, error) {
+	var req liRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return platform.EstimateRequest{}, fmt.Errorf("adapi: malformed linkedin request: %w", err)
+	}
+	inc, err := decodeCriteria(req.Include)
+	if err != nil {
+		return platform.EstimateRequest{}, err
+	}
+	exc, err := decodeCriteria(req.Exclude)
+	if err != nil {
+		return platform.EstimateRequest{}, err
+	}
+	out := platform.EstimateRequest{Spec: targeting.Spec{Include: inc, Exclude: exc}}
+	switch req.Objective {
+	case "":
+	case "BRAND_AWARENESS":
+		out.Objective = platform.ObjectiveBrandAwareness
+	case "WEBSITE_VISIT":
+		out.Objective = platform.ObjectiveTraffic
+	default:
+		return platform.EstimateRequest{}, fmt.Errorf("%w: %q", platform.ErrUnknownObjective, req.Objective)
+	}
+	return out, nil
+}
+
+// EncodeResponse implements Codec.
+func (linkedInCodec) EncodeResponse(size int64) ([]byte, error) {
+	var resp liResponse
+	resp.Elements = append(resp.Elements, struct {
+		Total int64 `json:"total"`
+	}{Total: size})
+	return json.Marshal(resp)
+}
+
+// DecodeResponse implements Codec.
+func (linkedInCodec) DecodeResponse(body []byte) (int64, error) {
+	var resp liResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return 0, fmt.Errorf("adapi: malformed linkedin response: %w", err)
+	}
+	if len(resp.Elements) != 1 {
+		return 0, fmt.Errorf("adapi: linkedin response has %d elements", len(resp.Elements))
+	}
+	return resp.Elements[0].Total, nil
+}

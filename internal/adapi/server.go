@@ -1,0 +1,210 @@
+package adapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// errorEnvelope is the common error body shared by all endpoints.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// optionsResponse is the body of GET /{platform}/options — the option lists
+// an auditor would otherwise scrape out of the targeting UI.
+type optionsResponse struct {
+	Platform     string   `json:"platform"`
+	Attributes   []string `json:"attributes"`
+	Topics       []string `json:"topics,omitempty"`
+	CrossFeature bool     `json:"cross_feature"`
+}
+
+// ServerOptions configures the API server.
+type ServerOptions struct {
+	// RateLimit is the admitted queries per second per interface
+	// (0 disables throttling).
+	RateLimit float64
+	// Burst is the rate-limit burst capacity.
+	Burst float64
+	// MaxBodyBytes bounds request bodies; 0 selects 1 MiB.
+	MaxBodyBytes int64
+	// Logf logs one line per request; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server exposes a Deployment's interfaces over HTTP, each in its own JSON
+// dialect.
+type Server struct {
+	mux  *http.ServeMux
+	opts ServerOptions
+}
+
+// ifaceHandler serves one platform interface.
+type ifaceHandler struct {
+	p       *platform.Interface
+	codec   Codec
+	limiter *Limiter
+	opts    *ServerOptions
+}
+
+// NewServer builds the HTTP API for all interfaces of a deployment.
+//
+// Routes (per interface name, e.g. "facebook-restricted"):
+//
+//	GET  /{name}/options   → option lists
+//	POST /{name}/estimate  → advertiser-door size estimate
+//	POST /{name}/measure   → auditor-door size estimate
+//	GET  /healthz          → liveness
+func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{mux: http.NewServeMux(), opts: opts}
+	for _, p := range d.Interfaces() {
+		codec, err := CodecFor(p.Name())
+		if err != nil {
+			return nil, err
+		}
+		h := &ifaceHandler{p: p, codec: codec, opts: &s.opts}
+		if opts.RateLimit > 0 {
+			h.limiter = NewLimiter(opts.RateLimit, opts.Burst)
+		}
+		prefix := "/" + p.Name()
+		s.mux.Handle(prefix+"/options", h.wrap(h.handleOptions, http.MethodGet))
+		s.mux.Handle(prefix+"/estimate", h.wrap(h.handleEstimate, http.MethodPost))
+		s.mux.Handle(prefix+"/measure", h.wrap(h.handleMeasure, http.MethodPost))
+		s.registerAudienceRoutes(h)
+	}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return s, nil
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// logf logs if configured.
+func (s *ServerOptions) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// writeError emits the shared error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	var env errorEnvelope
+	env.Error.Code = code
+	env.Error.Message = message
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		log.Printf("adapi: writing error response: %v", err)
+	}
+}
+
+// wrap applies method checking, rate limiting, and logging to a handler.
+func (h *ifaceHandler) wrap(fn func(http.ResponseWriter, *http.Request), method string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed", r.Method))
+			return
+		}
+		if !h.limiter.Allow() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, codeRateLimited, "slow down")
+			return
+		}
+		h.opts.logf("adapi: %s %s", r.Method, r.URL.Path)
+		fn(w, r)
+	})
+}
+
+// handleOptions serves the option lists.
+func (h *ifaceHandler) handleOptions(w http.ResponseWriter, r *http.Request) {
+	cat := h.p.Catalog()
+	resp := optionsResponse{
+		Platform:     h.p.Name(),
+		Attributes:   make([]string, len(cat.Attributes)),
+		CrossFeature: !h.p.Rules().AndWithinFeature,
+	}
+	for i := range cat.Attributes {
+		resp.Attributes[i] = cat.Attributes[i].Name
+	}
+	if len(cat.Topics) > 0 {
+		resp.Topics = make([]string, len(cat.Topics))
+		for i := range cat.Topics {
+			resp.Topics[i] = cat.Topics[i].Name
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("adapi: writing options response: %v", err)
+	}
+}
+
+// handleEstimate serves the advertiser door.
+func (h *ifaceHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	h.serveSize(w, r, h.p.Estimate)
+}
+
+// handleMeasure serves the auditor door.
+func (h *ifaceHandler) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	h.serveSize(w, r, h.p.Measure)
+}
+
+// serveSize decodes the dialect request, queries the platform, and encodes
+// the dialect response.
+func (h *ifaceHandler) serveSize(w http.ResponseWriter, r *http.Request, query func(platform.EstimateRequest) (int64, error)) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, h.opts.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeMalformedRequest, "reading body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > h.opts.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, codeMalformedRequest, "body too large")
+		return
+	}
+	req, err := h.codec.DecodeRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorCodeOrMalformed(err), err.Error())
+		return
+	}
+	size, err := query(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorCode(err), err.Error())
+		return
+	}
+	resp, err := h.codec.EncodeResponse(size)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(resp); err != nil {
+		log.Printf("adapi: writing response: %v", err)
+	}
+}
+
+// errorCodeOrMalformed classifies decode errors, defaulting to malformed
+// rather than internal.
+func errorCodeOrMalformed(err error) string {
+	if code := errorCode(err); code != codeInternal {
+		return code
+	}
+	if strings.Contains(err.Error(), "malformed") {
+		return codeMalformedRequest
+	}
+	return codeMalformedRequest
+}

@@ -1,0 +1,261 @@
+// Package audience implements dense bitset audience sets over a user
+// universe. An audience is the set of users matched by a targeting; the
+// platform simulators intersect, union, and count these sets to answer
+// size-estimate queries.
+//
+// Sets are fixed-size at creation (the universe size) and support
+// allocation-free counting of intersections, which is the hot path of every
+// experiment: a representation-ratio computation is a handful of
+// CountAnd calls.
+package audience
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Set is a fixed-size bitset over user indices [0, Len()).
+// The zero value is an empty set of length 0; use New to create a usable set.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set over a universe of n users.
+func New(n int) *Set {
+	if n < 0 {
+		panic("audience: negative universe size")
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// NewFromFunc returns a set over n users containing every index i for which
+// member(i) is true.
+func NewFromFunc(n int, member func(i int) bool) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if member(i) {
+			s.words[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return s
+}
+
+// Len returns the universe size of the set.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts user index i into the set. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("audience: index %d out of range [0, %d)", i, s.n))
+	}
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Remove deletes user index i from the set. It panics if i is out of range.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("audience: index %d out of range [0, %d)", i, s.n))
+	}
+	s.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Contains reports whether user index i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the number of users in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Fill adds every user in the universe to the set.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// Clear removes every user from the set.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trim zeroes the bits beyond the universe size in the final word.
+func (s *Set) trim() {
+	if rem := s.n & 63; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// checkCompat panics if t is not over the same universe size as s.
+func (s *Set) checkCompat(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("audience: universe size mismatch %d != %d", s.n, t.n))
+	}
+}
+
+// AndWith intersects s with t in place.
+func (s *Set) AndWith(t *Set) {
+	s.checkCompat(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// OrWith unions t into s in place.
+func (s *Set) OrWith(t *Set) {
+	s.checkCompat(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// AndNotWith removes from s every user present in t.
+func (s *Set) AndNotWith(t *Set) {
+	s.checkCompat(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// And returns a new set holding the intersection of a and b.
+func And(a, b *Set) *Set {
+	a.checkCompat(b)
+	out := &Set{n: a.n, words: make([]uint64, len(a.words))}
+	for i := range out.words {
+		out.words[i] = a.words[i] & b.words[i]
+	}
+	return out
+}
+
+// Or returns a new set holding the union of a and b.
+func Or(a, b *Set) *Set {
+	a.checkCompat(b)
+	out := &Set{n: a.n, words: make([]uint64, len(a.words))}
+	for i := range out.words {
+		out.words[i] = a.words[i] | b.words[i]
+	}
+	return out
+}
+
+// AndNot returns a new set holding a minus b.
+func AndNot(a, b *Set) *Set {
+	a.checkCompat(b)
+	out := &Set{n: a.n, words: make([]uint64, len(a.words))}
+	for i := range out.words {
+		out.words[i] = a.words[i] &^ b.words[i]
+	}
+	return out
+}
+
+// CountAnd returns |a ∩ b| without allocating.
+func CountAnd(a, b *Set) int {
+	a.checkCompat(b)
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w & b.words[i])
+	}
+	return c
+}
+
+// CountOr returns |a ∪ b| without allocating.
+func CountOr(a, b *Set) int {
+	a.checkCompat(b)
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w | b.words[i])
+	}
+	return c
+}
+
+// CountAndAll returns |base ∩ s1 ∩ s2 ∩ ...| without allocating. With no
+// extra sets it returns base.Count().
+func CountAndAll(base *Set, rest ...*Set) int {
+	for _, t := range rest {
+		base.checkCompat(t)
+	}
+	c := 0
+	for i, w := range base.words {
+		for _, t := range rest {
+			w &= t.words[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IntersectAll returns the intersection of all given sets. It panics on an
+// empty argument list.
+func IntersectAll(sets ...*Set) *Set {
+	if len(sets) == 0 {
+		panic("audience: IntersectAll of nothing")
+	}
+	out := sets[0].Clone()
+	for _, t := range sets[1:] {
+		out.AndWith(t)
+	}
+	return out
+}
+
+// UnionAll returns the union of all given sets. It panics on an empty
+// argument list.
+func UnionAll(sets ...*Set) *Set {
+	if len(sets) == 0 {
+		panic("audience: UnionAll of nothing")
+	}
+	out := sets[0].Clone()
+	for _, t := range sets[1:] {
+		out.OrWith(t)
+	}
+	return out
+}
+
+// Equal reports whether a and b contain exactly the same users.
+func Equal(a, b *Set) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every user index in the set, in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns all user indices in the set, in increasing order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}

@@ -1,0 +1,72 @@
+package catalog
+
+import "repro/internal/population"
+
+// Factor indices. Every generated attribute loads on one of these shared
+// latent interest factors; the factor list is installed into each platform's
+// population config so that attributes within a theme co-occur (and, when
+// the factor is itself demographically skewed, compose into audiences more
+// skewed than the product of their individual skews — the effect behind the
+// paper's Tables 2–3 examples).
+const (
+	FactorMotors = iota
+	FactorEngineering
+	FactorGaming
+	FactorTech
+	FactorSports
+	FactorMilitary
+	FactorBeauty
+	FactorFashion
+	FactorParenting
+	FactorHome
+	FactorCrafts
+	FactorFood
+	FactorHealth
+	FactorFinance
+	FactorRealEstate
+	FactorCareers
+	FactorEducation
+	FactorRetirement
+	FactorTravel
+	FactorEntertainment
+	FactorBusiness
+	FactorScience
+	NumFactors
+)
+
+// ageLoad is shorthand for a per-age-range load vector
+// (18-24, 25-34, 35-54, 55+).
+func ageLoad(a, b, c, d float64) [population.NumAgeRanges]float64 {
+	return [population.NumAgeRanges]float64{a, b, c, d}
+}
+
+// Factors returns the shared latent factor models. The demographic loadings
+// encode the broad interest stereotypes the paper's measured attributes
+// exhibit; they are deliberately strong so factor-sharing attribute pairs
+// compose super-multiplicatively.
+func Factors() []population.FactorModel {
+	fs := make([]population.FactorModel, NumFactors)
+	fs[FactorMotors] = population.FactorModel{Rate: 0.10, GenderLoad: 1.6, AgeLoad: ageLoad(0.1, 0.2, 0.1, -0.2)}
+	fs[FactorEngineering] = population.FactorModel{Rate: 0.08, GenderLoad: 1.8, AgeLoad: ageLoad(0.2, 0.3, 0, -0.4)}
+	fs[FactorGaming] = population.FactorModel{Rate: 0.12, GenderLoad: 1.3, AgeLoad: ageLoad(1.0, 0.6, -0.3, -1.2)}
+	fs[FactorTech] = population.FactorModel{Rate: 0.12, GenderLoad: 1.2, AgeLoad: ageLoad(0.4, 0.5, 0, -0.6)}
+	fs[FactorSports] = population.FactorModel{Rate: 0.14, GenderLoad: 1.1, AgeLoad: ageLoad(0.5, 0.3, 0, -0.4)}
+	fs[FactorMilitary] = population.FactorModel{Rate: 0.05, GenderLoad: 1.7, AgeLoad: ageLoad(0.3, 0.2, 0.1, -0.1)}
+	fs[FactorBeauty] = population.FactorModel{Rate: 0.12, GenderLoad: -1.9, AgeLoad: ageLoad(0.6, 0.4, -0.1, -0.5)}
+	fs[FactorFashion] = population.FactorModel{Rate: 0.13, GenderLoad: -1.4, AgeLoad: ageLoad(0.5, 0.3, -0.1, -0.4)}
+	fs[FactorParenting] = population.FactorModel{Rate: 0.11, GenderLoad: -1.2, AgeLoad: ageLoad(-0.8, 0.6, 0.5, -0.6)}
+	fs[FactorHome] = population.FactorModel{Rate: 0.13, GenderLoad: -0.8, AgeLoad: ageLoad(-0.6, 0.2, 0.4, 0.2)}
+	fs[FactorCrafts] = population.FactorModel{Rate: 0.09, GenderLoad: -1.5, AgeLoad: ageLoad(-0.3, -0.1, 0.3, 0.6)}
+	fs[FactorFood] = population.FactorModel{Rate: 0.16, GenderLoad: -0.6, AgeLoad: ageLoad(-0.2, 0.1, 0.2, 0.1)}
+	fs[FactorHealth] = population.FactorModel{Rate: 0.11, GenderLoad: -0.9, AgeLoad: ageLoad(-0.3, 0, 0.3, 0.5)}
+	fs[FactorFinance] = population.FactorModel{Rate: 0.10, GenderLoad: 0.5, AgeLoad: ageLoad(-0.8, 0.1, 0.5, 0.6)}
+	fs[FactorRealEstate] = population.FactorModel{Rate: 0.08, GenderLoad: 0.2, AgeLoad: ageLoad(-0.9, 0.3, 0.6, 0.4)}
+	fs[FactorCareers] = population.FactorModel{Rate: 0.13, GenderLoad: 0, AgeLoad: ageLoad(0.9, 0.5, -0.2, -1.0)}
+	fs[FactorEducation] = population.FactorModel{Rate: 0.11, GenderLoad: -0.2, AgeLoad: ageLoad(1.1, 0.3, -0.3, -0.8)}
+	fs[FactorRetirement] = population.FactorModel{Rate: 0.06, GenderLoad: 0.1, AgeLoad: ageLoad(-2.0, -1.2, 0.3, 1.8)}
+	fs[FactorTravel] = population.FactorModel{Rate: 0.13, GenderLoad: -0.1, AgeLoad: ageLoad(0.1, 0.2, 0.1, 0.2)}
+	fs[FactorEntertainment] = population.FactorModel{Rate: 0.18, GenderLoad: 0, AgeLoad: ageLoad(0.6, 0.3, -0.1, -0.4)}
+	fs[FactorBusiness] = population.FactorModel{Rate: 0.10, GenderLoad: 0.7, AgeLoad: ageLoad(-0.4, 0.3, 0.4, 0.1)}
+	fs[FactorScience] = population.FactorModel{Rate: 0.08, GenderLoad: 0.6, AgeLoad: ageLoad(0.3, 0.3, 0, -0.2)}
+	return fs
+}

@@ -1,0 +1,447 @@
+package catalog
+
+import "repro/internal/population"
+
+// Platform interface names used across the repository.
+const (
+	PlatformFacebookRestricted = "facebook-restricted"
+	PlatformFacebook           = "facebook"
+	PlatformGoogle             = "google"
+	PlatformLinkedIn           = "linkedin"
+)
+
+// GooglePlacementCount sizes Google's managed-placements list (publisher
+// sites in the display network; paper §2.1 — not part of the §3 crawl).
+const GooglePlacementCount = 500
+
+// Catalog sizes collected by the paper (§3).
+const (
+	FacebookRestrictedAttrCount = 393
+	FacebookAttrCount           = 667
+	GoogleAttrCount             = 873
+	GoogleTopicCount            = 2424
+	LinkedInAttrCount           = 552
+)
+
+// pin constructs a gender-pinned option; rep > 1 is male-skewed and rep < 1
+// female-skewed (pass 1/r for an option the paper reports as r-skewed toward
+// females).
+func pin(category, term string, rep float64, factor int) PinnedAttr {
+	return PinnedAttr{
+		Category: category, Term: term,
+		BaseRate:  0.015,
+		GenderRep: rep,
+		Factor:    factor, FactorBoost: 1.2,
+	}
+}
+
+// pinAge constructs an age-pinned option skewed toward one age range.
+func pinAge(category, term string, age population.AgeRange, rep float64, factor int) PinnedAttr {
+	p := PinnedAttr{
+		Category: category, Term: term,
+		BaseRate: 0.015,
+		Factor:   factor, FactorBoost: 1.2,
+	}
+	p.AgeRep[age] = rep
+	return p
+}
+
+// withAge adds an age-range target to an existing pinned option (several of
+// the paper's options appear in both the gender and the age tables).
+func withAge(p PinnedAttr, age population.AgeRange, rep float64) PinnedAttr {
+	p.AgeRep[age] = rep
+	return p
+}
+
+const (
+	young = population.Age18to24
+	old   = population.Age55Plus
+)
+
+// facebookRestrictedPinned reproduces the FB-restricted rows of the paper's
+// Tables 2–3 (individual rep ratios of the example compositions).
+func facebookRestrictedPinned() []PinnedAttr {
+	return []PinnedAttr{
+		// Table 2, male-skewed.
+		pin("Interests", "Mechanical engineering", 4.68, FactorEngineering),
+		pin("Interests", "Automobile repair shop", 4.40, FactorMotors),
+		pin("Interests", "Buy to let", 2.62, FactorRealEstate),
+		pin("Interests", "Sedan (automobile)", 2.50, FactorMotors),
+		pin("Interests", "Hatchback", 3.25, FactorMotors),
+		pin("Interests", "Computer engineering", 3.05, FactorEngineering),
+		withAge(pin("Interests", "Electrical engineering", 3.71, FactorEngineering), young, 1.63),
+		withAge(pin("Interests", "Cars", 2.18, FactorMotors), young, 1.96),
+		// Table 2, female-skewed (paper reports ratios toward females).
+		pin("Interests", "Interior design magazine", 1/2.38, FactorHome),
+		pin("Interests", "Credit Sesame", 1/2.16, FactorFinance),
+		withAge(pin("Interests", "Epidemiology", 1/2.53, FactorHealth), old, 2.08),
+		pin("Interests", "Veterinary medicine", 1/2.71, FactorHealth),
+		pin("Interests", "Bungalow", 1/2.42, FactorHome),
+		pin("Interests", "Multi-level marketing", 1/5.00, FactorBusiness),
+		pin("Interests", "Living room", 1/3.03, FactorHome),
+		pin("Interests", "Product design", 1/2.48, FactorCrafts),
+		pin("Interests", "Grocery store", 1/2.39, FactorFood),
+		// Table 3, ages 18-24.
+		pinAge("Interests", "Vocational education", young, 1.89, FactorEducation),
+		pinAge("Interests", "Roommate", young, 1.53, FactorRealEstate),
+		pinAge("Interests", "Moving company", young, 1.27, FactorRealEstate),
+		pinAge("Interests", "Microcredit", young, 1.32, FactorFinance),
+		pinAge("Interests", "Mortgage calculator", young, 1.27, FactorFinance),
+		pinAge("Interests", "Entry-level job", young, 1.84, FactorCareers),
+		pinAge("Interests", "Apartment Guide", young, 1.78, FactorRealEstate),
+		// Table 3, ages 55+.
+		pinAge("Interests", "Income tax", old, 2.46, FactorFinance),
+		pinAge("Interests", "Consumer Reports", old, 2.38, FactorFinance),
+		pinAge("Interests", "Reverse mortgage", old, 7.95, FactorRetirement),
+		pinAge("Interests", "Life insurance", old, 3.73, FactorFinance),
+		pinAge("Interests", "Part-time", old, 2.80, FactorCareers),
+		pinAge("Interests", "Home equity line of credit", old, 2.60, FactorFinance),
+		pinAge("Interests", "Government debt", old, 2.06, FactorFinance),
+		pinAge("Interests", "Data security", old, 2.91, FactorTech),
+		pinAge("Interests", "Fundraising", old, 2.46, FactorBusiness),
+	}
+}
+
+// facebookPinned reproduces the Facebook full-interface rows.
+func facebookPinned() []PinnedAttr {
+	return []PinnedAttr{
+		// Table 2, male-skewed.
+		pin("Games", "Strategy games", 4.58, FactorGaming),
+		pin("Industries", "Military (Global)", 4.00, FactorMilitary),
+		pin("Industries", "Construction and Extraction", 5.09, FactorEngineering),
+		pin("Games", "Racing games", 5.00, FactorGaming),
+		withAge(pin("Games", "Massively multiplayer online games", 2.45, FactorGaming), young, 2.43),
+		pin("Soccer", "Soccer fans (high content engagement)", 2.23, FactorSports),
+		pin("Consumer electronics", "Audio equipment", 4.24, FactorTech),
+		// Table 2, female-skewed.
+		pin("Beauty", "Cosmetics", 1/2.59, FactorBeauty),
+		pin("Amazon", "Owns: Kindle Fire", 1/2.51, FactorEntertainment),
+		pin("Facebook page admins", "Health & Beauty page admins", 1/3.38, FactorBeauty),
+		pin("Family and relationships", "Parenting", 1/3.25, FactorParenting),
+		pin("Beauty", "Hair products", 1/2.75, FactorBeauty),
+		pin("Payments", "Facebook Payments users (higher than average spend)", 1/2.29, FactorFashion),
+		pin("Shopping", "Boutiques", 1/2.92, FactorFashion),
+		pin("Industries", "Education and Libraries", 1/2.43, FactorEducation),
+		pin("Clothing", "Children's clothing", 1/5.96, FactorParenting),
+		pin("Industries", "Community and Social Services", 1/2.62, FactorHealth),
+		// Table 3, ages 18-24.
+		pinAge("Education Level", "Some high school", young, 3.29, FactorEducation),
+		pinAge("Reading", "Manga", young, 2.39, FactorEntertainment),
+		pinAge("Education Level", "In college", young, 5.75, FactorEducation),
+		pinAge("Sports", "Volleyball", young, 2.59, FactorSports),
+		pinAge("Expats", "Lived in China (Formerly Expats - China)", young, 1.97, FactorTravel),
+		// Table 3, ages 55+.
+		pinAge("Relationship Status", "Widowed", old, 8.13, FactorRetirement),
+		pinAge("Canvas Gaming", "Played Canvas games (last 7 days)", old, 7.47, FactorGaming),
+		pinAge("Facebook access (browser)", "Internet Explorer", old, 4.12, FactorTech),
+		pinAge("Facebook access (OS)", "Windows 8", old, 2.63, FactorTech),
+		pinAge("Politics", "Likely engagement with conservative political content", old, 2.50, FactorRetirement),
+		pinAge("Apple", "Facebook access (mobile): iPhone 5", old, 3.28, FactorTech),
+		pinAge("All Parents", "Parents (All)", old, 2.44, FactorParenting),
+		pinAge("Apple", "Owns: iPhone 6 Plus", old, 2.96, FactorTech),
+		pinAge("Primary email domain", "AOL email users", old, 2.49, FactorRetirement),
+	}
+}
+
+// googlePinnedAttrs reproduces the Google T1 (audience-attribute) rows.
+func googlePinnedAttrs() []PinnedAttr {
+	return []PinnedAttr{
+		pin("Gamers", "Sports Game Fans", 4.00, FactorGaming),
+		pin("Gamers", "Shooter Game Fans", 4.06, FactorGaming),
+		pin("Audiences", "Performance & Luxury Vehicle Enthusiasts", 4.15, FactorMotors),
+		pin("Makeup & Cosmetics", "Eye Makeup", 1/6.16, FactorBeauty),
+		pin("Holiday Items & Decorations", "Christmas Items & Decor", 1/4.84, FactorHome),
+		pin("Infant & Toddler Feeding", "Toddler Meals", 1/4.90, FactorParenting),
+		pin("Skin Care Products", "Anti-Aging Skin Care Products", 1/4.88, FactorBeauty),
+		pinAge("Education Level", "Highest education high school graduate", young, 1.56, FactorEducation),
+		pinAge("Employment", "Internships", young, 1.62, FactorCareers),
+		pinAge("Employment", "Sales & Marketing Jobs", young, 1.53, FactorCareers),
+		pinAge("Employment", "Temporary & Seasonal Jobs", young, 1.52, FactorCareers),
+		pinAge("Marital Status", "In a Relationship", young, 1.64, FactorEntertainment),
+		pinAge("Homeownership Status", "Homeowners", old, 4.30, FactorRealEstate),
+		pinAge("Marital Status", "Married", old, 5.00, FactorRetirement),
+		pinAge("Retirement", "Retiring Soon", old, 11.60, FactorRetirement),
+		pinAge("Motor Vehicles by Brand", "Lincoln", old, 3.83, FactorMotors),
+	}
+}
+
+// googlePinnedTopics reproduces the Google T2 (placement-topic) rows.
+func googlePinnedTopics() []PinnedAttr {
+	return []PinnedAttr{
+		pin("Martial Arts", "Kickboxing", 4.21, FactorSports),
+		pin("Autos & Vehicles", "Custom & Performance Vehicles", 5.42, FactorMotors),
+		pin("Martial Arts", "Japanese Martial Arts", 5.61, FactorSports),
+		pin("Computer Components", "Chips & Processors", 5.18, FactorTech),
+		pin("Computer Hardware", "Hardware Modding & Tuning", 4.62, FactorTech),
+		pin("Mediterranean Cuisine", "Greek Cuisine", 1/5.27, FactorFood),
+		pin("Food", "Grains & Pasta", 1/4.55, FactorFood),
+		pin("Crafts", "Art & Craft Supplies", 1/6.19, FactorCrafts),
+		pin("Latin American Cuisine", "South American Cuisine", 1/4.49, FactorFood),
+		pin("Crafts", "Fiber & Textile Arts", 1/5.79, FactorCrafts),
+		pinAge("Business Services", "Knowledge Management", young, 1.43, FactorBusiness),
+		pinAge("Online Communities", "Virtual Worlds", young, 1.67, FactorGaming),
+		pinAge("Books & Literature", "Fan Fiction", young, 1.53, FactorEntertainment),
+		pinAge("Table Games", "Table Tennis", young, 2.81, FactorGaming),
+		pinAge("Software", "Educational Software", young, 1.76, FactorEducation),
+		pinAge("Central Anatolia", "Ankara", old, 6.01, FactorTravel),
+		pinAge("Austria", "Vienna", old, 4.93, FactorTravel),
+		pinAge("Education", "Alumni & Reunions", old, 6.29, FactorRetirement),
+		pinAge("Movies", "Classic Films", old, 4.45, FactorRetirement),
+		pinAge("Games", "Tile Games", old, 4.70, FactorGaming),
+	}
+}
+
+// linkedInPinned reproduces the LinkedIn rows.
+func linkedInPinned() []PinnedAttr {
+	return []PinnedAttr{
+		pin("Manufacturing", "Industrial Automation", 2.80, FactorEngineering),
+		pin("Robotics", "Swarm Robotics", 2.26, FactorScience),
+		pin("Job Functions", "Engineering", 3.74, FactorEngineering),
+		pin("Transportation & Logistics", "Maritime", 3.11, FactorEngineering),
+		pin("Desktop/Laptop Preference", "Linux", 5.72, FactorTech),
+		pin("Computer Software", "Operating Systems", 4.19, FactorTech),
+		pin("Energy & Mining", "Mining & Metals", 2.94, FactorEngineering),
+		withAge(pin("Job Seniorities", "CXO", 2.55, FactorBusiness), old, 3.71),
+		pin("Computer Hardware", "CPUs", 2.61, FactorTech),
+		pin("Health Care", "Medical Practice", 1/2.41, FactorHealth),
+		pin("Job Functions", "Accounting", 1/2.17, FactorFinance),
+		pin("Corporate Services", "Executive Office", 1/1.90, FactorBusiness),
+		pin("Working Environments", "Home-Based Business", 1/1.87, FactorBusiness),
+		pin("Consumer Goods", "Cosmetics", 1/4.48, FactorBeauty),
+		pin("Human Resources", "Workplace Conflict Resolution", 1/3.21, FactorCareers),
+		pin("Job Functions", "Administrative", 1/3.70, FactorCareers),
+		pin("Human Resources", "Workplace Etiquette", 1/2.73, FactorCareers),
+		// Table 3, ages 18-24.
+		pinAge("Featured", "News Editors' Top Startups (United States)", young, 1.25, FactorBusiness),
+		pinAge("Job Functions", "Operations", young, 1.14, FactorBusiness),
+		pinAge("Consumer Goods", "Food & Beverages", young, 1.36, FactorFood),
+		pinAge("Education", "Higher Education", young, 1.16, FactorEducation),
+		pinAge("Recreation & Travel", "Recreational Facilities & Services", young, 1.19, FactorTravel),
+		pinAge("Member Traits", "Job Seeker", young, 1.13, FactorCareers),
+		pinAge("Public Administration", "Political Organization", young, 1.21, FactorBusiness),
+		pinAge("Mobile Preference", "iPhone Users", young, 1.00, FactorTech),
+		pinAge("Desktop/Laptop Preference", "Mac", young, 1.23, FactorTech),
+		// Table 3, ages 55+.
+		pinAge("Insurance", "Life Insurance", old, 3.13, FactorFinance),
+		pinAge("Job Functions", "Consulting", old, 3.01, FactorBusiness),
+		pinAge("Business Administration", "Operations Management", old, 2.90, FactorBusiness),
+		pinAge("Corporate Finance", "Corporate Financial Planning", old, 3.42, FactorFinance),
+		pinAge("Fields of Study", "Agronomy and Agricultural Sciences", old, 3.02, FactorScience),
+		pinAge("International Trade", "Economic Sanctions", old, 3.06, FactorBusiness),
+	}
+}
+
+// cat is shorthand for a category template.
+func cat(name string, factor int, genderBias float64, ageBias [population.NumAgeRanges]float64, weight int) CategoryTemplate {
+	return CategoryTemplate{Name: name, Factor: factor, GenderBias: genderBias, AgeBias: ageBias, Weight: weight}
+}
+
+// neutralAge is an all-zero age bias.
+var neutralAge = [population.NumAgeRanges]float64{}
+
+// interestCategories is the generic category mix used where a platform's
+// default list spans all themes under a single "Interests" banner
+// (Facebook's restricted interface).
+func interestCategories() []CategoryTemplate {
+	return []CategoryTemplate{
+		cat("Interests", FactorMotors, 1.1, neutralAge, 5),
+		cat("Hobbies", FactorEngineering, 1.3, ageLoad(0.1, 0.2, 0, -0.3), 4),
+		cat("Interests", FactorGaming, 0.9, ageLoad(0.7, 0.4, -0.2, -0.8), 5),
+		cat("Interests", FactorTech, 0.9, ageLoad(0.3, 0.3, 0, -0.4), 5),
+		cat("Interests", FactorSports, 0.8, ageLoad(0.3, 0.2, 0, -0.3), 5),
+		cat("Interests", FactorBeauty, -1.3, ageLoad(0.4, 0.2, -0.1, -0.3), 5),
+		cat("Interests", FactorFashion, -1.0, ageLoad(0.3, 0.2, -0.1, -0.3), 5),
+		cat("Interests", FactorParenting, -0.9, ageLoad(-0.5, 0.4, 0.3, -0.4), 4),
+		cat("Interests", FactorHome, -0.6, ageLoad(-0.4, 0.1, 0.3, 0.2), 5),
+		cat("Interests", FactorCrafts, -1.1, ageLoad(-0.2, -0.1, 0.2, 0.4), 4),
+		cat("Interests", FactorFood, -0.4, neutralAge, 5),
+		cat("Interests", FactorHealth, -0.7, ageLoad(-0.2, 0, 0.2, 0.3), 4),
+		cat("Interests", FactorFinance, 0.4, ageLoad(-0.6, 0, 0.3, 0.4), 5),
+		cat("Interests", FactorRealEstate, 0.2, ageLoad(-0.6, 0.2, 0.4, 0.2), 4),
+		cat("Interests", FactorCareers, 0, ageLoad(0.6, 0.3, -0.2, -0.7), 4),
+		cat("Interests", FactorEducation, -0.1, ageLoad(0.8, 0.2, -0.2, -0.6), 4),
+		cat("Interests", FactorRetirement, 0.1, ageLoad(-1.4, -0.8, 0.2, 1.2), 3),
+		cat("Interests", FactorTravel, -0.1, neutralAge, 4),
+		cat("Interests", FactorEntertainment, 0, ageLoad(0.4, 0.2, -0.1, -0.3), 5),
+		cat("Interests", FactorBusiness, 0.5, ageLoad(-0.3, 0.2, 0.3, 0), 4),
+		cat("Interests", FactorScience, 0.5, ageLoad(0.2, 0.2, 0, -0.1), 3),
+	}
+}
+
+// FacebookRestricted returns the 393-option catalog of Facebook's restricted
+// (special ad categories) interface: same themes as the full interface but a
+// sanitized skew distribution (BiasScale < 1), matching the paper's finding
+// that the interface is "highly sanitized" yet still contains skewed options
+// whose compositions are much more skewed.
+func FacebookRestricted(seed uint64) (*Catalog, error) {
+	return Generate(Spec{
+		Platform:    PlatformFacebookRestricted,
+		Seed:        seed,
+		AttrCount:   FacebookRestrictedAttrCount,
+		Categories:  interestCategories(),
+		Pinned:      facebookRestrictedPinned(),
+		GenderShift: -0.05,
+		BiasScale:   0.42,
+		NoiseSigma:  0.30,
+	})
+}
+
+// Facebook returns the 667-option catalog of Facebook's full interface,
+// slightly female-leaning overall (paper §4.2: 90th-percentile rep ratio
+// toward males of 1.45).
+func Facebook(seed uint64) (*Catalog, error) {
+	return Generate(Spec{
+		Platform:  PlatformFacebook,
+		Seed:      seed,
+		AttrCount: FacebookAttrCount,
+		Categories: []CategoryTemplate{
+			cat("Games", FactorGaming, 1.0, ageLoad(0.7, 0.4, -0.2, -0.8), 5),
+			cat("Industries", FactorBusiness, 0.4, ageLoad(-0.4, 0.2, 0.3, 0), 5),
+			cat("Industries", FactorEngineering, 1.3, ageLoad(0, 0.2, 0.1, -0.3), 3),
+			cat("Consumer electronics", FactorTech, 0.9, ageLoad(0.3, 0.3, 0, -0.4), 4),
+			cat("Sports", FactorSports, 0.9, ageLoad(0.4, 0.2, 0, -0.3), 5),
+			cat("Soccer", FactorSports, 0.8, ageLoad(0.3, 0.2, 0, -0.2), 2),
+			cat("Vehicles", FactorMotors, 1.2, neutralAge, 4),
+			cat("Beauty", FactorBeauty, -1.5, ageLoad(0.4, 0.2, -0.1, -0.3), 5),
+			cat("Shopping", FactorFashion, -1.1, ageLoad(0.3, 0.2, -0.1, -0.2), 5),
+			cat("Clothing", FactorFashion, -0.9, ageLoad(0.2, 0.2, 0, -0.2), 4),
+			cat("Family and relationships", FactorParenting, -1.0, ageLoad(-0.4, 0.4, 0.3, -0.3), 4),
+			cat("Home and garden", FactorHome, -0.7, ageLoad(-0.4, 0.1, 0.3, 0.2), 4),
+			cat("Arts and crafts", FactorCrafts, -1.2, ageLoad(-0.2, -0.1, 0.2, 0.4), 3),
+			cat("Food and drink", FactorFood, -0.5, neutralAge, 5),
+			cat("Health and wellness", FactorHealth, -0.8, ageLoad(-0.2, 0, 0.2, 0.3), 4),
+			cat("Finance", FactorFinance, 0.3, ageLoad(-0.6, 0, 0.3, 0.4), 4),
+			cat("Real estate", FactorRealEstate, 0.1, ageLoad(-0.6, 0.2, 0.4, 0.2), 3),
+			cat("Work", FactorCareers, -0.1, ageLoad(0.6, 0.3, -0.2, -0.6), 4),
+			cat("Education Level", FactorEducation, -0.2, ageLoad(0.9, 0.2, -0.3, -0.7), 3),
+			cat("Lifestyle", FactorRetirement, 0.1, ageLoad(-1.4, -0.8, 0.2, 1.3), 3),
+			cat("Travel", FactorTravel, -0.2, neutralAge, 4),
+			cat("Entertainment", FactorEntertainment, -0.1, ageLoad(0.5, 0.2, -0.1, -0.4), 6),
+			cat("Reading", FactorEntertainment, -0.4, ageLoad(0.3, 0.1, 0, -0.1), 3),
+			cat("Science", FactorScience, 0.5, ageLoad(0.2, 0.2, 0, -0.1), 3),
+			cat("Fitness", FactorSports, -0.2, ageLoad(0.4, 0.3, -0.1, -0.4), 3),
+		},
+		Pinned:      facebookPinned(),
+		GenderShift: -0.22,
+		BiasScale:   0.6,
+		NoiseSigma:  0.4,
+	})
+}
+
+// Google returns Google's catalog: 873 audience attributes plus 2,424
+// placement topics, leaning away from the youngest users and toward the
+// oldest (paper §4.2).
+func Google(seed uint64) (*Catalog, error) {
+	return Generate(Spec{
+		Platform:  PlatformGoogle,
+		Seed:      seed,
+		AttrCount: GoogleAttrCount,
+		Categories: []CategoryTemplate{
+			cat("Gamers", FactorGaming, 1.0, ageLoad(0.6, 0.4, -0.2, -0.7), 4),
+			cat("Audiences", FactorMotors, 1.2, neutralAge, 4),
+			cat("Technology", FactorTech, 1.0, ageLoad(0.3, 0.3, 0, -0.4), 5),
+			cat("Sports Fans", FactorSports, 0.9, ageLoad(0.3, 0.2, 0, -0.3), 5),
+			cat("Makeup & Cosmetics", FactorBeauty, -1.4, ageLoad(0.4, 0.2, -0.1, -0.3), 4),
+			cat("Apparel Shoppers", FactorFashion, -1.0, ageLoad(0.3, 0.2, -0.1, -0.2), 4),
+			cat("Infant & Toddler Feeding", FactorParenting, -1.1, ageLoad(-0.4, 0.4, 0.3, -0.4), 3),
+			cat("Holiday Items & Decorations", FactorHome, -0.8, ageLoad(-0.3, 0.1, 0.3, 0.2), 4),
+			cat("Skin Care Products", FactorBeauty, -1.3, ageLoad(0.2, 0.1, 0, 0), 3),
+			cat("Cooking Enthusiasts", FactorFood, -0.5, neutralAge, 4),
+			cat("Health & Fitness Buffs", FactorHealth, -0.7, ageLoad(-0.2, 0, 0.2, 0.3), 4),
+			cat("Banking & Finance", FactorFinance, 0.4, ageLoad(-0.6, 0, 0.3, 0.4), 4),
+			cat("Homeownership Status", FactorRealEstate, 0.1, ageLoad(-0.8, 0.1, 0.4, 0.4), 3),
+			cat("Employment", FactorCareers, 0, ageLoad(0.6, 0.3, -0.2, -0.6), 4),
+			cat("Education Level", FactorEducation, -0.1, ageLoad(0.8, 0.2, -0.3, -0.6), 3),
+			cat("Retirement", FactorRetirement, 0.1, ageLoad(-1.5, -0.9, 0.2, 1.4), 3),
+			cat("Travel Buffs", FactorTravel, -0.1, neutralAge, 4),
+			cat("Media & Entertainment", FactorEntertainment, 0, ageLoad(0.4, 0.2, -0.1, -0.3), 5),
+			cat("Business Professionals", FactorBusiness, 0.6, ageLoad(-0.3, 0.2, 0.3, 0.1), 4),
+			cat("Science Enthusiasts", FactorScience, 0.5, ageLoad(0.2, 0.2, 0, -0.1), 3),
+			cat("Motor Vehicles by Brand", FactorMotors, 1.1, ageLoad(-0.3, 0, 0.2, 0.3), 3),
+			cat("Marital Status", FactorEntertainment, 0, ageLoad(-0.2, 0.1, 0.1, 0.1), 2),
+		},
+		TopicCount:     GoogleTopicCount,
+		PlacementCount: GooglePlacementCount,
+		TopicCategories: []CategoryTemplate{
+			cat("Autos & Vehicles", FactorMotors, 1.2, neutralAge, 6),
+			cat("Martial Arts", FactorSports, 1.0, ageLoad(0.3, 0.2, 0, -0.3), 4),
+			cat("Computer Components", FactorTech, 1.1, ageLoad(0.3, 0.3, 0, -0.4), 5),
+			cat("Computer Hardware", FactorTech, 1.0, ageLoad(0.2, 0.3, 0, -0.3), 5),
+			cat("Games", FactorGaming, 0.9, ageLoad(0.6, 0.4, -0.2, -0.7), 6),
+			cat("Table Games", FactorGaming, 0.5, ageLoad(0.3, 0.2, 0, 0), 3),
+			cat("Beauty & Personal Care", FactorBeauty, -1.4, ageLoad(0.3, 0.2, -0.1, -0.2), 5),
+			cat("Fashion & Style", FactorFashion, -1.0, ageLoad(0.3, 0.2, -0.1, -0.2), 5),
+			cat("Family & Parenting", FactorParenting, -1.0, ageLoad(-0.4, 0.4, 0.3, -0.3), 4),
+			cat("Home & Garden", FactorHome, -0.7, ageLoad(-0.3, 0.1, 0.3, 0.2), 5),
+			cat("Crafts", FactorCrafts, -1.2, ageLoad(-0.2, -0.1, 0.2, 0.4), 4),
+			cat("Food", FactorFood, -0.5, neutralAge, 5),
+			cat("Mediterranean Cuisine", FactorFood, -0.6, neutralAge, 3),
+			cat("Latin American Cuisine", FactorFood, -0.5, neutralAge, 3),
+			cat("Health", FactorHealth, -0.7, ageLoad(-0.2, 0, 0.2, 0.3), 4),
+			cat("Finance", FactorFinance, 0.4, ageLoad(-0.6, 0, 0.3, 0.4), 4),
+			cat("Real Estate", FactorRealEstate, 0.1, ageLoad(-0.7, 0.2, 0.4, 0.3), 3),
+			cat("Jobs & Education", FactorCareers, 0, ageLoad(0.6, 0.3, -0.2, -0.6), 4),
+			cat("Education", FactorEducation, -0.1, ageLoad(0.7, 0.2, -0.2, -0.5), 4),
+			cat("Movies", FactorEntertainment, 0, ageLoad(0.4, 0.2, -0.1, -0.2), 5),
+			cat("Online Communities", FactorEntertainment, 0.2, ageLoad(0.6, 0.3, -0.2, -0.6), 4),
+			cat("Books & Literature", FactorEntertainment, -0.4, ageLoad(0.2, 0.1, 0, 0.1), 4),
+			cat("Business Services", FactorBusiness, 0.6, ageLoad(-0.3, 0.2, 0.3, 0.1), 4),
+			cat("Software", FactorTech, 0.7, ageLoad(0.3, 0.3, 0, -0.3), 4),
+			cat("Science", FactorScience, 0.5, ageLoad(0.2, 0.2, 0, -0.1), 3),
+			cat("Central Anatolia", FactorTravel, 0, ageLoad(-0.3, 0, 0.1, 0.2), 2),
+			cat("Austria", FactorTravel, 0, ageLoad(-0.3, 0, 0.1, 0.2), 2),
+			cat("World Localities", FactorTravel, -0.1, neutralAge, 4),
+			cat("Sports", FactorSports, 0.8, ageLoad(0.3, 0.2, 0, -0.2), 5),
+			cat("Pets & Animals", FactorHome, -0.6, neutralAge, 3),
+		},
+		Pinned:       googlePinnedAttrs(),
+		PinnedTopics: googlePinnedTopics(),
+		GenderShift:  0,
+		AgeShift:     ageLoad(-0.35, 0, 0.1, 0.3),
+		BiasScale:    0.65,
+		NoiseSigma:   0.42,
+	})
+}
+
+// LinkedIn returns LinkedIn's 552-option catalog, leaning male and away from
+// the youngest users (paper §4.2: 90th-percentile rep ratio toward males of
+// 2.09; skew away from 18-24 and toward 55+).
+func LinkedIn(seed uint64) (*Catalog, error) {
+	return Generate(Spec{
+		Platform:  PlatformLinkedIn,
+		Seed:      seed,
+		AttrCount: LinkedInAttrCount,
+		Categories: []CategoryTemplate{
+			cat("Job Functions", FactorBusiness, 0.4, ageLoad(-0.2, 0.2, 0.2, 0), 5),
+			cat("Job Seniorities", FactorBusiness, 0.6, ageLoad(-0.9, 0, 0.4, 0.5), 3),
+			cat("Manufacturing", FactorEngineering, 1.2, ageLoad(0, 0.2, 0.1, -0.2), 4),
+			cat("Computer Software", FactorTech, 1.0, ageLoad(0.3, 0.3, 0, -0.4), 4),
+			cat("Computer Hardware", FactorTech, 1.1, ageLoad(0.2, 0.3, 0, -0.3), 3),
+			cat("Desktop/Laptop Preference", FactorTech, 0.8, ageLoad(0.2, 0.2, 0, -0.2), 2),
+			cat("Mobile Preference", FactorTech, 0.4, ageLoad(0.4, 0.2, -0.1, -0.3), 2),
+			cat("Energy & Mining", FactorEngineering, 1.3, ageLoad(-0.1, 0.1, 0.2, 0), 3),
+			cat("Transportation & Logistics", FactorEngineering, 1.1, neutralAge, 3),
+			cat("Robotics", FactorScience, 0.9, ageLoad(0.2, 0.2, 0, -0.2), 2),
+			cat("Fields of Study", FactorScience, 0.4, ageLoad(0.3, 0.2, -0.1, -0.1), 3),
+			cat("Health Care", FactorHealth, -0.8, ageLoad(-0.2, 0, 0.2, 0.2), 4),
+			cat("Human Resources", FactorCareers, -0.7, ageLoad(0, 0.2, 0.1, -0.1), 4),
+			cat("Consumer Goods", FactorFashion, -0.6, ageLoad(0.1, 0.1, 0, -0.1), 4),
+			cat("Corporate Services", FactorBusiness, 0.2, ageLoad(-0.3, 0.1, 0.3, 0.1), 4),
+			cat("Business Administration", FactorBusiness, 0.4, ageLoad(-0.4, 0.1, 0.3, 0.2), 4),
+			cat("Corporate Finance", FactorFinance, 0.5, ageLoad(-0.5, 0, 0.3, 0.3), 4),
+			cat("Insurance", FactorFinance, 0.3, ageLoad(-0.5, 0, 0.3, 0.4), 3),
+			cat("Education", FactorEducation, -0.2, ageLoad(0.5, 0.2, -0.2, -0.3), 4),
+			cat("Member Traits", FactorCareers, 0, ageLoad(0.4, 0.2, -0.1, -0.4), 3),
+			cat("Working Environments", FactorBusiness, -0.1, ageLoad(-0.1, 0.2, 0.2, 0), 2),
+			cat("Recreation & Travel", FactorTravel, -0.1, neutralAge, 3),
+			cat("Public Administration", FactorBusiness, 0.1, ageLoad(-0.2, 0.1, 0.2, 0.1), 3),
+			cat("International Trade", FactorBusiness, 0.5, ageLoad(-0.3, 0.1, 0.3, 0.2), 3),
+			cat("Marketing & Advertising", FactorBusiness, -0.3, ageLoad(0.2, 0.3, 0, -0.3), 3),
+		},
+		Pinned:      linkedInPinned(),
+		GenderShift: 0.3,
+		AgeShift:    ageLoad(-0.45, 0, 0.1, 0.3),
+		BiasScale:   0.55,
+		NoiseSigma:  0.4,
+	})
+}

@@ -1,0 +1,164 @@
+package catalog
+
+// Term pools used to generate plausible attribute names per latent factor
+// theme. Names take the form "<Category> — <Term>"; when a category needs
+// more names than its pool holds, modifier prefixes extend it
+// deterministically ("Vintage Sedans", "Professional Cooking", ...).
+
+var modifiers = []string{
+	"", "Classic ", "Vintage ", "Modern ", "Professional ", "Amateur ",
+	"Luxury ", "Budget ", "Advanced ", "Beginner ", "Local ", "International ",
+	"Seasonal ", "Custom ", "Independent ", "Digital ",
+}
+
+var termPools = map[int][]string{
+	FactorMotors: {
+		"Cars", "Sedans", "Hatchbacks", "Convertibles", "Sports cars",
+		"Pickup trucks", "Motorcycles", "Auto racing", "Car audio",
+		"Engine tuning", "Off-road driving", "Automobile repair",
+		"Car detailing", "Diesel engines", "Electric vehicles",
+		"Motor shows", "Tires and wheels", "Transmission systems",
+		"Vehicle restoration", "Drag racing", "Karting", "Car insurance",
+	},
+	FactorEngineering: {
+		"Electrical engineering", "Mechanical engineering", "Civil engineering",
+		"Computer engineering", "Aerospace engineering", "Chemical engineering",
+		"Industrial automation", "Robotics", "CAD software", "Machining",
+		"Welding", "Control systems", "Power systems", "Microcontrollers",
+		"3D printing", "Structural design", "Hydraulics", "Metallurgy",
+		"Instrumentation", "Process engineering",
+	},
+	FactorGaming: {
+		"Strategy games", "Racing games", "Shooter games", "Role-playing games",
+		"Massively multiplayer online games", "Sports games", "Puzzle games",
+		"Arcade games", "Simulation games", "Fighting games", "Board games",
+		"Card games", "Tile games", "Game consoles", "Game streaming",
+		"Esports", "Retro gaming", "Mobile games", "Tabletop games",
+		"Game development", "Virtual worlds", "Trivia games",
+	},
+	FactorTech: {
+		"Operating systems", "CPUs", "Graphics cards", "Chips and processors",
+		"Hardware modding", "Computer networking", "Cloud computing",
+		"Open source software", "Programming languages", "Databases",
+		"Cybersecurity", "Smartphones", "Tablets", "Wearable devices",
+		"Audio equipment", "Home automation", "Data science",
+		"Artificial intelligence", "Web development", "Linux",
+		"Mechanical keyboards", "Server hardware",
+	},
+	FactorSports: {
+		"Soccer", "Basketball", "American football", "Baseball", "Ice hockey",
+		"Tennis", "Golf", "Kickboxing", "Japanese martial arts", "Boxing",
+		"Wrestling", "Volleyball", "Table tennis", "Cycling", "Running",
+		"Weightlifting", "Fishing", "Hunting", "Skiing", "Snowboarding",
+		"Surfing", "Climbing", "Fantasy sports",
+	},
+	FactorMilitary: {
+		"Military history", "Veterans affairs", "Defense technology",
+		"Aviation", "Naval history", "Firearms", "Tactical gear",
+		"Military fitness", "Survival skills", "Drones",
+		"Service academies", "Reserve forces",
+	},
+	FactorBeauty: {
+		"Cosmetics", "Eye makeup", "Lip makeup", "Skin care", "Hair products",
+		"Anti-aging skin care", "Nail art", "Perfumes", "Hair styling",
+		"Beauty salons", "Spa treatments", "Makeup tutorials",
+		"Organic cosmetics", "Hair coloring", "Manicures",
+	},
+	FactorFashion: {
+		"Boutiques", "Women's clothing", "Men's clothing", "Children's clothing",
+		"Shoes", "Handbags", "Jewelry", "Watches", "Accessories",
+		"Fashion design", "Fashion magazines", "Modeling", "Street fashion",
+		"Sustainable fashion", "Thrift shopping",
+	},
+	FactorParenting: {
+		"Parenting", "Toddler meals", "Baby products", "Child care",
+		"Pregnancy", "Baby names", "School activities", "Family outings",
+		"Children's books", "Playgrounds", "Homeschooling", "Adoption",
+		"Single parenting", "Teen parenting",
+	},
+	FactorHome: {
+		"Living room", "Interior design", "Furniture", "Home improvement",
+		"Gardening", "Kitchen appliances", "Bedding", "Lighting",
+		"Home organization", "House plants", "Bathroom renovation",
+		"Curtains and blinds", "Rugs and carpets", "Smart home devices",
+		"Bungalows", "Home decor magazines",
+	},
+	FactorCrafts: {
+		"Art and craft supplies", "Fiber and textile arts", "Knitting",
+		"Quilting", "Scrapbooking", "Pottery", "Painting", "Drawing",
+		"Jewelry making", "Candle making", "Soap making", "Embroidery",
+		"Woodworking", "Origami", "Calligraphy",
+	},
+	FactorFood: {
+		"Grains and pasta", "Greek cuisine", "South American cuisine",
+		"Italian cuisine", "Baking", "Grilling", "Vegetarian cooking",
+		"Wine", "Craft beer", "Coffee", "Tea", "Desserts", "Street food",
+		"Grocery stores", "Food delivery", "Meal planning", "Cheese",
+		"Seafood", "Barbecue", "Farmers markets",
+	},
+	FactorHealth: {
+		"Medical practice", "Epidemiology", "Veterinary medicine", "Nursing",
+		"Nutrition", "Yoga", "Meditation", "Mental health", "Physical therapy",
+		"Dentistry", "Pharmacy", "First aid", "Alternative medicine",
+		"Fitness tracking", "Sleep health", "Public health",
+	},
+	FactorFinance: {
+		"Credit scores", "Life insurance", "Income tax", "Mortgage calculators",
+		"Stock trading", "Mutual funds", "Cryptocurrencies", "Budgeting",
+		"Credit cards", "Student loans", "Microcredit", "Government debt",
+		"Home equity lines of credit", "Reverse mortgages", "Bonds",
+		"Financial planning", "Payroll", "Accounting software",
+	},
+	FactorRealEstate: {
+		"Buy to let", "Apartment hunting", "Moving companies", "Roommates",
+		"Property management", "Real estate investing", "Home staging",
+		"Commercial property", "Vacation rentals", "Landlording",
+		"Housing markets", "Foreclosures", "Home appraisal",
+	},
+	FactorCareers: {
+		"Entry-level jobs", "Internships", "Sales and marketing jobs",
+		"Temporary and seasonal jobs", "Resume writing", "Job interviews",
+		"Networking events", "Freelancing", "Remote work", "Job boards",
+		"Career coaching", "Professional certification", "Part-time work",
+		"Workplace etiquette", "Workplace conflict resolution",
+	},
+	FactorEducation: {
+		"Vocational education", "College life", "Graduate school",
+		"Online courses", "Scholarships", "Study abroad", "Alumni reunions",
+		"Educational software", "Test preparation", "Libraries",
+		"Language learning", "Tutoring", "Student housing",
+		"Higher education",
+	},
+	FactorRetirement: {
+		"Retirement planning", "Pensions", "Social security", "Retiring soon",
+		"Senior living", "Estate planning", "Grandparenting",
+		"Retirement communities", "Medicare", "Classic films",
+		"Genealogy", "Bird watching",
+	},
+	FactorTravel: {
+		"Air travel", "Cruises", "Road trips", "Camping", "Hiking",
+		"Beach vacations", "Travel photography", "Hotels", "Hostels",
+		"Travel insurance", "National parks", "City breaks", "Backpacking",
+		"Recreational facilities", "Theme parks",
+	},
+	FactorEntertainment: {
+		"Action movies", "Documentaries", "Live music", "Podcasts",
+		"Stand-up comedy", "Television series", "Streaming services",
+		"Celebrity news", "Music festivals", "Theater", "Anime", "Manga",
+		"Fan fiction", "Science fiction", "True crime", "Karaoke",
+	},
+	FactorBusiness: {
+		"Entrepreneurship", "Small business", "Marketing analytics",
+		"Supply chains", "Operations management", "Corporate financial planning",
+		"Knowledge management", "Business travel", "Executive offices",
+		"Startups", "Venture capital", "Economic sanctions",
+		"Multi-level marketing", "Trade shows", "Home-based businesses",
+		"Management consulting",
+	},
+	FactorScience: {
+		"Astronomy", "Physics", "Chemistry", "Biology", "Geology",
+		"Meteorology", "Swarm robotics", "Oceanography", "Paleontology",
+		"Space exploration", "Mathematics", "Statistics",
+		"Agronomy and agricultural sciences", "Ecology",
+	},
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+// DefaultRecallFloor is the paper's niche-targeting cutoff: targetings with
+// a total reach below 10,000 are excluded everywhere (§3).
+const DefaultRecallFloor = 10_000
+
+// ErrBelowFloor marks a targeting whose audience is too small to measure a
+// meaningful representation ratio (both the in-class and out-of-class
+// estimates rounded to zero, or reach below the floor).
+var ErrBelowFloor = errors.New("core: targeting below measurement floor")
+
+// Measurement is one audited targeting: its spec, a human-readable
+// description, and the metrics of Equation 1.
+type Measurement struct {
+	// Desc describes the targeting, e.g. "Electrical engineering ∧ Cars".
+	Desc string
+	// Spec is the measured targeting expression.
+	Spec targeting.Spec
+	// RepRatio is the representation ratio toward the audited class
+	// (Equation 1); math.Inf(1) when the out-of-class estimate rounds to 0.
+	RepRatio float64
+	// Recall is |TA ∩ RA_s| — how many members of the sensitive population
+	// the targeting reaches (for excluded classes, the complement count).
+	Recall int64
+	// TotalReach is |TA| at platform scale.
+	TotalReach int64
+	// InClass and OutClass are the rounded estimates of |TA ∩ RA_s| and
+	// |TA ∩ RA_¬s| for the base (non-excluded) class, retained so rounding
+	// bounds can be re-analysed (§3, "Understanding size estimates").
+	InClass, OutClass int64
+}
+
+// Auditor runs the paper's measurements against one platform Provider.
+type Auditor struct {
+	p Provider
+	// raw is the uncached provider, used where the methodology must
+	// genuinely re-issue calls (the consistency study).
+	raw Provider
+	// RecallFloor is the minimum total reach for a targeting to be
+	// considered (platform-scale).
+	RecallFloor int64
+	// Concurrency is the worker count IndividualScan fans measurements out
+	// over (<=1 = serial). The measurement cache and providers are safe for
+	// concurrent use; the Auditor itself must still be driven from one
+	// goroutine.
+	Concurrency int
+
+	attrNames  []string
+	topicNames []string
+
+	// scope is ANDed into every measurement: the paper's methodology
+	// targets all U.S. users as the reference audience RA (§3), expressed
+	// through the platforms' location targeting. Nil disables scoping.
+	scope targeting.Clause
+
+	classTotals map[Class]classTotals
+}
+
+// classTotals caches |RA_s| and |RA_¬s| per class.
+type classTotals struct {
+	in, out int64
+}
+
+// NewAuditor returns an auditor over p with the paper's default floor. The
+// provider is wrapped with a measurement cache if it is not already one.
+func NewAuditor(p Provider) *Auditor {
+	raw := p
+	if cp, ok := p.(*cachingProvider); ok {
+		raw = cp.Provider
+	} else {
+		p = NewCachingProvider(p)
+	}
+	return &Auditor{
+		p:           p,
+		raw:         raw,
+		RecallFloor: DefaultRecallFloor,
+		attrNames:   p.AttributeNames(),
+		topicNames:  p.TopicNames(),
+		scope:       targeting.Clause{{Kind: targeting.KindLocation, ID: int(population.RegionUS)}},
+		classTotals: make(map[Class]classTotals),
+	}
+}
+
+// SetScope replaces the location scope ANDed into every measurement
+// (nil = measure the platform's whole user base).
+func (a *Auditor) SetScope(cl targeting.Clause) {
+	a.scope = append(targeting.Clause(nil), cl...)
+	if len(a.scope) == 0 {
+		a.scope = nil
+	}
+	// Totals depend on the scope; drop the cache.
+	a.classTotals = make(map[Class]classTotals)
+}
+
+// scoped returns spec AND the auditor's location scope.
+func (a *Auditor) scoped(spec targeting.Spec) targeting.Spec {
+	if a.scope == nil {
+		return spec
+	}
+	return withClause(spec, a.scope)
+}
+
+// measureScoped is the auditor's sole measurement path: every size the
+// methodology consumes is restricted to the scope population.
+func (a *Auditor) measureScoped(spec targeting.Spec) (int64, error) {
+	return a.p.Measure(a.scoped(spec))
+}
+
+// Provider returns the underlying (cache-wrapped) provider.
+func (a *Auditor) Provider() Provider { return a.p }
+
+// PlatformName returns the audited platform interface's name.
+func (a *Auditor) PlatformName() string { return a.p.Name() }
+
+// AttrCount returns the number of attribute options.
+func (a *Auditor) AttrCount() int { return len(a.attrNames) }
+
+// TopicCount returns the number of topic options.
+func (a *Auditor) TopicCount() int { return len(a.topicNames) }
+
+// RefName returns the display name of a targeting ref.
+func (a *Auditor) RefName(r targeting.Ref) string {
+	switch r.Kind {
+	case targeting.KindAttribute:
+		if r.ID >= 0 && r.ID < len(a.attrNames) {
+			return a.attrNames[r.ID]
+		}
+	case targeting.KindTopic:
+		if r.ID >= 0 && r.ID < len(a.topicNames) {
+			return a.topicNames[r.ID]
+		}
+	}
+	return r.String()
+}
+
+// Describe renders a spec as the conjunction of its option names.
+func (a *Auditor) Describe(spec targeting.Spec) string {
+	refs := targeting.Refs(spec)
+	parts := make([]string, 0, len(refs))
+	for _, r := range refs {
+		if r.Kind == targeting.KindAttribute || r.Kind == targeting.KindTopic {
+			parts = append(parts, a.RefName(r))
+		}
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// totals measures (and caches) |RA_s| and |RA_¬s| for the class.
+func (a *Auditor) totals(c Class) (classTotals, error) {
+	key := c
+	key.Excluded = false
+	if t, ok := a.classTotals[key]; ok {
+		return t, nil
+	}
+	in, err := a.measureScoped(specOf(key.baseClause()))
+	if err != nil {
+		return classTotals{}, fmt.Errorf("measuring |RA_s| for %s: %w", key, err)
+	}
+	var out int64
+	for _, cl := range key.otherClauses() {
+		v, err := a.measureScoped(specOf(cl))
+		if err != nil {
+			return classTotals{}, fmt.Errorf("measuring |RA_v| for %s: %w", key, err)
+		}
+		out += v
+	}
+	t := classTotals{in: in, out: out}
+	a.classTotals[key] = t
+	return t, nil
+}
+
+// PopulationSize returns |RA_s| for the class — the denominator the paper's
+// Figure 5 reports as the total size of each sensitive population.
+func (a *Auditor) PopulationSize(c Class) (int64, error) {
+	t, err := a.totals(c)
+	if err != nil {
+		return 0, err
+	}
+	if c.Excluded {
+		return t.out, nil
+	}
+	return t.in, nil
+}
+
+// Audit measures one targeting against one class: total reach, recall, and
+// the representation ratio of Equation 1. It returns ErrBelowFloor for
+// targetings whose total reach is under the floor (wrapped so callers can
+// errors.Is it).
+func (a *Auditor) Audit(spec targeting.Spec, c Class) (Measurement, error) {
+	if err := validateClass(c); err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{Desc: a.Describe(spec), Spec: spec}
+
+	reach, err := a.measureScoped(spec)
+	if err != nil {
+		return m, err
+	}
+	m.TotalReach = reach
+	if reach < a.RecallFloor {
+		return m, fmt.Errorf("%w: reach %d < %d", ErrBelowFloor, reach, a.RecallFloor)
+	}
+
+	base := c
+	base.Excluded = false
+	tot, err := a.totals(base)
+	if err != nil {
+		return m, err
+	}
+	tIn, err := a.measureScoped(withClause(spec, base.baseClause()))
+	if err != nil {
+		return m, err
+	}
+	var tOut int64
+	for _, cl := range base.otherClauses() {
+		v, err := a.measureScoped(withClause(spec, cl))
+		if err != nil {
+			return m, err
+		}
+		tOut += v
+	}
+
+	m.InClass, m.OutClass = tIn, tOut
+	ratio, err := repRatio(tIn, tOut, tot.in, tot.out)
+	if err != nil {
+		return m, err
+	}
+	if c.Excluded {
+		// Ratio toward the complement population is the reciprocal; recall
+		// counts users outside the base class.
+		if ratio == 0 {
+			ratio = math.Inf(1)
+		} else {
+			ratio = 1 / ratio
+		}
+		m.Recall = tOut
+	} else {
+		m.Recall = tIn
+	}
+	m.RepRatio = ratio
+	return m, nil
+}
+
+// repRatio evaluates Equation 1 from rounded estimates. When the
+// out-of-class audience rounds to zero the ratio is +Inf; when the in-class
+// audience rounds to zero it is 0; when both do, the targeting is
+// unmeasurable.
+func repRatio(tIn, tOut, rIn, rOut int64) (float64, error) {
+	if rIn <= 0 || rOut <= 0 {
+		return 0, fmt.Errorf("core: empty sensitive population (|RA_s|=%d, |RA_¬s|=%d)", rIn, rOut)
+	}
+	switch {
+	case tIn <= 0 && tOut <= 0:
+		return 0, fmt.Errorf("%w: both class audiences round to zero", ErrBelowFloor)
+	case tOut <= 0:
+		return math.Inf(1), nil
+	case tIn <= 0:
+		return 0, nil
+	}
+	num := float64(tIn) / float64(rIn)
+	den := float64(tOut) / float64(rOut)
+	return num / den, nil
+}
+
+// RepRatios extracts the finite representation ratios of a measurement set
+// (the values the paper's box plots summarize; infinities are dropped).
+func RepRatios(ms []Measurement) []float64 {
+	out := make([]float64, 0, len(ms))
+	for _, m := range ms {
+		if !math.IsInf(m.RepRatio, 0) && m.RepRatio > 0 {
+			out = append(out, m.RepRatio)
+		}
+	}
+	return out
+}
+
+// Recalls extracts the recalls of a measurement set.
+func Recalls(ms []Measurement) []float64 {
+	out := make([]float64, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, float64(m.Recall))
+	}
+	return out
+}
+
+// FilterSkewedToward returns the measurements whose rep ratio exceeds the
+// four-fifths upper bound (skewed toward the audited class) — the subsets
+// whose recall distributions Figure 5 plots.
+func FilterSkewedToward(ms []Measurement) []Measurement {
+	var out []Measurement
+	for _, m := range ms {
+		if m.RepRatio > FourFifthsHigh {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FilterOutsideFourFifths returns the measurements violating the
+// four-fifths rule in either direction.
+func FilterOutsideFourFifths(ms []Measurement) []Measurement {
+	var out []Measurement
+	for _, m := range ms {
+		if OutsideFourFifths(m.RepRatio) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

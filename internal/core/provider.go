@@ -1,0 +1,150 @@
+// Package core implements the paper's audit methodology — the primary
+// contribution of the reproduction. Given only the measurement channel the
+// live platforms give an auditor (targeting spec in, rounded audience-size
+// estimate out), it computes representation ratios and recalls (§3),
+// scans individual targeting options (§4.2), discovers skewed targeting
+// compositions greedily (§3, §4.1, §4.3), measures overlap between skewed
+// audiences and estimates union recall by inclusion–exclusion (§4.3,
+// Table 1), sweeps the removal of skewed individual options (Fig. 3/6), and
+// reproduces the estimate consistency and granularity studies (§3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// Provider is the audit's only view of an ad platform: the option lists the
+// paper scraped from the targeting UI, plus the size-estimate call it
+// automated. Implementations exist for in-process simulators (this package)
+// and for remote platforms over HTTP (internal/adapi).
+type Provider interface {
+	// Name identifies the platform interface.
+	Name() string
+	// AttributeNames lists the display names of the default attribute list.
+	AttributeNames() []string
+	// TopicNames lists topic options (empty off Google).
+	TopicNames() []string
+	// Measure returns the platform's rounded, platform-scale audience-size
+	// estimate for the spec, under the auditor's measurement rules.
+	Measure(spec targeting.Spec) (int64, error)
+	// CrossFeature reports whether AND-composition must span the attribute
+	// and topic features (Google) rather than pair attributes (the rest).
+	CrossFeature() bool
+}
+
+// platformProvider adapts an in-process simulated interface.
+type platformProvider struct {
+	p *platform.Interface
+}
+
+// NewPlatformProvider returns a Provider backed by an in-process simulated
+// interface. Measurements use the interface's auditor-facing rules, exactly
+// as the paper measured Facebook's restricted interface through the normal
+// interface's equivalent options.
+func NewPlatformProvider(p *platform.Interface) Provider {
+	return &platformProvider{p: p}
+}
+
+func (pp *platformProvider) Name() string { return pp.p.Name() }
+
+func (pp *platformProvider) AttributeNames() []string {
+	attrs := pp.p.Catalog().Attributes
+	out := make([]string, len(attrs))
+	for i := range attrs {
+		out[i] = attrs[i].Name
+	}
+	return out
+}
+
+func (pp *platformProvider) TopicNames() []string {
+	topics := pp.p.Catalog().Topics
+	out := make([]string, len(topics))
+	for i := range topics {
+		out[i] = topics[i].Name
+	}
+	return out
+}
+
+func (pp *platformProvider) Measure(spec targeting.Spec) (int64, error) {
+	return pp.p.Measure(platform.EstimateRequest{Spec: spec})
+}
+
+func (pp *platformProvider) CrossFeature() bool {
+	return !pp.p.Rules().AndWithinFeature
+}
+
+// ErrQueryBudget marks an audit aborted for exceeding its upstream query
+// budget (the paper's ethics discussion: "we also minimized the load placed
+// on the ad platforms by limiting both the count and rate of API queries").
+var ErrQueryBudget = errors.New("core: upstream query budget exhausted")
+
+// cachingProvider memoizes Measure by canonical spec and enforces an
+// optional upstream query budget. The greedy discovery and the overlap
+// analyses re-measure many identical specs; the paper likewise limited its
+// query load by avoiding redundant calls.
+type cachingProvider struct {
+	Provider
+	mu     sync.Mutex
+	sizes  map[string]int64
+	calls  int64
+	budget int64 // 0 = unlimited
+}
+
+// NewCachingProvider wraps p with a measurement cache.
+func NewCachingProvider(p Provider) Provider {
+	return &cachingProvider{Provider: p, sizes: make(map[string]int64)}
+}
+
+func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
+	key := targeting.Canonical(spec)
+	cp.mu.Lock()
+	if v, ok := cp.sizes[key]; ok {
+		cp.mu.Unlock()
+		return v, nil
+	}
+	if cp.budget > 0 && cp.calls >= cp.budget {
+		cp.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d calls made", ErrQueryBudget, cp.budget)
+	}
+	cp.mu.Unlock()
+	v, err := cp.Provider.Measure(spec)
+	if err != nil {
+		return 0, err
+	}
+	cp.mu.Lock()
+	cp.sizes[key] = v
+	cp.calls++
+	cp.mu.Unlock()
+	return v, nil
+}
+
+// SetQueryBudget caps the number of cache-missing upstream calls a provider
+// may make (0 = unlimited); further misses return ErrQueryBudget. It
+// reports whether the provider supports budgets (caching providers do).
+func SetQueryBudget(p Provider, budget int64) bool {
+	cp, ok := p.(*cachingProvider)
+	if !ok {
+		return false
+	}
+	cp.mu.Lock()
+	cp.budget = budget
+	cp.mu.Unlock()
+	return true
+}
+
+// UpstreamCalls reports how many misses reached the underlying provider, if
+// the provider is a caching wrapper; otherwise it returns -1.
+func UpstreamCalls(p Provider) int64 {
+	cp, ok := p.(*cachingProvider)
+	if !ok {
+		return -1
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.calls
+}

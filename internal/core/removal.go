@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// RemovalPoint is one point of the removal sweep (paper Figures 3 and 6):
+// after removing the most skewed individual targetings up to a percentile,
+// how skewed do the greedily discovered compositions remain?
+type RemovalPoint struct {
+	// PercentRemoved is the percentile of individual targetings removed
+	// (0, 2, 4, ... in the paper).
+	PercentRemoved float64
+	// Remaining is the number of individual targetings left.
+	Remaining int
+	// P90 is the 90th-percentile rep ratio of the Top compositions (for
+	// Direction Top) or the 10th-percentile of the Bottom compositions (for
+	// Direction Bottom) built from the remaining individuals.
+	P90 float64
+	// Max is the most extreme finite composition rep ratio at this point
+	// (maximum for Top, minimum for Bottom).
+	Max float64
+	// Compositions is the number of measurable compositions discovered.
+	Compositions int
+}
+
+// RemovalSweep removes the most skewed individual targetings in the given
+// percentile steps and re-discovers the most skewed compositions from what
+// remains. individuals must be audited against c. Direction Top removes the
+// individuals most skewed toward the class and tracks the Top compositions'
+// 90th percentile; Bottom removes those most skewed away and tracks the
+// Bottom compositions' 10th percentile.
+func (a *Auditor) RemovalSweep(individuals []Measurement, c Class, percentSteps []float64, cfg ComposeConfig) ([]RemovalPoint, error) {
+	cfg = cfg.withDefaults()
+	ranked := sortBySkew(individuals, cfg.Direction) // most skewed first
+	out := make([]RemovalPoint, 0, len(percentSteps))
+	for _, pct := range percentSteps {
+		if pct < 0 || pct >= 100 {
+			return nil, fmt.Errorf("core: removal percentile %v out of [0, 100)", pct)
+		}
+		drop := int(float64(len(ranked)) * pct / 100)
+		remaining := ranked[drop:]
+		comps, err := a.GreedyCompositions(remaining, c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("removal sweep at %v%%: %w", pct, err)
+		}
+		pt := RemovalPoint{
+			PercentRemoved: pct,
+			Remaining:      len(remaining),
+			Compositions:   len(comps),
+		}
+		ratios := RepRatios(comps)
+		if len(ratios) > 0 {
+			if cfg.Direction == Top {
+				p90, err := stats.Percentile(ratios, 90)
+				if err != nil {
+					return nil, err
+				}
+				pt.P90 = p90
+				mx, _, err := maxMin(ratios)
+				if err != nil {
+					return nil, err
+				}
+				pt.Max = mx
+			} else {
+				p10, err := stats.Percentile(ratios, 10)
+				if err != nil {
+					return nil, err
+				}
+				pt.P90 = p10
+				_, mn, err := maxMin(ratios)
+				if err != nil {
+					return nil, err
+				}
+				pt.Max = mn
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// maxMin returns the maximum and minimum of xs.
+func maxMin(xs []float64) (mx, mn float64, err error) {
+	mn, mx, err = stats.MinMax(xs)
+	return mx, mn, err
+}

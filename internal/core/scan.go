@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/targeting"
+)
+
+// IndividualScan audits every option of one feature kind against the class,
+// returning the measurable ones (total reach at or above the floor) in
+// option order. This is the paper's "Individual" targeting set (§4.1,
+// §4.2). When the auditor's Concurrency is above 1, options are audited by
+// a worker pool — useful against remote platforms where each measurement is
+// an HTTP round trip (the client's rate limiter still bounds total load, as
+// the paper's ethics required).
+func (a *Auditor) IndividualScan(kind targeting.Kind, c Class) ([]Measurement, error) {
+	var n int
+	switch kind {
+	case targeting.KindAttribute:
+		n = len(a.attrNames)
+	case targeting.KindTopic:
+		n = len(a.topicNames)
+	default:
+		return nil, fmt.Errorf("core: cannot scan feature kind %s", kind)
+	}
+	// The class totals are shared state cached under no lock; prime them
+	// once before fanning out.
+	base := c
+	base.Excluded = false
+	if _, err := a.totals(base); err != nil {
+		return nil, err
+	}
+
+	workers := a.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	type slot struct {
+		m   Measurement
+		err error
+	}
+	results := make([]slot, n)
+	if workers == 1 {
+		for id := 0; id < n; id++ {
+			spec := targeting.Spec{Include: []targeting.Clause{{{Kind: kind, ID: id}}}}
+			results[id].m, results[id].err = a.Audit(spec, c)
+		}
+	} else {
+		var wg sync.WaitGroup
+		ids := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for id := range ids {
+					spec := targeting.Spec{Include: []targeting.Clause{{{Kind: kind, ID: id}}}}
+					results[id].m, results[id].err = a.Audit(spec, c)
+				}
+			}()
+		}
+		for id := 0; id < n; id++ {
+			ids <- id
+		}
+		close(ids)
+		wg.Wait()
+	}
+
+	out := make([]Measurement, 0, n)
+	for id := 0; id < n; id++ {
+		if errors.Is(results[id].err, ErrBelowFloor) {
+			continue
+		}
+		if results[id].err != nil {
+			return nil, fmt.Errorf("scanning %s %d: %w", kind, id, results[id].err)
+		}
+		out = append(out, results[id].m)
+	}
+	return out, nil
+}
+
+// Individuals audits the platform's full default option list against the
+// class: attributes everywhere, plus topics on cross-feature platforms
+// (Google's Individual column spans both features).
+func (a *Auditor) Individuals(c Class) ([]Measurement, error) {
+	ms, err := a.IndividualScan(targeting.KindAttribute, c)
+	if err != nil {
+		return nil, err
+	}
+	if a.p.CrossFeature() && len(a.topicNames) > 0 {
+		ts, err := a.IndividualScan(targeting.KindTopic, c)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, ts...)
+	}
+	return ms, nil
+}

@@ -1,0 +1,250 @@
+// Package delivery simulates the ad-delivery stage that sits after
+// targeting. The paper deliberately scopes it out but flags it as a further
+// skew source: "while we measure the skew in audiences arising from
+// targeting, the operation of the ad platform's ad delivery system might
+// introduce additional skews [4]" (§3, Limitations; [4] is Ali et al.,
+// "Discrimination through Optimization").
+//
+// The simulation is a per-impression second-price auction: each impression
+// opportunity belongs to one user; campaigns whose *targeted audience*
+// contains the user and whose budget is unspent compete with an effective
+// bid of bid × predicted engagement. Because predicted engagement is
+// demographically structured (the platform's relevance model knows which
+// users tend to engage with which ad categories), a campaign with a
+// perfectly neutral targeted audience can still deliver to a skewed one —
+// the phenomenon Ali et al. measured on the live platform, reproduced here
+// on the simulated substrate so the audit's targeting-level findings can be
+// compared against delivery-level outcomes.
+package delivery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/audience"
+	"repro/internal/population"
+	"repro/internal/xrand"
+)
+
+// Campaign is one advertiser's ad under delivery.
+type Campaign struct {
+	// Name identifies the campaign in outcomes.
+	Name string
+	// Audience is the targeted audience (from platform.Interface.Audience
+	// or any set over the same universe).
+	Audience *audience.Set
+	// Bid is the advertiser's bid per impression (arbitrary currency).
+	Bid float64
+	// BudgetImpressions caps the campaign's deliveries (0 = unlimited).
+	BudgetImpressions int
+	// Relevance is the platform's engagement model for this ad: the
+	// probability a user engages, in the same generative family as
+	// targeting attributes (demographic loadings + latent factor). This is
+	// the delivery-side source of skew.
+	Relevance population.AttrModel
+}
+
+// Config drives one delivery simulation.
+type Config struct {
+	// Seed drives auction randomness (pacing tie-breaks).
+	Seed uint64
+	// OpportunitiesPerUser is how many impression opportunities each user
+	// generates (weighted by activity tier). Zero selects 2.
+	OpportunitiesPerUser int
+	// BidJitterSigma is the log-scale spread of per-opportunity effective
+	// bids, modelling pacing and bid adjustments — without it the
+	// deterministic auction is winner-take-all per user signature. Zero
+	// selects 0.35; negative disables jitter.
+	BidJitterSigma float64
+}
+
+// Outcome reports one campaign's deliveries.
+type Outcome struct {
+	Name string
+	// Impressions delivered in total and per gender/age.
+	Impressions int
+	ByGender    [population.NumGenders]int
+	ByAge       [population.NumAgeRanges]int
+	// Spend is the total second-price cost.
+	Spend float64
+}
+
+// DeliveryRatio returns the delivered-impression representation ratio
+// toward a gender: (impressions to g / users of g) over (impressions to ¬g
+// / users of ¬g) — the delivery analogue of Equation 1.
+func (o Outcome) DeliveryRatio(uni *population.Universe, g population.Gender) float64 {
+	in := float64(o.ByGender[g]) / float64(uni.GenderSet(g).Count())
+	out := float64(o.ByGender[g.Other()]) / float64(uni.GenderSet(g.Other()).Count())
+	if out == 0 {
+		if in == 0 {
+			return 1
+		}
+		return 0 // caller should treat as unbounded; avoided by ample budgets
+	}
+	return in / out
+}
+
+// Engine runs auctions over a universe.
+type Engine struct {
+	uni *population.Universe
+	cfg Config
+}
+
+// NewEngine returns a delivery engine.
+func NewEngine(uni *population.Universe, cfg Config) *Engine {
+	if cfg.OpportunitiesPerUser == 0 {
+		cfg.OpportunitiesPerUser = 2
+	}
+	if cfg.BidJitterSigma == 0 {
+		cfg.BidJitterSigma = 0.35
+	}
+	if cfg.BidJitterSigma < 0 {
+		cfg.BidJitterSigma = 0
+	}
+	return &Engine{uni: uni, cfg: cfg}
+}
+
+// Errors.
+var (
+	ErrNoCampaigns = errors.New("delivery: no campaigns")
+	ErrBadCampaign = errors.New("delivery: invalid campaign")
+)
+
+// Run delivers all impression opportunities and returns per-campaign
+// outcomes in input order. Deterministic in (universe, config, campaigns).
+func (e *Engine) Run(campaigns []Campaign) ([]Outcome, error) {
+	if len(campaigns) == 0 {
+		return nil, ErrNoCampaigns
+	}
+	for i, c := range campaigns {
+		if c.Name == "" || c.Audience == nil || c.Bid <= 0 {
+			return nil, fmt.Errorf("%w: campaign %d needs a name, audience, and positive bid", ErrBadCampaign, i)
+		}
+		if c.Audience.Len() != e.uni.Size() {
+			return nil, fmt.Errorf("%w: campaign %q audience universe mismatch", ErrBadCampaign, c.Name)
+		}
+	}
+
+	// Precompute each campaign's engagement rate per (cell, factor) —
+	// the same 16-entry table trick the population uses.
+	type rateTable [population.NumCells][2]float64
+	rates := make([]rateTable, len(campaigns))
+	for i, c := range campaigns {
+		for cell := 0; cell < population.NumCells; cell++ {
+			rates[i][cell][0] = c.Relevance.Rate(population.Cell(cell), false)
+			rates[i][cell][1] = c.Relevance.Rate(population.Cell(cell), true)
+		}
+	}
+
+	outs := make([]Outcome, len(campaigns))
+	for i := range campaigns {
+		outs[i].Name = campaigns[i].Name
+	}
+	budgetLeft := make([]int, len(campaigns))
+	for i, c := range campaigns {
+		budgetLeft[i] = c.BudgetImpressions
+		if budgetLeft[i] == 0 {
+			budgetLeft[i] = -1 // unlimited
+		}
+	}
+
+	// Users with higher activity tiers browse more, generating more
+	// opportunities — the same heavy tail the targeting side models.
+	n := e.uni.Size()
+	for u := 0; u < n; u++ {
+		opps := e.cfg.OpportunitiesPerUser
+		if e.uni.ActivityTier(u) >= population.ActivityTiers/2 {
+			opps++
+		}
+		cell := int(e.uni.CellOfUser(u))
+		for o := 0; o < opps; o++ {
+			// Auction: effective bid = bid × predicted engagement.
+			best, second := -1, -1
+			var bestScore, secondScore float64
+			for ci := range campaigns {
+				if budgetLeft[ci] == 0 || !campaigns[ci].Audience.Contains(u) {
+					continue
+				}
+				fi := 0
+				if f := campaigns[ci].Relevance.Factor; f >= 0 && e.uni.HasFactor(u, f) {
+					fi = 1
+				}
+				score := campaigns[ci].Bid * rates[ci][cell][fi]
+				// Deterministic per-opportunity jitter: pacing and bid
+				// adjustments spread effective bids log-normally (and break
+				// ties without bias when disabled).
+				score *= bidJitter(e.cfg.BidJitterSigma, e.cfg.Seed, uint64(u), uint64(o), uint64(ci))
+				if score > bestScore {
+					second, secondScore = best, bestScore
+					best, bestScore = ci, score
+				} else if score > secondScore {
+					second, secondScore = ci, score
+				}
+			}
+			if best < 0 {
+				continue // no eligible campaign
+			}
+			price := secondScore
+			if second < 0 {
+				price = 0 // reserve-free floor when uncontested
+			}
+			outs[best].Impressions++
+			outs[best].ByGender[e.uni.CellOfUser(u).Gender()]++
+			outs[best].ByAge[e.uni.CellOfUser(u).Age()]++
+			outs[best].Spend += price
+			if budgetLeft[best] > 0 {
+				budgetLeft[best]--
+			}
+		}
+	}
+	return outs, nil
+}
+
+// bidJitter returns exp(sigma·z) for an approximately standard-normal z
+// derived deterministically from the hash words (Irwin–Hall with six
+// uniforms). With sigma 0 it degenerates to a bias-free tie-break.
+func bidJitter(sigma float64, words ...uint64) float64 {
+	if sigma == 0 {
+		return 1 + 1e-9*xrand.Uniform01(xrand.Mix(words...))
+	}
+	var sum float64
+	for i := uint64(0); i < 6; i++ {
+		sum += xrand.Uniform01(xrand.Mix(append(words, i)...))
+	}
+	z := (sum - 3) / 0.7071 // Irwin–Hall(6): mean 3, std ≈ 0.7071
+	return math.Exp(sigma * z)
+}
+
+// SkewSummary compares targeting-level and delivery-level gender ratios for
+// each campaign — the study the paper defers to Ali et al.
+type SkewSummary struct {
+	Name string
+	// TargetedRatio is the targeted audience's rep ratio toward males
+	// (audience-level, exact).
+	TargetedRatio float64
+	// DeliveredRatio is the delivered impressions' ratio toward males.
+	DeliveredRatio float64
+}
+
+// Summarize computes the targeting-vs-delivery comparison for a run.
+func (e *Engine) Summarize(campaigns []Campaign, outs []Outcome) ([]SkewSummary, error) {
+	if len(campaigns) != len(outs) {
+		return nil, errors.New("delivery: campaigns and outcomes mismatched")
+	}
+	males := e.uni.GenderSet(population.Male)
+	females := e.uni.GenderSet(population.Female)
+	sums := make([]SkewSummary, len(campaigns))
+	for i, c := range campaigns {
+		mIn := float64(audience.CountAnd(c.Audience, males)) / float64(males.Count())
+		fIn := float64(audience.CountAnd(c.Audience, females)) / float64(females.Count())
+		s := SkewSummary{Name: c.Name, DeliveredRatio: outs[i].DeliveryRatio(e.uni, population.Male)}
+		if fIn > 0 {
+			s.TargetedRatio = mIn / fIn
+		}
+		sums[i] = s
+	}
+	sort.Slice(sums, func(a, b int) bool { return sums[a].Name < sums[b].Name })
+	return sums, nil
+}

@@ -1,0 +1,258 @@
+package delivery
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/audience"
+	"repro/internal/population"
+)
+
+// testUniverse builds a universe with a male-skewed factor 0.
+func testUniverse(t *testing.T) *population.Universe {
+	t.Helper()
+	u, err := population.New(population.Config{
+		Seed:      31,
+		Size:      30000,
+		MaleShare: 0.5,
+		AgeShare:  [population.NumAgeRanges]float64{0.25, 0.25, 0.25, 0.25},
+		Factors: []population.FactorModel{
+			{Rate: 0.12, GenderLoad: 1.8},
+			{Rate: 0.12, GenderLoad: -1.8},
+		},
+		ActivitySigma: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// everyone returns the full-universe audience.
+func everyone(u *population.Universe) *audience.Set {
+	s := audience.New(u.Size())
+	s.Fill()
+	return s
+}
+
+// neutralRelevance engages everyone equally.
+func neutralRelevance(id uint64) population.AttrModel {
+	return population.AttrModel{ID: id, BaseLogit: population.Logit(0.02), Factor: -1}
+}
+
+// maleRelevance engages men and factor-0 holders more.
+func maleRelevance(id uint64) population.AttrModel {
+	return population.AttrModel{
+		ID: id, BaseLogit: population.Logit(0.02),
+		GenderLoad: 1.5, Factor: 0, FactorBoost: 1.0,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	u := testUniverse(t)
+	e := NewEngine(u, Config{Seed: 1})
+	if _, err := e.Run(nil); !errors.Is(err, ErrNoCampaigns) {
+		t.Fatalf("want ErrNoCampaigns, got %v", err)
+	}
+	bad := []Campaign{
+		{Name: "", Audience: everyone(u), Bid: 1},
+		{Name: "x", Audience: nil, Bid: 1},
+		{Name: "x", Audience: everyone(u), Bid: 0},
+		{Name: "x", Audience: audience.New(5), Bid: 1},
+	}
+	for i, c := range bad {
+		if _, err := e.Run([]Campaign{c}); !errors.Is(err, ErrBadCampaign) {
+			t.Errorf("bad campaign %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestAllOpportunitiesDelivered(t *testing.T) {
+	u := testUniverse(t)
+	e := NewEngine(u, Config{Seed: 1, OpportunitiesPerUser: 2})
+	outs, err := e.Run([]Campaign{
+		{Name: "solo", Audience: everyone(u), Bid: 1, Relevance: neutralRelevance(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each user generates 2 opportunities, +1 for the upper activity half.
+	min, max := 2*u.Size(), 3*u.Size()
+	if outs[0].Impressions < min || outs[0].Impressions > max {
+		t.Fatalf("impressions %d outside [%d, %d]", outs[0].Impressions, min, max)
+	}
+	// Uncontested auctions cost nothing (no reserve).
+	if outs[0].Spend != 0 {
+		t.Fatalf("solo campaign spent %v", outs[0].Spend)
+	}
+	// Gender tallies sum to total.
+	if outs[0].ByGender[0]+outs[0].ByGender[1] != outs[0].Impressions {
+		t.Fatal("gender tallies do not sum to impressions")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	u := testUniverse(t)
+	camps := []Campaign{
+		{Name: "a", Audience: everyone(u), Bid: 1, Relevance: maleRelevance(1)},
+		{Name: "b", Audience: everyone(u), Bid: 1, Relevance: neutralRelevance(2)},
+	}
+	e := NewEngine(u, Config{Seed: 9})
+	o1, err := e.Run(camps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := e.Run(camps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outcome %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	u := testUniverse(t)
+	e := NewEngine(u, Config{Seed: 3})
+	outs, err := e.Run([]Campaign{
+		{Name: "capped", Audience: everyone(u), Bid: 10, BudgetImpressions: 500, Relevance: neutralRelevance(1)},
+		{Name: "rest", Audience: everyone(u), Bid: 1, Relevance: neutralRelevance(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Impressions != 500 {
+		t.Fatalf("capped campaign delivered %d, want 500", outs[0].Impressions)
+	}
+	if outs[1].Impressions == 0 {
+		t.Fatal("backfill campaign delivered nothing")
+	}
+}
+
+func TestSecondPriceBounded(t *testing.T) {
+	u := testUniverse(t)
+	e := NewEngine(u, Config{Seed: 5, BidJitterSigma: -1})
+	outs, err := e.Run([]Campaign{
+		{Name: "hi", Audience: everyone(u), Bid: 10, Relevance: neutralRelevance(1)},
+		{Name: "lo", Audience: everyone(u), Bid: 1, Relevance: neutralRelevance(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The high bidder wins everything and pays the runner-up's effective
+	// bid, which is below its own.
+	if outs[1].Impressions != 0 {
+		t.Fatalf("low bidder won %d impressions", outs[1].Impressions)
+	}
+	perImpr := outs[0].Spend / float64(outs[0].Impressions)
+	ownEffective := 10 * 0.02 // bid × neutral engagement
+	if perImpr <= 0 || perImpr >= ownEffective {
+		t.Fatalf("per-impression price %v outside (0, %v)", perImpr, ownEffective)
+	}
+}
+
+func TestNeutralTargetingSkewedDelivery(t *testing.T) {
+	// The Ali-et-al. phenomenon the paper cites: two campaigns target the
+	// *same neutral audience*; the one whose ad category engages men more
+	// is delivered predominantly to men.
+	u := testUniverse(t)
+	e := NewEngine(u, Config{Seed: 7})
+	camps := []Campaign{
+		{Name: "cars-ad", Audience: everyone(u), Bid: 1, Relevance: maleRelevance(1)},
+		{Name: "generic-ad", Audience: everyone(u), Bid: 1, Relevance: neutralRelevance(2)},
+	}
+	outs, err := e.Run(camps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := e.Summarize(camps, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SkewSummary{}
+	for _, s := range sums {
+		byName[s.Name] = s
+	}
+	cars := byName["cars-ad"]
+	if math.Abs(cars.TargetedRatio-1) > 0.05 {
+		t.Fatalf("targeted ratio %v should be neutral", cars.TargetedRatio)
+	}
+	if cars.DeliveredRatio < 1.25 {
+		t.Fatalf("delivered ratio %v should violate four-fifths despite neutral targeting", cars.DeliveredRatio)
+	}
+	// And the generic ad absorbs the complement (skews female).
+	generic := byName["generic-ad"]
+	if generic.DeliveredRatio >= 1 {
+		t.Fatalf("generic ad delivered ratio %v, want female-leaning complement", generic.DeliveredRatio)
+	}
+}
+
+func TestDeliveryAmplifiesTargetingSkew(t *testing.T) {
+	// Delivery skew stacks on targeting skew: a male-targeted audience with
+	// a male-engaging ad delivers even more male-heavy.
+	u := testUniverse(t)
+	males := audience.NewFromFunc(u.Size(), func(i int) bool {
+		return u.HasFactor(i, 0) // male-skewed factor audience
+	})
+	e := NewEngine(u, Config{Seed: 11})
+	camps := []Campaign{
+		{Name: "targeted", Audience: males, Bid: 1, Relevance: maleRelevance(1)},
+		{Name: "filler", Audience: everyone(u), Bid: 0.2, Relevance: neutralRelevance(2)},
+	}
+	outs, err := e.Run(camps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := e.Summarize(camps, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sums {
+		if s.Name != "targeted" {
+			continue
+		}
+		if s.TargetedRatio < 1.25 {
+			t.Fatalf("targeted ratio %v should already be skewed", s.TargetedRatio)
+		}
+		if s.DeliveredRatio < s.TargetedRatio {
+			t.Fatalf("delivered ratio %v below targeted %v; delivery should add skew",
+				s.DeliveredRatio, s.TargetedRatio)
+		}
+	}
+}
+
+func TestSummarizeMismatch(t *testing.T) {
+	u := testUniverse(t)
+	e := NewEngine(u, Config{})
+	if _, err := e.Summarize([]Campaign{{Name: "a"}}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func BenchmarkDeliveryRun(b *testing.B) {
+	u, err := population.New(population.Config{
+		Seed: 3, Size: 1 << 15, MaleShare: 0.5,
+		AgeShare: [population.NumAgeRanges]float64{0.25, 0.25, 0.25, 0.25},
+		Factors:  population.UniformFactors(4, 0.1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := audience.New(u.Size())
+	all.Fill()
+	camps := []Campaign{
+		{Name: "a", Audience: all, Bid: 1, Relevance: population.AttrModel{ID: 1, BaseLogit: population.Logit(0.02), GenderLoad: 1, Factor: 0}},
+		{Name: "b", Audience: all, Bid: 1, Relevance: population.AttrModel{ID: 2, BaseLogit: population.Logit(0.02), Factor: -1}},
+		{Name: "c", Audience: all, Bid: 0.8, Relevance: population.AttrModel{ID: 3, BaseLogit: population.Logit(0.02), GenderLoad: -1, Factor: 1}},
+	}
+	e := NewEngine(u, Config{Seed: 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(camps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package estimate models how ad platforms round the audience-size
+// estimates they report to advertisers.
+//
+// The paper's granularity study (§3, "Understanding size estimates") found:
+//
+//   - Facebook: two significant digits, minimum returned value 1,000
+//     (0 below the minimum);
+//   - Google: one significant digit up to 100,000 and two significant digits
+//     thereafter, minimum 40;
+//   - LinkedIn: two significant digits, minimum 300.
+//
+// The audit methodology only ever observes rounded values, so the same
+// models sit inside the platform simulators and inside the re-analysis that
+// bounds how much rounding could distort a representation ratio
+// (Interval recovers the exact-size range consistent with a reported value).
+package estimate
+
+import "fmt"
+
+// Rounder converts an exact audience size into the estimate a platform
+// reports.
+type Rounder interface {
+	// Round returns the reported estimate for an exact size.
+	Round(exact int64) int64
+	// Interval returns the inclusive range [lo, hi] of exact sizes that
+	// would produce the given reported estimate. It is the inverse image of
+	// Round and is used to compute least-skewed rep ratios under rounding.
+	Interval(reported int64) (lo, hi int64)
+	// Name identifies the rounding scheme.
+	Name() string
+}
+
+// pow10 returns 10^k for k >= 0.
+func pow10(k int) int64 {
+	p := int64(1)
+	for i := 0; i < k; i++ {
+		p *= 10
+	}
+	return p
+}
+
+// digits returns the number of decimal digits of v > 0.
+func digits(v int64) int {
+	d := 0
+	for v > 0 {
+		d++
+		v /= 10
+	}
+	return d
+}
+
+// roundSig rounds v > 0 to s significant digits (round half away from zero).
+func roundSig(v int64, s int) int64 {
+	d := digits(v)
+	if d <= s {
+		return v
+	}
+	p := pow10(d - s)
+	return (v + p/2) / p * p
+}
+
+// SigDigitRounder rounds to a fixed number of significant digits with a
+// minimum reporting floor: exact sizes below Min report as 0. Facebook
+// (Sig=2, Min=1000) and LinkedIn (Sig=2, Min=300) use this shape.
+type SigDigitRounder struct {
+	// Scheme is the name reported by Name.
+	Scheme string
+	// Sig is the number of significant digits retained.
+	Sig int
+	// Min is the smallest reportable estimate; exact sizes whose rounded
+	// value falls below Min report as 0.
+	Min int64
+}
+
+// Round implements Rounder.
+func (r SigDigitRounder) Round(exact int64) int64 {
+	if exact <= 0 {
+		return 0
+	}
+	v := roundSig(exact, r.Sig)
+	if v < r.Min {
+		return 0
+	}
+	return v
+}
+
+// Interval implements Rounder.
+func (r SigDigitRounder) Interval(reported int64) (lo, hi int64) {
+	if reported <= 0 {
+		// Any exact size that rounds below Min.
+		hi = r.Min - 1
+		// Find the largest exact value that still rounds below Min: search
+		// upward from Min-1 while Round stays 0. Rounding can push values
+		// up, so walk down instead: the boundary is where roundSig >= Min.
+		for hi > 0 && r.Round(hi) != 0 {
+			hi--
+		}
+		return 0, hi
+	}
+	lo, hi = sigInterval(reported, r.Sig)
+	if lo < 1 {
+		lo = 1
+	}
+	return lo, hi
+}
+
+// sigInterval returns the exact-size range rounding to reported under
+// round-half-away-from-zero significant-digit rounding.
+func sigInterval(reported int64, sig int) (lo, hi int64) {
+	d := digits(reported)
+	if d <= sig {
+		return reported, reported
+	}
+	p := pow10(d - sig)
+	lo = reported - p/2
+	// At a decade boundary (reported = 10^(d-1)) the values just below have
+	// one fewer digit and are rounded with a ten-times-finer step, so the
+	// lower edge of the pre-image is tighter.
+	if digits(lo) < d {
+		lo = reported - p/10/2
+	}
+	hi = reported + p/2 - 1
+	return lo, hi
+}
+
+// Name implements Rounder.
+func (r SigDigitRounder) Name() string {
+	return fmt.Sprintf("%s(sig=%d,min=%d)", r.Scheme, r.Sig, r.Min)
+}
+
+// GoogleRounder implements Google's tiered scheme: one significant digit for
+// values whose rounded magnitude is at most Knee (100,000), two significant
+// digits above, with a minimum floor (40).
+type GoogleRounder struct {
+	// Knee is the boundary below which one significant digit is used.
+	Knee int64
+	// Min is the smallest reportable estimate.
+	Min int64
+}
+
+// NewGoogleRounder returns the rounder with the paper's parameters.
+func NewGoogleRounder() GoogleRounder {
+	return GoogleRounder{Knee: 100_000, Min: 40}
+}
+
+// Round implements Rounder.
+func (g GoogleRounder) Round(exact int64) int64 {
+	if exact <= 0 {
+		return 0
+	}
+	var v int64
+	if exact <= g.Knee {
+		v = roundSig(exact, 1)
+	} else {
+		v = roundSig(exact, 2)
+	}
+	if v < g.Min {
+		return 0
+	}
+	return v
+}
+
+// Interval implements Rounder.
+func (g GoogleRounder) Interval(reported int64) (lo, hi int64) {
+	if reported <= 0 {
+		hi = g.Min - 1
+		for hi > 0 && g.Round(hi) != 0 {
+			hi--
+		}
+		return 0, hi
+	}
+	if reported <= g.Knee {
+		// Exact sizes at or below the knee round with one significant digit;
+		// sizes above the knee round with two but can still land on a
+		// reported value <= Knee (e.g. 104,999 -> 100,000). The pre-image is
+		// the union of both regions, which is contiguous when both are
+		// non-empty.
+		lo, hi = sigInterval(reported, 1)
+		if hi > g.Knee {
+			hi = g.Knee
+		}
+		lo2, hi2 := sigInterval(reported, 2)
+		if hi2 > g.Knee {
+			if lo2 <= g.Knee+1 {
+				hi = hi2
+			}
+		}
+	} else {
+		lo, hi = sigInterval(reported, 2)
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	return lo, hi
+}
+
+// Name implements Rounder.
+func (g GoogleRounder) Name() string {
+	return fmt.Sprintf("google(knee=%d,min=%d)", g.Knee, g.Min)
+}
+
+// Exact is a pass-through rounder used by ablation experiments to measure
+// what the audit would see with unrounded statistics.
+type Exact struct{}
+
+// Round implements Rounder.
+func (Exact) Round(exact int64) int64 {
+	if exact < 0 {
+		return 0
+	}
+	return exact
+}
+
+// Interval implements Rounder.
+func (Exact) Interval(reported int64) (lo, hi int64) { return reported, reported }
+
+// Name implements Rounder.
+func (Exact) Name() string { return "exact" }
+
+// Facebook returns the rounder the paper inferred for Facebook's interfaces.
+func Facebook() Rounder {
+	return SigDigitRounder{Scheme: "facebook", Sig: 2, Min: 1000}
+}
+
+// LinkedIn returns the rounder the paper inferred for LinkedIn.
+func LinkedIn() Rounder {
+	return SigDigitRounder{Scheme: "linkedin", Sig: 2, Min: 300}
+}
+
+// Google returns the rounder the paper inferred for Google.
+func Google() Rounder {
+	return NewGoogleRounder()
+}

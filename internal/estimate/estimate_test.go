@@ -1,0 +1,232 @@
+package estimate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestFacebookRounding(t *testing.T) {
+	fb := Facebook()
+	cases := []struct{ in, want int64 }{
+		{0, 0},
+		{-5, 0},
+		{999, 0}, // rounds to 1000? 999→1000 at 2 sig... see below
+		{432, 0}, // 430 < 1000 → 0
+		{1000, 1000},
+		{1049, 1000},
+		{1050, 1100}, // half rounds away from zero
+		{123456, 120000},
+		{125000, 130000},
+		{98, 0},
+		{5_200_000, 5_200_000},
+		{5_234_567, 5_200_000},
+	}
+	for _, c := range cases {
+		if c.in == 999 {
+			// 999 has 3 digits → rounds to 1000 which is >= min → reported.
+			if got := fb.Round(c.in); got != 1000 {
+				t.Errorf("facebook Round(999) = %d, want 1000", got)
+			}
+			continue
+		}
+		if got := fb.Round(c.in); got != c.want {
+			t.Errorf("facebook Round(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLinkedInRounding(t *testing.T) {
+	li := LinkedIn()
+	cases := []struct{ in, want int64 }{
+		{0, 0}, {200, 0}, {299, 300}, {300, 300}, {304, 300}, {305, 310},
+		{46_123, 46_000}, {560_449, 560_000},
+	}
+	for _, c := range cases {
+		if got := li.Round(c.in); got != c.want {
+			t.Errorf("linkedin Round(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGoogleRounding(t *testing.T) {
+	g := Google()
+	cases := []struct{ in, want int64 }{
+		// Values just below the floor still round up onto it (like FB's
+		// 999 -> 1000); only values rounding strictly below 40 report 0.
+		{0, 0}, {34, 0}, {39, 40}, {40, 40}, {44, 40}, {45, 50},
+		{94_999, 90_000}, {95_000, 100_000},
+		{100_000, 100_000},
+		{100_001, 100_000}, // above knee: 2 sig digits
+		{104_999, 100_000},
+		{105_000, 110_000},
+		{1_700_000, 1_700_000},
+		{1_684_321, 1_700_000},
+		{170_499, 170_000},
+	}
+	for _, c := range cases {
+		if got := g.Round(c.in); got != c.want {
+			t.Errorf("google Round(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestExactRounder(t *testing.T) {
+	e := Exact{}
+	if e.Round(12345) != 12345 || e.Round(-1) != 0 {
+		t.Fatal("Exact rounder wrong")
+	}
+	lo, hi := e.Interval(77)
+	if lo != 77 || hi != 77 {
+		t.Fatal("Exact interval wrong")
+	}
+}
+
+func TestRoundIdempotent(t *testing.T) {
+	// Property: rounding a rounded value changes nothing.
+	for _, r := range []Rounder{Facebook(), LinkedIn(), Google(), Exact{}} {
+		r := r
+		if err := quick.Check(func(raw uint32) bool {
+			v := int64(raw)
+			return r.Round(r.Round(v)) == r.Round(v)
+		}, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestRoundMonotone(t *testing.T) {
+	// Property: Round is monotone nondecreasing.
+	for _, r := range []Rounder{Facebook(), LinkedIn(), Google()} {
+		r := r
+		if err := quick.Check(func(a, b uint32) bool {
+			x, y := int64(a), int64(b)
+			if x > y {
+				x, y = y, x
+			}
+			return r.Round(x) <= r.Round(y)
+		}, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestIntervalContainsPreimage(t *testing.T) {
+	// Property: for any exact v, v lies within Interval(Round(v)).
+	rng := xrand.New(99)
+	for _, r := range []Rounder{Facebook(), LinkedIn(), Google()} {
+		for i := 0; i < 5000; i++ {
+			v := int64(rng.Intn(10_000_000))
+			rep := r.Round(v)
+			lo, hi := r.Interval(rep)
+			if v < lo || v > hi {
+				t.Fatalf("%s: exact %d outside interval [%d, %d] of reported %d",
+					r.Name(), v, lo, hi, rep)
+			}
+		}
+	}
+}
+
+func TestIntervalRoundsBack(t *testing.T) {
+	// Property: every value in Interval(rep) rounds to rep (check endpoints).
+	rng := xrand.New(7)
+	for _, r := range []Rounder{Facebook(), LinkedIn(), Google()} {
+		for i := 0; i < 2000; i++ {
+			v := int64(rng.Intn(50_000_000))
+			rep := r.Round(v)
+			lo, hi := r.Interval(rep)
+			if got := r.Round(lo); got != rep {
+				t.Fatalf("%s: Round(lo=%d) = %d, want %d", r.Name(), lo, got, rep)
+			}
+			if got := r.Round(hi); got != rep {
+				t.Fatalf("%s: Round(hi=%d) = %d, want %d", r.Name(), hi, got, rep)
+			}
+		}
+	}
+}
+
+func TestReportedSigDigits(t *testing.T) {
+	// The rounded outputs must exhibit exactly the granularity the paper
+	// reports: Facebook/LinkedIn ≤ 2 sig digits; Google ≤ 1 below 100k and
+	// ≤ 2 above.
+	rng := xrand.New(11)
+	var fbOut, liOut, gLow, gHigh []int64
+	fb, li, g := Facebook(), LinkedIn(), Google()
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.Intn(100_000_000))
+		fbOut = append(fbOut, fb.Round(v))
+		liOut = append(liOut, li.Round(v))
+		gv := g.Round(v)
+		if gv > 0 && gv <= 100_000 {
+			gLow = append(gLow, gv)
+		} else if gv > 100_000 {
+			gHigh = append(gHigh, gv)
+		}
+	}
+	if d := stats.MaxSigDigits(fbOut); d > 2 {
+		t.Errorf("facebook outputs have %d sig digits, want <= 2", d)
+	}
+	if d := stats.MaxSigDigits(liOut); d > 2 {
+		t.Errorf("linkedin outputs have %d sig digits, want <= 2", d)
+	}
+	if d := stats.MaxSigDigits(gLow); d > 1 {
+		t.Errorf("google low outputs have %d sig digits, want <= 1", d)
+	}
+	if d := stats.MaxSigDigits(gHigh); d > 2 {
+		t.Errorf("google high outputs have %d sig digits, want <= 2", d)
+	}
+}
+
+func TestMinimumFloors(t *testing.T) {
+	// The paper: minimum returned values 1,000 (FB), 40 (Google), 300 (LI).
+	rng := xrand.New(13)
+	mins := map[string]struct {
+		r    Rounder
+		want int64
+	}{
+		"facebook": {Facebook(), 1000},
+		"google":   {Google(), 40},
+		"linkedin": {LinkedIn(), 300},
+	}
+	for name, m := range mins {
+		var outs []int64
+		for i := 0; i < 50000; i++ {
+			outs = append(outs, m.r.Round(int64(rng.Intn(5000))))
+		}
+		if got := stats.MinNonZero(outs); got != m.want {
+			t.Errorf("%s min reported = %d, want %d", name, got, m.want)
+		}
+	}
+}
+
+func TestZeroInterval(t *testing.T) {
+	for _, r := range []Rounder{Facebook(), LinkedIn(), Google()} {
+		lo, hi := r.Interval(0)
+		if lo != 0 {
+			t.Errorf("%s: Interval(0) lo = %d, want 0", r.Name(), lo)
+		}
+		if r.Round(hi) != 0 {
+			t.Errorf("%s: Interval(0) hi = %d does not round to 0", r.Name(), hi)
+		}
+		if r.Round(hi+1) == 0 {
+			t.Errorf("%s: Interval(0) hi = %d is not maximal", r.Name(), hi)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, r := range []Rounder{Facebook(), LinkedIn(), Google(), Exact{}} {
+		if r.Name() == "" {
+			t.Error("empty rounder name")
+		}
+	}
+}
+
+func BenchmarkGoogleRound(b *testing.B) {
+	g := Google()
+	for i := 0; i < b.N; i++ {
+		g.Round(int64(i) * 977)
+	}
+}

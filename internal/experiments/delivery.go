@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/delivery"
+	"repro/internal/pixel"
+	"repro/internal/population"
+	"repro/internal/targeting"
+	"repro/internal/xrand"
+)
+
+// DeliveryRow is one campaign of the delivery-skew study: targeting-level
+// versus delivery-level gender representation ratios.
+type DeliveryRow struct {
+	Platform string
+	Campaign string
+	// TargetedRatio is the targeted audience's rep ratio toward males.
+	TargetedRatio float64
+	// DeliveredRatio is the delivered impressions' rep ratio toward males.
+	DeliveredRatio float64
+	// Impressions delivered.
+	Impressions int
+}
+
+// DeliveryStudy reproduces, on the simulated substrate, the delivery-skew
+// phenomenon the paper's limitations defer to Ali et al. (§3, ref [4]):
+// campaigns with *identical neutral* targeted audiences but demographically
+// structured engagement models deliver to skewed audiences. Requires an
+// in-process deployment (the auction needs the raw universe).
+func (r *Runner) DeliveryStudy() ([]DeliveryRow, error) {
+	if r.cfg.Deployment == nil {
+		return nil, ErrNeedsDeployment
+	}
+	p := r.cfg.Deployment.Facebook
+	uni := p.Universe()
+	us, err := p.Audience(targeting.Spec{Include: []targeting.Clause{
+		{{Kind: targeting.KindLocation, ID: int(population.RegionUS)}},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	relevance := func(id uint64, genderLoad float64, factor int) population.AttrModel {
+		return population.AttrModel{
+			ID: id, BaseLogit: population.Logit(0.02),
+			GenderLoad: genderLoad, Factor: factor, FactorBoost: 1.0,
+		}
+	}
+	campaigns := []delivery.Campaign{
+		{Name: "male-engaging", Audience: us.Clone(), Bid: 1,
+			Relevance: relevance(xrand.HashString("delivery/male"), 1.5, catalog.FactorMotors)},
+		{Name: "neutral", Audience: us.Clone(), Bid: 1,
+			Relevance: relevance(xrand.HashString("delivery/neutral"), 0, -1)},
+		{Name: "female-engaging", Audience: us.Clone(), Bid: 1,
+			Relevance: relevance(xrand.HashString("delivery/female"), -1.5, catalog.FactorBeauty)},
+		{Name: "background", Audience: us.Clone(), Bid: 0.9,
+			Relevance: relevance(xrand.HashString("delivery/bg"), 0.2, -1)},
+	}
+	eng := delivery.NewEngine(uni, delivery.Config{Seed: r.cfg.Seed})
+	outs, err := eng.Run(campaigns)
+	if err != nil {
+		return nil, err
+	}
+	sums, err := eng.Summarize(campaigns, outs)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]delivery.SkewSummary, len(sums))
+	for _, s := range sums {
+		byName[s.Name] = s
+	}
+	rows := make([]DeliveryRow, 0, len(campaigns))
+	for i, c := range campaigns {
+		s := byName[c.Name]
+		rows = append(rows, DeliveryRow{
+			Platform:       p.Name(),
+			Campaign:       c.Name,
+			TargetedRatio:  s.TargetedRatio,
+			DeliveredRatio: s.DeliveredRatio,
+			Impressions:    outs[i].Impressions,
+		})
+	}
+	return rows, nil
+}
+
+// RenderDeliveryRows writes the delivery-skew study.
+func RenderDeliveryRows(w io.Writer, rows []DeliveryRow) error {
+	if _, err := fmt.Fprintln(w, "# Extension (§3 limitations): targeting-level vs delivery-level skew"); err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "platform\tcampaign\ttargeted_ratio\tdelivered_ratio\timpressions")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%d\n",
+			r.Platform, r.Campaign, r.TargetedRatio, r.DeliveredRatio, r.Impressions)
+	}
+	return tw.Flush()
+}
+
+// RetargetingRow is one audited pixel/retargeting audience or composition.
+type RetargetingRow struct {
+	Platform string
+	Desc     string
+	Class    string
+	RepRatio float64
+	Reach    int64
+}
+
+// RetargetingStudy quantifies the §2.2 loophole: activity-based (tracking
+// pixel) audiences remain available on the restricted interface and compose
+// with attributes like everything else. It registers themed advertiser
+// sites on the restricted interface, builds cart-abandoner audiences, and
+// audits each audience alone and ANDed with the most skewed individual
+// attribute.
+func (r *Runner) RetargetingStudy(c core.Class) ([]RetargetingRow, error) {
+	if r.cfg.Deployment == nil {
+		return nil, ErrNeedsDeployment
+	}
+	p := r.cfg.Deployment.FacebookRestricted
+	a, err := r.Auditor(p.Name())
+	if err != nil {
+		return nil, err
+	}
+	sites := []pixel.Site{
+		{Domain: "engineparts.example", Visitors: population.AttrModel{
+			ID: xrand.HashString("retarget/motors"), BaseLogit: population.Logit(0.06),
+			GenderLoad: 1.4, Factor: catalog.FactorMotors, FactorBoost: 1.2}},
+		{Domain: "cosmetics.example", Visitors: population.AttrModel{
+			ID: xrand.HashString("retarget/beauty"), BaseLogit: population.Logit(0.06),
+			GenderLoad: -1.4, Factor: catalog.FactorBeauty, FactorBoost: 1.2}},
+	}
+	// The most skewed individual attribute toward the class becomes the
+	// composition partner.
+	ind, err := r.individualsFor(p.Name(), c)
+	if err != nil {
+		return nil, err
+	}
+	tops := core.TopOf(ind, 1)
+	if len(tops) == 0 {
+		return nil, fmt.Errorf("experiments: no individuals to compose with")
+	}
+	topSpec := tops[0].Spec
+
+	var rows []RetargetingRow
+	audit := func(desc string, spec targeting.Spec) error {
+		m, err := a.Audit(spec, c)
+		if err != nil {
+			return nil // below floor: skip the row
+		}
+		rows = append(rows, RetargetingRow{
+			Platform: p.Name(), Desc: desc, Class: c.String(),
+			RepRatio: m.RepRatio, Reach: m.TotalReach,
+		})
+		return nil
+	}
+	for _, site := range sites {
+		id, err := p.Tracker().AddSite(site)
+		if err != nil {
+			return nil, err
+		}
+		info, err := p.CreatePixelAudience(site.Domain+"-cart", id, pixel.EventAddToCart, 30)
+		if err != nil {
+			return nil, err
+		}
+		caSpec := targeting.CustomAudience(info.ID)
+		if err := audit("pixel: "+site.Domain, caSpec); err != nil {
+			return nil, err
+		}
+		if err := audit("pixel: "+site.Domain+" ∧ "+a.Describe(topSpec),
+			targeting.And(caSpec, topSpec)); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// RenderRetargetingRows writes the retargeting study.
+func RenderRetargetingRows(w io.Writer, rows []RetargetingRow) error {
+	if _, err := fmt.Fprintln(w, "# Extension (§2.2): pixel retargeting composes on the restricted interface"); err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "platform\ttargeting\tclass\trep_ratio\treach")
+	for _, r := range rows {
+		ratio := fmt.Sprintf("%.2f", r.RepRatio)
+		if math.IsInf(r.RepRatio, 0) {
+			ratio = "inf"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", r.Platform, r.Desc, r.Class, ratio, humanCount(r.Reach))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,545 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/population"
+)
+
+var (
+	runnerOnce sync.Once
+	runnerVal  *Runner
+	runnerErr  error
+)
+
+// testRunner returns a shared runner over a small deployment with scaled-
+// down experiment parameters so the full battery stays fast.
+func testRunner(t testing.TB) *Runner {
+	t.Helper()
+	runnerOnce.Do(func() {
+		var d *platform.Deployment
+		d, runnerErr = platform.NewDeployment(platform.DeployOptions{Seed: 33, UniverseSize: 25000})
+		if runnerErr != nil {
+			return
+		}
+		runnerVal, runnerErr = NewRunner(Config{
+			Deployment:      d,
+			K:               120,
+			OverlapTopN:     12,
+			OverlapMaxPairs: 40,
+			UnionTopN:       5,
+			UnionMaxOrder:   3,
+			RemovalSteps:    []float64{0, 10},
+			Seed:            7,
+		})
+	})
+	if runnerErr != nil {
+		t.Fatal(runnerErr)
+	}
+	return runnerVal
+}
+
+// findRow delegates to the package's shared locator.
+func findRow(rows []BoxRow, platformName, set, class string) (BoxRow, bool) {
+	return findBoxRow(rows, platformName, set, class)
+}
+
+func TestNewRunnerRequiresDeployment(t *testing.T) {
+	if _, err := NewRunner(Config{}); err == nil {
+		t.Fatal("nil deployment accepted")
+	}
+}
+
+func TestRunnerUnknownPlatform(t *testing.T) {
+	r := testRunner(t)
+	if _, err := r.Auditor("myspace"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestIndividualsCached(t *testing.T) {
+	r := testRunner(t)
+	a, _ := r.Auditor(catalog.PlatformLinkedIn)
+	before := core.UpstreamCalls(a.Provider())
+	ms1, err := r.Individuals(catalog.PlatformLinkedIn, classMale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := core.UpstreamCalls(a.Provider())
+	ms2, err := r.Individuals(catalog.PlatformLinkedIn, classMale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.UpstreamCalls(a.Provider()) != after1 {
+		t.Fatal("second Individuals call hit the platform")
+	}
+	if len(ms1) != len(ms2) {
+		t.Fatal("cached scan differs")
+	}
+	if after1 == before {
+		t.Fatal("first scan made no calls — cache broken the other way")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 gender sets + 4 age sets.
+	if len(rows) != 10 {
+		t.Fatalf("Figure 1 has %d rows, want 10", len(rows))
+	}
+	ind, ok := findRow(rows, catalog.PlatformFacebookRestricted, SetIndividual, "male")
+	if !ok {
+		t.Fatal("missing Individual male row")
+	}
+	top, _ := findRow(rows, catalog.PlatformFacebookRestricted, SetTop2, "male")
+	bottom, _ := findRow(rows, catalog.PlatformFacebookRestricted, SetBottom2, "male")
+
+	// Paper §4.1: restricted interface individuals show skew in both
+	// directions (P90 1.84, P10 0.5)...
+	if ind.Box.P90 < 1.25 || ind.Box.P10 > 0.8 {
+		t.Errorf("Individual male box out of character: P90=%v P10=%v", ind.Box.P90, ind.Box.P10)
+	}
+	// ...and compositions amplify it.
+	if top.Box.P90 <= ind.Box.P90 {
+		t.Errorf("Top 2-way P90 %v not above Individual P90 %v", top.Box.P90, ind.Box.P90)
+	}
+	if bottom.Box.P10 >= ind.Box.P10 {
+		t.Errorf("Bottom 2-way P10 %v not below Individual P10 %v", bottom.Box.P10, ind.Box.P10)
+	}
+	// Most of the Top 2-way set must violate the four-fifths rule.
+	if top.FracOutside < 0.9 {
+		t.Errorf("only %.0f%% of Top 2-way outside four-fifths; paper reports >90%%", top.FracOutside*100)
+	}
+}
+
+func TestFigure1ThreeWayAmplifies(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top2, _ := findRow(rows, catalog.PlatformFacebookRestricted, SetTop2, "male")
+	top3, ok := findRow(rows, catalog.PlatformFacebookRestricted, SetTop3, "male")
+	if !ok {
+		t.Fatal("missing Top 3-way row")
+	}
+	if top3.Box.N < 5 {
+		t.Skipf("only %d finite 3-way ratios at this universe size", top3.Box.N)
+	}
+	if top3.Box.P90 <= top2.Box.P90 {
+		t.Errorf("Top 3-way P90 %v not above Top 2-way P90 %v (paper: 19.77 vs 8.98)",
+			top3.Box.P90, top2.Box.P90)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 platforms × 2 classes × 4 sets.
+	if len(rows) != 24 {
+		t.Fatalf("Figure 2 has %d rows, want 24", len(rows))
+	}
+	// Paper §4.2: LinkedIn leans male vs Facebook.
+	li, _ := findRow(rows, catalog.PlatformLinkedIn, SetIndividual, "male")
+	fb, _ := findRow(rows, catalog.PlatformFacebook, SetIndividual, "male")
+	if li.Box.Median <= fb.Box.Median {
+		t.Errorf("LinkedIn median %v not above Facebook's %v", li.Box.Median, fb.Box.Median)
+	}
+	// Google and LinkedIn lean away from 18-24.
+	for _, name := range []string{catalog.PlatformGoogle, catalog.PlatformLinkedIn} {
+		row, _ := findRow(rows, name, SetIndividual, "18-24")
+		if row.Box.Median >= 1 {
+			t.Errorf("%s 18-24 median %v, want < 1", name, row.Box.Median)
+		}
+	}
+	// Composition amplifies on every platform.
+	for _, name := range []string{catalog.PlatformFacebook, catalog.PlatformGoogle, catalog.PlatformLinkedIn} {
+		ind, _ := findRow(rows, name, SetIndividual, "male")
+		top, _ := findRow(rows, name, SetTop2, "male")
+		if top.Box.P90 <= ind.Box.P90 {
+			t.Errorf("%s: Top 2-way P90 %v not above Individual %v", name, top.Box.P90, ind.Box.P90)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	r := testRunner(t)
+	series, err := r.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 platforms × 2 directions.
+	if len(series) != 8 {
+		t.Fatalf("Figure 3 has %d series, want 8", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != len(r.Config().RemovalSteps) {
+			t.Fatalf("%s/%s: %d points", s.Platform, s.Direction, len(s.Points))
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if s.Direction == core.Top {
+			if last.P90 > first.P90 {
+				t.Errorf("%s Top: removal increased P90 (%v -> %v)", s.Platform, first.P90, last.P90)
+			}
+			// The paper's key finding: compositions of the remainder stay
+			// skewed past the four-fifths bound.
+			if last.P90 < core.FourFifthsHigh {
+				t.Errorf("%s Top: P90 after removal %v below four-fifths bound — too clean", s.Platform, last.P90)
+			}
+		} else {
+			if last.P90 < first.P90 {
+				t.Errorf("%s Bottom: removal decreased P10 (%v -> %v)", s.Platform, first.P90, last.P90)
+			}
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 ages × 4 platforms × 4 sets.
+	if len(rows) != 48 {
+		t.Fatalf("Figure 4 has %d rows, want 48", len(rows))
+	}
+	// 55+ on LinkedIn: individuals lean toward older users.
+	row, ok := findRow(rows, catalog.PlatformLinkedIn, SetIndividual, "55+")
+	if !ok {
+		t.Fatal("missing LinkedIn 55+ row")
+	}
+	if row.Box.Median <= 1 {
+		t.Errorf("LinkedIn 55+ median %v, want > 1", row.Box.Median)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 platforms × 6 classes × 4 sets.
+	if len(rows) != 96 {
+		t.Fatalf("Figure 5 has %d rows, want 96", len(rows))
+	}
+	for _, row := range rows {
+		if row.PopulationSize <= 0 {
+			t.Fatalf("%s/%s: population size %d", row.Platform, row.Class, row.PopulationSize)
+		}
+		if row.N > 0 && row.Box.Max > float64(row.PopulationSize)*1.2 {
+			t.Fatalf("%s/%s/%s: recall %v exceeds population %d",
+				row.Platform, row.Class, row.Set, row.Box.Max, row.PopulationSize)
+		}
+	}
+	// Compositions achieve lower median recall than individuals (paper
+	// §4.3 last paragraph).
+	for _, name := range []string{catalog.PlatformFacebook, catalog.PlatformLinkedIn} {
+		var ind, top *RecallRow
+		for i := range rows {
+			if rows[i].Platform == name && rows[i].Class == "female" {
+				switch rows[i].Set {
+				case SetIndividual:
+					ind = &rows[i]
+				case SetTop2:
+					top = &rows[i]
+				}
+			}
+		}
+		if ind == nil || top == nil || ind.N == 0 || top.N == 0 {
+			continue
+		}
+		if top.Box.Median >= ind.Box.Median {
+			t.Errorf("%s female: Top 2-way median recall %v not below individual %v",
+				name, top.Box.Median, ind.Box.Median)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	r := testRunner(t)
+	series, err := r.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ages × 4 platforms × 2 directions.
+	if len(series) != 32 {
+		t.Fatalf("Figure 6 has %d series, want 32", len(series))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 favoured classes × 3 platforms (no Google — paper fn. 11).
+	if len(rows) != 12 {
+		t.Fatalf("Table 1 has %d rows, want 12", len(rows))
+	}
+	for _, row := range rows {
+		if row.Platform == catalog.PlatformGoogle {
+			t.Fatal("Google must not appear in Table 1")
+		}
+		if row.Top10Recall < row.Top1Recall {
+			t.Errorf("%s/%s: top-10 union %d below top-1 %d",
+				row.Class, row.Platform, row.Top10Recall, row.Top1Recall)
+		}
+		if row.MedianOverlap < 0 || row.MedianOverlap > 1.6 {
+			t.Errorf("%s/%s: median overlap %v out of range", row.Class, row.Platform, row.MedianOverlap)
+		}
+		if row.Top1Pct > 1.01 || row.Top10Pct > 1.01 {
+			t.Errorf("%s/%s: recall percentages exceed population", row.Class, row.Platform)
+		}
+	}
+	// The amplification the paper highlights: top-10 union strictly above
+	// top-1 for most rows.
+	better := 0
+	for _, row := range rows {
+		if row.Top10Recall > row.Top1Recall {
+			better++
+		}
+	}
+	if better < len(rows)/2 {
+		t.Errorf("only %d/%d rows show union gain", better, len(rows))
+	}
+}
+
+func TestTables2And3(t *testing.T) {
+	r := testRunner(t)
+	t2, err := r.Table2(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2) == 0 {
+		t.Fatal("Table 2 empty")
+	}
+	amplified := 0
+	for _, row := range t2 {
+		if row.T1 == "" || row.T2 == "" {
+			t.Fatalf("row missing constituent names: %+v", row)
+		}
+		if row.Combined > row.R1 && row.Combined > row.R2 {
+			amplified++
+		}
+	}
+	// The tables illustrate amplification; the overwhelming majority of
+	// discovered examples must show it.
+	if float64(amplified) < 0.7*float64(len(t2)) {
+		t.Errorf("only %d/%d Table 2 rows amplified", amplified, len(t2))
+	}
+	t3, err := r.Table3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3) == 0 {
+		t.Fatal("Table 3 empty")
+	}
+	for _, row := range t3 {
+		if row.Class != "18-24" && row.Class != "55+" {
+			t.Fatalf("Table 3 row for unexpected class %q", row.Class)
+		}
+	}
+}
+
+func TestMethodologyStudy(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.Methodology(MethodologyConfig{
+		ConsistencyOptions: 5, ConsistencyComps: 5, ConsistencyRepeats: 10,
+		GranularityCalls: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d methodology rows, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if row.Inconsistent != 0 {
+			t.Errorf("%s: %d inconsistent targetings", row.Platform, row.Inconsistent)
+		}
+		if row.SigDigitsSmall > 2 || row.SigDigitsLarge > 2 {
+			t.Errorf("%s: sig digits %d/%d exceed 2", row.Platform, row.SigDigitsSmall, row.SigDigitsLarge)
+		}
+		if row.Platform == catalog.PlatformGoogle && row.SigDigitsSmall > 1 {
+			t.Errorf("google small-estimate sig digits %d, want 1", row.SigDigitsSmall)
+		}
+	}
+}
+
+func TestRoundingBounds(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.RoundingBounds(classMale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rounding rows, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if row.LeastSkewedP90 > row.NominalP90+1e-9 {
+			t.Errorf("%s: least-skewed P90 %v above nominal %v", row.Platform, row.LeastSkewedP90, row.NominalP90)
+		}
+		// §3's conclusion: similar degrees of skew even at least-skewed
+		// values — the bound must not collapse to parity.
+		if row.NominalP90 > 1.3 && row.LeastSkewedP90 < 1.1 {
+			t.Errorf("%s: least-skewed P90 %v collapsed from nominal %v", row.Platform, row.LeastSkewedP90, row.NominalP90)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	r := testRunner(t)
+	var buf bytes.Buffer
+	rows, err := r.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderBoxRows(&buf, "Figure 1", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Figure 1", "Individual", "Top 2-way", "facebook-restricted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure missing %q", want)
+		}
+	}
+
+	buf.Reset()
+	t1, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTable1(&buf, t1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "median_overlap") {
+		t.Error("table 1 render missing header")
+	}
+
+	buf.Reset()
+	f3, err := r.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderRemovalSeries(&buf, "Figure 3", f3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pct_removed") {
+		t.Error("removal render missing header")
+	}
+
+	buf.Reset()
+	f5, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderRecallRows(&buf, "Figure 5", f5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "population") {
+		t.Error("recall render missing header")
+	}
+
+	buf.Reset()
+	t2, err := r.Table2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderExamples(&buf, "Table 2", t2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "R(T1∧T2)") {
+		t.Error("examples render missing header")
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[int64]string{
+		0:             "0",
+		999:           "999",
+		1000:          "1K",
+		570_000:       "570K",
+		1_900_000:     "1.9M",
+		2_400_000_000: "2.4B",
+	}
+	for v, want := range cases {
+		if got := humanCount(v); got != want {
+			t.Errorf("humanCount(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestGenderLeanMatchesPopulationShare(t *testing.T) {
+	// Sanity link between deployment config and audit output: LinkedIn's
+	// male-heavy population yields a larger male population size.
+	r := testRunner(t)
+	a, _ := r.Auditor(catalog.PlatformLinkedIn)
+	maleN, err := a.PopulationSize(core.GenderClass(population.Male))
+	if err != nil {
+		t.Fatal(err)
+	}
+	femaleN, err := a.PopulationSize(core.GenderClass(population.Female))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maleN <= femaleN {
+		t.Errorf("LinkedIn male pop %d not above female %d", maleN, femaleN)
+	}
+}
+
+func TestShapeHoldsAcrossSeeds(t *testing.T) {
+	// Guard against calibration overfitting one seed: the headline shape
+	// (individuals skewed, compositions amplified, removal insufficient)
+	// must hold for fresh universes at different seeds.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, seed := range []uint64{77, 2024} {
+		d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(Config{Deployment: d, K: 100, Seed: seed + 1, RemovalSteps: []float64{0, 10}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := r.compositionSets(catalog.PlatformFacebookRestricted, classMale(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ind, top BoxRow
+		for _, row := range rows {
+			switch row.Set {
+			case SetIndividual:
+				ind = row
+			case SetTop2:
+				top = row
+			}
+		}
+		if ind.Box.P90 < 1.25 || ind.Box.P10 > 0.8 {
+			t.Errorf("seed %d: individual box out of character (P90 %.2f, P10 %.2f)", seed, ind.Box.P90, ind.Box.P10)
+		}
+		if top.Box.P90 <= ind.Box.P90 {
+			t.Errorf("seed %d: no composition amplification (%.2f vs %.2f)", seed, top.Box.P90, ind.Box.P90)
+		}
+		if top.FracOutside < 0.9 {
+			t.Errorf("seed %d: only %.0f%% of top pairs outside four-fifths", seed, top.FracOutside*100)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/stats"
+)
+
+// compositionSets runs the paper's standard set battery on one platform for
+// one class: Individual, Random 2-way, Top 2-way, Bottom 2-way, and
+// optionally the 3-way sets (Facebook-restricted in Figure 1).
+func (r *Runner) compositionSets(name string, c core.Class, include3Way bool) ([]BoxRow, error) {
+	a, err := r.Auditor(name)
+	if err != nil {
+		return nil, err
+	}
+	ind, err := r.individualsFor(name, c)
+	if err != nil {
+		return nil, err
+	}
+	type set struct {
+		label string
+		run   func() ([]core.Measurement, error)
+	}
+	sets := []set{
+		{SetIndividual, func() ([]core.Measurement, error) { return ind, nil }},
+		{SetRandom2, func() ([]core.Measurement, error) {
+			return a.RandomCompositions(c, core.ComposeConfig{K: r.cfg.K, Seed: r.cfg.Seed})
+		}},
+		{SetTop2, func() ([]core.Measurement, error) {
+			return a.GreedyCompositions(ind, c, core.ComposeConfig{K: r.cfg.K, Direction: core.Top, Seed: r.cfg.Seed})
+		}},
+		{SetBottom2, func() ([]core.Measurement, error) {
+			return a.GreedyCompositions(ind, c, core.ComposeConfig{K: r.cfg.K, Direction: core.Bottom, Seed: r.cfg.Seed})
+		}},
+	}
+	if include3Way {
+		sets = append(sets,
+			set{SetTop3, func() ([]core.Measurement, error) {
+				return a.GreedyCompositions(ind, c, core.ComposeConfig{K: r.cfg.K, Arity: 3, Direction: core.Top, Seed: r.cfg.Seed})
+			}},
+			set{SetBottom3, func() ([]core.Measurement, error) {
+				return a.GreedyCompositions(ind, c, core.ComposeConfig{K: r.cfg.K, Arity: 3, Direction: core.Bottom, Seed: r.cfg.Seed})
+			}},
+		)
+	}
+	rows := make([]BoxRow, 0, len(sets))
+	for _, s := range sets {
+		ms, err := s.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/%s: %w", name, s.label, c, err)
+		}
+		row, err := boxRow(name, s.label, c, ms)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure1 reproduces the paper's Figure 1: distributions of representation
+// ratios toward males and toward ages 18-24 on Facebook's restricted
+// interface, for Individual / Random 2-way / Top & Bottom 2-way and (for
+// gender) Top & Bottom 3-way targetings.
+func (r *Runner) Figure1() ([]BoxRow, error) {
+	var rows []BoxRow
+	male, err := r.compositionSets(catalog.PlatformFacebookRestricted, classMale(), true)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, male...)
+	young, err := r.compositionSets(catalog.PlatformFacebookRestricted, classYoung(), false)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, young...), nil
+}
+
+// Figure2 reproduces Figure 2: the same distributions toward males and ages
+// 18-24 on Facebook's full interface, Google, and LinkedIn.
+func (r *Runner) Figure2() ([]BoxRow, error) {
+	var rows []BoxRow
+	for _, name := range []string{catalog.PlatformFacebook, catalog.PlatformGoogle, catalog.PlatformLinkedIn} {
+		for _, c := range []core.Class{classMale(), classYoung()} {
+			got, err := r.compositionSets(name, c, false)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, got...)
+		}
+	}
+	return rows, nil
+}
+
+// RemovalSeries is one curve of Figures 3 and 6.
+type RemovalSeries struct {
+	Platform  string
+	Class     string
+	Direction core.Direction
+	Points    []core.RemovalPoint
+}
+
+// removalFor runs the removal sweep on every platform for one class.
+func (r *Runner) removalFor(c core.Class) ([]RemovalSeries, error) {
+	var out []RemovalSeries
+	for _, name := range r.order {
+		a, err := r.Auditor(name)
+		if err != nil {
+			return nil, err
+		}
+		ind, err := r.individualsFor(name, c)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range []core.Direction{core.Top, core.Bottom} {
+			pts, err := a.RemovalSweep(ind, c, r.cfg.RemovalSteps, core.ComposeConfig{
+				K: r.cfg.K, Direction: dir, Seed: r.cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("removal sweep %s/%s/%s: %w", name, c, dir, err)
+			}
+			out = append(out, RemovalSeries{Platform: name, Class: c.String(), Direction: dir, Points: pts})
+		}
+	}
+	return out, nil
+}
+
+// Figure3 reproduces Figure 3: the effect of removing the most skewed
+// individual targetings on the skew of pairwise compositions, for males,
+// across all four interfaces (Top 2-way 90th percentile and Bottom 2-way
+// 10th percentile).
+func (r *Runner) Figure3() ([]RemovalSeries, error) {
+	return r.removalFor(classMale())
+}
+
+// Figure4 reproduces Appendix Figure 4: the Figure 1/2 box batteries for
+// the remaining age ranges (25-34, 35-54, 55+) across all interfaces.
+func (r *Runner) Figure4() ([]BoxRow, error) {
+	var rows []BoxRow
+	for _, age := range []population.AgeRange{population.Age25to34, population.Age35to54, population.Age55Plus} {
+		c := core.AgeClass(age)
+		for _, name := range r.PlatformNames() {
+			got, err := r.compositionSets(name, c, false)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, got...)
+		}
+	}
+	return rows, nil
+}
+
+// RecallRow is one box of Figure 5: the distribution of recalls of a
+// sensitive population achieved by a set of skewed targetings, plus the
+// population's total size for reference.
+type RecallRow struct {
+	Platform string
+	Set      string
+	Class    string
+	// Box summarizes the recall distribution (absolute platform-scale
+	// counts).
+	Box stats.Box
+	// PopulationSize is |RA_s| on the platform.
+	PopulationSize int64
+	// N is the number of skewed targetings in the set.
+	N int
+}
+
+// Figure5 reproduces Appendix Figure 5: recall distributions of skewed
+// targetings (outside the four-fifths thresholds, skewed toward the class)
+// for all individual options, skewed individual options, and Top/Bottom
+// 2-way compositions, across platforms and classes.
+func (r *Runner) Figure5() ([]RecallRow, error) {
+	classes := []core.Class{
+		core.GenderClass(population.Male),
+		core.GenderClass(population.Female),
+		core.AgeClass(population.Age18to24),
+		core.AgeClass(population.Age18to24).Not(),
+		core.AgeClass(population.Age55Plus),
+		core.AgeClass(population.Age55Plus).Not(),
+	}
+	var rows []RecallRow
+	for _, name := range r.order {
+		a, err := r.Auditor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range classes {
+			popSize, err := a.PopulationSize(c)
+			if err != nil {
+				return nil, err
+			}
+			ind, err := r.individualsFor(name, c)
+			if err != nil {
+				return nil, err
+			}
+			top, err := a.GreedyCompositions(ind, c, core.ComposeConfig{K: r.cfg.K, Direction: core.Top, Seed: r.cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			bottom, err := a.GreedyCompositions(ind, c, core.ComposeConfig{K: r.cfg.K, Direction: core.Bottom, Seed: r.cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			sets := []struct {
+				label string
+				ms    []core.Measurement
+			}{
+				{SetIndividual, ind},
+				{SetIndSkewed, core.FilterSkewedToward(ind)},
+				{SetTop2, core.FilterSkewedToward(top)},
+				// Bottom compositions skew away from the class; their
+				// "skewed" subset is toward the complement, measured on the
+				// bottom set via the four-fifths lower bound.
+				{SetBottom2, filterSkewedAway(bottom)},
+			}
+			for _, s := range sets {
+				row := RecallRow{Platform: name, Set: s.label, Class: c.String(), PopulationSize: popSize, N: len(s.ms)}
+				if len(s.ms) > 0 {
+					b, err := stats.NewBox(core.Recalls(s.ms))
+					if err != nil {
+						return nil, err
+					}
+					row.Box = b
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// filterSkewedAway returns measurements below the four-fifths lower bound.
+func filterSkewedAway(ms []core.Measurement) []core.Measurement {
+	var out []core.Measurement
+	for _, m := range ms {
+		if m.RepRatio < core.FourFifthsLow {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Figure6 reproduces Appendix Figure 6: the removal sweep for the age
+// classes (18-24, 25-34, 35-54, 55+ Top; 55+ Bottom).
+func (r *Runner) Figure6() ([]RemovalSeries, error) {
+	var out []RemovalSeries
+	for _, age := range population.AllAgeRanges() {
+		series, err := r.removalFor(core.AgeClass(age))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, series...)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/stats"
+)
+
+// MethodologyRow is one platform's result from the §3 methodology studies:
+// estimate consistency and estimate granularity.
+type MethodologyRow struct {
+	Platform string
+	// Consistency study (paper: 100 repeated calls × 40 targetings).
+	ConsistencyTargetings int
+	ConsistencyRepeats    int
+	Inconsistent          int
+	// Granularity study (paper: 80,000+ distinct calls per platform).
+	GranularitySamples int
+	SigDigitsSmall     int
+	SigDigitsLarge     int
+	MinReported        int64
+}
+
+// MethodologyConfig sizes the §3 studies.
+type MethodologyConfig struct {
+	// ConsistencyOptions and ConsistencyComps are the random option and
+	// composition counts (paper: 20 + 20).
+	ConsistencyOptions int
+	ConsistencyComps   int
+	// ConsistencyRepeats is the repeated-call count (paper: 100).
+	ConsistencyRepeats int
+	// GranularityCalls is the distinct-call target (paper: 80,000+).
+	GranularityCalls int
+}
+
+// withDefaults fills the paper's §3 parameters.
+func (c MethodologyConfig) withDefaults() MethodologyConfig {
+	if c.ConsistencyOptions == 0 {
+		c.ConsistencyOptions = 20
+	}
+	if c.ConsistencyComps == 0 {
+		c.ConsistencyComps = 20
+	}
+	if c.ConsistencyRepeats == 0 {
+		c.ConsistencyRepeats = 100
+	}
+	if c.GranularityCalls == 0 {
+		c.GranularityCalls = 80_000
+	}
+	return c
+}
+
+// Methodology reproduces the paper's §3 "Understanding size estimates"
+// studies on every platform.
+func (r *Runner) Methodology(cfg MethodologyConfig) ([]MethodologyRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []MethodologyRow
+	for _, name := range r.order {
+		a, err := r.Auditor(name)
+		if err != nil {
+			return nil, err
+		}
+		cons, err := a.ConsistencyStudy(cfg.ConsistencyOptions, cfg.ConsistencyComps, cfg.ConsistencyRepeats, r.cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("consistency on %s: %w", name, err)
+		}
+		gran, err := a.GranularityStudy(cfg.GranularityCalls, r.cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("granularity on %s: %w", name, err)
+		}
+		rows = append(rows, MethodologyRow{
+			Platform:              name,
+			ConsistencyTargetings: cons.Targetings,
+			ConsistencyRepeats:    cons.Repeats,
+			Inconsistent:          cons.Inconsistent,
+			GranularitySamples:    gran.Samples,
+			SigDigitsSmall:        gran.MaxSigDigitsSmall,
+			SigDigitsLarge:        gran.MaxSigDigitsLarge,
+			MinReported:           gran.MinReported,
+		})
+	}
+	return rows, nil
+}
+
+// RoundingBoundsRow compares nominal representation-ratio percentiles with
+// their least-skewed values under the platform's rounding intervals
+// (§3: the skew conclusions survive worst-case rounding).
+type RoundingBoundsRow struct {
+	Platform string
+	Class    string
+	// NominalP90 is the 90th-percentile individual rep ratio at face value.
+	NominalP90 float64
+	// LeastSkewedP90 is the 90th percentile after pulling every estimate to
+	// its least skewed value within the rounding interval.
+	LeastSkewedP90 float64
+}
+
+// rounderFor maps interface names to their inferred rounding schemes.
+func rounderFor(name string) estimate.Rounder {
+	switch name {
+	case "google":
+		return estimate.Google()
+	case "linkedin":
+		return estimate.LinkedIn()
+	default:
+		return estimate.Facebook()
+	}
+}
+
+// RoundingBounds reproduces the §3 rounding-robustness check for one class
+// across all platforms.
+func (r *Runner) RoundingBounds(c core.Class) ([]RoundingBoundsRow, error) {
+	var rows []RoundingBoundsRow
+	for _, name := range r.order {
+		a, err := r.Auditor(name)
+		if err != nil {
+			return nil, err
+		}
+		ind, err := r.individualsFor(name, c)
+		if err != nil {
+			return nil, err
+		}
+		rounder := rounderFor(name)
+		var nominal, least []float64
+		for _, m := range ind {
+			if math.IsInf(m.RepRatio, 0) || m.RepRatio <= 0 {
+				continue
+			}
+			ls, err := a.LeastSkewed(m, c, rounder)
+			if err != nil || math.IsInf(ls, 0) {
+				continue
+			}
+			nominal = append(nominal, m.RepRatio)
+			least = append(least, ls)
+		}
+		row := RoundingBoundsRow{Platform: name, Class: c.String()}
+		if len(nominal) > 0 {
+			if row.NominalP90, err = stats.Percentile(nominal, 90); err != nil {
+				return nil, err
+			}
+			if row.LeastSkewedP90, err = stats.Percentile(least, 90); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// newTab returns a tabwriter for aligned text output.
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// RenderBoxRows writes representation-ratio box rows (Figures 1, 2, 4) as an
+// aligned table.
+func RenderBoxRows(w io.Writer, title string, rows []BoxRow) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "platform\tclass\tset\tN\tp10\tp25\tmedian\tp75\tp90\tmax\toutside4/5\tinf")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f%%\t%d\n",
+			r.Platform, r.Class, r.Set, r.Box.N,
+			r.Box.P10, r.Box.P25, r.Box.Median, r.Box.P75, r.Box.P90, r.Box.Max,
+			r.FracOutside*100, r.Infinite)
+	}
+	return tw.Flush()
+}
+
+// RenderRemovalSeries writes removal-sweep curves (Figures 3, 6).
+func RenderRemovalSeries(w io.Writer, title string, series []RemovalSeries) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "platform\tclass\tdirection\tpct_removed\tremaining\tpercentile_ratio\textreme\tcompositions")
+	for _, s := range series {
+		for _, pt := range s.Points {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%d\t%.3f\t%.3f\t%d\n",
+				s.Platform, s.Class, s.Direction, pt.PercentRemoved, pt.Remaining,
+				pt.P90, pt.Max, pt.Compositions)
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderRecallRows writes recall-distribution rows (Figure 5).
+func RenderRecallRows(w io.Writer, title string, rows []RecallRow) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "platform\tclass\tset\tN\tp10\tmedian\tp90\tpopulation")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			r.Platform, r.Class, r.Set, r.N,
+			humanCount(int64(r.Box.P10)), humanCount(int64(r.Box.Median)),
+			humanCount(int64(r.Box.P90)), humanCount(r.PopulationSize))
+	}
+	return tw.Flush()
+}
+
+// RenderTable1 writes the Table 1 reproduction.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	if _, err := fmt.Fprintln(w, "# Table 1: overlap and union recall of top skewed compositions"); err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "favoured\tplatform\tmedian_overlap\ttop1_recall\ttop1_pct\ttop10_recall\ttop10_pct\tconverged")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f%%\t%s\t%.1f%%\t%s\t%.1f%%\t%v\n",
+			r.Class, r.Platform, r.MedianOverlap*100,
+			humanCount(r.Top1Recall), r.Top1Pct*100,
+			humanCount(r.Top10Recall), r.Top10Pct*100, r.Converged)
+	}
+	return tw.Flush()
+}
+
+// RenderExamples writes illustrative composition rows (Tables 2–3).
+func RenderExamples(w io.Writer, title string, rows []ExampleRow) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "platform\tfavoured\tT1\tT2\tR(T1)\tR(T2)\tR(T1∧T2)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2f\t%.2f\t%.2f\n",
+			r.Platform, r.Class, r.T1, r.T2, r.R1, r.R2, r.Combined)
+	}
+	return tw.Flush()
+}
+
+// RenderMethodology writes the §3 study results.
+func RenderMethodology(w io.Writer, rows []MethodologyRow) error {
+	if _, err := fmt.Fprintln(w, "# Methodology (§3): estimate consistency and granularity"); err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "platform\ttargetings\trepeats\tinconsistent\tsamples\tsig_digits_<100k\tsig_digits_>=100k\tmin_reported")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Platform, r.ConsistencyTargetings, r.ConsistencyRepeats, r.Inconsistent,
+			r.GranularitySamples, r.SigDigitsSmall, r.SigDigitsLarge, r.MinReported)
+	}
+	return tw.Flush()
+}
+
+// RenderRoundingBounds writes the rounding-robustness rows.
+func RenderRoundingBounds(w io.Writer, rows []RoundingBoundsRow) error {
+	if _, err := fmt.Fprintln(w, "# Rounding bounds (§3): nominal vs least-skewed P90 rep ratio"); err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "platform\tclass\tnominal_p90\tleast_skewed_p90")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\n", r.Platform, r.Class, r.NominalP90, r.LeastSkewedP90)
+	}
+	return tw.Flush()
+}
+
+// humanCount formats a count the way the paper does (570K, 1.9M, ...).
+func humanCount(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.1fB", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.0fK", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+// Table1Row is one (favoured population, platform) cell group of the
+// paper's Table 1.
+type Table1Row struct {
+	Class    string
+	Platform string
+	// MedianOverlap is the median pairwise overlap between the top-100
+	// skewed composition audiences (fraction of the smaller audience).
+	MedianOverlap float64
+	// Top1Recall is the recall of the single most skewed composition;
+	// Top1Pct is it as a fraction of the class population.
+	Top1Recall int64
+	Top1Pct    float64
+	// Top10Recall is the inclusion–exclusion union recall of the top 10;
+	// Top10Pct is it as a fraction of the class population.
+	Top10Recall int64
+	Top10Pct    float64
+	// Converged reports whether the inclusion–exclusion partial sums
+	// converged (paper: "we confirmed that the estimated recalls
+	// converged").
+	Converged bool
+}
+
+// table1Platforms are the interfaces Table 1 covers; Google is omitted
+// because it provides no size statistics for the boolean combinations the
+// overlap and union measurements require (paper fn. 11).
+func table1Platforms() []string {
+	return []string{
+		catalog.PlatformFacebookRestricted,
+		catalog.PlatformFacebook,
+		catalog.PlatformLinkedIn,
+	}
+}
+
+// Table1 reproduces Table 1: for each favoured population (male, female,
+// age not 18-24, age not 55+), the median pairwise overlap among the top
+// 100 most skewed composition audiences, and the recall of the top-1 versus
+// the union of the top-10 compositions.
+func (r *Runner) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, c := range core.Table1Classes() {
+		for _, name := range table1Platforms() {
+			a, err := r.Auditor(name)
+			if err != nil {
+				return nil, err
+			}
+			ind, err := r.individualsFor(name, c)
+			if err != nil {
+				return nil, err
+			}
+			comps, err := a.GreedyCompositions(ind, c, core.ComposeConfig{
+				K: r.cfg.K, Direction: core.Top, Seed: r.cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table 1 %s/%s: %w", name, c, err)
+			}
+			if len(comps) < 2 {
+				return nil, fmt.Errorf("table 1 %s/%s: only %d compositions", name, c, len(comps))
+			}
+			row := Table1Row{Class: c.String(), Platform: name}
+
+			popSize, err := a.PopulationSize(c)
+			if err != nil {
+				return nil, err
+			}
+			top100 := core.TopOf(comps, r.cfg.OverlapTopN)
+			med, err := a.MedianOverlap(top100, c, core.OverlapConfig{
+				MaxPairs: r.cfg.OverlapMaxPairs, Seed: r.cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table 1 overlap %s/%s: %w", name, c, err)
+			}
+			row.MedianOverlap = med
+
+			topN := core.TopOf(comps, r.cfg.UnionTopN)
+			row.Top1Recall = topN[0].Recall
+			u, err := a.EstimateUnionRecall(topN, c, r.cfg.UnionMaxOrder)
+			if err != nil {
+				return nil, fmt.Errorf("table 1 union %s/%s: %w", name, c, err)
+			}
+			row.Top10Recall = u.Estimate
+			row.Converged = u.Converged(0.1)
+			if popSize > 0 {
+				row.Top1Pct = float64(row.Top1Recall) / float64(popSize)
+				row.Top10Pct = float64(row.Top10Recall) / float64(popSize)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ExampleRow is one row of the paper's Tables 2–3: a discovered Top 2-way
+// composition with the individual and combined representation ratios.
+type ExampleRow struct {
+	Platform string
+	Class    string
+	T1, T2   string
+	R1, R2   float64
+	Combined float64
+}
+
+// examplesFor extracts illustrative top compositions whose constituent
+// ratios are measurable, sorted by combined ratio.
+func (r *Runner) examplesFor(name string, c core.Class, perPlatform int) ([]ExampleRow, error) {
+	a, err := r.Auditor(name)
+	if err != nil {
+		return nil, err
+	}
+	ind, err := r.individualsFor(name, c)
+	if err != nil {
+		return nil, err
+	}
+	// Index individual ratios by canonical single-option spec.
+	indByKey := make(map[string]core.Measurement, len(ind))
+	for _, m := range ind {
+		indByKey[targeting.Canonical(m.Spec)] = m
+	}
+	comps, err := a.GreedyCompositions(ind, c, core.ComposeConfig{
+		K: r.cfg.K, Direction: core.Top, Seed: r.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ranked := core.TopOf(comps, len(comps))
+	var rows []ExampleRow
+	for _, m := range ranked {
+		if math.IsInf(m.RepRatio, 0) {
+			continue
+		}
+		refs := targeting.Refs(m.Spec)
+		if len(refs) != 2 {
+			continue
+		}
+		part := func(ref targeting.Ref) (core.Measurement, bool) {
+			spec := targeting.Spec{Include: []targeting.Clause{{ref}}}
+			mm, ok := indByKey[targeting.Canonical(spec)]
+			return mm, ok
+		}
+		m1, ok1 := part(refs[0])
+		m2, ok2 := part(refs[1])
+		if !ok1 || !ok2 || math.IsInf(m1.RepRatio, 0) || math.IsInf(m2.RepRatio, 0) {
+			continue
+		}
+		rows = append(rows, ExampleRow{
+			Platform: name,
+			Class:    c.String(),
+			T1:       m1.Desc, R1: m1.RepRatio,
+			T2: m2.Desc, R2: m2.RepRatio,
+			Combined: m.RepRatio,
+		})
+		if len(rows) >= perPlatform {
+			break
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Combined > rows[j].Combined })
+	return rows, nil
+}
+
+// allPlatformNames lists the interfaces in presentation order.
+func (r *Runner) allPlatformNames() []string {
+	return r.PlatformNames()
+}
+
+// Table2 reproduces Table 2: illustrative Top 2-way gender-skewed
+// compositions per platform (male- and female-favoured), showing how the
+// combined ratio exceeds both individual ratios.
+func (r *Runner) Table2(perCell int) ([]ExampleRow, error) {
+	if perCell <= 0 {
+		perCell = 5
+	}
+	var rows []ExampleRow
+	for _, name := range r.allPlatformNames() {
+		for _, c := range []core.Class{core.GenderClass(population.Male), core.GenderClass(population.Female)} {
+			got, err := r.examplesFor(name, c, perCell)
+			if err != nil {
+				return nil, fmt.Errorf("table 2 %s/%s: %w", name, c, err)
+			}
+			rows = append(rows, got...)
+		}
+	}
+	return rows, nil
+}
+
+// Table3 reproduces Table 3: illustrative age-skewed compositions per
+// platform (favouring 18-24 and 55+).
+func (r *Runner) Table3(perCell int) ([]ExampleRow, error) {
+	if perCell <= 0 {
+		perCell = 5
+	}
+	var rows []ExampleRow
+	for _, name := range r.allPlatformNames() {
+		for _, c := range []core.Class{core.AgeClass(population.Age18to24), core.AgeClass(population.Age55Plus)} {
+			got, err := r.examplesFor(name, c, perCell)
+			if err != nil {
+				return nil, fmt.Errorf("table 3 %s/%s: %w", name, c, err)
+			}
+			rows = append(rows, got...)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,200 @@
+// Package lookalike implements lookalike-audience expansion (paper §2.1):
+// given a seed audience (a PII-match or tracking-pixel audience), the
+// platform finds the users most similar to the seed and builds a larger
+// audience from them ("Lookalike Audiences" on Facebook, "similar
+// audiences" on Google, "Lookalike Audiences" on LinkedIn).
+//
+// Facebook's restricted interface replaces lookalikes with "Special Ad
+// Audiences ... adjusted to comply with the audience selection restrictions"
+// (paper §2.2) — modelled here as the same expansion with the demographic
+// similarity terms removed. Whether that adjustment actually prevents
+// demographic skew from propagating is exactly the kind of question the
+// paper's methodology can answer; the lookalike experiment in
+// internal/experiments measures it.
+//
+// Similarity is a naive-Bayes-style score over the generative features the
+// universe exposes: which latent interest factors a user holds, their
+// demographic cell, and their activity tier. Seed-overrepresented features
+// get positive log-likelihood-ratio weights; candidates are ranked and the
+// top fraction forms the audience.
+package lookalike
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/audience"
+	"repro/internal/population"
+)
+
+// Mode selects the expansion flavour.
+type Mode int
+
+// Modes.
+const (
+	// Standard uses every feature, including demographics — the normal
+	// lookalike product.
+	Standard Mode = iota
+	// SpecialAd drops the demographic terms, as Facebook describes Special
+	// Ad Audiences for restricted campaigns.
+	SpecialAd
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == SpecialAd {
+		return "special-ad"
+	}
+	return "lookalike"
+}
+
+// Config parameterizes an expansion.
+type Config struct {
+	// Ratio is the output size as a fraction of the universe (Facebook
+	// offers 1–10 %). Must be in (0, 0.5].
+	Ratio float64
+	// Mode selects standard or special-ad expansion.
+	Mode Mode
+	// MinSeed is the smallest usable seed audience (Facebook requires 100
+	// matched users). Zero selects 20 (simulated users).
+	MinSeed int
+}
+
+// Errors.
+var (
+	ErrSeedTooSmall = errors.New("lookalike: seed audience too small")
+	ErrBadRatio     = errors.New("lookalike: ratio must be in (0, 0.5]")
+)
+
+// smoothedRatio returns log((a+eps)/(b+eps)), the additive-smoothed
+// log-likelihood ratio of a feature's seed vs population prevalence.
+func smoothedRatio(seedRate, popRate float64) float64 {
+	const eps = 1e-3
+	return math.Log((seedRate + eps) / (popRate + eps))
+}
+
+// profile holds the learned seed-vs-population weights.
+type profile struct {
+	factor   []float64                    // per latent factor
+	cell     [population.NumCells]float64 // per demographic cell
+	activity [population.ActivityTiers]float64
+}
+
+// learn fits the profile from the seed set.
+func learn(uni *population.Universe, seed *audience.Set, mode Mode) profile {
+	n := uni.Size()
+	seedN := seed.Count()
+	numFactors := uni.NumFactors()
+
+	var seedFactor = make([]int, numFactors)
+	var popFactor = make([]int, numFactors)
+	var seedCell [population.NumCells]int
+	var seedAct [population.ActivityTiers]int
+	for i := 0; i < n; i++ {
+		inSeed := seed.Contains(i)
+		for f := 0; f < numFactors; f++ {
+			if uni.HasFactor(i, f) {
+				popFactor[f]++
+				if inSeed {
+					seedFactor[f]++
+				}
+			}
+		}
+		if inSeed {
+			seedCell[uni.CellOfUser(i)]++
+			seedAct[uni.ActivityTier(i)]++
+		}
+	}
+
+	p := profile{factor: make([]float64, numFactors)}
+	for f := 0; f < numFactors; f++ {
+		p.factor[f] = smoothedRatio(
+			float64(seedFactor[f])/float64(seedN),
+			float64(popFactor[f])/float64(n),
+		)
+	}
+	cellCounts := uni.CellCounts()
+	for c := 0; c < population.NumCells; c++ {
+		w := smoothedRatio(
+			float64(seedCell[c])/float64(seedN),
+			float64(cellCounts[c])/float64(n),
+		)
+		if mode == SpecialAd {
+			// "Adjusted to comply": the expansion may not use demographic
+			// similarity.
+			w = 0
+		}
+		p.cell[c] = w
+	}
+	for t := 0; t < population.ActivityTiers; t++ {
+		p.activity[t] = smoothedRatio(
+			float64(seedAct[t])/float64(seedN),
+			1.0/population.ActivityTiers,
+		)
+	}
+	return p
+}
+
+// score ranks a candidate against the profile.
+func (p profile) score(uni *population.Universe, i int) float64 {
+	s := p.cell[uni.CellOfUser(i)] + p.activity[uni.ActivityTier(i)]
+	for f := range p.factor {
+		if uni.HasFactor(i, f) {
+			s += p.factor[f]
+		}
+	}
+	return s
+}
+
+// Expand builds a lookalike audience from the seed. The seed's members are
+// excluded from the output, as on the real platforms. Expansion is
+// deterministic: ties break by user index.
+func Expand(uni *population.Universe, seed *audience.Set, cfg Config) (*audience.Set, error) {
+	if cfg.Ratio <= 0 || cfg.Ratio > 0.5 {
+		return nil, fmt.Errorf("%w: %v", ErrBadRatio, cfg.Ratio)
+	}
+	minSeed := cfg.MinSeed
+	if minSeed == 0 {
+		minSeed = 20
+	}
+	if seed.Len() != uni.Size() {
+		return nil, errors.New("lookalike: seed set universe mismatch")
+	}
+	if seed.Count() < minSeed {
+		return nil, fmt.Errorf("%w: %d members, need %d", ErrSeedTooSmall, seed.Count(), minSeed)
+	}
+
+	prof := learn(uni, seed, cfg.Mode)
+	target := int(float64(uni.Size()) * cfg.Ratio)
+	if target < 1 {
+		target = 1
+	}
+
+	type cand struct {
+		idx   int
+		score float64
+	}
+	cands := make([]cand, 0, uni.Size()-seed.Count())
+	for i := 0; i < uni.Size(); i++ {
+		if seed.Contains(i) {
+			continue
+		}
+		cands = append(cands, cand{idx: i, score: prof.score(uni, i)})
+	}
+	if target > len(cands) {
+		target = len(cands)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	out := audience.New(uni.Size())
+	for _, c := range cands[:target] {
+		out.Add(c.idx)
+	}
+	return out, nil
+}

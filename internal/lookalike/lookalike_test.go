@@ -1,0 +1,204 @@
+package lookalike
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/audience"
+	"repro/internal/population"
+)
+
+// testUniverse builds a universe with one strongly male-skewed factor.
+func testUniverse(t *testing.T) *population.Universe {
+	t.Helper()
+	factors := []population.FactorModel{
+		{Rate: 0.10, GenderLoad: 2.0}, // male-skewed interest
+		{Rate: 0.10, GenderLoad: -2.0},
+		{Rate: 0.10},
+	}
+	u, err := population.New(population.Config{
+		Seed:          77,
+		Size:          40000,
+		MaleShare:     0.5,
+		AgeShare:      [population.NumAgeRanges]float64{0.25, 0.25, 0.25, 0.25},
+		Factors:       factors,
+		ActivitySigma: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// factorSeed returns the set of users holding factor f.
+func factorSeed(u *population.Universe, f int) *audience.Set {
+	return audience.NewFromFunc(u.Size(), func(i int) bool { return u.HasFactor(i, f) })
+}
+
+// genderRatio computes the male/female rate ratio of a set.
+func genderRatio(u *population.Universe, s *audience.Set) float64 {
+	m := float64(audience.CountAnd(s, u.GenderSet(population.Male))) / float64(u.GenderSet(population.Male).Count())
+	f := float64(audience.CountAnd(s, u.GenderSet(population.Female))) / float64(u.GenderSet(population.Female).Count())
+	return m / f
+}
+
+func TestExpandBasics(t *testing.T) {
+	u := testUniverse(t)
+	seed := factorSeed(u, 0)
+	out, err := Expand(u, seed, Config{Ratio: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(float64(u.Size()) * 0.05)
+	if got := out.Count(); got != want {
+		t.Fatalf("lookalike size %d, want %d", got, want)
+	}
+	if audience.CountAnd(out, seed) != 0 {
+		t.Fatal("lookalike must exclude seed members")
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	u := testUniverse(t)
+	seed := factorSeed(u, 0)
+	a, err := Expand(u, seed, Config{Ratio: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(u, seed, Config{Ratio: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audience.Equal(a, b) {
+		t.Fatal("expansion is not deterministic")
+	}
+}
+
+func TestExpandFindsSimilarUsers(t *testing.T) {
+	// A lookalike of factor-0 holders should be enriched in factor 0 far
+	// beyond the population rate.
+	u := testUniverse(t)
+	seed := factorSeed(u, 0)
+	out, err := Expand(u, seed, Config{Ratio: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	popRate := float64(seed.Count()) / float64(u.Size())
+	// Lookalikes exclude seed members (the factor holders themselves), so
+	// enrichment shows up through correlated features; with demographics in
+	// scope the male share must rise instead.
+	maleShare := float64(audience.CountAnd(out, u.GenderSet(population.Male))) / float64(out.Count())
+	if maleShare < 0.6 {
+		t.Fatalf("lookalike male share %.2f; seed factor is strongly male-skewed (pop rate %.2f)", maleShare, popRate)
+	}
+}
+
+func TestStandardPropagatesSkewMoreThanSpecialAd(t *testing.T) {
+	// The headline behaviour: a standard lookalike of a male-skewed seed is
+	// strongly male-skewed; the special-ad variant (no demographic terms)
+	// is less skewed but — because interests correlate with gender — not
+	// neutral.
+	u := testUniverse(t)
+	seed := factorSeed(u, 0)
+	seedRatio := genderRatio(u, seed)
+	if seedRatio < 3 {
+		t.Fatalf("seed ratio %v, expected strongly male-skewed", seedRatio)
+	}
+	std, err := Expand(u, seed, Config{Ratio: 0.05, Mode: Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	special, err := Expand(u, seed, Config{Ratio: 0.05, Mode: SpecialAd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdRatio := genderRatio(u, std)
+	specialRatio := genderRatio(u, special)
+	if stdRatio <= specialRatio {
+		t.Fatalf("standard ratio %v not above special-ad ratio %v", stdRatio, specialRatio)
+	}
+	if stdRatio < 1.25 {
+		t.Fatalf("standard lookalike ratio %v did not propagate skew", stdRatio)
+	}
+}
+
+func TestSeedTooSmall(t *testing.T) {
+	u := testUniverse(t)
+	tiny := audience.New(u.Size())
+	for i := 0; i < 5; i++ {
+		tiny.Add(i)
+	}
+	_, err := Expand(u, tiny, Config{Ratio: 0.05})
+	if !errors.Is(err, ErrSeedTooSmall) {
+		t.Fatalf("want ErrSeedTooSmall, got %v", err)
+	}
+}
+
+func TestBadRatio(t *testing.T) {
+	u := testUniverse(t)
+	seed := factorSeed(u, 0)
+	for _, r := range []float64{0, -0.1, 0.9} {
+		if _, err := Expand(u, seed, Config{Ratio: r}); !errors.Is(err, ErrBadRatio) {
+			t.Fatalf("ratio %v: want ErrBadRatio, got %v", r, err)
+		}
+	}
+}
+
+func TestUniverseMismatch(t *testing.T) {
+	u := testUniverse(t)
+	wrong := audience.New(10)
+	if _, err := Expand(u, wrong, Config{Ratio: 0.05}); err == nil {
+		t.Fatal("mismatched universe accepted")
+	}
+}
+
+func TestRatioScaling(t *testing.T) {
+	u := testUniverse(t)
+	seed := factorSeed(u, 0)
+	small, err := Expand(u, seed, Config{Ratio: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Expand(u, seed, Config{Ratio: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Count() >= large.Count() {
+		t.Fatal("larger ratio must produce larger audience")
+	}
+	// The 1% audience contains the highest scorers, so it must be a subset
+	// of the 10% audience.
+	if audience.CountAnd(small, large) != small.Count() {
+		t.Fatal("smaller expansion is not nested in the larger one")
+	}
+	// Skew dilutes as the ratio grows (scraping further down the ranking).
+	if rs, rl := genderRatio(u, small), genderRatio(u, large); !math.IsInf(rs, 1) && rs < rl {
+		t.Fatalf("1%% ratio %v below 10%% ratio %v; expansion should dilute", rs, rl)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Standard.String() != "lookalike" || SpecialAd.String() != "special-ad" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func BenchmarkExpand(b *testing.B) {
+	factors := population.UniformFactors(8, 0.1)
+	u, err := population.New(population.Config{
+		Seed: 3, Size: 1 << 16, MaleShare: 0.5,
+		AgeShare: [population.NumAgeRanges]float64{0.25, 0.25, 0.25, 0.25},
+		Factors:  factors,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := audience.NewFromFunc(u.Size(), func(i int) bool { return u.HasFactor(i, 0) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Expand(u, seed, Config{Ratio: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

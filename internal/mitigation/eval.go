@@ -1,0 +1,194 @@
+package mitigation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// EvalConfig sizes a detector evaluation: a simulated advertiser workload
+// with a known ground truth of honest and discriminatory accounts.
+type EvalConfig struct {
+	// HonestAdvertisers run ordinary campaigns: individual options and
+	// random compositions (which, per §4.3, are *sometimes inadvertently
+	// skewed* — the detector must tolerate that).
+	HonestAdvertisers int
+	// DiscriminatoryAdvertisers consistently run greedily discovered skewed
+	// compositions toward the target class.
+	DiscriminatoryAdvertisers int
+	// CampaignsPerAdvertiser is the campaign count per account. Zero
+	// selects 6.
+	CampaignsPerAdvertiser int
+	// PoolK bounds the discovery workload. Zero selects 150.
+	PoolK int
+	// Seed drives workload sampling.
+	Seed uint64
+	// Detector tunes the detector under test.
+	Detector DetectorConfig
+}
+
+// withDefaults fills zero fields.
+func (c EvalConfig) withDefaults() EvalConfig {
+	if c.HonestAdvertisers == 0 {
+		c.HonestAdvertisers = 20
+	}
+	if c.DiscriminatoryAdvertisers == 0 {
+		c.DiscriminatoryAdvertisers = 10
+	}
+	if c.CampaignsPerAdvertiser == 0 {
+		c.CampaignsPerAdvertiser = 6
+	}
+	if c.PoolK == 0 {
+		c.PoolK = 150
+	}
+	return c
+}
+
+// EvalReport summarizes how well outcome-based detection separates
+// discriminatory advertisers from honest ones.
+type EvalReport struct {
+	// AUC is the probability a discriminatory advertiser outscores an
+	// honest one.
+	AUC float64
+	// TruePositives / FalseNegatives split the discriminatory accounts by
+	// whether they were flagged; FalsePositives counts flagged honest
+	// accounts.
+	TruePositives  int
+	FalseNegatives int
+	FalsePositives int
+	// HonestMeanScore and DiscrimMeanScore are the mean detector scores of
+	// each group.
+	HonestMeanScore  float64
+	DiscrimMeanScore float64
+}
+
+// TPR returns the true-positive rate.
+func (r EvalReport) TPR() float64 {
+	total := r.TruePositives + r.FalseNegatives
+	if total == 0 {
+		return 0
+	}
+	return float64(r.TruePositives) / float64(total)
+}
+
+// auditOutcome measures one campaign's outcome ratios over the monitored
+// classes, via the same cached auditor the experiments use.
+func auditOutcome(a *core.Auditor, spec core.Measurement, classes []core.Class) map[string]float64 {
+	out := make(map[string]float64, len(classes))
+	for _, c := range classes {
+		m, err := a.Audit(spec.Spec, c)
+		if err != nil {
+			continue // below floor for this class — no evidence either way
+		}
+		out[c.String()] = m.RepRatio
+	}
+	return out
+}
+
+// Evaluate runs the simulated advertiser workload against the detector and
+// reports separation quality. target is the class the discriminatory
+// advertisers skew toward.
+func Evaluate(a *core.Auditor, target core.Class, cfg EvalConfig) (EvalReport, error) {
+	cfg = cfg.withDefaults()
+	rng := xrand.New(xrand.Mix(cfg.Seed, xrand.HashString(a.PlatformName()), 0xAD))
+
+	// Campaign pools.
+	ind, err := a.Individuals(target)
+	if err != nil {
+		return EvalReport{}, fmt.Errorf("mitigation eval: %w", err)
+	}
+	skewedPool, err := a.GreedyCompositions(ind, target, core.ComposeConfig{
+		K: cfg.PoolK, Direction: core.Top, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return EvalReport{}, fmt.Errorf("mitigation eval: %w", err)
+	}
+	randomPool, err := a.RandomCompositions(target, core.ComposeConfig{
+		K: cfg.PoolK, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return EvalReport{}, fmt.Errorf("mitigation eval: %w", err)
+	}
+	honestPool := append(append([]core.Measurement{}, ind...), randomPool...)
+	if len(skewedPool) == 0 || len(honestPool) == 0 {
+		return EvalReport{}, errors.New("mitigation eval: empty campaign pools")
+	}
+
+	classes := core.StandardClasses()
+	det := NewDetector(cfg.Detector)
+
+	run := func(advertiser string, pool []core.Measurement) error {
+		for k := 0; k < cfg.CampaignsPerAdvertiser; k++ {
+			campaign := pool[rng.Intn(len(pool))]
+			ratios := auditOutcome(a, campaign, classes)
+			if len(ratios) == 0 {
+				continue
+			}
+			if err := det.Observe(CampaignOutcome{Advertiser: advertiser, Ratios: ratios}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var honestNames, badNames []string
+	for i := 0; i < cfg.HonestAdvertisers; i++ {
+		name := fmt.Sprintf("honest-%02d", i)
+		honestNames = append(honestNames, name)
+		if err := run(name, honestPool); err != nil {
+			return EvalReport{}, err
+		}
+	}
+	for i := 0; i < cfg.DiscriminatoryAdvertisers; i++ {
+		name := fmt.Sprintf("discrim-%02d", i)
+		badNames = append(badNames, name)
+		if err := run(name, skewedPool); err != nil {
+			return EvalReport{}, err
+		}
+	}
+
+	// Flag by population-relative anomaly unless the caller pinned a fixed
+	// threshold: honest baselines differ enormously across platforms (on
+	// LinkedIn even honest targetings commonly violate four-fifths).
+	var flaggedList []string
+	if cfg.Detector.FlagScore > 0 {
+		flaggedList = det.Flagged()
+	} else {
+		flaggedList = det.FlaggedAdaptive(3)
+	}
+	flagged := make(map[string]bool)
+	for _, adv := range flaggedList {
+		flagged[adv] = true
+	}
+	var rep EvalReport
+	var honestScores, badScores []float64
+	for _, name := range honestNames {
+		s := det.Score(name)
+		honestScores = append(honestScores, s)
+		rep.HonestMeanScore += s
+		if flagged[name] {
+			rep.FalsePositives++
+		}
+	}
+	for _, name := range badNames {
+		s := det.Score(name)
+		badScores = append(badScores, s)
+		rep.DiscrimMeanScore += s
+		if flagged[name] {
+			rep.TruePositives++
+		} else {
+			rep.FalseNegatives++
+		}
+	}
+	rep.HonestMeanScore /= math.Max(1, float64(len(honestNames)))
+	rep.DiscrimMeanScore /= math.Max(1, float64(len(badNames)))
+	auc, err := AUC(badScores, honestScores)
+	if err != nil {
+		return rep, err
+	}
+	rep.AUC = auc
+	return rep, nil
+}

@@ -1,0 +1,114 @@
+package mitigation
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+func gateAuditor(t *testing.T) *core.Auditor {
+	t.Helper()
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: 23, UniverseSize: 25000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewAuditor(core.NewPlatformProvider(d.FacebookRestricted))
+}
+
+func TestGateValidation(t *testing.T) {
+	g := &CompositionGate{}
+	if _, err := g.Check(targeting.Attr(0)); err == nil {
+		t.Fatal("empty gate accepted")
+	}
+}
+
+func TestGateBlocksKnownSkewedComposition(t *testing.T) {
+	a := gateAuditor(t)
+	gate := &CompositionGate{Auditor: a, Classes: core.StandardClasses()}
+
+	// The paper's own example pair is heavily male-skewed and must be
+	// rejected; its outcome ratio must be surfaced in the reason.
+	names := a.Provider().AttributeNames()
+	find := func(name string) int {
+		for i, n := range names {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("missing %q", name)
+		return -1
+	}
+	spec := targeting.And(
+		targeting.Attr(find("Interests — Mechanical engineering")),
+		targeting.Attr(find("Interests — Automobile repair shop")),
+	)
+	d, err := gate.Check(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed {
+		t.Fatalf("gate allowed a composition with worst ratio %.2f toward %s", d.WorstRatio, d.WorstClass)
+	}
+	if d.WorstClass == "" || d.Reason == "" {
+		t.Fatalf("decision lacks diagnostics: %+v", d)
+	}
+}
+
+func TestGateAllowsBalancedComposition(t *testing.T) {
+	a := gateAuditor(t)
+	gate := &CompositionGate{Auditor: a, Classes: core.StandardClasses(), RatioHigh: 3}
+	// A wide OR of many options is demographically balanced.
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = i
+	}
+	d, err := gate.Check(targeting.AnyAttr(ids...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed {
+		t.Fatalf("gate rejected a broad audience: %s", d.Reason)
+	}
+}
+
+func TestGateUnmeasurable(t *testing.T) {
+	a := gateAuditor(t)
+	a.RecallFloor = 1 << 62
+	gate := &CompositionGate{Auditor: a, Classes: core.StandardClasses()}
+	if _, err := gate.Check(targeting.Attr(0)); !errors.Is(err, ErrUnmeasurable) {
+		t.Fatalf("want ErrUnmeasurable, got %v", err)
+	}
+}
+
+func TestEvaluateGate(t *testing.T) {
+	a := gateAuditor(t)
+	rep, err := EvaluateGate(a, core.GenderClass(population.Male), 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SkewedTotal == 0 || rep.HonestTotal == 0 {
+		t.Fatalf("empty evaluation: %+v", rep)
+	}
+	// The whole point of outcome-based gating: every greedily discovered
+	// skewed composition is caught.
+	if rep.BlockRate() < 0.99 {
+		t.Errorf("gate blocked only %.0f%% of skewed compositions", rep.BlockRate()*100)
+	}
+	// Collateral exists (honest compositions are often inadvertently
+	// skewed — §4.3) but must be well below the skewed block rate.
+	if rep.CollateralRate() >= rep.BlockRate() {
+		t.Errorf("collateral rate %.2f not below block rate %.2f",
+			rep.CollateralRate(), rep.BlockRate())
+	}
+}
+
+func TestGateRatesEmpty(t *testing.T) {
+	var rep GateEvalReport
+	if rep.BlockRate() != 0 || rep.CollateralRate() != 0 {
+		t.Fatal("empty report rates should be 0")
+	}
+}

@@ -1,0 +1,212 @@
+// Package pii implements PII-based targeting (paper §2.1): advertisers
+// upload personally identifying information — email addresses, phone
+// numbers — which the platform normalizes, hashes, and matches against its
+// user database to build a custom audience ("Customer Match" on Google,
+// "Custom Audiences from a customer list" on Facebook, "Contact Targeting"
+// on LinkedIn).
+//
+// The simulated platforms give every user deterministic synthetic PII via a
+// Directory, so an advertiser-side Record list and the platform-side match
+// exercise the real pipeline: normalize → SHA-256 → match.
+package pii
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// Record is raw customer PII as an advertiser's CRM would hold it.
+type Record struct {
+	Email string
+	Phone string
+}
+
+// HashedRecord is the privacy-preserving form uploaded to a platform:
+// lowercase hex SHA-256 digests of the normalized fields. Empty fields hash
+// to the empty string.
+type HashedRecord struct {
+	EmailHash string `json:"email_hash,omitempty"`
+	PhoneHash string `json:"phone_hash,omitempty"`
+}
+
+// NormalizeEmail canonicalizes an email address the way the platforms
+// document: trim whitespace, lowercase, and drop a "+tag" suffix in the
+// local part.
+func NormalizeEmail(email string) string {
+	e := strings.ToLower(strings.TrimSpace(email))
+	at := strings.LastIndexByte(e, '@')
+	if at <= 0 {
+		return e
+	}
+	local, domain := e[:at], e[at+1:]
+	if plus := strings.IndexByte(local, '+'); plus >= 0 {
+		local = local[:plus]
+	}
+	return local + "@" + domain
+}
+
+// NormalizePhone canonicalizes a phone number: digits only, with a leading
+// "1" country code stripped from 11-digit North American numbers.
+func NormalizePhone(phone string) string {
+	var b strings.Builder
+	for _, r := range phone {
+		if r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	digits := b.String()
+	if len(digits) == 11 && digits[0] == '1' {
+		digits = digits[1:]
+	}
+	return digits
+}
+
+// hashField returns the hex SHA-256 of a normalized non-empty field.
+func hashField(normalized string) string {
+	if normalized == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(normalized))
+	return hex.EncodeToString(sum[:])
+}
+
+// Hash normalizes and hashes the record.
+func (r Record) Hash() HashedRecord {
+	return HashedRecord{
+		EmailHash: hashField(NormalizeEmail(r.Email)),
+		PhoneHash: hashField(NormalizePhone(r.Phone)),
+	}
+}
+
+// HashAll hashes a batch of records.
+func HashAll(records []Record) []HashedRecord {
+	out := make([]HashedRecord, len(records))
+	for i, r := range records {
+		out[i] = r.Hash()
+	}
+	return out
+}
+
+// Name pools for synthetic PII.
+var (
+	firstNames = []string{
+		"alex", "sam", "jordan", "taylor", "casey", "riley", "morgan",
+		"jamie", "avery", "quinn", "dana", "lee", "pat", "chris", "robin",
+		"maria", "john", "wei", "aisha", "carlos", "nina", "omar", "lena",
+		"ivan", "sofia", "ken", "priya", "hugo", "emma", "noah",
+	}
+	lastNames = []string{
+		"smith", "johnson", "lee", "patel", "garcia", "kim", "nguyen",
+		"chen", "brown", "davis", "martin", "lopez", "wilson", "anders",
+		"clark", "lewis", "walker", "hall", "young", "king", "wright",
+		"scott", "green", "baker", "adams", "nelson", "hill", "campbell",
+	}
+	domains = []string{
+		"example.com", "mail.example.org", "inbox.example.net",
+		"post.example.io", "webmail.example.co",
+	}
+)
+
+// Directory assigns deterministic synthetic PII to every user of a
+// simulated universe and matches uploaded hashes back to user indices — the
+// platform side of PII targeting.
+type Directory struct {
+	seed uint64
+	size int
+
+	once    sync.Once
+	byEmail map[string]int // email hash → user index
+	byPhone map[string]int // phone hash → user index
+}
+
+// NewDirectory returns the PII directory for a universe of the given seed
+// and size. Directories built from the same (seed, size) are identical, so
+// interfaces sharing a universe share PII.
+func NewDirectory(seed uint64, size int) *Directory {
+	return &Directory{seed: seed, size: size}
+}
+
+// Size returns the number of users with PII.
+func (d *Directory) Size() int { return d.size }
+
+// Email returns user i's synthetic email address.
+func (d *Directory) Email(i int) string {
+	h := xrand.Mix(d.seed, 0xE1, uint64(i))
+	first := firstNames[h%uint64(len(firstNames))]
+	last := lastNames[(h>>8)%uint64(len(lastNames))]
+	domain := domains[(h>>16)%uint64(len(domains))]
+	// The user index keeps addresses unique without harming realism.
+	return fmt.Sprintf("%s.%s%d@%s", first, last, i, domain)
+}
+
+// Phone returns user i's synthetic phone number (E.164-ish, deterministic,
+// unique via the index).
+func (d *Directory) Phone(i int) string {
+	h := xrand.Mix(d.seed, 0xE2, uint64(i))
+	area := 200 + h%800 // valid-looking area code
+	return fmt.Sprintf("+1%03d555%04d", area, i%10000)
+}
+
+// RecordOf returns user i's full PII record.
+func (d *Directory) RecordOf(i int) Record {
+	return Record{Email: d.Email(i), Phone: d.Phone(i)}
+}
+
+// OutsiderRecord returns PII that belongs to no simulated user (for
+// match-rate tests: real customer lists contain non-users).
+func (d *Directory) OutsiderRecord(j int) Record {
+	return Record{
+		Email: fmt.Sprintf("outsider%d@nowhere.example", j),
+		Phone: fmt.Sprintf("+1999555%04d", j%10000),
+	}
+}
+
+// index builds the hash → user maps once.
+func (d *Directory) index() {
+	d.once.Do(func() {
+		d.byEmail = make(map[string]int, d.size)
+		d.byPhone = make(map[string]int, d.size)
+		for i := 0; i < d.size; i++ {
+			rec := d.RecordOf(i).Hash()
+			d.byEmail[rec.EmailHash] = i
+			d.byPhone[rec.PhoneHash] = i
+		}
+	})
+}
+
+// Match resolves a hashed record to a user index, or -1 when no user
+// matches. Email wins over phone when both are present, as the platforms'
+// matchers prioritize stronger identifiers.
+func (d *Directory) Match(h HashedRecord) int {
+	d.index()
+	if h.EmailHash != "" {
+		if i, ok := d.byEmail[h.EmailHash]; ok {
+			return i
+		}
+	}
+	if h.PhoneHash != "" {
+		if i, ok := d.byPhone[h.PhoneHash]; ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// MatchAll resolves a batch, returning the matched user indices
+// (deduplicated, in upload order) and the match count.
+func (d *Directory) MatchAll(hs []HashedRecord) []int {
+	seen := make(map[int]bool, len(hs))
+	out := make([]int, 0, len(hs))
+	for _, h := range hs {
+		if i := d.Match(h); i >= 0 && !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package pii
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeEmail(t *testing.T) {
+	cases := map[string]string{
+		"  Alice@Example.COM ":  "alice@example.com",
+		"bob+promo@example.com": "bob@example.com",
+		"carol.d+x+y@mail.org":  "carol.d@mail.org",
+		"noat":                  "noat",
+		"@lead.com":             "@lead.com",
+		"PLAIN@X.Y":             "plain@x.y",
+	}
+	for in, want := range cases {
+		if got := NormalizeEmail(in); got != want {
+			t.Errorf("NormalizeEmail(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizePhone(t *testing.T) {
+	cases := map[string]string{
+		"+1 (617) 555-0101": "6175550101",
+		"617-555-0101":      "6175550101",
+		"16175550101":       "6175550101",
+		"0101":              "0101",
+		"abc":               "",
+	}
+	for in, want := range cases {
+		if got := NormalizePhone(in); got != want {
+			t.Errorf("NormalizePhone(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHashEquivalentForms(t *testing.T) {
+	a := Record{Email: "Alice+news@Example.com", Phone: "+1 (617) 555-0101"}.Hash()
+	b := Record{Email: "alice@example.com", Phone: "617 555 0101"}.Hash()
+	if a.EmailHash != b.EmailHash {
+		t.Error("equivalent emails hash differently")
+	}
+	if a.PhoneHash != b.PhoneHash {
+		t.Error("equivalent phones hash differently")
+	}
+	if a.EmailHash == a.PhoneHash {
+		t.Error("email and phone hashes collide")
+	}
+	if len(a.EmailHash) != 64 || !isHex(a.EmailHash) {
+		t.Errorf("hash %q is not hex SHA-256", a.EmailHash)
+	}
+}
+
+func isHex(s string) bool {
+	for _, r := range s {
+		if !strings.ContainsRune("0123456789abcdef", r) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHashEmptyFields(t *testing.T) {
+	h := Record{}.Hash()
+	if h.EmailHash != "" || h.PhoneHash != "" {
+		t.Error("empty fields must hash to empty strings")
+	}
+}
+
+func TestDirectoryDeterministic(t *testing.T) {
+	a := NewDirectory(7, 1000)
+	b := NewDirectory(7, 1000)
+	for i := 0; i < 100; i++ {
+		if a.Email(i) != b.Email(i) || a.Phone(i) != b.Phone(i) {
+			t.Fatalf("directories diverge at user %d", i)
+		}
+	}
+	c := NewDirectory(8, 1000)
+	if a.Email(0) == c.Email(0) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestDirectoryUniqueEmails(t *testing.T) {
+	d := NewDirectory(7, 5000)
+	seen := make(map[string]bool)
+	for i := 0; i < 5000; i++ {
+		e := d.Email(i)
+		if seen[e] {
+			t.Fatalf("duplicate email %q", e)
+		}
+		seen[e] = true
+		if !strings.Contains(e, "@") {
+			t.Fatalf("malformed email %q", e)
+		}
+	}
+}
+
+func TestMatchRoundTrip(t *testing.T) {
+	d := NewDirectory(9, 2000)
+	for i := 0; i < 200; i++ {
+		h := d.RecordOf(i).Hash()
+		if got := d.Match(h); got != i {
+			t.Fatalf("Match(RecordOf(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestMatchEmailOnly(t *testing.T) {
+	d := NewDirectory(9, 500)
+	h := Record{Email: d.Email(42)}.Hash()
+	if got := d.Match(h); got != 42 {
+		t.Fatalf("email-only match = %d, want 42", got)
+	}
+	h = Record{Phone: d.Phone(43)}.Hash()
+	if got := d.Match(h); got != 43 {
+		t.Fatalf("phone-only match = %d, want 43", got)
+	}
+}
+
+func TestMatchOutsider(t *testing.T) {
+	d := NewDirectory(9, 500)
+	if got := d.Match(d.OutsiderRecord(1).Hash()); got != -1 {
+		t.Fatalf("outsider matched to %d", got)
+	}
+	if got := d.Match(HashedRecord{}); got != -1 {
+		t.Fatalf("empty record matched to %d", got)
+	}
+}
+
+func TestMatchAllDedupAndRate(t *testing.T) {
+	d := NewDirectory(11, 1000)
+	var recs []Record
+	for i := 0; i < 50; i++ {
+		recs = append(recs, d.RecordOf(i))
+	}
+	recs = append(recs, d.RecordOf(0))       // duplicate
+	recs = append(recs, d.OutsiderRecord(0)) // non-user
+	matched := d.MatchAll(HashAll(recs))
+	if len(matched) != 50 {
+		t.Fatalf("matched %d, want 50 (dedup + outsider drop)", len(matched))
+	}
+	for i, u := range matched {
+		if u != i {
+			t.Fatalf("match order broken at %d: %d", i, u)
+		}
+	}
+}
+
+func TestNormalizeEmailIdempotent(t *testing.T) {
+	if err := quick.Check(func(s string) bool {
+		once := NormalizeEmail(s)
+		return NormalizeEmail(once) == once
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizePhoneIdempotent(t *testing.T) {
+	if err := quick.Check(func(s string) bool {
+		once := NormalizePhone(s)
+		return NormalizePhone(once) == once
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	d := NewDirectory(3, 100000)
+	h := d.RecordOf(5).Hash()
+	d.Match(h) // build index outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Match(h)
+	}
+}

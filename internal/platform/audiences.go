@@ -1,0 +1,190 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/audience"
+	"repro/internal/lookalike"
+	"repro/internal/pii"
+	"repro/internal/pixel"
+	"repro/internal/targeting"
+)
+
+// AudienceKind classifies a custom audience by how it was built.
+type AudienceKind string
+
+// Custom audience kinds (paper §2.1: PII-based, activity-based, and
+// lookalike targeting; §2.2: Special Ad Audiences on the restricted
+// interface).
+const (
+	AudiencePII       AudienceKind = "pii"
+	AudiencePixel     AudienceKind = "pixel"
+	AudienceLookalike AudienceKind = "lookalike"
+	AudienceSpecialAd AudienceKind = "special-ad"
+)
+
+// CustomAudienceInfo is the advertiser-visible description of a custom
+// audience. The platform never reveals the matched user identities — only
+// metadata, exactly like the real products.
+type CustomAudienceInfo struct {
+	ID   int          `json:"id"`
+	Name string       `json:"name"`
+	Kind AudienceKind `json:"kind"`
+	// Matched is the number of uploaded records that matched a user (PII
+	// audiences only; simulated count).
+	Matched int `json:"matched,omitempty"`
+	// SourceID is the seed audience for lookalike/special-ad audiences.
+	SourceID int `json:"source_id,omitempty"`
+}
+
+// customAudience pairs the metadata with the materialized set.
+type customAudience struct {
+	info CustomAudienceInfo
+	set  *audience.Set
+}
+
+// Custom-audience errors.
+var (
+	ErrAudienceTooSmall     = errors.New("platform: too few matched users for a custom audience")
+	ErrUnknownAudience      = errors.New("platform: unknown custom audience")
+	ErrLookalikeOfLookalike = errors.New("platform: lookalike audiences cannot seed further lookalikes")
+)
+
+// MinAudienceMatched is the smallest usable custom audience in simulated
+// users (the real platforms require e.g. 100 matched users; the simulated
+// bound scales with universe granularity).
+const MinAudienceMatched = 20
+
+// Directory returns the interface's PII directory (shared across
+// interfaces over the same universe, since it is derived from the
+// universe's seed and size).
+func (p *Interface) Directory() *pii.Directory {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dir == nil {
+		cfg := p.cfg.Universe.Config()
+		p.dir = pii.NewDirectory(cfg.Seed, cfg.Size)
+	}
+	return p.dir
+}
+
+// Tracker returns the interface's pixel-event tracker.
+func (p *Interface) Tracker() *pixel.Tracker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tracker == nil {
+		p.tracker = pixel.NewTracker(p.cfg.Universe)
+	}
+	return p.tracker
+}
+
+// addAudience registers a built set under the next id.
+func (p *Interface) addAudience(info CustomAudienceInfo, set *audience.Set) CustomAudienceInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	info.ID = len(p.custom)
+	p.custom = append(p.custom, customAudience{info: info, set: set})
+	return info
+}
+
+// CreatePIIAudience matches uploaded hashed records against the platform's
+// user base and stores the result as a custom audience (Facebook "Customer
+// list" audiences, Google Customer Match, LinkedIn Contact Targeting).
+func (p *Interface) CreatePIIAudience(name string, records []pii.HashedRecord) (CustomAudienceInfo, error) {
+	if name == "" {
+		return CustomAudienceInfo{}, errors.New("platform: audience name required")
+	}
+	matched := p.Directory().MatchAll(records)
+	if len(matched) < MinAudienceMatched {
+		return CustomAudienceInfo{}, fmt.Errorf("%w: %d < %d", ErrAudienceTooSmall, len(matched), MinAudienceMatched)
+	}
+	set := audience.New(p.cfg.Universe.Size())
+	for _, i := range matched {
+		set.Add(i)
+	}
+	return p.addAudience(CustomAudienceInfo{
+		Name: name, Kind: AudiencePII, Matched: len(matched),
+	}, set), nil
+}
+
+// CreatePixelAudience stores a website-activity audience (paper §2.1
+// activity-based targeting; available even on the restricted interface).
+func (p *Interface) CreatePixelAudience(name string, siteID int, event pixel.Event, windowDays int) (CustomAudienceInfo, error) {
+	if name == "" {
+		return CustomAudienceInfo{}, errors.New("platform: audience name required")
+	}
+	set, err := p.Tracker().Audience(siteID, event, windowDays)
+	if err != nil {
+		return CustomAudienceInfo{}, err
+	}
+	if set.Count() < MinAudienceMatched {
+		return CustomAudienceInfo{}, fmt.Errorf("%w: %d < %d", ErrAudienceTooSmall, set.Count(), MinAudienceMatched)
+	}
+	return p.addAudience(CustomAudienceInfo{
+		Name: name, Kind: AudiencePixel, Matched: set.Count(),
+	}, set), nil
+}
+
+// CreateLookalike expands an existing custom audience into a lookalike. On
+// interfaces with SpecialAdAudiences set (Facebook's restricted interface),
+// the expansion is the demographic-blind "Special Ad Audience" variant the
+// paper describes (§2.2); the returned info's Kind reflects which was
+// built.
+func (p *Interface) CreateLookalike(name string, sourceID int, ratio float64) (CustomAudienceInfo, error) {
+	if name == "" {
+		return CustomAudienceInfo{}, errors.New("platform: audience name required")
+	}
+	src, err := p.lookupAudience(sourceID)
+	if err != nil {
+		return CustomAudienceInfo{}, err
+	}
+	if src.info.Kind == AudienceLookalike || src.info.Kind == AudienceSpecialAd {
+		return CustomAudienceInfo{}, ErrLookalikeOfLookalike
+	}
+	mode := lookalike.Standard
+	kind := AudienceLookalike
+	if p.cfg.SpecialAdAudiences {
+		mode = lookalike.SpecialAd
+		kind = AudienceSpecialAd
+	}
+	set, err := lookalike.Expand(p.cfg.Universe, src.set, lookalike.Config{
+		Ratio: ratio, Mode: mode, MinSeed: MinAudienceMatched,
+	})
+	if err != nil {
+		return CustomAudienceInfo{}, err
+	}
+	return p.addAudience(CustomAudienceInfo{
+		Name: name, Kind: kind, SourceID: sourceID, Matched: set.Count(),
+	}, set), nil
+}
+
+// lookupAudience fetches a stored audience by id.
+func (p *Interface) lookupAudience(id int) (customAudience, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.custom) {
+		return customAudience{}, fmt.Errorf("%w: %d", ErrUnknownAudience, id)
+	}
+	return p.custom[id], nil
+}
+
+// CustomAudiences lists the stored audiences' metadata.
+func (p *Interface) CustomAudiences() []CustomAudienceInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]CustomAudienceInfo, len(p.custom))
+	for i, ca := range p.custom {
+		out[i] = ca.info
+	}
+	return out
+}
+
+// customSet resolves a KindCustomAudience ref.
+func (p *Interface) customSet(ref targeting.Ref) (*audience.Set, error) {
+	ca, err := p.lookupAudience(ref.ID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", targeting.ErrUnknownOption, ref)
+	}
+	return ca.set, nil
+}

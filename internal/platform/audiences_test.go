@@ -1,0 +1,224 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/audience"
+	"repro/internal/pii"
+	"repro/internal/pixel"
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+// uploadOf builds a hashed upload of the first n users plus some noise.
+func uploadOf(p *Interface, n int) []pii.HashedRecord {
+	dir := p.Directory()
+	var recs []pii.Record
+	for i := 0; i < n; i++ {
+		recs = append(recs, dir.RecordOf(i))
+	}
+	recs = append(recs, dir.OutsiderRecord(1), dir.OutsiderRecord(2))
+	return pii.HashAll(recs)
+}
+
+func TestCreatePIIAudience(t *testing.T) {
+	d := deploy(t)
+	p := d.Facebook
+	info, err := p.CreatePIIAudience("crm-upload", uploadOf(p, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != AudiencePII || info.Matched != 120 {
+		t.Fatalf("info = %+v", info)
+	}
+	// The audience is targetable and its estimate reflects the match count
+	// at platform scale (rounded).
+	got, err := p.Estimate(EstimateRequest{Spec: targeting.CustomAudience(info.ID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(info.Matched) * p.ScaleFactor()
+	if float64(got) < want*0.8 || float64(got) > want*1.2 {
+		t.Fatalf("estimate %d, want ≈%v", got, want)
+	}
+}
+
+func TestPIIAudienceTooSmall(t *testing.T) {
+	d := deploy(t)
+	_, err := d.Facebook.CreatePIIAudience("tiny", uploadOf(d.Facebook, 3))
+	if !errors.Is(err, ErrAudienceTooSmall) {
+		t.Fatalf("want ErrAudienceTooSmall, got %v", err)
+	}
+	if _, err := d.Facebook.CreatePIIAudience("", uploadOf(d.Facebook, 120)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestCustomAudienceComposable(t *testing.T) {
+	// The composition surface the paper warns about: a PII audience ANDed
+	// with attributes, even on the restricted interface (§2.2 keeps PII
+	// targeting available there).
+	d := deploy(t)
+	p := d.FacebookRestricted
+	info, err := p.CreatePIIAudience("customers", uploadOf(p, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed := targeting.And(targeting.CustomAudience(info.ID), targeting.Attr(0))
+	caOnly, err := p.Estimate(EstimateRequest{Spec: targeting.CustomAudience(info.ID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := p.Estimate(EstimateRequest{Spec: composed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both > caOnly {
+		t.Fatalf("AND with attribute grew the audience: %d > %d", both, caOnly)
+	}
+}
+
+func TestUnknownCustomAudience(t *testing.T) {
+	d := deploy(t)
+	_, err := d.LinkedIn.Estimate(EstimateRequest{Spec: targeting.CustomAudience(999)})
+	if !errors.Is(err, targeting.ErrUnknownOption) {
+		t.Fatalf("want ErrUnknownOption, got %v", err)
+	}
+}
+
+func TestPixelAudienceLifecycle(t *testing.T) {
+	d := deploy(t)
+	p := d.Google
+	siteID, err := p.Tracker().AddSite(pixel.Site{
+		Domain: "shop.example",
+		Visitors: population.AttrModel{
+			ID: 424242, BaseLogit: population.Logit(0.08), GenderLoad: -1.0, Factor: -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := p.CreatePixelAudience("recent-cart", siteID, pixel.EventAddToCart, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != AudiencePixel || info.Matched < MinAudienceMatched {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, err := p.CreatePixelAudience("x", 99, pixel.EventPageView, 30); !errors.Is(err, pixel.ErrUnknownSite) {
+		t.Fatalf("want ErrUnknownSite, got %v", err)
+	}
+}
+
+func TestLookalikeAndSpecialAd(t *testing.T) {
+	d := deploy(t)
+	uni := d.Facebook.Universe()
+
+	// Seed: the most male-skewed users (via a male-heavy PII upload).
+	males := uni.GenderSet(population.Male)
+	dir := d.Facebook.Directory()
+	var recs []pii.Record
+	for i := 0; i < uni.Size() && len(recs) < 400; i++ {
+		if males.Contains(i) {
+			recs = append(recs, dir.RecordOf(i))
+		}
+	}
+	hashed := pii.HashAll(recs)
+
+	// Full interface: standard lookalike.
+	seedFull, err := d.Facebook.CreatePIIAudience("male-seed", hashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookFull, err := d.Facebook.CreateLookalike("male-lookalike", seedFull.ID, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lookFull.Kind != AudienceLookalike {
+		t.Fatalf("full-interface lookalike kind = %s", lookFull.Kind)
+	}
+
+	// Restricted interface: special ad audience.
+	seedR, err := d.FacebookRestricted.CreatePIIAudience("male-seed", hashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookR, err := d.FacebookRestricted.CreateLookalike("male-special", seedR.ID, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lookR.Kind != AudienceSpecialAd {
+		t.Fatalf("restricted lookalike kind = %s, want special-ad", lookR.Kind)
+	}
+
+	// The standard lookalike of an all-male seed must skew male; the
+	// special-ad variant must be less skewed.
+	maleShare := func(p *Interface, id int) float64 {
+		set, err := p.Audience(targeting.CustomAudience(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(audience.CountAnd(set, males)) / float64(set.Count())
+	}
+	full := maleShare(d.Facebook, lookFull.ID)
+	special := maleShare(d.FacebookRestricted, lookR.ID)
+	if full < 0.6 {
+		t.Errorf("standard lookalike male share %.2f, want clearly male-skewed", full)
+	}
+	if special >= full {
+		t.Errorf("special-ad male share %.2f not below standard %.2f", special, full)
+	}
+}
+
+func TestLookalikeOfLookalikeRejected(t *testing.T) {
+	d := deploy(t)
+	p := d.LinkedIn
+	seed, err := p.CreatePIIAudience("seed", uploadOf(p, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	look, err := p.CreateLookalike("expansion", seed.ID, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateLookalike("expansion2", look.ID, 0.05); !errors.Is(err, ErrLookalikeOfLookalike) {
+		t.Fatalf("want ErrLookalikeOfLookalike, got %v", err)
+	}
+	if _, err := p.CreateLookalike("nope", 12345, 0.05); !errors.Is(err, ErrUnknownAudience) {
+		t.Fatalf("want ErrUnknownAudience, got %v", err)
+	}
+}
+
+func TestCustomAudiencesListing(t *testing.T) {
+	d, err := NewDeployment(DeployOptions{Seed: 13, UniverseSize: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Google
+	if got := p.CustomAudiences(); len(got) != 0 {
+		t.Fatalf("fresh interface has %d audiences", len(got))
+	}
+	info, err := p.CreatePIIAudience("a", uploadOf(p, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := p.CustomAudiences()
+	if len(list) != 1 || list[0].ID != info.ID || list[0].Name != "a" {
+		t.Fatalf("listing = %+v", list)
+	}
+}
+
+func TestSharedDirectoryAcrossFacebookInterfaces(t *testing.T) {
+	d := deploy(t)
+	// Same universe → same synthetic PII, so an upload matches identically
+	// through either interface.
+	e1 := d.Facebook.Directory().Email(7)
+	e2 := d.FacebookRestricted.Directory().Email(7)
+	if e1 != e2 {
+		t.Fatalf("directories diverge: %q vs %q", e1, e2)
+	}
+	if d.Google.Directory().Email(7) == e1 {
+		t.Fatal("google shares facebook's PII")
+	}
+}

@@ -1,0 +1,331 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/estimate"
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+// DefaultUSShare is the fraction of each simulated universe located in the
+// US. The paper's measurements scope to U.S. users via location targeting;
+// the platform totals below are US figures, so the reporting scale factor
+// divides by this share.
+const DefaultUSShare = 0.85
+
+// US-scale platform population totals the simulators report at. These come
+// from the paper's recall percentages (e.g. a 5M recall described as 4.17 %
+// of Facebook's females implies ≈120M females; LinkedIn's 560K at 0.79 %
+// implies ≈71M females). Google's statistic counts impressions over its
+// display network, hence the much larger total.
+const (
+	FacebookTotalUsers = 240_000_000
+	GoogleTotalUsers   = 2_400_000_000
+	LinkedInTotalUsers = 160_000_000
+)
+
+// DeployOptions sizes a simulated deployment.
+type DeployOptions struct {
+	// Seed drives all universes and catalogs.
+	Seed uint64
+	// UniverseSize is the number of simulated users per platform. Larger
+	// sizes sharpen small-audience statistics at linear cost. The zero
+	// value selects 1<<17.
+	UniverseSize int
+	// NoLatentFactors disables the latent interest factors, making
+	// attribute memberships conditionally independent given demographics.
+	// Used by the factor ablation (DESIGN.md §4.1).
+	NoLatentFactors bool
+	// ExactEstimates replaces every platform's rounding scheme with exact
+	// counts. Used by the rounding ablation (DESIGN.md §4.3).
+	ExactEstimates bool
+	// UniformActivity disables the heavy-tailed per-user activity offsets,
+	// for the activity ablation.
+	UniformActivity bool
+}
+
+// withDefaults fills defaults.
+func (o DeployOptions) withDefaults() DeployOptions {
+	if o.Seed == 0 {
+		o.Seed = 20201027 // IMC 2020, day one
+	}
+	if o.UniverseSize == 0 {
+		o.UniverseSize = 1 << 17
+	}
+	return o
+}
+
+// Deployment is the full simulated testbed: all four advertiser interfaces
+// the paper studies.
+type Deployment struct {
+	FacebookRestricted *Interface
+	Facebook           *Interface
+	Google             *Interface
+	LinkedIn           *Interface
+}
+
+// Interfaces returns the four interfaces in the paper's presentation order:
+// FB-restricted, Facebook, Google, LinkedIn.
+func (d *Deployment) Interfaces() []*Interface {
+	return []*Interface{d.FacebookRestricted, d.Facebook, d.Google, d.LinkedIn}
+}
+
+// ByName returns the interface with the given name, or an error.
+func (d *Deployment) ByName(name string) (*Interface, error) {
+	for _, p := range d.Interfaces() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("platform: unknown interface %q", name)
+}
+
+// activitySigma returns the platform's activity spread, honouring the
+// uniform-activity ablation knob.
+func activitySigma(opts DeployOptions, v float64) float64 {
+	if opts.UniformActivity {
+		return 0
+	}
+	return v
+}
+
+// demoOptionCount bounds demographic ref IDs for rule validation.
+func demoOptionCount(k targeting.Kind, attrs, topics int) int {
+	return demoOptionCountP(k, attrs, topics, 0)
+}
+
+// demoOptionCountP is demoOptionCount with a placement bound.
+func demoOptionCountP(k targeting.Kind, attrs, topics, placements int) int {
+	switch k {
+	case targeting.KindAttribute:
+		return attrs
+	case targeting.KindTopic:
+		return topics
+	case targeting.KindPlacement:
+		return placements
+	case targeting.KindGender:
+		return population.NumGenders
+	case targeting.KindAge:
+		return population.NumAgeRanges
+	case targeting.KindCustomAudience:
+		// Custom audience ids are dynamic; the interface bounds-checks them
+		// at resolution time.
+		return int(^uint(0) >> 1)
+	case targeting.KindLocation:
+		return population.NumRegions
+	default:
+		return 0
+	}
+}
+
+// NewDeployment builds the four simulated interfaces. Facebook's full and
+// restricted interfaces share one universe (they are two doors into the same
+// user base); Google and LinkedIn have their own universes with the
+// demographic compositions their catalogs' systematic skews suggest.
+func NewDeployment(opts DeployOptions) (*Deployment, error) {
+	opts = opts.withDefaults()
+	if opts.UniverseSize < 1000 {
+		return nil, errors.New("platform: UniverseSize must be at least 1000")
+	}
+	factors := catalog.Factors()
+	if opts.NoLatentFactors {
+		factors = nil
+	}
+	pickRounder := func(r estimate.Rounder) estimate.Rounder {
+		if opts.ExactEstimates {
+			return estimate.Exact{}
+		}
+		return r
+	}
+
+	fbUni, err := population.New(population.Config{
+		Seed:        opts.Seed,
+		Size:        opts.UniverseSize,
+		ScaleFactor: FacebookTotalUsers / (float64(opts.UniverseSize) * DefaultUSShare),
+		USShare:     DefaultUSShare,
+		MaleShare:   0.46,
+		AgeShare:    [population.NumAgeRanges]float64{0.16, 0.27, 0.33, 0.24},
+		Factors:     factors,
+		// Heavy-tailed activity: Facebook interest audiences overlap
+		// substantially (Table 1: ~22% median pairwise overlap).
+		ActivitySigma: activitySigma(opts, 1.7),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("facebook universe: %w", err)
+	}
+	googleUni, err := population.New(population.Config{
+		Seed:          opts.Seed + 1,
+		Size:          opts.UniverseSize,
+		ScaleFactor:   GoogleTotalUsers / float64(opts.UniverseSize),
+		MaleShare:     0.49,
+		AgeShare:      [population.NumAgeRanges]float64{0.15, 0.25, 0.34, 0.26},
+		Factors:       factors,
+		ActivitySigma: activitySigma(opts, 1.1),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("google universe: %w", err)
+	}
+	linkedInUni, err := population.New(population.Config{
+		Seed:        opts.Seed + 2,
+		Size:        opts.UniverseSize,
+		ScaleFactor: LinkedInTotalUsers / (float64(opts.UniverseSize) * DefaultUSShare),
+		USShare:     DefaultUSShare,
+		MaleShare:   0.56,
+		AgeShare:    [population.NumAgeRanges]float64{0.20, 0.35, 0.33, 0.12},
+		Factors:     factors,
+		// LinkedIn profiles carry few overlapping detailed attributes
+		// (Table 1: ~0% median pairwise overlap).
+		ActivitySigma: activitySigma(opts, 0.5),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("linkedin universe: %w", err)
+	}
+
+	fbrCat, err := catalog.FacebookRestricted(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	fbCat, err := catalog.Facebook(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gCat, err := catalog.Google(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	liCat, err := catalog.LinkedIn(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Deployment{}
+
+	// Facebook full interface: attributes + separate demographic dimensions,
+	// exclusion allowed, boolean and-of-ors within the attribute feature.
+	fbRules := targeting.Rules{
+		Interface: catalog.PlatformFacebook,
+		Kinds: []targeting.Kind{
+			targeting.KindAttribute, targeting.KindGender, targeting.KindAge,
+			targeting.KindCustomAudience, targeting.KindLocation,
+		},
+		AllowExclude:      true,
+		AllowDemographics: true,
+		AndWithinFeature:  true,
+		OptionCount: func(k targeting.Kind) int {
+			return demoOptionCount(k, len(fbCat.Attributes), 0)
+		},
+	}
+	d.Facebook, err = New(Config{
+		Name:             catalog.PlatformFacebook,
+		Universe:         fbUni,
+		Catalog:          fbCat,
+		AdvertiserRules:  fbRules,
+		Rounder:          pickRounder(estimate.Facebook()),
+		Objectives:       map[Objective]float64{ObjectiveReach: 1, ObjectiveTraffic: 0.72},
+		DefaultObjective: ObjectiveReach,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Facebook restricted interface: no demographics, no exclusion (paper
+	// §2.2); the auditor measures demographics through the normal interface,
+	// expressed here as measurement rules that re-allow them.
+	fbrAdvRules := targeting.Rules{
+		Interface: catalog.PlatformFacebookRestricted,
+		Kinds: []targeting.Kind{
+			targeting.KindAttribute, targeting.KindCustomAudience,
+			targeting.KindLocation,
+		},
+		AndWithinFeature: true,
+		OptionCount: func(k targeting.Kind) int {
+			return demoOptionCount(k, len(fbrCat.Attributes), 0)
+		},
+	}
+	fbrMeasRules := fbrAdvRules
+	fbrMeasRules.Kinds = []targeting.Kind{
+		targeting.KindAttribute, targeting.KindGender, targeting.KindAge,
+		targeting.KindCustomAudience, targeting.KindLocation,
+	}
+	fbrMeasRules.AllowDemographics = true
+	d.FacebookRestricted, err = New(Config{
+		Name:               catalog.PlatformFacebookRestricted,
+		Universe:           fbUni,
+		Catalog:            fbrCat,
+		AdvertiserRules:    fbrAdvRules,
+		MeasurementRules:   &fbrMeasRules,
+		SpecialAdAudiences: true,
+		Rounder:            pickRounder(estimate.Facebook()),
+		Objectives:         map[Objective]float64{ObjectiveReach: 1, ObjectiveTraffic: 0.72},
+		DefaultObjective:   ObjectiveReach,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Google: attributes + topics + demographics; options within a feature
+	// combine only via OR where size statistics are shown, so AND spans
+	// features; size statistic counts impressions, subject to frequency
+	// capping.
+	gRules := targeting.Rules{
+		Interface: catalog.PlatformGoogle,
+		Kinds: []targeting.Kind{
+			targeting.KindAttribute, targeting.KindTopic,
+			targeting.KindPlacement, targeting.KindGender, targeting.KindAge,
+			targeting.KindCustomAudience, targeting.KindLocation,
+		},
+		AllowExclude:      true,
+		AllowDemographics: true,
+		AndWithinFeature:  false,
+		OptionCount: func(k targeting.Kind) int {
+			return demoOptionCountP(k, len(gCat.Attributes), len(gCat.Topics), len(gCat.Placements))
+		},
+	}
+	d.Google, err = New(Config{
+		Name:                catalog.PlatformGoogle,
+		Universe:            googleUni,
+		Catalog:             gCat,
+		AdvertiserRules:     gRules,
+		Rounder:             pickRounder(estimate.Google()),
+		Objectives:          map[Objective]float64{ObjectiveBrandAwarenessReach: 1, ObjectiveTraffic: 0.65},
+		DefaultObjective:    ObjectiveBrandAwarenessReach,
+		ImpressionEstimates: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// LinkedIn: demographics are ordinary detailed-targeting attributes
+	// combined via AND of ORs (paper §3 fn. 4); modelled as demographic
+	// kinds with DemographicsAsAttributes semantics.
+	liRules := targeting.Rules{
+		Interface: catalog.PlatformLinkedIn,
+		Kinds: []targeting.Kind{
+			targeting.KindAttribute, targeting.KindGender, targeting.KindAge,
+			targeting.KindCustomAudience, targeting.KindLocation,
+		},
+		AllowExclude:             true,
+		AllowDemographics:        true,
+		DemographicsAsAttributes: true,
+		AndWithinFeature:         true,
+		OptionCount: func(k targeting.Kind) int {
+			return demoOptionCount(k, len(liCat.Attributes), 0)
+		},
+	}
+	d.LinkedIn, err = New(Config{
+		Name:             catalog.PlatformLinkedIn,
+		Universe:         linkedInUni,
+		Catalog:          liCat,
+		AdvertiserRules:  liRules,
+		Rounder:          pickRounder(estimate.LinkedIn()),
+		Objectives:       map[Objective]float64{ObjectiveBrandAwareness: 1, ObjectiveTraffic: 0.70},
+		DefaultObjective: ObjectiveBrandAwareness,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,373 @@
+// Package platform assembles the simulated ad platforms: a user universe, a
+// targeting-option catalog, composition rules, a campaign-objective table,
+// and an audience-size estimator with the platform's rounding scheme.
+//
+// Each Interface answers the single question the paper's methodology relies
+// on — "how many users match this targeting spec?" — through two doors:
+//
+//   - Estimate: what the platform shows an advertiser. The spec must satisfy
+//     the interface's advertiser rules (Facebook's restricted interface
+//     rejects demographic targeting and exclusions) and the result is
+//     rounded platform-scale.
+//   - Measure: what the auditor can obtain. For Facebook's restricted
+//     interface the paper measured demographic conditioning through the
+//     *normal* interface's equivalent options (§3); Measure therefore
+//     validates against separate measurement rules that allow demographics.
+//
+// Estimates are reported at platform scale (simulated count × ScaleFactor)
+// so rounding floors and recall magnitudes behave like the live platforms'.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/audience"
+	"repro/internal/catalog"
+	"repro/internal/estimate"
+	"repro/internal/pii"
+	"repro/internal/pixel"
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+// Objective is a campaign objective selectable when requesting estimates.
+type Objective string
+
+// Objectives offered by the simulated interfaces. The paper always selects
+// the reach-style objective of each platform to obtain the broadest
+// audience (§3).
+const (
+	ObjectiveReach               Objective = "reach"                     // Facebook
+	ObjectiveBrandAwarenessReach Objective = "brand-awareness-and-reach" // Google
+	ObjectiveBrandAwareness      Objective = "brand-awareness"           // LinkedIn
+	ObjectiveTraffic             Objective = "traffic"                   // narrower, all platforms
+)
+
+// EstimateRequest carries the estimate query parameters.
+type EstimateRequest struct {
+	// Spec is the targeting expression.
+	Spec targeting.Spec
+	// Objective is the campaign objective; the zero value selects the
+	// interface's reach-style default.
+	Objective Objective
+	// FrequencyCapPerMonth applies to Google only: the maximum impressions
+	// shown per user per month. Google's size statistic is an impression
+	// estimate, so the reported number scales with the cap. The paper sets
+	// the most restrictive value (1) so impressions ≈ unique users. Zero
+	// selects 1.
+	FrequencyCapPerMonth int
+}
+
+// Errors returned by estimate queries.
+var (
+	ErrUnknownObjective = errors.New("platform: unsupported campaign objective")
+	ErrBadFrequencyCap  = errors.New("platform: frequency cap must be in [1, 30]")
+)
+
+// Config assembles one Interface.
+type Config struct {
+	// Name is the interface name (catalog.Platform* constants).
+	Name string
+	// Universe is the user population behind the interface. Interfaces of
+	// the same company (Facebook full and restricted) share one universe.
+	Universe *population.Universe
+	// Catalog is the interface's targeting-option catalog.
+	Catalog *catalog.Catalog
+	// AdvertiserRules validate advertiser-facing estimate queries.
+	AdvertiserRules targeting.Rules
+	// MeasurementRules validate auditor measurement queries; when nil the
+	// advertiser rules are used.
+	MeasurementRules *targeting.Rules
+	// Rounder rounds reported estimates.
+	Rounder estimate.Rounder
+	// Objectives maps supported objectives to the fraction of the matched
+	// audience eligible under that objective (reach-style = 1).
+	Objectives map[Objective]float64
+	// DefaultObjective is used when a request leaves Objective empty.
+	DefaultObjective Objective
+	// ImpressionEstimates marks interfaces (Google) whose size statistic
+	// counts impressions, making it sensitive to the frequency cap.
+	ImpressionEstimates bool
+	// SpecialAdAudiences marks interfaces (Facebook restricted) where
+	// lookalike creation is replaced by demographic-blind "Special Ad
+	// Audiences" (paper §2.2).
+	SpecialAdAudiences bool
+}
+
+// Interface is one simulated advertiser-facing targeting interface.
+type Interface struct {
+	cfg Config
+
+	mu            sync.Mutex
+	attrSets      []*audience.Set // lazily materialized, by attribute index
+	topicSets     []*audience.Set // lazily materialized, by topic index
+	placementSets []*audience.Set // lazily materialized, by placement index
+	custom        []customAudience
+	dir           *pii.Directory
+	tracker       *pixel.Tracker
+	queryCount    int64
+}
+
+// New builds an Interface and validates its configuration.
+func New(cfg Config) (*Interface, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("platform: empty interface name")
+	}
+	if cfg.Universe == nil || cfg.Catalog == nil || cfg.Rounder == nil {
+		return nil, errors.New("platform: universe, catalog, and rounder are required")
+	}
+	if len(cfg.Objectives) == 0 {
+		return nil, errors.New("platform: at least one objective required")
+	}
+	if _, ok := cfg.Objectives[cfg.DefaultObjective]; !ok {
+		return nil, fmt.Errorf("platform: default objective %q not in objective table", cfg.DefaultObjective)
+	}
+	return &Interface{
+		cfg:           cfg,
+		attrSets:      make([]*audience.Set, len(cfg.Catalog.Attributes)),
+		topicSets:     make([]*audience.Set, len(cfg.Catalog.Topics)),
+		placementSets: make([]*audience.Set, len(cfg.Catalog.Placements)),
+	}, nil
+}
+
+// Name returns the interface name.
+func (p *Interface) Name() string { return p.cfg.Name }
+
+// Universe returns the backing population.
+func (p *Interface) Universe() *population.Universe { return p.cfg.Universe }
+
+// Catalog returns the interface's option catalog.
+func (p *Interface) Catalog() *catalog.Catalog { return p.cfg.Catalog }
+
+// Rules returns the advertiser-facing composition rules.
+func (p *Interface) Rules() targeting.Rules { return p.cfg.AdvertiserRules }
+
+// MeasurementRules returns the auditor-facing rules.
+func (p *Interface) MeasurementRules() targeting.Rules {
+	if p.cfg.MeasurementRules != nil {
+		return *p.cfg.MeasurementRules
+	}
+	return p.cfg.AdvertiserRules
+}
+
+// Rounder returns the interface's estimate rounding scheme.
+func (p *Interface) Rounder() estimate.Rounder { return p.cfg.Rounder }
+
+// ScaleFactor converts simulated user counts to platform-scale counts.
+func (p *Interface) ScaleFactor() float64 { return p.cfg.Universe.ScaleFactor() }
+
+// QueryCount reports how many estimate queries the interface has served.
+func (p *Interface) QueryCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queryCount
+}
+
+// attrSet returns the materialized audience of attribute i, caching it.
+func (p *Interface) attrSet(i int) *audience.Set {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.attrSets[i] == nil {
+		p.attrSets[i] = p.cfg.Universe.Materialize(p.cfg.Catalog.Attributes[i].Model)
+	}
+	return p.attrSets[i]
+}
+
+// topicSet returns the materialized audience of topic i, caching it.
+func (p *Interface) topicSet(i int) *audience.Set {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.topicSets[i] == nil {
+		p.topicSets[i] = p.cfg.Universe.Materialize(p.cfg.Catalog.Topics[i].Model)
+	}
+	return p.topicSets[i]
+}
+
+// placementSet returns the materialized visitor audience of placement i,
+// caching it.
+func (p *Interface) placementSet(i int) *audience.Set {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.placementSets[i] == nil {
+		p.placementSets[i] = p.cfg.Universe.Materialize(p.cfg.Catalog.Placements[i].Model)
+	}
+	return p.placementSets[i]
+}
+
+// refSet resolves one targeting ref to its audience set.
+func (p *Interface) refSet(r targeting.Ref) (*audience.Set, error) {
+	switch r.Kind {
+	case targeting.KindAttribute:
+		if r.ID < 0 || r.ID >= len(p.cfg.Catalog.Attributes) {
+			return nil, fmt.Errorf("%w: %s", targeting.ErrUnknownOption, r)
+		}
+		return p.attrSet(r.ID), nil
+	case targeting.KindTopic:
+		if r.ID < 0 || r.ID >= len(p.cfg.Catalog.Topics) {
+			return nil, fmt.Errorf("%w: %s", targeting.ErrUnknownOption, r)
+		}
+		return p.topicSet(r.ID), nil
+	case targeting.KindGender:
+		if r.ID < 0 || r.ID >= population.NumGenders {
+			return nil, fmt.Errorf("%w: %s", targeting.ErrInvalidDemoValue, r)
+		}
+		return p.cfg.Universe.GenderSet(population.Gender(r.ID)), nil
+	case targeting.KindAge:
+		if r.ID < 0 || r.ID >= population.NumAgeRanges {
+			return nil, fmt.Errorf("%w: %s", targeting.ErrInvalidDemoValue, r)
+		}
+		return p.cfg.Universe.AgeSet(population.AgeRange(r.ID)), nil
+	case targeting.KindCustomAudience:
+		return p.customSet(r)
+	case targeting.KindLocation:
+		if r.ID < 0 || r.ID >= population.NumRegions {
+			return nil, fmt.Errorf("%w: %s", targeting.ErrInvalidDemoValue, r)
+		}
+		return p.cfg.Universe.RegionSet(population.Region(r.ID)), nil
+	case targeting.KindPlacement:
+		if r.ID < 0 || r.ID >= len(p.cfg.Catalog.Placements) {
+			return nil, fmt.Errorf("%w: %s", targeting.ErrUnknownOption, r)
+		}
+		return p.placementSet(r.ID), nil
+	default:
+		return nil, fmt.Errorf("%w: %s", targeting.ErrKindForbidden, r)
+	}
+}
+
+// clauseSet evaluates one OR-clause into an audience set.
+func (p *Interface) clauseSet(cl targeting.Clause) (*audience.Set, error) {
+	var out *audience.Set
+	for _, r := range cl {
+		s, err := p.refSet(r)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = s.Clone()
+		} else {
+			out.OrWith(s)
+		}
+	}
+	if out == nil {
+		return nil, targeting.ErrEmptyClause
+	}
+	return out, nil
+}
+
+// Audience evaluates a spec into the exact set of matching users. It does
+// not validate rules; callers wanting advertiser or measurement semantics
+// use Estimate or Measure. Exposed for ground-truth verification in tests
+// and ablations.
+func (p *Interface) Audience(spec targeting.Spec) (*audience.Set, error) {
+	if len(spec.Include) == 0 {
+		return nil, targeting.ErrEmptySpec
+	}
+	var acc *audience.Set
+	for _, cl := range spec.Include {
+		s, err := p.clauseSet(cl)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = s
+		} else {
+			acc.AndWith(s)
+		}
+	}
+	for _, cl := range spec.Exclude {
+		s, err := p.clauseSet(cl)
+		if err != nil {
+			return nil, err
+		}
+		acc.AndNotWith(s)
+	}
+	return acc, nil
+}
+
+// estimateExact computes the unrounded platform-scale statistic.
+func (p *Interface) estimateExact(req EstimateRequest, rules targeting.Rules) (float64, error) {
+	if err := rules.Validate(req.Spec); err != nil {
+		return 0, err
+	}
+	obj := req.Objective
+	if obj == "" {
+		obj = p.cfg.DefaultObjective
+	}
+	eligible, ok := p.cfg.Objectives[obj]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownObjective, obj)
+	}
+	cap := req.FrequencyCapPerMonth
+	if cap == 0 {
+		cap = 1
+	}
+	if cap < 1 || cap > 30 {
+		return 0, ErrBadFrequencyCap
+	}
+	set, err := p.Audience(req.Spec)
+	if err != nil {
+		return 0, err
+	}
+	v := float64(set.Count()) * p.ScaleFactor() * eligible
+	if p.cfg.ImpressionEstimates {
+		// With a per-user monthly cap of c, a Display campaign can serve up
+		// to c impressions to each matched user; light users see fewer.
+		// The sub-linear factor models users with fewer eligible pageviews
+		// than the cap.
+		v *= impressionFactor(cap)
+	}
+	p.mu.Lock()
+	p.queryCount++
+	p.mu.Unlock()
+	return v, nil
+}
+
+// impressionFactor converts a frequency cap into expected impressions per
+// matched user. Cap 1 yields exactly 1 (impressions ≈ unique users — the
+// setting the paper uses); higher caps saturate as light users run out of
+// pageviews.
+func impressionFactor(cap int) float64 {
+	f := 0.0
+	perUser := 1.0
+	for i := 0; i < cap; i++ {
+		f += perUser
+		perUser *= 0.82
+	}
+	return f
+}
+
+// Estimate returns the advertiser-visible rounded size estimate.
+func (p *Interface) Estimate(req EstimateRequest) (int64, error) {
+	v, err := p.estimateExact(req, p.cfg.AdvertiserRules)
+	if err != nil {
+		return 0, err
+	}
+	return p.cfg.Rounder.Round(int64(v + 0.5)), nil
+}
+
+// Measure returns the rounded size estimate under measurement rules — the
+// auditor's view, which may condition on demographics even when the
+// advertiser interface forbids them.
+func (p *Interface) Measure(req EstimateRequest) (int64, error) {
+	v, err := p.estimateExact(req, p.MeasurementRules())
+	if err != nil {
+		return 0, err
+	}
+	return p.cfg.Rounder.Round(int64(v + 0.5)), nil
+}
+
+// Warm materializes every attribute and topic audience. Optional; useful to
+// front-load cost before serving or benchmarking.
+func (p *Interface) Warm() {
+	for i := range p.cfg.Catalog.Attributes {
+		p.attrSet(i)
+	}
+	for i := range p.cfg.Catalog.Topics {
+		p.topicSet(i)
+	}
+	for i := range p.cfg.Catalog.Placements {
+		p.placementSet(i)
+	}
+}

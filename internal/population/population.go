@@ -1,0 +1,584 @@
+// Package population synthesizes the user universe behind a simulated ad
+// platform.
+//
+// The paper measured live platforms whose user databases are inaccessible;
+// per the substitution rule we generate a population whose statistical
+// structure produces the same phenomena the paper measures:
+//
+//   - Every user has a gender and an age range (the sensitive attributes the
+//     paper studies) drawn from configurable platform-specific marginals.
+//   - Every user holds a sparse set of latent interest factors. Factors model
+//     the correlation between related attributes ("owns a sports car" and
+//     "interested in engines") beyond what demographics explain, which is
+//     what makes distinct skewed compositions overlap (paper Table 1).
+//   - Attribute membership is a Bernoulli draw whose log-odds are
+//     base rate + gender loading + age loading + factor boost. Conditional on
+//     the demographic cell and factor, memberships are independent, so an
+//     AND of two skewed attributes multiplies the conditional rates — the
+//     composition-amplifies-skew effect at the heart of the paper.
+//
+// All draws are stateless hashes of (seed, entity ids), so membership needs
+// no storage until a bitset is materialized, and the same universe is
+// reproduced exactly from its Config.
+package population
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/audience"
+	"repro/internal/xrand"
+)
+
+// Gender is a user's gender. The paper (and the 2020-era platforms it
+// audits) treat gender as binary for targeting purposes.
+type Gender uint8
+
+// Gender values.
+const (
+	Male Gender = iota
+	Female
+	NumGenders = 2
+)
+
+// String returns the display name of the gender.
+func (g Gender) String() string {
+	switch g {
+	case Male:
+		return "male"
+	case Female:
+		return "female"
+	default:
+		return fmt.Sprintf("Gender(%d)", uint8(g))
+	}
+}
+
+// Other returns the opposite gender.
+func (g Gender) Other() Gender {
+	if g == Male {
+		return Female
+	}
+	return Male
+}
+
+// AgeRange is one of the four age buckets common to all three platforms
+// (paper §3 footnote 3).
+type AgeRange uint8
+
+// Age ranges.
+const (
+	Age18to24 AgeRange = iota
+	Age25to34
+	Age35to54
+	Age55Plus
+	NumAgeRanges = 4
+)
+
+// String returns the display name of the age range.
+func (a AgeRange) String() string {
+	switch a {
+	case Age18to24:
+		return "18-24"
+	case Age25to34:
+		return "25-34"
+	case Age35to54:
+		return "35-54"
+	case Age55Plus:
+		return "55+"
+	default:
+		return fmt.Sprintf("AgeRange(%d)", uint8(a))
+	}
+}
+
+// AllAgeRanges lists the age ranges in order.
+func AllAgeRanges() []AgeRange {
+	return []AgeRange{Age18to24, Age25to34, Age35to54, Age55Plus}
+}
+
+// Cell is a demographic cell: one (gender, age range) combination. There are
+// NumCells of them.
+type Cell uint8
+
+// NumCells is the number of demographic cells.
+const NumCells = NumGenders * NumAgeRanges
+
+// CellOf returns the cell for a gender and age range.
+func CellOf(g Gender, a AgeRange) Cell {
+	return Cell(uint8(g)*NumAgeRanges + uint8(a))
+}
+
+// Gender returns the gender component of the cell.
+func (c Cell) Gender() Gender { return Gender(uint8(c) / NumAgeRanges) }
+
+// Age returns the age-range component of the cell.
+func (c Cell) Age() AgeRange { return AgeRange(uint8(c) % NumAgeRanges) }
+
+// Region is a user's coarse location. The paper's methodology scopes every
+// measurement to U.S.-based users via location targeting (§3: "we assume RA
+// is the set of all U.S.-based users"); platforms also serve users
+// elsewhere, so the universe carries a region dimension.
+type Region uint8
+
+// Regions.
+const (
+	RegionUS Region = iota
+	RegionCanada
+	RegionUK
+	RegionIndia
+	RegionBrazil
+	RegionOther
+	NumRegions = 6
+)
+
+// String names the region as targeting UIs do.
+func (r Region) String() string {
+	switch r {
+	case RegionUS:
+		return "US"
+	case RegionCanada:
+		return "CA"
+	case RegionUK:
+		return "GB"
+	case RegionIndia:
+		return "IN"
+	case RegionBrazil:
+		return "BR"
+	case RegionOther:
+		return "other"
+	default:
+		return fmt.Sprintf("Region(%d)", uint8(r))
+	}
+}
+
+// MaxFactors is the maximum number of latent interest factors; factor
+// membership is packed into a uint32 per user.
+const MaxFactors = 32
+
+// FactorModel describes one latent interest factor. A factor may itself be
+// demographically skewed (men more likely to hold a "motorsports" factor),
+// which is what lets a composition of two attributes on the same factor be
+// *more* skewed than the product of their individual skews — the
+// amplification visible in the paper's Tables 2–3 examples.
+type FactorModel struct {
+	// Rate is the baseline probability a user holds the factor.
+	Rate float64
+	// GenderLoad shifts the log-odds of holding the factor by ±GenderLoad/2
+	// (positive = male-skewed), like AttrModel.GenderLoad.
+	GenderLoad float64
+	// AgeLoad shifts the log-odds per age range.
+	AgeLoad [NumAgeRanges]float64
+}
+
+// RateIn returns the probability a user in cell c holds the factor.
+func (f FactorModel) RateIn(c Cell) float64 {
+	if f.Rate <= 0 {
+		return 0
+	}
+	if f.Rate >= 1 {
+		return 1
+	}
+	x := Logit(f.Rate) + f.AgeLoad[c.Age()]
+	if c.Gender() == Male {
+		x += f.GenderLoad / 2
+	} else {
+		x -= f.GenderLoad / 2
+	}
+	return sigmoid(x)
+}
+
+// Config describes a synthetic universe.
+type Config struct {
+	// Seed determines every random draw in the universe.
+	Seed uint64
+	// Size is the number of simulated users.
+	Size int
+	// ScaleFactor converts simulated counts to platform-scale counts for
+	// reporting (e.g. a 2^18-user simulation of a 120M-user platform has
+	// ScaleFactor ≈ 458). Metrics that are ratios are unaffected.
+	ScaleFactor float64
+	// MaleShare is the fraction of users that are male.
+	MaleShare float64
+	// AgeShare is the distribution over age ranges; it must sum to ~1.
+	AgeShare [NumAgeRanges]float64
+	// Factors are the latent interest factors (≤ MaxFactors).
+	Factors []FactorModel
+	// USShare is the fraction of users located in the US; the remainder is
+	// split across the other regions in fixed proportions. Zero selects 1
+	// (an all-US universe).
+	USShare float64
+	// ActivitySigma spreads a per-user activity offset (log-odds added to
+	// every attribute membership) across ActivityTiers quantile tiers of a
+	// normal with this standard deviation. Heavy-tailed activity makes
+	// highly active users belong to many attributes at once, which is what
+	// gives distinct AND-compositions substantial audience overlap (paper
+	// Table 1: ≈22 % median pairwise overlap on Facebook's restricted
+	// interface vs ≈0 % on LinkedIn). Zero disables the offset.
+	ActivitySigma float64
+}
+
+// ActivityTiers is the number of discrete activity levels users are
+// assigned to; offsets are the tier midpoint quantiles of
+// N(0, ActivitySigma²).
+const ActivityTiers = 8
+
+// activityQuantiles are Φ⁻¹((t+0.5)/8) for t = 0..7: the standard-normal
+// midpoint quantiles of eight equiprobable tiers.
+var activityQuantiles = [ActivityTiers]float64{
+	-1.5341, -0.8871, -0.4888, -0.1573, 0.1573, 0.4888, 0.8871, 1.5341,
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if c.Size <= 0 {
+		return errors.New("population: Size must be positive")
+	}
+	if c.MaleShare < 0 || c.MaleShare > 1 {
+		return errors.New("population: MaleShare must be in [0, 1]")
+	}
+	var sum float64
+	for _, s := range c.AgeShare {
+		if s < 0 {
+			return errors.New("population: AgeShare entries must be non-negative")
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("population: AgeShare sums to %v, want 1", sum)
+	}
+	if len(c.Factors) > MaxFactors {
+		return fmt.Errorf("population: at most %d factors", MaxFactors)
+	}
+	for i, f := range c.Factors {
+		if f.Rate < 0 || f.Rate > 1 {
+			return fmt.Errorf("population: factor %d rate must be in [0, 1]", i)
+		}
+	}
+	if c.ScaleFactor < 0 {
+		return errors.New("population: ScaleFactor must be non-negative")
+	}
+	if c.ActivitySigma < 0 {
+		return errors.New("population: ActivitySigma must be non-negative")
+	}
+	if c.USShare < 0 || c.USShare > 1 {
+		return errors.New("population: USShare must be in [0, 1]")
+	}
+	return nil
+}
+
+// nonUSWeights splits the non-US share across the other regions.
+var nonUSWeights = [NumRegions]float64{
+	RegionCanada: 0.15, RegionUK: 0.15, RegionIndia: 0.30,
+	RegionBrazil: 0.15, RegionOther: 0.25,
+}
+
+// UniformFactors returns n identical demographically-neutral factors with
+// the given rate — a convenience for tests and ablations.
+func UniformFactors(n int, rate float64) []FactorModel {
+	fs := make([]FactorModel, n)
+	for i := range fs {
+		fs[i] = FactorModel{Rate: rate}
+	}
+	return fs
+}
+
+// AttrModel is the generative model of one targeting attribute: who is
+// likely to hold it. Catalogs (internal/catalog) assign these.
+type AttrModel struct {
+	// ID uniquely identifies the attribute within the universe's draws.
+	ID uint64
+	// BaseLogit is the log-odds of membership for a baseline user.
+	BaseLogit float64
+	// GenderLoad shifts log-odds by +GenderLoad/2 for males and
+	// -GenderLoad/2 for females (positive = male-skewed).
+	GenderLoad float64
+	// AgeLoad shifts log-odds per age range.
+	AgeLoad [NumAgeRanges]float64
+	// Factor is the index of the latent factor the attribute loads on, or -1.
+	Factor int
+	// FactorBoost is added to log-odds for users holding Factor.
+	FactorBoost float64
+}
+
+// sigmoid is the standard logistic function.
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Logit returns log(p/(1-p)); the inverse of sigmoid.
+func Logit(p float64) float64 {
+	return math.Log(p / (1 - p))
+}
+
+// Rate returns the membership probability of the attribute for a user in the
+// given cell with the given factor-held flag.
+func (m AttrModel) Rate(c Cell, hasFactor bool) float64 {
+	x := m.BaseLogit + m.AgeLoad[c.Age()]
+	if c.Gender() == Male {
+		x += m.GenderLoad / 2
+	} else {
+		x -= m.GenderLoad / 2
+	}
+	if hasFactor && m.Factor >= 0 {
+		x += m.FactorBoost
+	}
+	return sigmoid(x)
+}
+
+// Universe is a materialized synthetic user population.
+type Universe struct {
+	cfg        Config
+	cells      []Cell              // per-user demographic cell
+	factors    []uint32            // per-user factor bitmask
+	tiers      []uint8             // per-user activity tier
+	regions    []uint8             // per-user region
+	factorRate [][NumCells]float64 // per-(factor, cell) membership rate
+
+	all      *audience.Set
+	byGender [NumGenders]*audience.Set
+	byAge    [NumAgeRanges]*audience.Set
+	byCell   [NumCells]*audience.Set
+	byRegion [NumRegions]*audience.Set
+}
+
+// draw domains, kept distinct so user demographics, factors, and attribute
+// memberships use independent hash streams.
+const (
+	domainDemo     = 0x11
+	domainFactor   = 0x22
+	domainAttr     = 0x33
+	domainActivity = 0x44
+	domainRegion   = 0x55
+)
+
+// New builds a universe from the config. Building is O(Size × NumFactors)
+// and done once; attribute bitsets are materialized later on demand.
+func New(cfg Config) (*Universe, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ScaleFactor == 0 {
+		cfg.ScaleFactor = 1
+	}
+	if cfg.USShare == 0 {
+		cfg.USShare = 1
+	}
+	u := &Universe{
+		cfg:     cfg,
+		cells:   make([]Cell, cfg.Size),
+		factors: make([]uint32, cfg.Size),
+		tiers:   make([]uint8, cfg.Size),
+		regions: make([]uint8, cfg.Size),
+	}
+	u.all = audience.New(cfg.Size)
+	u.all.Fill()
+	for g := 0; g < NumGenders; g++ {
+		u.byGender[g] = audience.New(cfg.Size)
+	}
+	for a := 0; a < NumAgeRanges; a++ {
+		u.byAge[a] = audience.New(cfg.Size)
+	}
+	for c := 0; c < NumCells; c++ {
+		u.byCell[c] = audience.New(cfg.Size)
+	}
+	for r := 0; r < NumRegions; r++ {
+		u.byRegion[r] = audience.New(cfg.Size)
+	}
+
+	// Cumulative region distribution: US first, then the fixed non-US mix.
+	var regionCum [NumRegions]float64
+	regionCum[RegionUS] = cfg.USShare
+	acc0 := cfg.USShare
+	for r := 1; r < NumRegions; r++ {
+		acc0 += (1 - cfg.USShare) * nonUSWeights[r]
+		regionCum[r] = acc0
+	}
+
+	// Cumulative age distribution for the inverse-CDF draw.
+	var ageCum [NumAgeRanges]float64
+	acc := 0.0
+	for i, s := range cfg.AgeShare {
+		acc += s
+		ageCum[i] = acc
+	}
+
+	// Precompute per-(factor, cell) membership rates so the per-user loop
+	// is a table lookup.
+	u.factorRate = make([][NumCells]float64, len(cfg.Factors))
+	for f, fm := range cfg.Factors {
+		for c := 0; c < NumCells; c++ {
+			u.factorRate[f][c] = fm.RateIn(Cell(c))
+		}
+	}
+
+	for i := 0; i < cfg.Size; i++ {
+		hg := xrand.Mix(cfg.Seed, domainDemo, uint64(i), 0)
+		ha := xrand.Mix(cfg.Seed, domainDemo, uint64(i), 1)
+		g := Female
+		if xrand.Uniform01(hg) < cfg.MaleShare {
+			g = Male
+		}
+		ua := xrand.Uniform01(ha)
+		age := Age55Plus
+		for r := 0; r < NumAgeRanges; r++ {
+			if ua < ageCum[r] {
+				age = AgeRange(r)
+				break
+			}
+		}
+		cell := CellOf(g, age)
+		u.cells[i] = cell
+		u.byGender[g].Add(i)
+		u.byAge[age].Add(i)
+		u.byCell[cell].Add(i)
+
+		var mask uint32
+		for f := range cfg.Factors {
+			if xrand.Bernoulli(u.factorRate[f][cell], cfg.Seed, domainFactor, uint64(f), uint64(i)) {
+				mask |= 1 << uint(f)
+			}
+		}
+		u.factors[i] = mask
+		u.tiers[i] = uint8(xrand.Mix(cfg.Seed, domainActivity, uint64(i)) % ActivityTiers)
+
+		ur := xrand.Uniform01(xrand.Mix(cfg.Seed, domainRegion, uint64(i)))
+		region := RegionOther
+		for r := 0; r < NumRegions; r++ {
+			if ur < regionCum[r] {
+				region = Region(r)
+				break
+			}
+		}
+		u.regions[i] = uint8(region)
+		u.byRegion[region].Add(i)
+	}
+	return u, nil
+}
+
+// Config returns the universe's configuration.
+func (u *Universe) Config() Config { return u.cfg }
+
+// Size returns the number of simulated users.
+func (u *Universe) Size() int { return u.cfg.Size }
+
+// ScaleFactor returns the simulated-to-platform count multiplier.
+func (u *Universe) ScaleFactor() float64 { return u.cfg.ScaleFactor }
+
+// All returns the set of all users. The returned set is shared; callers must
+// not modify it.
+func (u *Universe) All() *audience.Set { return u.all }
+
+// GenderSet returns the set of users with the given gender (shared; do not
+// modify).
+func (u *Universe) GenderSet(g Gender) *audience.Set { return u.byGender[g] }
+
+// AgeSet returns the set of users in the given age range (shared; do not
+// modify).
+func (u *Universe) AgeSet(a AgeRange) *audience.Set { return u.byAge[a] }
+
+// CellSet returns the set of users in the given demographic cell (shared; do
+// not modify).
+func (u *Universe) CellSet(c Cell) *audience.Set { return u.byCell[c] }
+
+// CellOfUser returns the demographic cell of user i.
+func (u *Universe) CellOfUser(i int) Cell { return u.cells[i] }
+
+// NumFactors returns the number of latent factors in the universe.
+func (u *Universe) NumFactors() int { return len(u.cfg.Factors) }
+
+// HasFactor reports whether user i holds latent factor f.
+func (u *Universe) HasFactor(i, f int) bool {
+	return f >= 0 && f < len(u.cfg.Factors) && u.factors[i]&(1<<uint(f)) != 0
+}
+
+// FactorRateIn returns the probability a user in cell c holds factor f.
+func (u *Universe) FactorRateIn(f int, c Cell) float64 {
+	if f < 0 || f >= len(u.cfg.Factors) {
+		return 0
+	}
+	return u.factorRate[f][c]
+}
+
+// Materialize builds the membership bitset of an attribute. The draw for
+// each user is a deterministic hash, so repeated calls return equal sets.
+func (u *Universe) Materialize(m AttrModel) *audience.Set {
+	// Membership probability depends only on (cell, hasFactor, activity
+	// tier); precompute the thresholds in hash space so the per-user work
+	// is one hash and one compare.
+	const mantissa = 1 << 53
+	var thresh [NumCells][2][ActivityTiers]uint64
+	for c := 0; c < NumCells; c++ {
+		for t := 0; t < ActivityTiers; t++ {
+			off := u.cfg.ActivitySigma * activityQuantiles[t]
+			thresh[c][0][t] = uint64(u.rateAt(m, Cell(c), false, off) * mantissa)
+			thresh[c][1][t] = uint64(u.rateAt(m, Cell(c), true, off) * mantissa)
+		}
+	}
+	factorBit := uint32(0)
+	if m.Factor >= 0 && m.Factor < len(u.cfg.Factors) {
+		factorBit = 1 << uint(m.Factor)
+	}
+	set := audience.New(u.cfg.Size)
+	for i := 0; i < u.cfg.Size; i++ {
+		h := xrand.Mix(u.cfg.Seed, domainAttr, m.ID, uint64(i))
+		fi := 0
+		if u.factors[i]&factorBit != 0 {
+			fi = 1
+		}
+		if h>>11 < thresh[u.cells[i]][fi][u.tiers[i]] {
+			set.Add(i)
+		}
+	}
+	return set
+}
+
+// rateAt is AttrModel.Rate with an extra log-odds activity offset.
+func (u *Universe) rateAt(m AttrModel, c Cell, hasFactor bool, activityOffset float64) float64 {
+	x := m.BaseLogit + m.AgeLoad[c.Age()] + activityOffset
+	if c.Gender() == Male {
+		x += m.GenderLoad / 2
+	} else {
+		x -= m.GenderLoad / 2
+	}
+	if hasFactor && m.Factor >= 0 {
+		x += m.FactorBoost
+	}
+	return sigmoid(x)
+}
+
+// ActivityTier returns the activity tier of user i.
+func (u *Universe) ActivityTier(i int) int { return int(u.tiers[i]) }
+
+// RegionSet returns the set of users in the given region (shared; do not
+// modify).
+func (u *Universe) RegionSet(r Region) *audience.Set { return u.byRegion[r] }
+
+// RegionOfUser returns the region of user i.
+func (u *Universe) RegionOfUser(i int) Region { return Region(u.regions[i]) }
+
+// ExpectedCount returns the analytically expected audience size of the
+// attribute under the generative model (used by tests and the ablation
+// benches to validate materialization).
+func (u *Universe) ExpectedCount(m AttrModel) float64 {
+	var total float64
+	for c := 0; c < NumCells; c++ {
+		n := float64(u.byCell[c].Count())
+		pf := u.FactorRateIn(m.Factor, Cell(c))
+		var mean float64
+		for t := 0; t < ActivityTiers; t++ {
+			off := u.cfg.ActivitySigma * activityQuantiles[t]
+			mean += pf*u.rateAt(m, Cell(c), true, off) + (1-pf)*u.rateAt(m, Cell(c), false, off)
+		}
+		total += n * mean / ActivityTiers
+	}
+	return total
+}
+
+// CellCounts returns the number of users in each demographic cell.
+func (u *Universe) CellCounts() [NumCells]int {
+	var out [NumCells]int
+	for c := 0; c < NumCells; c++ {
+		out[c] = u.byCell[c].Count()
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package population
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/audience"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:        42,
+		Size:        40000,
+		MaleShare:   0.5,
+		AgeShare:    [NumAgeRanges]float64{0.2, 0.3, 0.3, 0.2},
+		Factors:     UniformFactors(8, 0.1),
+		ScaleFactor: 100,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Universe {
+	t.Helper()
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := testConfig()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(c *Config){
+		func(c *Config) { c.Size = 0 },
+		func(c *Config) { c.MaleShare = -0.1 },
+		func(c *Config) { c.MaleShare = 1.1 },
+		func(c *Config) { c.AgeShare = [NumAgeRanges]float64{0.5, 0.5, 0.5, 0.5} },
+		func(c *Config) { c.AgeShare = [NumAgeRanges]float64{-0.2, 0.6, 0.3, 0.3} },
+		func(c *Config) { c.Factors = UniformFactors(MaxFactors+1, 0.1) },
+		func(c *Config) { c.Factors = []FactorModel{{Rate: 2}} },
+		func(c *Config) { c.Factors = []FactorModel{{Rate: -0.1}} },
+		func(c *Config) { c.ScaleFactor = -1 },
+	}
+	for i, mutate := range bad {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCellRoundTrip(t *testing.T) {
+	for g := Gender(0); g < NumGenders; g++ {
+		for a := AgeRange(0); a < NumAgeRanges; a++ {
+			c := CellOf(g, a)
+			if c.Gender() != g || c.Age() != a {
+				t.Fatalf("cell round trip failed for (%v, %v)", g, a)
+			}
+		}
+	}
+}
+
+func TestGenderStrings(t *testing.T) {
+	if Male.String() != "male" || Female.String() != "female" {
+		t.Fatal("gender strings wrong")
+	}
+	if Male.Other() != Female || Female.Other() != Male {
+		t.Fatal("Other() wrong")
+	}
+}
+
+func TestAgeStrings(t *testing.T) {
+	want := []string{"18-24", "25-34", "35-54", "55+"}
+	for i, a := range AllAgeRanges() {
+		if a.String() != want[i] {
+			t.Fatalf("age %d string = %q, want %q", i, a.String(), want[i])
+		}
+	}
+}
+
+func TestDemographicMarginals(t *testing.T) {
+	cfg := testConfig()
+	u := mustNew(t, cfg)
+	maleFrac := float64(u.GenderSet(Male).Count()) / float64(cfg.Size)
+	if math.Abs(maleFrac-cfg.MaleShare) > 0.01 {
+		t.Errorf("male fraction = %v, want ~%v", maleFrac, cfg.MaleShare)
+	}
+	for i, a := range AllAgeRanges() {
+		frac := float64(u.AgeSet(a).Count()) / float64(cfg.Size)
+		if math.Abs(frac-cfg.AgeShare[i]) > 0.015 {
+			t.Errorf("age %v fraction = %v, want ~%v", a, frac, cfg.AgeShare[i])
+		}
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	u := mustNew(t, testConfig())
+	// Gender sets partition the universe.
+	if audience.CountAnd(u.GenderSet(Male), u.GenderSet(Female)) != 0 {
+		t.Fatal("gender sets overlap")
+	}
+	if u.GenderSet(Male).Count()+u.GenderSet(Female).Count() != u.Size() {
+		t.Fatal("gender sets do not cover universe")
+	}
+	// Age sets partition the universe.
+	total := 0
+	for _, a := range AllAgeRanges() {
+		total += u.AgeSet(a).Count()
+	}
+	if total != u.Size() {
+		t.Fatalf("age sets cover %d of %d users", total, u.Size())
+	}
+	// Cells refine both.
+	for c := Cell(0); c < NumCells; c++ {
+		want := audience.CountAnd(u.GenderSet(c.Gender()), u.AgeSet(c.Age()))
+		if got := u.CellSet(c).Count(); got != want {
+			t.Fatalf("cell %d count = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestReproducible(t *testing.T) {
+	cfg := testConfig()
+	cfg.Size = 5000
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	if !audience.Equal(a.GenderSet(Male), b.GenderSet(Male)) {
+		t.Fatal("same seed produced different gender sets")
+	}
+	m := AttrModel{ID: 7, BaseLogit: Logit(0.05), GenderLoad: 1.0}
+	if !audience.Equal(a.Materialize(m), b.Materialize(m)) {
+		t.Fatal("same seed produced different attribute sets")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	cfg := testConfig()
+	cfg.Size = 5000
+	a := mustNew(t, cfg)
+	cfg.Seed = 43
+	b := mustNew(t, cfg)
+	if audience.Equal(a.GenderSet(Male), b.GenderSet(Male)) {
+		t.Fatal("different seeds produced identical gender sets")
+	}
+}
+
+func TestAttrBaseRate(t *testing.T) {
+	u := mustNew(t, testConfig())
+	m := AttrModel{ID: 1, BaseLogit: Logit(0.10), Factor: -1}
+	set := u.Materialize(m)
+	frac := float64(set.Count()) / float64(u.Size())
+	if math.Abs(frac-0.10) > 0.01 {
+		t.Fatalf("attribute rate = %v, want ~0.10", frac)
+	}
+}
+
+func TestAttrGenderSkew(t *testing.T) {
+	u := mustNew(t, testConfig())
+	m := AttrModel{ID: 2, BaseLogit: Logit(0.05), GenderLoad: 2.0, Factor: -1}
+	set := u.Materialize(m)
+	maleRate := float64(audience.CountAnd(set, u.GenderSet(Male))) / float64(u.GenderSet(Male).Count())
+	femaleRate := float64(audience.CountAnd(set, u.GenderSet(Female))) / float64(u.GenderSet(Female).Count())
+	ratio := maleRate / femaleRate
+	// Odds-ratio of e^2 ≈ 7.4 at low base rate gives a rate ratio around
+	// e^2 as well (rare-event approximation); accept a generous band.
+	if ratio < 4 || ratio > 12 {
+		t.Fatalf("gender rate ratio = %v, want male-skewed ~7", ratio)
+	}
+}
+
+func TestAttrAgeSkew(t *testing.T) {
+	u := mustNew(t, testConfig())
+	m := AttrModel{ID: 3, BaseLogit: Logit(0.05), Factor: -1}
+	m.AgeLoad[Age18to24] = 1.5
+	set := u.Materialize(m)
+	youngRate := float64(audience.CountAnd(set, u.AgeSet(Age18to24))) / float64(u.AgeSet(Age18to24).Count())
+	oldRate := float64(audience.CountAnd(set, u.AgeSet(Age55Plus))) / float64(u.AgeSet(Age55Plus).Count())
+	if youngRate <= oldRate*2 {
+		t.Fatalf("young rate %v not clearly above old rate %v", youngRate, oldRate)
+	}
+}
+
+func TestFactorCorrelation(t *testing.T) {
+	// Two attributes on the same factor should co-occur more than two
+	// attributes on different factors, given equal marginals.
+	u := mustNew(t, testConfig())
+	base := Logit(0.05)
+	a1 := u.Materialize(AttrModel{ID: 10, BaseLogit: base, Factor: 0, FactorBoost: 2.5})
+	a2 := u.Materialize(AttrModel{ID: 11, BaseLogit: base, Factor: 0, FactorBoost: 2.5})
+	b2 := u.Materialize(AttrModel{ID: 12, BaseLogit: base, Factor: 1, FactorBoost: 2.5})
+	sameFactor := audience.CountAnd(a1, a2)
+	diffFactor := audience.CountAnd(a1, b2)
+	if sameFactor <= diffFactor {
+		t.Fatalf("same-factor overlap %d not above cross-factor overlap %d", sameFactor, diffFactor)
+	}
+}
+
+func TestCompositionAmplifiesSkew(t *testing.T) {
+	// The core phenomenon: AND of two male-skewed attributes is more
+	// male-skewed than either attribute alone.
+	cfg := testConfig()
+	cfg.Size = 120000
+	u := mustNew(t, cfg)
+	m1 := AttrModel{ID: 20, BaseLogit: Logit(0.08), GenderLoad: 1.2, Factor: -1}
+	m2 := AttrModel{ID: 21, BaseLogit: Logit(0.08), GenderLoad: 1.2, Factor: -1}
+	s1, s2 := u.Materialize(m1), u.Materialize(m2)
+	both := audience.And(s1, s2)
+
+	ratio := func(s *audience.Set) float64 {
+		m := float64(audience.CountAnd(s, u.GenderSet(Male))) / float64(u.GenderSet(Male).Count())
+		f := float64(audience.CountAnd(s, u.GenderSet(Female))) / float64(u.GenderSet(Female).Count())
+		return m / f
+	}
+	r1, r2, rBoth := ratio(s1), ratio(s2), ratio(both)
+	if rBoth <= r1 || rBoth <= r2 {
+		t.Fatalf("composition ratio %v not above individual ratios %v, %v", rBoth, r1, r2)
+	}
+	// Under conditional independence the composed ratio is close to the
+	// product of the individual rate ratios within gender; allow slack.
+	if rBoth < r1*r2*0.5 {
+		t.Fatalf("composition ratio %v far below multiplicative expectation %v", rBoth, r1*r2)
+	}
+}
+
+func TestExpectedCountMatchesMaterialized(t *testing.T) {
+	u := mustNew(t, testConfig())
+	models := []AttrModel{
+		{ID: 30, BaseLogit: Logit(0.02), Factor: -1},
+		{ID: 31, BaseLogit: Logit(0.10), GenderLoad: 1.5, Factor: -1},
+		{ID: 32, BaseLogit: Logit(0.05), Factor: 2, FactorBoost: 2.0},
+	}
+	for _, m := range models {
+		got := float64(u.Materialize(m).Count())
+		want := u.ExpectedCount(m)
+		// Binomial standard deviation bound with wide margin.
+		if math.Abs(got-want) > 5*math.Sqrt(want)+50 {
+			t.Errorf("attr %d count = %v, expected %v", m.ID, got, want)
+		}
+	}
+}
+
+func TestRateMonotoneInLoad(t *testing.T) {
+	// Property: male rate increases with GenderLoad, female rate decreases.
+	if err := quick.Check(func(rawLoad uint8) bool {
+		load := float64(rawLoad) / 64 // up to 4
+		m := AttrModel{BaseLogit: Logit(0.05), GenderLoad: load, Factor: -1}
+		m0 := AttrModel{BaseLogit: Logit(0.05), GenderLoad: 0, Factor: -1}
+		cM := CellOf(Male, Age25to34)
+		cF := CellOf(Female, Age25to34)
+		return m.Rate(cM, false) >= m0.Rate(cM, false) &&
+			m.Rate(cF, false) <= m0.Rate(cF, false)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasFactorBounds(t *testing.T) {
+	u := mustNew(t, testConfig())
+	if u.HasFactor(0, -1) || u.HasFactor(0, MaxFactors+5) {
+		t.Fatal("out-of-range factor queries must be false")
+	}
+}
+
+func TestCellCounts(t *testing.T) {
+	u := mustNew(t, testConfig())
+	counts := u.CellCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != u.Size() {
+		t.Fatalf("cell counts sum to %d, want %d", total, u.Size())
+	}
+}
+
+func TestScaleFactorDefault(t *testing.T) {
+	cfg := testConfig()
+	cfg.ScaleFactor = 0
+	u := mustNew(t, cfg)
+	if u.ScaleFactor() != 1 {
+		t.Fatalf("ScaleFactor default = %v, want 1", u.ScaleFactor())
+	}
+}
+
+func BenchmarkMaterialize(b *testing.B) {
+	cfg := testConfig()
+	cfg.Size = 1 << 18
+	u, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := AttrModel{ID: 99, BaseLogit: Logit(0.05), GenderLoad: 1, Factor: 3, FactorBoost: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Materialize(m)
+	}
+}
+
+func BenchmarkNewUniverse(b *testing.B) {
+	cfg := testConfig()
+	cfg.Size = 1 << 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

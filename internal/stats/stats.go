@@ -1,0 +1,202 @@
+// Package stats provides the descriptive statistics used by the audit
+// methodology: percentiles with linear interpolation, the five-number
+// box-plot summaries the paper plots (10th/25th/50th/75th/90th percentiles
+// plus outliers), and simple aggregates.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted. It returns
+// ErrEmpty for an empty sample and an error for out-of-range p.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0, 100]")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return percentileSorted(s, p), nil
+}
+
+// percentileSorted computes a percentile over an already-sorted sample.
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Box is the box-plot summary used in the paper's figures: the median as the
+// centre line, the 25th/75th percentiles as box edges, the 10th/90th
+// percentiles as whiskers, and values beyond the whiskers as outliers.
+type Box struct {
+	N      int     // sample size
+	P10    float64 // 10th percentile (lower whisker)
+	P25    float64 // 25th percentile (box lower edge)
+	Median float64 // 50th percentile
+	P75    float64 // 75th percentile (box upper edge)
+	P90    float64 // 90th percentile (upper whisker)
+	Min    float64
+	Max    float64
+}
+
+// NewBox computes the box summary of xs.
+func NewBox(xs []float64) (Box, error) {
+	if len(xs) == 0 {
+		return Box{}, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return Box{
+		N:      len(s),
+		P10:    percentileSorted(s, 10),
+		P25:    percentileSorted(s, 25),
+		Median: percentileSorted(s, 50),
+		P75:    percentileSorted(s, 75),
+		P90:    percentileSorted(s, 90),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}, nil
+}
+
+// FractionOutside reports the fraction of xs that falls strictly outside the
+// closed interval [lo, hi]. The paper uses this with the four-fifths bounds
+// (0.8, 1.25) to report "over 90 percent of the most skewed pairs fall
+// outside the thresholds of the four-fifths rule".
+func FractionOutside(xs []float64, lo, hi float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	out := 0
+	for _, x := range xs {
+		if x < lo || x > hi {
+			out++
+		}
+	}
+	return float64(out) / float64(len(xs)), nil
+}
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// SigDigits infers the number of significant decimal digits of v, i.e. the
+// smallest d >= 1 such that v is exactly representable as an integer mantissa
+// of d digits times a power of ten. Zero is reported as 0 digits. This is the
+// primitive behind the paper's estimate-granularity study (§3).
+func SigDigits(v int64) int {
+	if v == 0 {
+		return 0
+	}
+	if v < 0 {
+		v = -v
+	}
+	for v%10 == 0 {
+		v /= 10
+	}
+	d := 0
+	for v > 0 {
+		d++
+		v /= 10
+	}
+	return d
+}
+
+// MaxSigDigits returns the maximum SigDigits over all values, ignoring zeros.
+// A platform whose estimates never exceed k significant digits is rounding to
+// k digits.
+func MaxSigDigits(vs []int64) int {
+	max := 0
+	for _, v := range vs {
+		if d := SigDigits(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinNonZero returns the smallest strictly positive value in vs, or 0 if none
+// exists. Used to infer a platform's minimum reported estimate (Facebook
+// 1,000; Google 40; LinkedIn 300).
+func MinNonZero(vs []int64) int64 {
+	var min int64
+	for _, v := range vs {
+		if v > 0 && (min == 0 || v < min) {
+			min = v
+		}
+	}
+	return min
+}
+
+// Histogram counts xs into nbins equal-width bins over [lo, hi]. Values
+// outside the range are clamped into the first or last bin.
+func Histogram(xs []float64, lo, hi float64, nbins int) ([]int, error) {
+	if nbins <= 0 {
+		return nil, errors.New("stats: nbins must be positive")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: hi must exceed lo")
+	}
+	bins := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		bins[b]++
+	}
+	return bins, nil
+}

@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestPercentileEmpty(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestPercentileOutOfRange(t *testing.T) {
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Fatal("want error for p<0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Fatal("want error for p>100")
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		got, err := Percentile([]float64{42}, p)
+		if err != nil || got != 42 {
+			t.Fatalf("Percentile([42], %v) = %v, %v", p, got, err)
+		}
+	}
+}
+
+func TestPercentileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4}, {90, 4.6},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	// Property: percentile is monotone nondecreasing in p.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v, err := Percentile(xs, p)
+			if err != nil || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	// Property: result is always within [min, max].
+	if err := quick.Check(func(seed uint64, pRaw uint8) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		p := float64(pRaw) / 255 * 100
+		v, err := Percentile(xs, p)
+		if err != nil {
+			return false
+		}
+		min, max, _ := MinMax(xs)
+		return v >= min-1e-12 && v <= max+1e-12
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{5, 1, 3})
+	if err != nil || got != 3 {
+		t.Fatalf("Median = %v, %v", got, err)
+	}
+	got, err = Median([]float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Fatalf("Median even = %v, %v", got, err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{2, 4, 6})
+	if err != nil || got != 4 {
+		t.Fatalf("Mean = %v, %v", got, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatal("want ErrEmpty")
+	}
+}
+
+func TestNewBoxOrdering(t *testing.T) {
+	r := xrand.New(9)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	b, err := NewBox(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b.Min <= b.P10 && b.P10 <= b.P25 && b.P25 <= b.Median &&
+		b.Median <= b.P75 && b.P75 <= b.P90 && b.P90 <= b.Max) {
+		t.Fatalf("box quantiles out of order: %+v", b)
+	}
+	if b.N != 500 {
+		t.Fatalf("N = %d, want 500", b.N)
+	}
+}
+
+func TestNewBoxEmpty(t *testing.T) {
+	if _, err := NewBox(nil); err != ErrEmpty {
+		t.Fatal("want ErrEmpty")
+	}
+}
+
+func TestFractionOutside(t *testing.T) {
+	xs := []float64{0.5, 0.8, 1.0, 1.25, 2.0}
+	// 0.5 and 2.0 are outside [0.8, 1.25]; boundary values are inside.
+	got, err := FractionOutside(xs, 0.8, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.4 {
+		t.Fatalf("FractionOutside = %v, want 0.4", got)
+	}
+	if _, err := FractionOutside(nil, 0, 1); err != ErrEmpty {
+		t.Fatal("want ErrEmpty")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Fatalf("MinMax = %v, %v, %v", min, max, err)
+	}
+}
+
+func TestSigDigits(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {10, 1}, {1000, 1}, {1100, 2}, {1150, 3},
+		{99, 2}, {100000, 1}, {120000, 2}, {123456, 6}, {-1200, 2},
+		{40, 1}, {300, 1}, {560000, 2},
+	}
+	for _, c := range cases {
+		if got := SigDigits(c.v); got != c.want {
+			t.Errorf("SigDigits(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMaxSigDigits(t *testing.T) {
+	if got := MaxSigDigits([]int64{1000, 1100, 0, 10}); got != 2 {
+		t.Fatalf("MaxSigDigits = %d, want 2", got)
+	}
+	if got := MaxSigDigits(nil); got != 0 {
+		t.Fatalf("MaxSigDigits(nil) = %d, want 0", got)
+	}
+}
+
+func TestMinNonZero(t *testing.T) {
+	if got := MinNonZero([]int64{0, 1000, 300, 0, 5000}); got != 300 {
+		t.Fatalf("MinNonZero = %d, want 300", got)
+	}
+	if got := MinNonZero([]int64{0, 0}); got != 0 {
+		t.Fatalf("MinNonZero(all zero) = %d, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins, err := Histogram([]float64{0.1, 0.2, 0.9, -5, 99}, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -5 clamps into bin 0, 99 clamps into bin 1.
+	if bins[0] != 3 || bins[1] != 2 {
+		t.Fatalf("Histogram = %v", bins)
+	}
+	if _, err := Histogram(nil, 0, 1, 0); err == nil {
+		t.Fatal("want error for nbins=0")
+	}
+	if _, err := Histogram(nil, 1, 1, 3); err == nil {
+		t.Fatal("want error for hi<=lo")
+	}
+}
+
+func TestHistogramTotal(t *testing.T) {
+	// Property: bin counts always sum to len(xs).
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		bins, err := Histogram(xs, -5, 5, 7)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, b := range bins {
+			total += b
+		}
+		return total == n
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMatchesSortedRank(t *testing.T) {
+	// For p values that land exactly on ranks, percentile equals the element.
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110}
+	sort.Float64s(xs)
+	for i, x := range xs {
+		p := float64(i) / float64(len(xs)-1) * 100
+		got, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-x) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, x)
+		}
+	}
+}

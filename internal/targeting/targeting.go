@@ -1,0 +1,373 @@
+// Package targeting models advertiser targeting expressions and the
+// per-platform rules constraining how they may be composed.
+//
+// A Spec is a boolean formula in the shape every studied platform supports:
+// a logical AND of OR-clauses over targeting options, optionally minus a set
+// of excluded clauses ("and of or-terms", paper §2.1 footnote 2). Platforms
+// differ in which features exist, whether exclusion is allowed (Facebook's
+// restricted interface forbids it), whether demographics are a separate
+// dimension (Facebook, Google) or ordinary attributes combined via AND of
+// ORs (LinkedIn, paper §3 footnote 4), and whether options within one
+// feature may be ANDed (Google only ORs attributes within a feature, so
+// AND-composition there spans features, e.g. attribute ∧ topic).
+package targeting
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies a targeting feature family.
+type Kind uint8
+
+// Feature kinds.
+const (
+	// KindAttribute is a default-list user attribute (interests, industries,
+	// behaviours) — the feature the paper crawls on every platform.
+	KindAttribute Kind = iota
+	// KindTopic is Google's webpage-topic placement targeting.
+	KindTopic
+	// KindGender targets a gender value.
+	KindGender
+	// KindAge targets an age-range value.
+	KindAge
+	// KindCustomAudience targets a previously created audience: a PII-match
+	// (customer list) audience, a tracking-pixel (website activity)
+	// audience, or a lookalike/special-ad audience expanded from either
+	// (paper §2.1: PII-based, activity-based, and lookalike targeting).
+	KindCustomAudience
+	// KindLocation targets users by region; the paper's methodology scopes
+	// every audience to U.S.-based users this way (§3).
+	KindLocation
+	// KindPlacement targets where the ad appears: specific publisher
+	// websites/apps in the platform's network (paper §2.1, Google "managed
+	// placements"). The reached audience is the placement's visitors.
+	KindPlacement
+	numKinds
+)
+
+// String returns the feature kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindAttribute:
+		return "attribute"
+	case KindTopic:
+		return "topic"
+	case KindGender:
+		return "gender"
+	case KindAge:
+		return "age"
+	case KindCustomAudience:
+		return "custom-audience"
+	case KindLocation:
+		return "location"
+	case KindPlacement:
+		return "placement"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Ref names one targeting option: a feature kind plus the option's index
+// within that feature (for KindAttribute/KindTopic, an index into the
+// platform catalog; for KindGender/KindAge, the demographic enum value).
+type Ref struct {
+	Kind Kind `json:"kind"`
+	ID   int  `json:"id"`
+}
+
+// String formats the ref as kind:id.
+func (r Ref) String() string { return fmt.Sprintf("%s:%d", r.Kind, r.ID) }
+
+// Clause is a logical OR of refs. A user matches the clause if they match
+// any ref in it.
+type Clause []Ref
+
+// Spec is a full targeting expression: (AND over Include clauses) AND NOT
+// (OR over Exclude clauses). A user is in the audience if they match every
+// include clause and no exclude clause.
+type Spec struct {
+	Include []Clause `json:"include"`
+	Exclude []Clause `json:"exclude,omitempty"`
+}
+
+// Validation errors.
+var (
+	ErrEmptySpec         = errors.New("targeting: spec has no include clauses")
+	ErrEmptyClause       = errors.New("targeting: empty clause")
+	ErrMixedClause       = errors.New("targeting: clause mixes feature kinds")
+	ErrExcludeForbidden  = errors.New("targeting: exclusion targeting not allowed on this interface")
+	ErrKindForbidden     = errors.New("targeting: feature kind not offered by this interface")
+	ErrDemoForbidden     = errors.New("targeting: demographic targeting not allowed on this interface")
+	ErrAndWithinFeature  = errors.New("targeting: interface cannot AND options within one feature")
+	ErrTooManyClauses    = errors.New("targeting: too many clauses")
+	ErrUnknownOption     = errors.New("targeting: unknown targeting option")
+	ErrDuplicateRef      = errors.New("targeting: duplicate option within clause")
+	ErrInvalidDemoValue  = errors.New("targeting: invalid demographic value")
+	ErrDemoNotAttributes = errors.New("targeting: demographics on this interface are separate dimensions, not attributes")
+)
+
+// Rules is a platform interface's composition policy.
+type Rules struct {
+	// Interface is the human-readable interface name (for error text).
+	Interface string
+	// Kinds lists the feature kinds the interface offers.
+	Kinds []Kind
+	// AllowExclude reports whether exclusion targeting is permitted.
+	// Facebook's restricted interface sets this false (paper §2.2).
+	AllowExclude bool
+	// AllowDemographics reports whether gender/age may appear at all.
+	// Facebook's restricted interface sets this false.
+	AllowDemographics bool
+	// DemographicsAsAttributes marks LinkedIn-style interfaces where gender
+	// and age are ordinary detailed-targeting attributes combined by AND of
+	// ORs rather than a separate campaign dimension.
+	DemographicsAsAttributes bool
+	// AndWithinFeature reports whether two clauses of the same feature kind
+	// may be ANDed. Google's size-reporting surface only ORs options within
+	// a feature, so AND-composition must span features (paper §3 footnote 8).
+	AndWithinFeature bool
+	// MaxClauses bounds the number of include clauses (0 = unlimited).
+	MaxClauses int
+	// OptionCount returns the number of options for a kind (catalog sizes),
+	// used to bounds-check refs. Nil disables the check.
+	OptionCount func(Kind) int
+}
+
+// allows reports whether kind k is offered.
+func (r Rules) allows(k Kind) bool {
+	for _, kk := range r.Kinds {
+		if kk == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks a spec against the interface's rules. It returns the first
+// violation found, wrapped with the interface name.
+func (r Rules) Validate(s Spec) error {
+	if err := r.validate(s); err != nil {
+		return fmt.Errorf("%s: %w", r.Interface, err)
+	}
+	return nil
+}
+
+func (r Rules) validate(s Spec) error {
+	if len(s.Include) == 0 {
+		return ErrEmptySpec
+	}
+	if len(s.Exclude) > 0 && !r.AllowExclude {
+		return ErrExcludeForbidden
+	}
+	if r.MaxClauses > 0 && len(s.Include) > r.MaxClauses {
+		return fmt.Errorf("%w: %d include clauses, limit %d", ErrTooManyClauses, len(s.Include), r.MaxClauses)
+	}
+	kindSeen := make(map[Kind]int)
+	for _, group := range [][]Clause{s.Include, s.Exclude} {
+		for _, cl := range group {
+			k, err := r.validateClause(cl)
+			if err != nil {
+				return err
+			}
+			kindSeen[k]++
+		}
+	}
+	if !r.AndWithinFeature {
+		for k, n := range kindSeen {
+			if n > 1 && (k == KindAttribute || k == KindTopic || k == KindPlacement) {
+				return fmt.Errorf("%w: %d %s clauses", ErrAndWithinFeature, n, k)
+			}
+		}
+	}
+	return nil
+}
+
+// validateClause checks one clause and returns its (homogeneous) kind.
+func (r Rules) validateClause(cl Clause) (Kind, error) {
+	if len(cl) == 0 {
+		return 0, ErrEmptyClause
+	}
+	k := cl[0].Kind
+	seen := make(map[Ref]bool, len(cl))
+	for _, ref := range cl {
+		if ref.Kind != k {
+			return 0, ErrMixedClause
+		}
+		if seen[ref] {
+			return 0, fmt.Errorf("%w: %s", ErrDuplicateRef, ref)
+		}
+		seen[ref] = true
+		if err := r.validateRef(ref); err != nil {
+			return 0, err
+		}
+	}
+	return k, nil
+}
+
+func (r Rules) validateRef(ref Ref) error {
+	if ref.Kind >= numKinds {
+		return fmt.Errorf("%w: %s", ErrKindForbidden, ref)
+	}
+	isDemo := ref.Kind == KindGender || ref.Kind == KindAge
+	if isDemo && !r.AllowDemographics {
+		return fmt.Errorf("%w: %s", ErrDemoForbidden, ref)
+	}
+	if !r.allows(ref.Kind) {
+		return fmt.Errorf("%w: %s", ErrKindForbidden, ref)
+	}
+	if ref.ID < 0 {
+		return fmt.Errorf("%w: %s", ErrUnknownOption, ref)
+	}
+	if r.OptionCount != nil {
+		if n := r.OptionCount(ref.Kind); ref.ID >= n {
+			return fmt.Errorf("%w: %s (have %d options)", ErrUnknownOption, ref, n)
+		}
+	}
+	return nil
+}
+
+// --- constructors and combinators ---
+
+// Attr returns a single-attribute spec.
+func Attr(id int) Spec {
+	return Spec{Include: []Clause{{{Kind: KindAttribute, ID: id}}}}
+}
+
+// Topic returns a single-topic spec.
+func Topic(id int) Spec {
+	return Spec{Include: []Clause{{{Kind: KindTopic, ID: id}}}}
+}
+
+// Placement returns a single-placement spec.
+func Placement(id int) Spec {
+	return Spec{Include: []Clause{{{Kind: KindPlacement, ID: id}}}}
+}
+
+// CustomAudience returns a spec targeting one custom audience by id.
+func CustomAudience(id int) Spec {
+	return Spec{Include: []Clause{{{Kind: KindCustomAudience, ID: id}}}}
+}
+
+// AnyAttr returns a spec matching users holding any of the given attributes
+// (a single OR clause).
+func AnyAttr(ids ...int) Spec {
+	cl := make(Clause, len(ids))
+	for i, id := range ids {
+		cl[i] = Ref{Kind: KindAttribute, ID: id}
+	}
+	return Spec{Include: []Clause{cl}}
+}
+
+// And returns the conjunction of specs: all include clauses concatenated,
+// all exclude clauses concatenated. This is how the paper composes
+// targetings (logical AND of individual targetings).
+func And(specs ...Spec) Spec {
+	var out Spec
+	for _, s := range specs {
+		out.Include = append(out.Include, cloneClauses(s.Include)...)
+		out.Exclude = append(out.Exclude, cloneClauses(s.Exclude)...)
+	}
+	return out
+}
+
+// WithLocation returns s AND (region ∈ regions), a single OR clause.
+func WithLocation(s Spec, regions ...int) Spec {
+	out := clone(s)
+	cl := make(Clause, len(regions))
+	for i, r := range regions {
+		cl[i] = Ref{Kind: KindLocation, ID: r}
+	}
+	out.Include = append(out.Include, cl)
+	return out
+}
+
+// WithGender returns s AND (gender = g).
+func WithGender(s Spec, g int) Spec {
+	out := clone(s)
+	out.Include = append(out.Include, Clause{{Kind: KindGender, ID: g}})
+	return out
+}
+
+// WithAge returns s AND (age ∈ ages), a single OR clause over age ranges.
+func WithAge(s Spec, ages ...int) Spec {
+	out := clone(s)
+	cl := make(Clause, len(ages))
+	for i, a := range ages {
+		cl[i] = Ref{Kind: KindAge, ID: a}
+	}
+	out.Include = append(out.Include, cl)
+	return out
+}
+
+// Excluding returns s AND NOT other's include clauses.
+func Excluding(s Spec, other Spec) Spec {
+	out := clone(s)
+	out.Exclude = append(out.Exclude, cloneClauses(other.Include)...)
+	return out
+}
+
+func clone(s Spec) Spec {
+	return Spec{Include: cloneClauses(s.Include), Exclude: cloneClauses(s.Exclude)}
+}
+
+func cloneClauses(cs []Clause) []Clause {
+	if cs == nil {
+		return nil
+	}
+	out := make([]Clause, len(cs))
+	for i, c := range cs {
+		out[i] = append(Clause(nil), c...)
+	}
+	return out
+}
+
+// Canonical returns a canonical string form of the spec: clauses sorted,
+// refs within clauses sorted. Two specs denoting the same formula (up to
+// clause and ref order) have the same canonical form, which the audit layer
+// uses for dedup and caching.
+func Canonical(s Spec) string {
+	part := func(cs []Clause) string {
+		strs := make([]string, len(cs))
+		for i, c := range cs {
+			refs := make([]string, len(c))
+			for j, r := range c {
+				refs[j] = r.String()
+			}
+			sort.Strings(refs)
+			strs[i] = "(" + strings.Join(refs, "|") + ")"
+		}
+		sort.Strings(strs)
+		return strings.Join(strs, "&")
+	}
+	out := part(s.Include)
+	if len(s.Exclude) > 0 {
+		out += "!-" + part(s.Exclude)
+	}
+	return out
+}
+
+// AttrIDs returns the IDs of all attribute refs in the include clauses, in
+// order of appearance. Useful for describing compositions of attributes.
+func AttrIDs(s Spec) []int {
+	var out []int
+	for _, cl := range s.Include {
+		for _, r := range cl {
+			if r.Kind == KindAttribute {
+				out = append(out, r.ID)
+			}
+		}
+	}
+	return out
+}
+
+// Refs returns every ref in the include clauses in order of appearance.
+func Refs(s Spec) []Ref {
+	var out []Ref
+	for _, cl := range s.Include {
+		out = append(out, cl...)
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package targeting
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// fbRules mirrors Facebook's full interface: attributes + demographics,
+// exclusion allowed, AND within a feature allowed.
+func fbRules() Rules {
+	return Rules{
+		Interface:         "facebook",
+		Kinds:             []Kind{KindAttribute, KindGender, KindAge},
+		AllowExclude:      true,
+		AllowDemographics: true,
+		AndWithinFeature:  true,
+		OptionCount: func(k Kind) int {
+			switch k {
+			case KindAttribute:
+				return 100
+			case KindGender:
+				return 2
+			case KindAge:
+				return 4
+			}
+			return 0
+		},
+	}
+}
+
+// restrictedRules mirrors Facebook's restricted interface: no demographics,
+// no exclusion.
+func restrictedRules() Rules {
+	r := fbRules()
+	r.Interface = "facebook-restricted"
+	r.Kinds = []Kind{KindAttribute}
+	r.AllowExclude = false
+	r.AllowDemographics = false
+	return r
+}
+
+// googleRules mirrors Google: attributes + topics + demographics, no AND
+// within a feature.
+func googleRules() Rules {
+	return Rules{
+		Interface:         "google",
+		Kinds:             []Kind{KindAttribute, KindTopic, KindGender, KindAge},
+		AllowExclude:      true,
+		AllowDemographics: true,
+		AndWithinFeature:  false,
+		OptionCount: func(k Kind) int {
+			switch k {
+			case KindAttribute:
+				return 100
+			case KindTopic:
+				return 200
+			case KindGender:
+				return 2
+			case KindAge:
+				return 4
+			}
+			return 0
+		},
+	}
+}
+
+func TestValidateSimpleAttr(t *testing.T) {
+	if err := fbRules().Validate(Attr(5)); err != nil {
+		t.Fatalf("simple attr rejected: %v", err)
+	}
+}
+
+func TestValidateEmptySpec(t *testing.T) {
+	err := fbRules().Validate(Spec{})
+	if !errors.Is(err, ErrEmptySpec) {
+		t.Fatalf("want ErrEmptySpec, got %v", err)
+	}
+}
+
+func TestValidateEmptyClause(t *testing.T) {
+	err := fbRules().Validate(Spec{Include: []Clause{{}}})
+	if !errors.Is(err, ErrEmptyClause) {
+		t.Fatalf("want ErrEmptyClause, got %v", err)
+	}
+}
+
+func TestValidateMixedClause(t *testing.T) {
+	s := Spec{Include: []Clause{{
+		{Kind: KindAttribute, ID: 1},
+		{Kind: KindGender, ID: 0},
+	}}}
+	err := fbRules().Validate(s)
+	if !errors.Is(err, ErrMixedClause) {
+		t.Fatalf("want ErrMixedClause, got %v", err)
+	}
+}
+
+func TestValidateDuplicateRef(t *testing.T) {
+	s := AnyAttr(3, 3)
+	err := fbRules().Validate(s)
+	if !errors.Is(err, ErrDuplicateRef) {
+		t.Fatalf("want ErrDuplicateRef, got %v", err)
+	}
+}
+
+func TestRestrictedForbidsDemographics(t *testing.T) {
+	err := restrictedRules().Validate(WithGender(Attr(1), 0))
+	if !errors.Is(err, ErrDemoForbidden) {
+		t.Fatalf("want ErrDemoForbidden, got %v", err)
+	}
+	err = restrictedRules().Validate(WithAge(Attr(1), 0, 1))
+	if !errors.Is(err, ErrDemoForbidden) {
+		t.Fatalf("want ErrDemoForbidden, got %v", err)
+	}
+}
+
+func TestRestrictedForbidsExclusion(t *testing.T) {
+	err := restrictedRules().Validate(Excluding(Attr(1), Attr(2)))
+	if !errors.Is(err, ErrExcludeForbidden) {
+		t.Fatalf("want ErrExcludeForbidden, got %v", err)
+	}
+}
+
+func TestRestrictedAllowsAttrComposition(t *testing.T) {
+	// Compositions of plain attributes are exactly what the restricted
+	// interface still allows — the paper's §4.1 finding depends on this.
+	if err := restrictedRules().Validate(And(Attr(1), Attr(2), Attr(3))); err != nil {
+		t.Fatalf("attr composition rejected on restricted interface: %v", err)
+	}
+}
+
+func TestGoogleForbidsAndWithinFeature(t *testing.T) {
+	err := googleRules().Validate(And(Attr(1), Attr(2)))
+	if !errors.Is(err, ErrAndWithinFeature) {
+		t.Fatalf("want ErrAndWithinFeature, got %v", err)
+	}
+	err = googleRules().Validate(And(Topic(1), Topic(2)))
+	if !errors.Is(err, ErrAndWithinFeature) {
+		t.Fatalf("want ErrAndWithinFeature for topics, got %v", err)
+	}
+}
+
+func TestGoogleAllowsCrossFeatureAnd(t *testing.T) {
+	// Attribute ∧ topic is Google's AND-composition route (paper fn. 8).
+	if err := googleRules().Validate(And(Attr(1), Topic(2))); err != nil {
+		t.Fatalf("cross-feature AND rejected: %v", err)
+	}
+}
+
+func TestGoogleAllowsOrWithinFeature(t *testing.T) {
+	if err := googleRules().Validate(AnyAttr(1, 2, 3)); err != nil {
+		t.Fatalf("within-feature OR rejected: %v", err)
+	}
+}
+
+func TestTopicForbiddenOnFacebook(t *testing.T) {
+	err := fbRules().Validate(Topic(1))
+	if !errors.Is(err, ErrKindForbidden) {
+		t.Fatalf("want ErrKindForbidden, got %v", err)
+	}
+}
+
+func TestOptionBounds(t *testing.T) {
+	err := fbRules().Validate(Attr(100)) // catalog has 100 → max index 99
+	if !errors.Is(err, ErrUnknownOption) {
+		t.Fatalf("want ErrUnknownOption, got %v", err)
+	}
+	err = fbRules().Validate(Attr(-1))
+	if !errors.Is(err, ErrUnknownOption) {
+		t.Fatalf("want ErrUnknownOption for negative, got %v", err)
+	}
+}
+
+func TestMaxClauses(t *testing.T) {
+	r := fbRules()
+	r.MaxClauses = 2
+	if err := r.Validate(And(Attr(1), Attr(2))); err != nil {
+		t.Fatalf("two clauses rejected: %v", err)
+	}
+	err := r.Validate(And(Attr(1), Attr(2), Attr(3)))
+	if !errors.Is(err, ErrTooManyClauses) {
+		t.Fatalf("want ErrTooManyClauses, got %v", err)
+	}
+}
+
+func TestAndConcatenates(t *testing.T) {
+	s := And(Attr(1), WithGender(Attr(2), 1))
+	if len(s.Include) != 3 {
+		t.Fatalf("And produced %d clauses, want 3", len(s.Include))
+	}
+}
+
+func TestAndDoesNotAliasInputs(t *testing.T) {
+	a := Attr(1)
+	s := And(a, Attr(2))
+	s.Include[0][0].ID = 99
+	if a.Include[0][0].ID != 1 {
+		t.Fatal("And aliased its input clauses")
+	}
+}
+
+func TestWithGenderDoesNotMutate(t *testing.T) {
+	a := Attr(1)
+	_ = WithGender(a, 0)
+	if len(a.Include) != 1 {
+		t.Fatal("WithGender mutated its input")
+	}
+}
+
+func TestExcluding(t *testing.T) {
+	s := Excluding(Attr(1), AnyAttr(2, 3))
+	if len(s.Exclude) != 1 || len(s.Exclude[0]) != 2 {
+		t.Fatalf("Excluding shape wrong: %+v", s)
+	}
+	if err := fbRules().Validate(s); err != nil {
+		t.Fatalf("exclusion spec rejected on full interface: %v", err)
+	}
+}
+
+func TestCanonicalOrderInsensitive(t *testing.T) {
+	a := And(Attr(1), Attr(2))
+	b := And(Attr(2), Attr(1))
+	if Canonical(a) != Canonical(b) {
+		t.Fatalf("canonical forms differ: %q vs %q", Canonical(a), Canonical(b))
+	}
+	c := Spec{Include: []Clause{{{KindAttribute, 1}, {KindAttribute, 2}}}}
+	d := Spec{Include: []Clause{{{KindAttribute, 2}, {KindAttribute, 1}}}}
+	if Canonical(c) != Canonical(d) {
+		t.Fatal("canonical forms differ for reordered clause refs")
+	}
+	if Canonical(a) == Canonical(c) {
+		t.Fatal("AND of singletons must differ from a single OR clause")
+	}
+}
+
+func TestCanonicalExcludeDistinct(t *testing.T) {
+	with := Excluding(Attr(1), Attr(2))
+	without := Attr(1)
+	if Canonical(with) == Canonical(without) {
+		t.Fatal("exclusion must alter the canonical form")
+	}
+}
+
+func TestCanonicalProperty(t *testing.T) {
+	// Property: shuffling clause order never changes the canonical form.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(4)
+		specs := make([]Spec, n)
+		for i := range specs {
+			specs[i] = Attr(r.Intn(50))
+		}
+		orig := And(specs...)
+		r.Shuffle(n, func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+		shuffled := And(specs...)
+		return Canonical(orig) == Canonical(shuffled)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrIDs(t *testing.T) {
+	s := And(Attr(5), WithGender(Attr(7), 0))
+	ids := AttrIDs(s)
+	if len(ids) != 2 || ids[0] != 5 || ids[1] != 7 {
+		t.Fatalf("AttrIDs = %v", ids)
+	}
+}
+
+func TestRefs(t *testing.T) {
+	s := WithGender(Attr(5), 1)
+	refs := Refs(s)
+	if len(refs) != 2 {
+		t.Fatalf("Refs = %v", refs)
+	}
+	if refs[1].Kind != KindGender || refs[1].ID != 1 {
+		t.Fatalf("Refs = %v", refs)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindAttribute: "attribute",
+		KindTopic:     "topic",
+		KindGender:    "gender",
+		KindAge:       "age",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestValidateErrorMentionsInterface(t *testing.T) {
+	err := restrictedRules().Validate(Spec{})
+	if err == nil || !errors.Is(err, ErrEmptySpec) {
+		t.Fatalf("unexpected: %v", err)
+	}
+	if got := err.Error(); got[:len("facebook-restricted")] != "facebook-restricted" {
+		t.Fatalf("error %q does not lead with interface name", got)
+	}
+}
