@@ -21,6 +21,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/population"
 	"repro/internal/stats"
+	"repro/internal/targeting"
 )
 
 // benchUniverse sizes the shared benchmark deployment.
@@ -584,6 +585,102 @@ func BenchmarkAblationBeamVs3WayGreedy(b *testing.B) {
 	b.ReportMetric(beamP90, "beam-best-finite")
 	b.ReportMetric(greedyCalls, "greedy-queries")
 	b.ReportMetric(beamCalls, "beam-queries")
+}
+
+// --- parallel audience engine micro-benchmarks ---
+
+// measureBench prepares a warmed restricted interface and a cycle of 2-way
+// specs for the Measure throughput benchmarks, so the timed loop exercises
+// only the estimate path (no lazy materialization).
+func measureBench(b *testing.B) (*platform.Interface, []targeting.Spec) {
+	b.Helper()
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: 7, UniverseSize: benchUniverse})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := d.FacebookRestricted.Warm()
+	n := len(p.Catalog().Attributes)
+	specs := make([]targeting.Spec, 64)
+	for i := range specs {
+		specs[i] = targeting.And(targeting.Attr(i%n), targeting.Attr((i*7+1)%n))
+	}
+	return p, specs
+}
+
+// BenchmarkMeasureSerial measures single-goroutine estimate throughput —
+// the baseline for the parallel speedup target.
+func BenchmarkMeasureSerial(b *testing.B) {
+	p, specs := measureBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Measure(platform.EstimateRequest{Spec: specs[i%len(specs)]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchUniverse), "users/op")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkMeasureParallel measures estimate throughput with GOMAXPROCS
+// goroutines hammering one shared interface: the lock-free estimate path
+// should scale near-linearly with cores (target ≥4× serial at
+// GOMAXPROCS ≥ 4).
+func BenchmarkMeasureParallel(b *testing.B) {
+	p, specs := measureBench(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := p.Measure(platform.EstimateRequest{Spec: specs[i%len(specs)]}); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(benchUniverse), "users/op")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// benchPopulationConfig is the universe config the construction benchmarks
+// build (full feature set: factors, regions, heavy-tailed activity).
+func benchPopulationConfig() population.Config {
+	return population.Config{
+		Seed:          7,
+		Size:          benchUniverse,
+		MaleShare:     0.48,
+		AgeShare:      [population.NumAgeRanges]float64{0.16, 0.27, 0.33, 0.24},
+		Factors:       catalog.Factors(),
+		USShare:       0.85,
+		ActivitySigma: 1.5,
+	}
+}
+
+// BenchmarkUniverseNew measures sharded universe construction.
+func BenchmarkUniverseNew(b *testing.B) {
+	cfg := benchPopulationConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := population.New(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchUniverse), "users/op")
+	b.ReportMetric(float64(benchUniverse)*float64(b.N)/b.Elapsed().Seconds(), "users/s")
+}
+
+// BenchmarkMaterialize measures sharded attribute-bitset materialization.
+func BenchmarkMaterialize(b *testing.B) {
+	u, err := population.New(benchPopulationConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := population.AttrModel{ID: 42, BaseLogit: -2.2, GenderLoad: 1.1, Factor: 0, FactorBoost: 1.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Materialize(m)
+	}
+	b.ReportMetric(float64(benchUniverse), "users/op")
+	b.ReportMetric(float64(benchUniverse)*float64(b.N)/b.Elapsed().Seconds(), "users/s")
 }
 
 // BenchmarkDeploymentBuild measures testbed construction cost.

@@ -12,6 +12,7 @@ package audience
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Set is a fixed-size bitset over user indices [0, Len()).
@@ -82,6 +83,13 @@ func (s *Set) Clone() *Set {
 	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
+}
+
+// CopyFrom overwrites s with the contents of t. The sets must be over the
+// same universe size.
+func (s *Set) CopyFrom(t *Set) {
+	s.checkCompat(t)
+	copy(s.words, t.words)
 }
 
 // Fill adds every user in the universe to the set.
@@ -177,6 +185,16 @@ func CountAnd(a, b *Set) int {
 	return c
 }
 
+// CountAndNot returns |a \ b| without allocating.
+func CountAndNot(a, b *Set) int {
+	a.checkCompat(b)
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w &^ b.words[i])
+	}
+	return c
+}
+
 // CountOr returns |a ∪ b| without allocating.
 func CountOr(a, b *Set) int {
 	a.checkCompat(b)
@@ -258,4 +276,34 @@ func (s *Set) Indices() []int {
 	out := make([]int, 0, s.Count())
 	s.ForEach(func(i int) { out = append(out, i) })
 	return out
+}
+
+// scratchPool recycles Set backing storage for transient spec evaluation.
+// Word slices are reused across universe sizes by re-slicing, so a steady
+// query load allocates no bitset words at all.
+var scratchPool = sync.Pool{New: func() any { return new(Set) }}
+
+// NewScratch returns an empty set over n users backed by pooled storage.
+// The caller must release it with Recycle once done; the set must not be
+// retained or shared after that. Intended for short-lived intermediates on
+// hot query paths where New's per-call allocation would dominate.
+func NewScratch(n int) *Set {
+	if n < 0 {
+		panic("audience: negative universe size")
+	}
+	s := scratchPool.Get().(*Set)
+	nw := (n + 63) / 64
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+	} else {
+		s.words = s.words[:nw]
+		clear(s.words)
+	}
+	s.n = n
+	return s
+}
+
+// Recycle returns a scratch set to the pool. The set must not be used after.
+func (s *Set) Recycle() {
+	scratchPool.Put(s)
 }

@@ -14,6 +14,48 @@ func randomSet(seed uint64, n int, p float64) *Set {
 	})
 }
 
+func TestCountAndNot(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1000} {
+		a := randomSet(7, n, 0.4)
+		b := randomSet(8, n, 0.3)
+		want := AndNot(a, b).Count()
+		if got := CountAndNot(a, b); got != want {
+			t.Fatalf("n=%d: CountAndNot = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := randomSet(9, 200, 0.5)
+	b := New(200)
+	b.Add(3)
+	b.CopyFrom(a)
+	if !Equal(a, b) {
+		t.Fatal("CopyFrom did not produce an equal set")
+	}
+	b.Add(0)
+	b.Remove(1)
+	if Equal(a, b) {
+		t.Fatal("CopyFrom aliased backing storage")
+	}
+}
+
+func TestScratchPoolReuse(t *testing.T) {
+	// A scratch set must come back empty and correctly sized even after a
+	// larger set was recycled.
+	big := NewScratch(1024)
+	big.Fill()
+	big.Recycle()
+	s := NewScratch(100)
+	if s.Len() != 100 || s.Count() != 0 {
+		t.Fatalf("scratch after recycle: len=%d count=%d, want 100, 0", s.Len(), s.Count())
+	}
+	s.Add(99)
+	other := randomSet(11, 100, 0.5)
+	s.AndWith(other)
+	s.Recycle()
+}
+
 func TestNewEmpty(t *testing.T) {
 	s := New(100)
 	if s.Count() != 0 || s.Len() != 100 {

@@ -121,17 +121,23 @@ func combinations(n, k int, fn func(idx []int)) {
 }
 
 // auditSpecs measures the given specs, keeping those at or above the floor.
+// Specs fan out over the auditor's worker pool (see auditMany), which makes
+// the composition-audit loop — thousands of Measure calls per figure —
+// scale with cores.
 func (a *Auditor) auditSpecs(specs []targeting.Spec, c Class) ([]Measurement, error) {
+	results, err := a.auditMany(specs, c)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Measurement, 0, len(specs))
-	for _, s := range specs {
-		m, err := a.Audit(s, c)
-		if errors.Is(err, ErrBelowFloor) {
+	for _, r := range results {
+		if errors.Is(r.err, ErrBelowFloor) {
 			continue
 		}
-		if err != nil {
-			return nil, err
+		if r.err != nil {
+			return nil, r.err
 		}
-		out = append(out, m)
+		out = append(out, r.m)
 	}
 	return out, nil
 }

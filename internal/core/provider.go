@@ -86,18 +86,34 @@ var ErrQueryBudget = errors.New("core: upstream query budget exhausted")
 // cachingProvider memoizes Measure by canonical spec and enforces an
 // optional upstream query budget. The greedy discovery and the overlap
 // analyses re-measure many identical specs; the paper likewise limited its
-// query load by avoiding redundant calls.
+// query load by avoiding redundant calls. Concurrent misses on the same key
+// collapse into one upstream call (singleflight): the first caller claims
+// the key and measures, later callers wait on the in-flight result, and the
+// budget counts unique misses rather than racing callers.
 type cachingProvider struct {
 	Provider
-	mu     sync.Mutex
-	sizes  map[string]int64
-	calls  int64
-	budget int64 // 0 = unlimited
+	mu       sync.Mutex
+	sizes    map[string]int64
+	inflight map[string]*inflightCall
+	calls    int64
+	budget   int64 // 0 = unlimited
+}
+
+// inflightCall is one upstream measurement in progress; done closes once v
+// and err are set.
+type inflightCall struct {
+	done chan struct{}
+	v    int64
+	err  error
 }
 
 // NewCachingProvider wraps p with a measurement cache.
 func NewCachingProvider(p Provider) Provider {
-	return &cachingProvider{Provider: p, sizes: make(map[string]int64)}
+	return &cachingProvider{
+		Provider: p,
+		sizes:    make(map[string]int64),
+		inflight: make(map[string]*inflightCall),
+	}
 }
 
 func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
@@ -107,20 +123,38 @@ func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
 		cp.mu.Unlock()
 		return v, nil
 	}
+	if c, ok := cp.inflight[key]; ok {
+		cp.mu.Unlock()
+		<-c.done
+		return c.v, c.err
+	}
 	if cp.budget > 0 && cp.calls >= cp.budget {
 		cp.mu.Unlock()
 		return 0, fmt.Errorf("%w: %d calls made", ErrQueryBudget, cp.budget)
 	}
-	cp.mu.Unlock()
-	v, err := cp.Provider.Measure(spec)
-	if err != nil {
-		return 0, err
-	}
-	cp.mu.Lock()
-	cp.sizes[key] = v
+	// Claim the key and charge the budget before releasing the lock so a
+	// burst of distinct misses cannot collectively overshoot the cap.
 	cp.calls++
+	c := &inflightCall{done: make(chan struct{})}
+	cp.inflight[key] = c
 	cp.mu.Unlock()
-	return v, nil
+
+	v, err := cp.Provider.Measure(spec)
+
+	cp.mu.Lock()
+	if err == nil {
+		cp.sizes[key] = v
+	} else {
+		// Refund failed calls: they consumed no upstream answer, and the
+		// pre-singleflight behaviour likewise counted successes only.
+		cp.calls--
+		v = 0
+	}
+	delete(cp.inflight, key)
+	cp.mu.Unlock()
+	c.v, c.err = v, err
+	close(c.done)
+	return v, err
 }
 
 // SetQueryBudget caps the number of cache-missing upstream calls a provider

@@ -8,13 +8,70 @@ import (
 	"repro/internal/targeting"
 )
 
+// auditResult is one fan-out slot: the measurement or the error that
+// produced it.
+type auditResult struct {
+	m   Measurement
+	err error
+}
+
+// auditMany audits every spec against c, preserving spec order. When the
+// auditor's Concurrency is above 1 the specs are fanned out over a worker
+// pool; the class totals (the auditor's only lazily-written shared state)
+// are primed before the fan-out so workers touch the totals cache
+// read-only. Providers and the measurement cache are safe for concurrent
+// use; the Auditor itself must still be driven from one goroutine.
+func (a *Auditor) auditMany(specs []targeting.Spec, c Class) ([]auditResult, error) {
+	if err := validateClass(c); err != nil {
+		return nil, err
+	}
+	base := c
+	base.Excluded = false
+	if _, err := a.totals(base); err != nil {
+		return nil, err
+	}
+
+	results := make([]auditResult, len(specs))
+	workers := a.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, spec := range specs {
+			results[i].m, results[i].err = a.Audit(spec, c)
+		}
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	idxs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxs {
+				results[i].m, results[i].err = a.Audit(specs[i], c)
+			}
+		}()
+	}
+	for i := range specs {
+		idxs <- i
+	}
+	close(idxs)
+	wg.Wait()
+	return results, nil
+}
+
 // IndividualScan audits every option of one feature kind against the class,
 // returning the measurable ones (total reach at or above the floor) in
 // option order. This is the paper's "Individual" targeting set (§4.1,
 // §4.2). When the auditor's Concurrency is above 1, options are audited by
-// a worker pool — useful against remote platforms where each measurement is
-// an HTTP round trip (the client's rate limiter still bounds total load, as
-// the paper's ethics required).
+// a worker pool — against the in-process simulators the lock-free estimate
+// path makes this scale with cores, and against remote platforms each
+// measurement is an HTTP round trip (the client's rate limiter still bounds
+// total load, as the paper's ethics required).
 func (a *Auditor) IndividualScan(kind targeting.Kind, c Class) ([]Measurement, error) {
 	var n int
 	switch kind {
@@ -25,60 +82,23 @@ func (a *Auditor) IndividualScan(kind targeting.Kind, c Class) ([]Measurement, e
 	default:
 		return nil, fmt.Errorf("core: cannot scan feature kind %s", kind)
 	}
-	// The class totals are shared state cached under no lock; prime them
-	// once before fanning out.
-	base := c
-	base.Excluded = false
-	if _, err := a.totals(base); err != nil {
+	specs := make([]targeting.Spec, n)
+	for id := 0; id < n; id++ {
+		specs[id] = targeting.Spec{Include: []targeting.Clause{{{Kind: kind, ID: id}}}}
+	}
+	results, err := a.auditMany(specs, c)
+	if err != nil {
 		return nil, err
 	}
-
-	workers := a.Concurrency
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	type slot struct {
-		m   Measurement
-		err error
-	}
-	results := make([]slot, n)
-	if workers == 1 {
-		for id := 0; id < n; id++ {
-			spec := targeting.Spec{Include: []targeting.Clause{{{Kind: kind, ID: id}}}}
-			results[id].m, results[id].err = a.Audit(spec, c)
-		}
-	} else {
-		var wg sync.WaitGroup
-		ids := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for id := range ids {
-					spec := targeting.Spec{Include: []targeting.Clause{{{Kind: kind, ID: id}}}}
-					results[id].m, results[id].err = a.Audit(spec, c)
-				}
-			}()
-		}
-		for id := 0; id < n; id++ {
-			ids <- id
-		}
-		close(ids)
-		wg.Wait()
-	}
-
 	out := make([]Measurement, 0, n)
-	for id := 0; id < n; id++ {
-		if errors.Is(results[id].err, ErrBelowFloor) {
+	for id, r := range results {
+		if errors.Is(r.err, ErrBelowFloor) {
 			continue
 		}
-		if results[id].err != nil {
-			return nil, fmt.Errorf("scanning %s %d: %w", kind, id, results[id].err)
+		if r.err != nil {
+			return nil, fmt.Errorf("scanning %s %d: %w", kind, id, r.err)
 		}
-		out = append(out, results[id].m)
+		out = append(out, r.m)
 	}
 	return out, nil
 }

@@ -7,6 +7,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/platform"
@@ -113,7 +115,26 @@ func NewRunner(cfg Config) (*Runner, error) {
 			return nil, fmt.Errorf("experiments: duplicate provider %q", p.Name())
 		}
 		r.order = append(r.order, p.Name())
-		r.auditors[p.Name()] = core.NewAuditor(p)
+		a := core.NewAuditor(p)
+		// The simulators' estimate path is lock-free and the measurement
+		// cache collapses duplicate in-flight calls, so scans and
+		// composition audits fan out across all cores by default.
+		a.Concurrency = runtime.GOMAXPROCS(0)
+		r.auditors[p.Name()] = a
+	}
+	if cfg.Deployment != nil {
+		// Materialize every catalog audience up front (each Warm fans out
+		// internally) so the first figure's latency is not dominated by
+		// lazy materialization.
+		var wg sync.WaitGroup
+		for _, p := range cfg.Deployment.Interfaces() {
+			wg.Add(1)
+			go func(p *platform.Interface) {
+				defer wg.Done()
+				p.Warm()
+			}(p)
+		}
+		wg.Wait()
 	}
 	return r, nil
 }

@@ -161,8 +161,8 @@ func (p *Interface) CreateLookalike(name string, sourceID int, ratio float64) (C
 
 // lookupAudience fetches a stored audience by id.
 func (p *Interface) lookupAudience(id int) (customAudience, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if id < 0 || id >= len(p.custom) {
 		return customAudience{}, fmt.Errorf("%w: %d", ErrUnknownAudience, id)
 	}
@@ -171,8 +171,8 @@ func (p *Interface) lookupAudience(id int) (customAudience, error) {
 
 // CustomAudiences lists the stored audiences' metadata.
 func (p *Interface) CustomAudiences() []CustomAudienceInfo {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := make([]CustomAudienceInfo, len(p.custom))
 	for i, ca := range p.custom {
 		out[i] = ca.info

@@ -21,7 +21,9 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/audience"
 	"repro/internal/catalog"
@@ -97,17 +99,41 @@ type Config struct {
 }
 
 // Interface is one simulated advertiser-facing targeting interface.
+//
+// Estimate, Measure, Audience, and Warm are safe for concurrent use: the
+// catalog-option caches are per-slot atomics (no global lock on the query
+// path) and the query counter is atomic. Custom-audience creation and lookup
+// serialize on a narrow RWMutex.
 type Interface struct {
 	cfg Config
 
-	mu            sync.Mutex
-	attrSets      []*audience.Set // lazily materialized, by attribute index
-	topicSets     []*audience.Set // lazily materialized, by topic index
-	placementSets []*audience.Set // lazily materialized, by placement index
-	custom        []customAudience
-	dir           *pii.Directory
-	tracker       *pixel.Tracker
-	queryCount    int64
+	attrSets      []lazySet // lazily materialized, by attribute index
+	topicSets     []lazySet // lazily materialized, by topic index
+	placementSets []lazySet // lazily materialized, by placement index
+	queryCount    atomic.Int64
+
+	mu      sync.RWMutex // guards custom, dir, tracker
+	custom  []customAudience
+	dir     *pii.Directory
+	tracker *pixel.Tracker
+}
+
+// lazySet caches one materialized audience behind an atomic pointer. The
+// steady-state path is a single atomic load; the first miss materializes
+// under a sync.Once so racing callers never duplicate the build and all
+// observe the same set.
+type lazySet struct {
+	ptr  atomic.Pointer[audience.Set]
+	once sync.Once
+}
+
+// get returns the cached set, building it on first use.
+func (ls *lazySet) get(build func() *audience.Set) *audience.Set {
+	if s := ls.ptr.Load(); s != nil {
+		return s
+	}
+	ls.once.Do(func() { ls.ptr.Store(build()) })
+	return ls.ptr.Load()
 }
 
 // New builds an Interface and validates its configuration.
@@ -126,9 +152,9 @@ func New(cfg Config) (*Interface, error) {
 	}
 	return &Interface{
 		cfg:           cfg,
-		attrSets:      make([]*audience.Set, len(cfg.Catalog.Attributes)),
-		topicSets:     make([]*audience.Set, len(cfg.Catalog.Topics)),
-		placementSets: make([]*audience.Set, len(cfg.Catalog.Placements)),
+		attrSets:      make([]lazySet, len(cfg.Catalog.Attributes)),
+		topicSets:     make([]lazySet, len(cfg.Catalog.Topics)),
+		placementSets: make([]lazySet, len(cfg.Catalog.Placements)),
 	}, nil
 }
 
@@ -160,40 +186,29 @@ func (p *Interface) ScaleFactor() float64 { return p.cfg.Universe.ScaleFactor() 
 
 // QueryCount reports how many estimate queries the interface has served.
 func (p *Interface) QueryCount() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.queryCount
+	return p.queryCount.Load()
 }
 
 // attrSet returns the materialized audience of attribute i, caching it.
 func (p *Interface) attrSet(i int) *audience.Set {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.attrSets[i] == nil {
-		p.attrSets[i] = p.cfg.Universe.Materialize(p.cfg.Catalog.Attributes[i].Model)
-	}
-	return p.attrSets[i]
+	return p.attrSets[i].get(func() *audience.Set {
+		return p.cfg.Universe.Materialize(p.cfg.Catalog.Attributes[i].Model)
+	})
 }
 
 // topicSet returns the materialized audience of topic i, caching it.
 func (p *Interface) topicSet(i int) *audience.Set {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.topicSets[i] == nil {
-		p.topicSets[i] = p.cfg.Universe.Materialize(p.cfg.Catalog.Topics[i].Model)
-	}
-	return p.topicSets[i]
+	return p.topicSets[i].get(func() *audience.Set {
+		return p.cfg.Universe.Materialize(p.cfg.Catalog.Topics[i].Model)
+	})
 }
 
 // placementSet returns the materialized visitor audience of placement i,
 // caching it.
 func (p *Interface) placementSet(i int) *audience.Set {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.placementSets[i] == nil {
-		p.placementSets[i] = p.cfg.Universe.Materialize(p.cfg.Catalog.Placements[i].Model)
-	}
-	return p.placementSets[i]
+	return p.placementSets[i].get(func() *audience.Set {
+		return p.cfg.Universe.Materialize(p.cfg.Catalog.Placements[i].Model)
+	})
 }
 
 // refSet resolves one targeting ref to its audience set.
@@ -286,6 +301,129 @@ func (p *Interface) Audience(spec targeting.Spec) (*audience.Set, error) {
 	return acc, nil
 }
 
+// refSetsPool recycles the small per-query slice of resolved ref sets used
+// by the allocation-free counting fast path.
+var refSetsPool = sync.Pool{New: func() any { return new([]*audience.Set) }}
+
+// clauseInto evaluates one OR-clause into dst, overwriting its contents.
+func (p *Interface) clauseInto(dst *audience.Set, cl targeting.Clause) error {
+	if len(cl) == 0 {
+		return targeting.ErrEmptyClause
+	}
+	for k, r := range cl {
+		s, err := p.refSet(r)
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			dst.CopyFrom(s)
+		} else {
+			dst.OrWith(s)
+		}
+	}
+	return nil
+}
+
+// countMatched returns |Audience(spec)| without materializing a result set.
+// The audit's dominant shapes — an AND of single-option clauses, optionally
+// minus a single exclusion — are counted with zero allocations via
+// audience.CountAndAll / CountAndNot over the cached option sets; general
+// specs evaluate through pooled scratch sets, so a steady query load
+// allocates no bitset words either way.
+func (p *Interface) countMatched(spec targeting.Spec) (int, error) {
+	if len(spec.Include) == 0 {
+		return 0, targeting.ErrEmptySpec
+	}
+	single := true
+	for _, cl := range spec.Include {
+		if len(cl) != 1 {
+			single = false
+			break
+		}
+	}
+	if single && len(spec.Exclude) == 0 {
+		sp := refSetsPool.Get().(*[]*audience.Set)
+		sets := (*sp)[:0]
+		for _, cl := range spec.Include {
+			s, err := p.refSet(cl[0])
+			if err != nil {
+				*sp = sets[:0]
+				refSetsPool.Put(sp)
+				return 0, err
+			}
+			sets = append(sets, s)
+		}
+		c := audience.CountAndAll(sets[0], sets[1:]...)
+		*sp = sets[:0]
+		refSetsPool.Put(sp)
+		return c, nil
+	}
+	if single && len(spec.Include) == 1 && len(spec.Exclude) == 1 && len(spec.Exclude[0]) == 1 {
+		inc, err := p.refSet(spec.Include[0][0])
+		if err != nil {
+			return 0, err
+		}
+		exc, err := p.refSet(spec.Exclude[0][0])
+		if err != nil {
+			return 0, err
+		}
+		return audience.CountAndNot(inc, exc), nil
+	}
+	// General shape: AND-of-ORs with exclusions, evaluated in pooled scratch
+	// sets (the only per-query storage; recycled on return).
+	acc := audience.NewScratch(p.cfg.Universe.Size())
+	defer acc.Recycle()
+	var tmp *audience.Set
+	defer func() {
+		if tmp != nil {
+			tmp.Recycle()
+		}
+	}()
+	if err := p.clauseInto(acc, spec.Include[0]); err != nil {
+		return 0, err
+	}
+	combine := func(cl targeting.Clause, exclude bool) error {
+		if len(cl) == 0 {
+			return targeting.ErrEmptyClause
+		}
+		if len(cl) == 1 {
+			s, err := p.refSet(cl[0])
+			if err != nil {
+				return err
+			}
+			if exclude {
+				acc.AndNotWith(s)
+			} else {
+				acc.AndWith(s)
+			}
+			return nil
+		}
+		if tmp == nil {
+			tmp = audience.NewScratch(p.cfg.Universe.Size())
+		}
+		if err := p.clauseInto(tmp, cl); err != nil {
+			return err
+		}
+		if exclude {
+			acc.AndNotWith(tmp)
+		} else {
+			acc.AndWith(tmp)
+		}
+		return nil
+	}
+	for _, cl := range spec.Include[1:] {
+		if err := combine(cl, false); err != nil {
+			return 0, err
+		}
+	}
+	for _, cl := range spec.Exclude {
+		if err := combine(cl, true); err != nil {
+			return 0, err
+		}
+	}
+	return acc.Count(), nil
+}
+
 // estimateExact computes the unrounded platform-scale statistic.
 func (p *Interface) estimateExact(req EstimateRequest, rules targeting.Rules) (float64, error) {
 	if err := rules.Validate(req.Spec); err != nil {
@@ -306,11 +444,11 @@ func (p *Interface) estimateExact(req EstimateRequest, rules targeting.Rules) (f
 	if cap < 1 || cap > 30 {
 		return 0, ErrBadFrequencyCap
 	}
-	set, err := p.Audience(req.Spec)
+	count, err := p.countMatched(req.Spec)
 	if err != nil {
 		return 0, err
 	}
-	v := float64(set.Count()) * p.ScaleFactor() * eligible
+	v := float64(count) * p.ScaleFactor() * eligible
 	if p.cfg.ImpressionEstimates {
 		// With a per-user monthly cap of c, a Display campaign can serve up
 		// to c impressions to each matched user; light users see fewer.
@@ -318,9 +456,7 @@ func (p *Interface) estimateExact(req EstimateRequest, rules targeting.Rules) (f
 		// than the cap.
 		v *= impressionFactor(cap)
 	}
-	p.mu.Lock()
-	p.queryCount++
-	p.mu.Unlock()
+	p.queryCount.Add(1)
 	return v, nil
 }
 
@@ -358,16 +494,53 @@ func (p *Interface) Measure(req EstimateRequest) (int64, error) {
 	return p.cfg.Rounder.Round(int64(v + 0.5)), nil
 }
 
-// Warm materializes every attribute and topic audience. Optional; useful to
-// front-load cost before serving or benchmarking.
-func (p *Interface) Warm() {
+// Warm materializes every attribute, topic, and placement audience, fanning
+// the builds out across GOMAXPROCS workers, and returns the interface so
+// deployments can chain it. Optional; useful to front-load cost before
+// serving or benchmarking so first-query latency is not dominated by lazy
+// materialization. Safe to call concurrently with queries.
+func (p *Interface) Warm() *Interface {
+	total := len(p.cfg.Catalog.Attributes) + len(p.cfg.Catalog.Topics) + len(p.cfg.Catalog.Placements)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for i := range p.cfg.Catalog.Attributes {
+			p.attrSet(i)
+		}
+		for i := range p.cfg.Catalog.Topics {
+			p.topicSet(i)
+		}
+		for i := range p.cfg.Catalog.Placements {
+			p.placementSet(i)
+		}
+		return p
+	}
+	jobs := make(chan func(), workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range jobs {
+				f()
+			}
+		}()
+	}
 	for i := range p.cfg.Catalog.Attributes {
-		p.attrSet(i)
+		i := i
+		jobs <- func() { p.attrSet(i) }
 	}
 	for i := range p.cfg.Catalog.Topics {
-		p.topicSet(i)
+		i := i
+		jobs <- func() { p.topicSet(i) }
 	}
 	for i := range p.cfg.Catalog.Placements {
-		p.placementSet(i)
+		i := i
+		jobs <- func() { p.placementSet(i) }
 	}
+	close(jobs)
+	wg.Wait()
+	return p
 }

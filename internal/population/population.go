@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/audience"
 	"repro/internal/xrand"
@@ -351,9 +353,51 @@ const (
 	domainRegion   = 0x55
 )
 
-// New builds a universe from the config. Building is O(Size × NumFactors)
-// and done once; attribute bitsets are materialized later on demand.
+// shardMinUsers is the smallest universe worth fanning out across workers;
+// below it goroutine overhead exceeds the per-user hash work.
+const shardMinUsers = 1 << 12
+
+// forEachShard splits the user-index range [0, n) across up to workers
+// goroutines and calls fn(lo, hi) for each shard. Shard boundaries are
+// multiples of 64, so shards cover disjoint bitset words: workers may write
+// shared audience sets without synchronization, and the combined output is
+// bit-identical to a single fn(0, n) pass because every draw is a stateless
+// hash of (seed, ids). Small ranges and workers <= 1 run inline.
+func forEachShard(n, workers int, fn func(lo, hi int)) {
+	if maxShards := (n + 63) / 64; workers > maxShards {
+		workers = maxShards
+	}
+	if workers <= 1 || n < shardMinUsers {
+		fn(0, n)
+		return
+	}
+	per := (n/workers + 63) &^ 63
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// New builds a universe from the config. Building is O(Size × NumFactors),
+// sharded across GOMAXPROCS workers, and done once; attribute bitsets are
+// materialized later on demand. The result is bit-identical regardless of
+// worker count.
 func New(cfg Config) (*Universe, error) {
+	return newWithWorkers(cfg, runtime.GOMAXPROCS(0))
+}
+
+// newWithWorkers is New with an explicit worker count (property tests
+// compare sharded output against the workers=1 path).
+func newWithWorkers(cfg Config, workers int) (*Universe, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -411,7 +455,20 @@ func New(cfg Config) (*Universe, error) {
 		}
 	}
 
-	for i := 0; i < cfg.Size; i++ {
+	forEachShard(cfg.Size, workers, func(lo, hi int) {
+		u.buildRange(lo, hi, ageCum, regionCum)
+	})
+	return u, nil
+}
+
+// buildRange draws users [lo, hi): demographic cell, factor mask, activity
+// tier, and region. Every draw is a stateless hash of (seed, ids), so the
+// range decomposition has no effect on the output; per-user slices are
+// index-disjoint across shards and the shared bitsets are written through
+// 64-aligned shard boundaries (see forEachShard).
+func (u *Universe) buildRange(lo, hi int, ageCum [NumAgeRanges]float64, regionCum [NumRegions]float64) {
+	cfg := u.cfg
+	for i := lo; i < hi; i++ {
 		hg := xrand.Mix(cfg.Seed, domainDemo, uint64(i), 0)
 		ha := xrand.Mix(cfg.Seed, domainDemo, uint64(i), 1)
 		g := Female
@@ -452,7 +509,6 @@ func New(cfg Config) (*Universe, error) {
 		u.regions[i] = uint8(region)
 		u.byRegion[region].Add(i)
 	}
-	return u, nil
 }
 
 // Config returns the universe's configuration.
@@ -499,9 +555,17 @@ func (u *Universe) FactorRateIn(f int, c Cell) float64 {
 	return u.factorRate[f][c]
 }
 
-// Materialize builds the membership bitset of an attribute. The draw for
-// each user is a deterministic hash, so repeated calls return equal sets.
+// Materialize builds the membership bitset of an attribute, sharding the
+// per-user draws across GOMAXPROCS workers. The draw for each user is a
+// deterministic hash, so repeated calls return equal sets regardless of the
+// worker count.
 func (u *Universe) Materialize(m AttrModel) *audience.Set {
+	return u.materializeWithWorkers(m, runtime.GOMAXPROCS(0))
+}
+
+// materializeWithWorkers is Materialize with an explicit worker count
+// (property tests compare sharded output against the workers=1 path).
+func (u *Universe) materializeWithWorkers(m AttrModel, workers int) *audience.Set {
 	// Membership probability depends only on (cell, hasFactor, activity
 	// tier); precompute the thresholds in hash space so the per-user work
 	// is one hash and one compare.
@@ -519,16 +583,18 @@ func (u *Universe) Materialize(m AttrModel) *audience.Set {
 		factorBit = 1 << uint(m.Factor)
 	}
 	set := audience.New(u.cfg.Size)
-	for i := 0; i < u.cfg.Size; i++ {
-		h := xrand.Mix(u.cfg.Seed, domainAttr, m.ID, uint64(i))
-		fi := 0
-		if u.factors[i]&factorBit != 0 {
-			fi = 1
+	forEachShard(u.cfg.Size, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			h := xrand.Mix(u.cfg.Seed, domainAttr, m.ID, uint64(i))
+			fi := 0
+			if u.factors[i]&factorBit != 0 {
+				fi = 1
+			}
+			if h>>11 < thresh[u.cells[i]][fi][u.tiers[i]] {
+				set.Add(i)
+			}
 		}
-		if h>>11 < thresh[u.cells[i]][fi][u.tiers[i]] {
-			set.Add(i)
-		}
-	}
+	})
 	return set
 }
 
