@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mitigation"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/population"
 	"repro/internal/targeting"
@@ -49,14 +50,16 @@ import (
 
 func main() {
 	var (
-		endpoint  = flag.String("endpoint", "", "remote platformd base URL (empty = in-process)")
-		universe  = flag.Int("universe", 1<<17, "in-process simulated users per platform")
-		seed      = flag.Uint64("seed", 0, "deployment seed")
-		k         = flag.Int("k", 1000, "compositions per discovered set")
-		qps       = flag.Float64("qps", 50, "client-side query rate limit for remote audits")
-		granCalls = flag.Int("granularity-calls", 80000, "distinct calls for the granularity study")
-		out       = flag.String("out", "-", "output file (- = stdout)")
-		format    = flag.String("format", "text", "output format: text | json")
+		endpoint   = flag.String("endpoint", "", "remote platformd base URL (empty = in-process)")
+		universe   = flag.Int("universe", 1<<17, "in-process simulated users per platform")
+		seed       = flag.Uint64("seed", 0, "deployment seed")
+		k          = flag.Int("k", 1000, "compositions per discovered set")
+		qps        = flag.Float64("qps", 50, "client-side query rate limit for remote audits")
+		granCalls  = flag.Int("granularity-calls", 80000, "distinct calls for the granularity study")
+		out        = flag.String("out", "-", "output file (- = stdout)")
+		format     = flag.String("format", "text", "output format: text | json")
+		metrics    = flag.Bool("metrics", false, "print a run metrics summary (cache hit rates, upstream calls, retries, phase wall-clocks) and log live audit progress")
+		metricsOut = flag.String("metrics-out", "", "write the full metrics snapshot (text exposition) to FILE after the run")
 
 		specPlatform = flag.String("spec-platform", "facebook-restricted", "platform for the spec experiment")
 		specAttrs    = flag.String("attrs", "", "spec experiment: attribute ids or name substrings, comma separated")
@@ -68,14 +71,25 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(flag.Arg(0), *endpoint, *universe, *seed, *k, *qps, *granCalls, *out, *format,
+		*metrics, *metricsOut,
 		specArgs{platform: *specPlatform, attrs: *specAttrs, topics: *specTopics}); err != nil {
 		log.Fatalf("adauditctl: %v", err)
 	}
 }
 
 // newRunner builds the runner from either door.
-func newRunner(endpoint string, universe int, seed uint64, k int, qps float64) (*experiments.Runner, error) {
+func newRunner(endpoint string, universe int, seed uint64, k int, qps float64, progress bool) (*experiments.Runner, error) {
 	cfg := experiments.Config{K: k, Seed: seed + 1}
+	if progress {
+		// Throttled live progress: one line per 250 completed specs plus
+		// each batch's completion, so long fan-out scans are steerable
+		// without drowning the log.
+		cfg.Progress = func(platform string, done, total int) {
+			if done%250 == 0 || done == total {
+				log.Printf("audit progress: %s %d/%d specs", platform, done, total)
+			}
+		}
+	}
 	if endpoint == "" {
 		log.Printf("building in-process deployment (universe=%d, seed=%d)", universe, seed)
 		d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
@@ -187,7 +201,7 @@ func runSpec(w io.Writer, r *experiments.Runner, args specArgs) error {
 	return nil
 }
 
-func run(experiment, endpoint string, universe int, seed uint64, k int, qps float64, granCalls int, out, format string, sa specArgs) error {
+func run(experiment, endpoint string, universe int, seed uint64, k int, qps float64, granCalls int, out, format string, metrics bool, metricsOut string, sa specArgs) error {
 	if format != "text" && format != "json" {
 		return fmt.Errorf("unknown format %q", format)
 	}
@@ -200,10 +214,11 @@ func run(experiment, endpoint string, universe int, seed uint64, k int, qps floa
 		defer f.Close()
 		w = f
 	}
-	r, err := newRunner(endpoint, universe, seed, k, qps)
+	r, err := newRunner(endpoint, universe, seed, k, qps, metrics)
 	if err != nil {
 		return err
 	}
+	var phases []string
 
 	emit := func(rows any, render func() error) error {
 		if format == "json" {
@@ -216,6 +231,7 @@ func run(experiment, endpoint string, universe int, seed uint64, k int, qps floa
 
 	runOne := func(name string) error {
 		start := time.Now()
+		phases = append(phases, name)
 		defer func() { log.Printf("%s done in %v", name, time.Since(start)) }()
 		switch name {
 		case "fig1":
@@ -331,6 +347,25 @@ func run(experiment, endpoint string, universe int, seed uint64, k int, qps floa
 		}
 	}
 
+	finish := func() error {
+		if metrics {
+			if err := printMetricsSummary(w, r, phases); err != nil {
+				return err
+			}
+		}
+		if metricsOut != "" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := obs.Default().WriteText(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}
 	if experiment == "all" {
 		names := []string{"methodology", "rounding", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "tab2", "tab3", "mitigation"}
 		if endpoint == "" {
@@ -342,7 +377,47 @@ func run(experiment, endpoint string, universe int, seed uint64, k int, qps floa
 			}
 			fmt.Fprintln(w)
 		}
-		return nil
+		return finish()
 	}
-	return runOne(experiment)
+	if err := runOne(experiment); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// printMetricsSummary renders the run's observability roll-up: per-platform
+// query-budget numbers (the paper's ethics constraint made these the
+// audit's scarcest resource) and per-phase wall-clocks.
+func printMetricsSummary(w io.Writer, r *experiments.Runner, phases []string) error {
+	reg := obs.Default()
+	fmt.Fprintf(w, "\n# Run metrics\n")
+	fmt.Fprintf(w, "%-22s %9s %9s %9s %8s %9s %8s %8s %12s\n",
+		"platform", "specs", "upstream", "hits", "hitrate", "collapsed", "retries", "429s", "p95_upstream")
+	for _, name := range r.PlatformNames() {
+		a, err := r.Auditor(name)
+		if err != nil {
+			return err
+		}
+		st, ok := core.StatsOf(a.Provider())
+		if !ok {
+			continue
+		}
+		lbl := obs.L("platform", name)
+		fmt.Fprintf(w, "%-22s %9d %9d %9d %7.1f%% %9d %8d %8d %12s\n",
+			name,
+			reg.CounterValue("audit_specs_total", lbl),
+			core.UpstreamCalls(a.Provider()),
+			st.Hits,
+			100*st.HitRate(),
+			st.Collapsed,
+			reg.CounterValue("adapi_client_retries_total", lbl),
+			reg.CounterValue("adapi_client_429_total", lbl),
+			st.Upstream.P95.Round(time.Microsecond),
+		)
+	}
+	fmt.Fprintf(w, "\n%-14s %12s\n", "phase", "wall-clock")
+	for _, ph := range phases {
+		fmt.Fprintf(w, "%-14s %11.3fs\n", ph, r.PhaseSeconds(ph))
+	}
+	return nil
 }

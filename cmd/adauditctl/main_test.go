@@ -16,7 +16,7 @@ import (
 func runToString(t *testing.T, experiment, endpoint string) string {
 	t.Helper()
 	out := filepath.Join(t.TempDir(), "out.txt")
-	if err := run(experiment, endpoint, 12000, 7, 60, 500, 800, out, "text", specArgs{}); err != nil {
+	if err := run(experiment, endpoint, 12000, 7, 60, 500, 800, out, "text", false, "", specArgs{}); err != nil {
 		t.Fatalf("run(%s): %v", experiment, err)
 	}
 	data, err := os.ReadFile(out)
@@ -63,8 +63,36 @@ func TestRunLookalike(t *testing.T) {
 	}
 }
 
+func TestRunWithMetricsSummary(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.txt")
+	snap := filepath.Join(dir, "metrics.txt")
+	if err := run("fig1", "", 12000, 7, 60, 500, 800, out, "text", true, snap, specArgs{}); err != nil {
+		t.Fatalf("run(fig1, metrics): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{"# Run metrics", "hitrate", "upstream", "fig1", "facebook-restricted"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("metrics summary missing %q:\n%s", want, got)
+		}
+	}
+	snapData, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"audit_cache_hits_total", "platform_queries_total", "experiment_phase_seconds{phase=\"fig1\"}"} {
+		if !strings.Contains(string(snapData), want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", "", 12000, 7, 50, 500, 800, "-", "text", specArgs{}); err == nil {
+	if err := run("fig99", "", 12000, 7, 50, 500, 800, "-", "text", false, "", specArgs{}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -99,14 +127,14 @@ func TestRunRemoteRejectsLookalike(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	// The lookalike study needs direct deployment access.
-	if err := run("lookalike", ts.URL, 12000, 7, 60, 500, 800, "-", "text", specArgs{}); err == nil {
+	if err := run("lookalike", ts.URL, 12000, 7, 60, 500, 800, "-", "text", false, "", specArgs{}); err == nil {
 		t.Fatal("remote lookalike study should fail")
 	}
 }
 
 func TestRunSpecExperiment(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.txt")
-	err := run("spec", "", 12000, 7, 60, 500, 800, out, "text", specArgs{
+	err := run("spec", "", 12000, 7, 60, 500, 800, out, "text", false, "", specArgs{
 		platform: "facebook-restricted",
 		attrs:    "Interests — Electrical engineering,Interests — Cars",
 	})
@@ -143,14 +171,14 @@ func TestResolveOptions(t *testing.T) {
 	if got, err := resolveOptions("", names); err != nil || got != nil {
 		t.Fatalf("empty selector = %v, %v", got, err)
 	}
-	if err := run("spec", "", 12000, 7, 60, 500, 800, "-", "text", specArgs{platform: "facebook"}); err == nil {
+	if err := run("spec", "", 12000, 7, 60, 500, 800, "-", "text", false, "", specArgs{platform: "facebook"}); err == nil {
 		t.Fatal("spec with no selectors accepted")
 	}
 }
 
 func TestRunJSONFormat(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.json")
-	if err := run("tab1", "", 12000, 7, 60, 500, 800, out, "json", specArgs{}); err != nil {
+	if err := run("tab1", "", 12000, 7, 60, 500, 800, out, "json", false, "", specArgs{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -170,7 +198,7 @@ func TestRunJSONFormat(t *testing.T) {
 }
 
 func TestRunBadFormat(t *testing.T) {
-	if err := run("fig1", "", 12000, 7, 60, 500, 800, "-", "yaml", specArgs{}); err == nil {
+	if err := run("fig1", "", 12000, 7, 60, 500, 800, "-", "yaml", false, "", specArgs{}); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	advertiser [-endpoint http://127.0.0.1:8700] [-platform facebook] <command> [args]
+//	advertiser [-endpoint http://127.0.0.1:8700] [-platform facebook] [-metrics] <command> [args]
 //
 // Commands:
 //
@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/adapi"
+	"repro/internal/obs"
 	"repro/internal/pii"
 	"repro/internal/platform"
 	"repro/internal/population"
@@ -44,6 +45,7 @@ func main() {
 		endpoint = flag.String("endpoint", "http://127.0.0.1:8700", "platformd base URL")
 		name     = flag.String("platform", "facebook", "interface to talk to")
 		qps      = flag.Float64("qps", 100, "client-side rate limit")
+		metrics  = flag.Bool("metrics", false, "dump client metrics to stderr after the command")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -56,7 +58,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("advertiser: connecting: %v", err)
 	}
-	if err := dispatch(ctx, client, flag.Arg(0), flag.Args()[1:]); err != nil {
+	err = dispatch(ctx, client, flag.Arg(0), flag.Args()[1:])
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "-- client metrics --")
+		if werr := obs.Default().WriteText(os.Stderr); werr != nil {
+			log.Printf("advertiser: writing metrics: %v", werr)
+		}
+	}
+	if err != nil {
 		log.Fatalf("advertiser: %v", err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mitigation"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/population"
 )
@@ -184,11 +185,30 @@ func run(dir string, universe int, seed uint64, k, granCalls int) error {
 			return experiments.WriteReportMarkdown(f, rep)
 		}},
 	}
+	// metrics.txt accumulates one snapshot section per artifact: the obs
+	// registry's state right after that experiment, so the query cost and
+	// phase timing of each figure is attributable from the results
+	// directory alone.
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	mf, err := os.Create(metricsPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
 	for _, s := range steps {
 		if err := write(s.file, s.fn); err != nil {
 			return err
 		}
+		if _, err := fmt.Fprintf(mf, "== metrics after %s ==\n", s.file); err != nil {
+			return err
+		}
+		if err := obs.Default().WriteText(mf); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(mf); err != nil {
+			return err
+		}
 	}
-	log.Printf("all artifacts written to %s", dir)
+	log.Printf("all artifacts written to %s (metrics snapshots in %s)", dir, metricsPath)
 	return nil
 }

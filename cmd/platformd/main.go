@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	platformd [-addr :8700] [-seed N] [-universe 131072] [-qps 0] [-warm] [-v]
+//	platformd [-addr :8700] [-seed N] [-universe 131072] [-qps 0] [-warm] [-pprof] [-v]
 //
 // Routes per interface (facebook-restricted, facebook, google, linkedin):
 //
@@ -12,6 +12,8 @@
 //	POST /{name}/estimate
 //	POST /{name}/measure
 //	GET  /healthz
+//	GET  /metrics        (query counters, cache stats, latency quantiles)
+//	GET  /debug/pprof/*  (with -pprof)
 package main
 
 import (
@@ -39,16 +41,17 @@ func main() {
 		qps      = flag.Float64("qps", 0, "per-interface rate limit in queries/sec (0 = unlimited)")
 		burst    = flag.Float64("burst", 20, "rate-limit burst capacity")
 		warm     = flag.Bool("warm", false, "materialize all option audiences before serving")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		verbose  = flag.Bool("v", false, "log every request")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *universe, *qps, *burst, *warm, *verbose); err != nil {
+	if err := run(*addr, *seed, *universe, *qps, *burst, *warm, *pprofOn, *verbose); err != nil {
 		log.Fatalf("platformd: %v", err)
 	}
 }
 
 // buildHandler assembles the deployment and its HTTP handler.
-func buildHandler(seed uint64, universe int, qps, burst float64, warm, verbose bool) (http.Handler, *platform.Deployment, error) {
+func buildHandler(seed uint64, universe int, qps, burst float64, warm, pprofOn, verbose bool) (http.Handler, *platform.Deployment, error) {
 	log.Printf("platformd: building deployment (universe=%d users/platform, seed=%d)", universe, seed)
 	start := time.Now()
 	d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
@@ -66,7 +69,7 @@ func buildHandler(seed uint64, universe int, qps, burst float64, warm, verbose b
 		log.Printf("platformd: warm-up done in %v", time.Since(start))
 	}
 
-	opts := adapi.ServerOptions{RateLimit: qps, Burst: burst}
+	opts := adapi.ServerOptions{RateLimit: qps, Burst: burst, Pprof: pprofOn}
 	if verbose {
 		opts.Logf = log.Printf
 	}
@@ -77,8 +80,8 @@ func buildHandler(seed uint64, universe int, qps, burst float64, warm, verbose b
 	return srv.Handler(), d, nil
 }
 
-func run(addr string, seed uint64, universe int, qps, burst float64, warm, verbose bool) error {
-	handler, d, err := buildHandler(seed, universe, qps, burst, warm, verbose)
+func run(addr string, seed uint64, universe int, qps, burst float64, warm, pprofOn, verbose bool) error {
+	handler, d, err := buildHandler(seed, universe, qps, burst, warm, pprofOn, verbose)
 	if err != nil {
 		return err
 	}
@@ -95,6 +98,10 @@ func run(addr string, seed uint64, universe int, qps, burst float64, warm, verbo
 	log.Printf("platformd: serving on http://%s", ln.Addr())
 	for _, p := range d.Interfaces() {
 		fmt.Printf("  %-20s http://%s/%s/{options,estimate,measure}\n", p.Name(), ln.Addr(), p.Name())
+	}
+	fmt.Printf("  %-20s http://%s/metrics\n", "metrics", ln.Addr())
+	if pprofOn {
+		fmt.Printf("  %-20s http://%s/debug/pprof/\n", "pprof", ln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

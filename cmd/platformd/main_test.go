@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -13,7 +15,7 @@ import (
 )
 
 func TestBuildHandlerServes(t *testing.T) {
-	handler, d, err := buildHandler(7, 8000, 0, 0, true, false)
+	handler, d, err := buildHandler(7, 8000, 0, 0, true, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,16 +48,49 @@ func TestBuildHandlerServes(t *testing.T) {
 	if v < 0 {
 		t.Fatalf("estimate %d", v)
 	}
+
+	// The measure round trip must be visible in the text exposition.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`adapi_server_requests_total{door="measure",interface="linkedin"}`,
+		`platform_queries_total{door="measure",interface="linkedin"}`,
+		`adapi_server_request_seconds{door="measure",interface="linkedin",quantile="0.99"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+
+	// pprof is mounted when enabled.
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
 }
 
 func TestBuildHandlerBadUniverse(t *testing.T) {
-	if _, _, err := buildHandler(7, 10, 0, 0, false, false); err == nil {
+	if _, _, err := buildHandler(7, 10, 0, 0, false, false, false); err == nil {
 		t.Fatal("tiny universe accepted")
 	}
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.256.256.256:99999", 7, 8000, 0, 0, false, false); err == nil {
+	if err := run("256.256.256.256:99999", 7, 8000, 0, 0, false, false, false); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }

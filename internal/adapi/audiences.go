@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/pii"
 	"repro/internal/pixel"
@@ -75,17 +76,18 @@ func eventFromString(s string) (pixel.Event, error) {
 // interface handler.
 func (s *Server) registerAudienceRoutes(h *ifaceHandler) {
 	prefix := "/" + h.p.Name()
-	s.mux.Handle(prefix+"/audiences", h.methodSwitch(map[string]func(http.ResponseWriter, *http.Request){
+	s.mux.Handle(prefix+"/audiences", h.methodSwitch("audiences", map[string]func(http.ResponseWriter, *http.Request){
 		http.MethodGet:  h.handleListAudiences,
 		http.MethodPost: h.handleCreatePIIAudience,
 	}))
-	s.mux.Handle(prefix+"/audiences/lookalike", h.wrap(h.handleCreateLookalike, http.MethodPost))
-	s.mux.Handle(prefix+"/audiences/pixel", h.wrap(h.handleCreatePixelAudience, http.MethodPost))
-	s.mux.Handle(prefix+"/pixel/sites", h.wrap(h.handleRegisterSite, http.MethodPost))
+	s.mux.Handle(prefix+"/audiences/lookalike", h.wrap(h.handleCreateLookalike, http.MethodPost, "audiences_lookalike"))
+	s.mux.Handle(prefix+"/audiences/pixel", h.wrap(h.handleCreatePixelAudience, http.MethodPost, "audiences_pixel"))
+	s.mux.Handle(prefix+"/pixel/sites", h.wrap(h.handleRegisterSite, http.MethodPost, "pixel_sites"))
 }
 
 // methodSwitch is wrap for endpoints with several methods.
-func (h *ifaceHandler) methodSwitch(routes map[string]func(http.ResponseWriter, *http.Request)) http.Handler {
+func (h *ifaceHandler) methodSwitch(door string, routes map[string]func(http.ResponseWriter, *http.Request)) http.Handler {
+	m := h.doorMetrics(door)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		fn, ok := routes[r.Method]
 		if !ok {
@@ -93,13 +95,17 @@ func (h *ifaceHandler) methodSwitch(routes map[string]func(http.ResponseWriter, 
 				fmt.Sprintf("method %s not allowed", r.Method))
 			return
 		}
+		m.total.Inc()
 		if !h.limiter.Allow() {
+			h.m429.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, codeRateLimited, "slow down")
 			return
 		}
 		h.opts.logf("adapi: %s %s", r.Method, r.URL.Path)
+		start := time.Now()
 		fn(w, r)
+		m.latency.Observe(time.Since(start))
 	})
 }
 

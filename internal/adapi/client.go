@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/targeting"
 )
@@ -29,6 +30,9 @@ type ClientOptions struct {
 	// RetryBase is the initial backoff; zero selects 50 ms. Backoff doubles
 	// per attempt and honours Retry-After when present.
 	RetryBase time.Duration
+	// Metrics receives the client's request metrics; nil selects the
+	// process-wide obs.Default() registry.
+	Metrics *obs.Registry
 }
 
 // Client automates one platform interface's estimate API, implementing
@@ -44,6 +48,17 @@ type Client struct {
 	attrs        []string
 	topics       []string
 	crossFeature bool
+
+	// sleep blocks between retry attempts; tests inject a fake clock here
+	// to assert the backoff schedule without waiting it out.
+	sleep func(ctx context.Context, d time.Duration) error
+
+	mRequests   *obs.Histogram // adapi_client_request_seconds: one HTTP attempt
+	mRetries    *obs.Counter   // adapi_client_retries_total: re-issued attempts
+	m429        *obs.Counter   // adapi_client_429_total: throttled responses
+	m5xx        *obs.Counter   // adapi_client_5xx_total: upstream failures
+	mRetryAfter *obs.Counter   // adapi_client_retry_after_total: honored headers
+	mBackoff    *obs.Histogram // adapi_client_backoff_seconds: waits between attempts
 }
 
 // NewClient connects to an adapi server at baseURL (e.g.
@@ -64,12 +79,24 @@ func NewClient(ctx context.Context, baseURL, name string, opts ClientOptions) (*
 	if opts.RetryBase == 0 {
 		opts.RetryBase = 50 * time.Millisecond
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	lbl := obs.L("platform", name)
 	c := &Client{
-		base:  strings.TrimRight(baseURL, "/"),
-		name:  name,
-		codec: codec,
-		hc:    opts.HTTPClient,
-		opts:  opts,
+		base:        strings.TrimRight(baseURL, "/"),
+		name:        name,
+		codec:       codec,
+		hc:          opts.HTTPClient,
+		opts:        opts,
+		sleep:       sleepContext,
+		mRequests:   reg.Histogram("adapi_client_request_seconds", lbl),
+		mRetries:    reg.Counter("adapi_client_retries_total", lbl),
+		m429:        reg.Counter("adapi_client_429_total", lbl),
+		m5xx:        reg.Counter("adapi_client_5xx_total", lbl),
+		mRetryAfter: reg.Counter("adapi_client_retry_after_total", lbl),
+		mBackoff:    reg.Histogram("adapi_client_backoff_seconds", lbl),
 	}
 	if opts.RateLimit > 0 {
 		c.limiter = NewLimiter(opts.RateLimit, opts.Burst)
@@ -146,6 +173,9 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) ([]byt
 	backoff := c.opts.RetryBase
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.mRetries.Inc()
+		}
 		if err := c.limiter.Wait(ctx); err != nil {
 			return nil, err
 		}
@@ -160,12 +190,15 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) ([]byt
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		start := time.Now()
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			c.mRequests.Observe(time.Since(start))
 			lastErr = err
 		} else {
 			respBody, readErr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 			resp.Body.Close()
+			c.mRequests.Observe(time.Since(start))
 			if readErr != nil {
 				lastErr = readErr
 			} else {
@@ -173,9 +206,17 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) ([]byt
 				case resp.StatusCode == http.StatusOK:
 					return respBody, nil
 				case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+					if resp.StatusCode == http.StatusTooManyRequests {
+						c.m429.Inc()
+					} else {
+						c.m5xx.Inc()
+					}
 					lastErr = fmt.Errorf("adapi: server returned %d", resp.StatusCode)
-					if d := retryAfter(resp); d > backoff {
-						backoff = d
+					if d := retryAfter(resp); d > 0 {
+						c.mRetryAfter.Inc()
+						if d > backoff {
+							backoff = d
+						}
 					}
 				default:
 					return nil, decodeErrorEnvelope(resp.StatusCode, respBody)
@@ -185,16 +226,25 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) ([]byt
 		if attempt == c.opts.MaxRetries {
 			break
 		}
-		timer := time.NewTimer(backoff)
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			timer.Stop()
-			return nil, ctx.Err()
+		c.mBackoff.Observe(backoff)
+		if err := c.sleep(ctx, backoff); err != nil {
+			return nil, err
 		}
 		backoff *= 2
 	}
 	return nil, fmt.Errorf("adapi: giving up after %d attempts: %w", c.opts.MaxRetries+1, lastErr)
+}
+
+// sleepContext blocks for d or until the context is done.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // retryAfter parses a Retry-After header as seconds.

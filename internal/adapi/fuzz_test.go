@@ -26,6 +26,12 @@ func seedBodies(t interface{ Helper() }, name string) [][]byte {
 		{Spec: targeting.WithAge(targeting.WithGender(targeting.Attr(0), 1), 0, 3)},
 		{Spec: targeting.Excluding(targeting.Attr(5), targeting.AnyAttr(6, 7))},
 		{Spec: targeting.And(targeting.CustomAudience(2), targeting.Attr(9))},
+		// Deep AND compositions and broad exclusions drive audiences toward
+		// the reporting floors (Facebook 1,000 / LinkedIn 300), where the
+		// rounding and floor paths in the codecs and platforms diverge most.
+		{Spec: targeting.And(targeting.Attr(0), targeting.Attr(1), targeting.Attr(2), targeting.Attr(3), targeting.Attr(4))},
+		{Spec: targeting.WithGender(targeting.Excluding(targeting.Attr(0), targeting.AnyAttr(1, 2, 3, 4, 5)), 0)},
+		{Spec: targeting.WithAge(targeting.And(targeting.Attr(7), targeting.Attr(8)), 3)},
 	} {
 		if body, err := c.EncodeRequest(req); err == nil {
 			seeds = append(seeds, body)
@@ -84,6 +90,20 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add([]byte(`{"elements":[{"total":300}]}`))
 	f.Add([]byte(`garbage`))
 	codecs := []string{catalog.PlatformFacebook, catalog.PlatformGoogle, catalog.PlatformLinkedIn}
+	// Boundary estimates: just under / at the Facebook (1,000) and LinkedIn
+	// (300) reporting floors, zero (a floored audience), the 2-significant-
+	// digit rounding edges, and values a dialect may render in shorthand.
+	for _, v := range []int64{0, 40, 299, 300, 999, 1000, 1049, 1050, 100000, 104999, 1 << 31} {
+		for _, name := range codecs {
+			c, err := CodecFor(name)
+			if err != nil {
+				f.Fatal(err)
+			}
+			if body, err := c.EncodeResponse(v); err == nil {
+				f.Add(body)
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		for _, name := range codecs {
 			c, err := CodecFor(name)

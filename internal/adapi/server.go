@@ -6,8 +6,11 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -39,6 +42,12 @@ type ServerOptions struct {
 	MaxBodyBytes int64
 	// Logf logs one line per request; nil disables logging.
 	Logf func(format string, args ...any)
+	// Metrics receives per-interface request metrics and backs the
+	// /metrics endpoint; nil selects the process-wide obs.Default()
+	// registry.
+	Metrics *obs.Registry
+	// Pprof mounts net/http/pprof profiling handlers under /debug/pprof/.
+	Pprof bool
 }
 
 // Server exposes a Deployment's interfaces over HTTP, each in its own JSON
@@ -54,6 +63,25 @@ type ifaceHandler struct {
 	codec   Codec
 	limiter *Limiter
 	opts    *ServerOptions
+	reg     *obs.Registry
+	m429    *obs.Counter // adapi_server_429_total: throttled requests
+}
+
+// doorMetrics is one endpoint's pre-resolved instruments, bound at route
+// registration so the serving path performs no registry lookups.
+type doorMetrics struct {
+	total   *obs.Counter   // adapi_server_requests_total{interface,door}
+	latency *obs.Histogram // adapi_server_request_seconds{interface,door}
+}
+
+// doorMetrics resolves the instruments for one interface endpoint.
+func (h *ifaceHandler) doorMetrics(door string) doorMetrics {
+	iface := obs.L("interface", h.p.Name())
+	d := obs.L("door", door)
+	return doorMetrics{
+		total:   h.reg.Counter("adapi_server_requests_total", iface, d),
+		latency: h.reg.Histogram("adapi_server_request_seconds", iface, d),
+	}
 }
 
 // NewServer builds the HTTP API for all interfaces of a deployment.
@@ -68,26 +96,43 @@ func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = 1 << 20
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Default()
+	}
 	s := &Server{mux: http.NewServeMux(), opts: opts}
 	for _, p := range d.Interfaces() {
 		codec, err := CodecFor(p.Name())
 		if err != nil {
 			return nil, err
 		}
-		h := &ifaceHandler{p: p, codec: codec, opts: &s.opts}
+		h := &ifaceHandler{
+			p:     p,
+			codec: codec,
+			opts:  &s.opts,
+			reg:   opts.Metrics,
+			m429:  opts.Metrics.Counter("adapi_server_429_total", obs.L("interface", p.Name())),
+		}
 		if opts.RateLimit > 0 {
 			h.limiter = NewLimiter(opts.RateLimit, opts.Burst)
 		}
 		prefix := "/" + p.Name()
-		s.mux.Handle(prefix+"/options", h.wrap(h.handleOptions, http.MethodGet))
-		s.mux.Handle(prefix+"/estimate", h.wrap(h.handleEstimate, http.MethodPost))
-		s.mux.Handle(prefix+"/measure", h.wrap(h.handleMeasure, http.MethodPost))
+		s.mux.Handle(prefix+"/options", h.wrap(h.handleOptions, http.MethodGet, "options"))
+		s.mux.Handle(prefix+"/estimate", h.wrap(h.handleEstimate, http.MethodPost, "estimate"))
+		s.mux.Handle(prefix+"/measure", h.wrap(h.handleMeasure, http.MethodPost, "measure"))
 		s.registerAudienceRoutes(h)
 	}
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
+	s.mux.Handle("/metrics", opts.Metrics.Handler())
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -113,21 +158,28 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 	}
 }
 
-// wrap applies method checking, rate limiting, and logging to a handler.
-func (h *ifaceHandler) wrap(fn func(http.ResponseWriter, *http.Request), method string) http.Handler {
+// wrap applies method checking, rate limiting, metrics, and logging to a
+// handler. door labels the endpoint's request counter and latency
+// histogram.
+func (h *ifaceHandler) wrap(fn func(http.ResponseWriter, *http.Request), method, door string) http.Handler {
+	m := h.doorMetrics(door)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
 				fmt.Sprintf("method %s not allowed", r.Method))
 			return
 		}
+		m.total.Inc()
 		if !h.limiter.Allow() {
+			h.m429.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, codeRateLimited, "slow down")
 			return
 		}
 		h.opts.logf("adapi: %s %s", r.Method, r.URL.Path)
+		start := time.Now()
 		fn(w, r)
+		m.latency.Observe(time.Since(start))
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/targeting"
 )
@@ -54,9 +55,18 @@ type Auditor struct {
 	// concurrent use; the Auditor itself must still be driven from one
 	// goroutine.
 	Concurrency int
+	// Progress, when set, receives live audit progress: it is called once
+	// per completed spec during fan-out scans with the number done so far
+	// and the batch total. Calls may arrive concurrently from worker
+	// goroutines; the callback must be safe for concurrent use and fast
+	// (it sits on the audit path).
+	Progress func(done, total int)
 
 	attrNames  []string
 	topicNames []string
+
+	mSpecs      *obs.Counter // audit_specs_total: specs audited
+	mBelowFloor *obs.Counter // audit_below_floor_total: under the recall floor
 
 	// scope is ANDed into every measurement: the paper's methodology
 	// targets all U.S. users as the reference audience RA (§3), expressed
@@ -72,14 +82,26 @@ type classTotals struct {
 }
 
 // NewAuditor returns an auditor over p with the paper's default floor. The
-// provider is wrapped with a measurement cache if it is not already one.
+// provider is wrapped with a measurement cache if it is not already one;
+// audit metrics land in the process-wide obs registry.
 func NewAuditor(p Provider) *Auditor {
+	return NewAuditorWith(p, nil)
+}
+
+// NewAuditorWith is NewAuditor reporting into reg (nil selects
+// obs.Default()); a cache wrapper created here reports into the same
+// registry.
+func NewAuditorWith(p Provider, reg *obs.Registry) *Auditor {
+	if reg == nil {
+		reg = obs.Default()
+	}
 	raw := p
 	if cp, ok := p.(*cachingProvider); ok {
 		raw = cp.Provider
 	} else {
-		p = NewCachingProvider(p)
+		p = NewCachingProviderWith(p, reg)
 	}
+	lbl := obs.L("platform", p.Name())
 	return &Auditor{
 		p:           p,
 		raw:         raw,
@@ -88,6 +110,8 @@ func NewAuditor(p Provider) *Auditor {
 		topicNames:  p.TopicNames(),
 		scope:       targeting.Clause{{Kind: targeting.KindLocation, ID: int(population.RegionUS)}},
 		classTotals: make(map[Class]classTotals),
+		mSpecs:      reg.Counter("audit_specs_total", lbl),
+		mBelowFloor: reg.Counter("audit_below_floor_total", lbl),
 	}
 }
 
@@ -200,6 +224,7 @@ func (a *Auditor) Audit(spec targeting.Spec, c Class) (Measurement, error) {
 	if err := validateClass(c); err != nil {
 		return Measurement{}, err
 	}
+	a.mSpecs.Inc()
 	m := Measurement{Desc: a.Describe(spec), Spec: spec}
 
 	reach, err := a.measureScoped(spec)
@@ -208,6 +233,7 @@ func (a *Auditor) Audit(spec targeting.Spec, c Class) (Measurement, error) {
 	}
 	m.TotalReach = reach
 	if reach < a.RecallFloor {
+		a.mBelowFloor.Inc()
 		return m, fmt.Errorf("%w: reach %d < %d", ErrBelowFloor, reach, a.RecallFloor)
 	}
 

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/targeting"
+)
+
+// TestBudgetShrunkBelowCallsMade: lowering the budget under the calls
+// already made refuses every new key immediately, while cached keys keep
+// being served — an auditor can always re-read what they already paid for.
+func TestBudgetShrunkBelowCallsMade(t *testing.T) {
+	sp := &slowProvider{attrs: []string{"a", "b", "c", "d"}}
+	cp := NewCachingProviderWith(sp, obs.NewRegistry())
+	for i := 0; i < 3; i++ {
+		if _, err := cp.Measure(targeting.Attr(i)); err != nil {
+			t.Fatalf("warm-up call %d: %v", i, err)
+		}
+	}
+	if !SetQueryBudget(cp, 2) {
+		t.Fatal("SetQueryBudget rejected a caching provider")
+	}
+	if _, err := cp.Measure(targeting.Attr(3)); !errors.Is(err, ErrQueryBudget) {
+		t.Fatalf("new key with calls > budget: err = %v, want ErrQueryBudget", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cp.Measure(targeting.Attr(i)); err != nil {
+			t.Errorf("cached key %d after budget shrink: %v", i, err)
+		}
+	}
+	stats, ok := StatsOf(cp)
+	if !ok {
+		t.Fatal("StatsOf rejected a caching provider")
+	}
+	if stats.Refused != 1 || stats.Hits != 3 || stats.Misses != 3 {
+		t.Errorf("stats = %+v, want 3 hits / 3 misses / 1 refused", stats)
+	}
+}
+
+// TestBudgetNeverOvershootsUnderConcurrency: a burst of distinct misses far
+// wider than the budget yields exactly budget upstream calls; everyone else
+// is refused, not queued.
+func TestBudgetNeverOvershootsUnderConcurrency(t *testing.T) {
+	sp := &slowProvider{attrs: []string{"a"}}
+	cp := NewCachingProviderWith(sp, obs.NewRegistry())
+	const budget = 8
+	SetQueryBudget(cp, budget)
+
+	var wg sync.WaitGroup
+	var refused, succeeded atomic.Int64
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := cp.Measure(targeting.Attr(i))
+			switch {
+			case err == nil:
+				succeeded.Add(1)
+			case errors.Is(err, ErrQueryBudget):
+				refused.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := sp.calls.Load(); got != budget {
+		t.Errorf("upstream calls = %d, want exactly %d", got, budget)
+	}
+	if succeeded.Load() != budget || refused.Load() != 24-budget {
+		t.Errorf("succeeded=%d refused=%d, want %d/%d",
+			succeeded.Load(), refused.Load(), budget, 24-budget)
+	}
+	if got := UpstreamCalls(cp); got != budget {
+		t.Errorf("UpstreamCalls = %d, want %d", got, budget)
+	}
+}
+
+// TestRefundOnErrorUnderConcurrency: failed upstream calls are refunded even
+// when many goroutines race distinct failing keys, so the budget only ever
+// pays for answers actually received.
+func TestRefundOnErrorUnderConcurrency(t *testing.T) {
+	boom := errors.New("boom")
+	sp := &slowProvider{attrs: []string{"a"}, fail: func(spec targeting.Spec) error {
+		// Odd attribute ids always fail upstream.
+		refs := targeting.Refs(spec)
+		if len(refs) == 1 && refs[0].ID%2 == 1 {
+			return boom
+		}
+		return nil
+	}}
+	reg := obs.NewRegistry()
+	cp := NewCachingProviderWith(sp, reg)
+
+	const keys = 16 // 8 even (succeed), 8 odd (fail)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for round := 0; round < 2; round++ {
+		for i := 0; i < keys; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := cp.Measure(targeting.Attr(i)); err != nil {
+					if !errors.Is(err, boom) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					failures.Add(1)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	// Only the 8 even keys leave a charge behind; every odd-key attempt was
+	// refunded on failure.
+	if got := UpstreamCalls(cp); got != keys/2 {
+		t.Errorf("UpstreamCalls = %d, want %d (failures refunded)", got, keys/2)
+	}
+	if failures.Load() == 0 {
+		t.Error("no failing calls observed; test exercised nothing")
+	}
+	// Refunded keys are retryable: flip the provider to succeed and re-ask.
+	sp.fail = nil
+	if _, err := cp.Measure(targeting.Attr(1)); err != nil {
+		t.Errorf("retry of refunded key: %v", err)
+	}
+	if got := UpstreamCalls(cp); got != keys/2+1 {
+		t.Errorf("UpstreamCalls after retry = %d, want %d", got, keys/2+1)
+	}
+}
+
+// TestNonCachingProviderIntrospection: the budget and stats helpers answer
+// honestly for providers without a cache wrapper.
+func TestNonCachingProviderIntrospection(t *testing.T) {
+	sp := &slowProvider{attrs: []string{"a"}}
+	if SetQueryBudget(sp, 10) {
+		t.Error("SetQueryBudget accepted a non-caching provider")
+	}
+	if got := UpstreamCalls(sp); got != -1 {
+		t.Errorf("UpstreamCalls(non-caching) = %d, want -1", got)
+	}
+	if _, ok := StatsOf(sp); ok {
+		t.Error("StatsOf accepted a non-caching provider")
+	}
+}
+
+// TestCacheStatsHitRate pins the hit-rate arithmetic, including the idle
+// zero case.
+func TestCacheStatsHitRate(t *testing.T) {
+	if got := (CacheStats{}).HitRate(); got != 0 {
+		t.Errorf("idle HitRate = %v, want 0", got)
+	}
+	s := CacheStats{Hits: 6, Misses: 2, Collapsed: 2, Refused: 5}
+	if got := s.HitRate(); got != 0.8 {
+		t.Errorf("HitRate = %v, want 0.8 (refused excluded)", got)
+	}
+}

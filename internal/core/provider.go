@@ -13,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/targeting"
 )
@@ -97,6 +99,14 @@ type cachingProvider struct {
 	inflight map[string]*inflightCall
 	calls    int64
 	budget   int64 // 0 = unlimited
+
+	// Cache observability, resolved once per provider (labeled by the
+	// platform name) so the lookup path pays one atomic add per outcome.
+	mHits      *obs.Counter   // served from the size cache
+	mMisses    *obs.Counter   // claimed the key and went upstream
+	mCollapsed *obs.Counter   // waited on another caller's in-flight miss
+	mRefused   *obs.Counter   // refused: query budget exhausted
+	mUpstream  *obs.Histogram // upstream Measure latency (misses only)
 }
 
 // inflightCall is one upstream measurement in progress; done closes once v
@@ -107,12 +117,29 @@ type inflightCall struct {
 	err  error
 }
 
-// NewCachingProvider wraps p with a measurement cache.
+// NewCachingProvider wraps p with a measurement cache whose hit/miss/
+// budget counters land in the process-wide obs registry; use
+// NewCachingProviderWith to direct them elsewhere.
 func NewCachingProvider(p Provider) Provider {
+	return NewCachingProviderWith(p, obs.Default())
+}
+
+// NewCachingProviderWith wraps p with a measurement cache reporting into
+// reg (nil selects obs.Default()).
+func NewCachingProviderWith(p Provider, reg *obs.Registry) Provider {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	lbl := obs.L("platform", p.Name())
 	return &cachingProvider{
-		Provider: p,
-		sizes:    make(map[string]int64),
-		inflight: make(map[string]*inflightCall),
+		Provider:   p,
+		sizes:      make(map[string]int64),
+		inflight:   make(map[string]*inflightCall),
+		mHits:      reg.Counter("audit_cache_hits_total", lbl),
+		mMisses:    reg.Counter("audit_cache_misses_total", lbl),
+		mCollapsed: reg.Counter("audit_cache_collapsed_total", lbl),
+		mRefused:   reg.Counter("audit_budget_refused_total", lbl),
+		mUpstream:  reg.Histogram("audit_upstream_seconds", lbl),
 	}
 }
 
@@ -121,15 +148,18 @@ func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
 	cp.mu.Lock()
 	if v, ok := cp.sizes[key]; ok {
 		cp.mu.Unlock()
+		cp.mHits.Inc()
 		return v, nil
 	}
 	if c, ok := cp.inflight[key]; ok {
 		cp.mu.Unlock()
+		cp.mCollapsed.Inc()
 		<-c.done
 		return c.v, c.err
 	}
 	if cp.budget > 0 && cp.calls >= cp.budget {
 		cp.mu.Unlock()
+		cp.mRefused.Inc()
 		return 0, fmt.Errorf("%w: %d calls made", ErrQueryBudget, cp.budget)
 	}
 	// Claim the key and charge the budget before releasing the lock so a
@@ -138,8 +168,11 @@ func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
 	c := &inflightCall{done: make(chan struct{})}
 	cp.inflight[key] = c
 	cp.mu.Unlock()
+	cp.mMisses.Inc()
 
+	start := time.Now()
 	v, err := cp.Provider.Measure(spec)
+	cp.mUpstream.Observe(time.Since(start))
 
 	cp.mu.Lock()
 	if err == nil {
@@ -181,4 +214,47 @@ func UpstreamCalls(p Provider) int64 {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	return cp.calls
+}
+
+// CacheStats is a point-in-time view of one caching provider's traffic —
+// the numbers an auditor steers their query budget by (the paper limited
+// "both the count and rate of API queries", §5).
+type CacheStats struct {
+	// Hits counts measurements served from the size cache.
+	Hits int64
+	// Misses counts measurements that went upstream.
+	Misses int64
+	// Collapsed counts callers that waited on another caller's identical
+	// in-flight miss (singleflight).
+	Collapsed int64
+	// Refused counts measurements rejected by the query budget.
+	Refused int64
+	// Upstream summarizes upstream Measure latency over the misses.
+	Upstream obs.HistogramSnapshot
+}
+
+// HitRate returns the fraction of lookups served without an upstream call
+// (hits plus collapsed waits over all admitted lookups); 0 when idle.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Collapsed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Collapsed) / float64(total)
+}
+
+// StatsOf reports a caching provider's cache statistics. The second result
+// is false when p is not a caching wrapper.
+func StatsOf(p Provider) (CacheStats, bool) {
+	cp, ok := p.(*cachingProvider)
+	if !ok {
+		return CacheStats{}, false
+	}
+	return CacheStats{
+		Hits:      cp.mHits.Value(),
+		Misses:    cp.mMisses.Value(),
+		Collapsed: cp.mCollapsed.Value(),
+		Refused:   cp.mRefused.Value(),
+		Upstream:  cp.mUpstream.Snapshot(),
+	}, true
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/targeting"
 )
@@ -32,6 +33,13 @@ func (a *Auditor) auditMany(specs []targeting.Spec, c Class) ([]auditResult, err
 	}
 
 	results := make([]auditResult, len(specs))
+	total := len(specs)
+	var done atomic.Int64
+	finish := func() {
+		if a.Progress != nil {
+			a.Progress(int(done.Add(1)), total)
+		}
+	}
 	workers := a.Concurrency
 	if workers < 1 {
 		workers = 1
@@ -42,6 +50,7 @@ func (a *Auditor) auditMany(specs []targeting.Spec, c Class) ([]auditResult, err
 	if workers <= 1 {
 		for i, spec := range specs {
 			results[i].m, results[i].err = a.Audit(spec, c)
+			finish()
 		}
 		return results, nil
 	}
@@ -53,6 +62,7 @@ func (a *Auditor) auditMany(specs []targeting.Spec, c Class) ([]auditResult, err
 			defer wg.Done()
 			for i := range idxs {
 				results[i].m, results[i].err = a.Audit(specs[i], c)
+				finish()
 			}
 		}()
 	}

@@ -33,6 +33,7 @@ type DeliveryRow struct {
 // structured engagement models deliver to skewed audiences. Requires an
 // in-process deployment (the auction needs the raw universe).
 func (r *Runner) DeliveryStudy() ([]DeliveryRow, error) {
+	defer r.track("delivery")()
 	if r.cfg.Deployment == nil {
 		return nil, ErrNeedsDeployment
 	}
@@ -117,6 +118,7 @@ type RetargetingRow struct {
 // audits each audience alone and ANDed with the most skewed individual
 // attribute.
 func (r *Runner) RetargetingStudy(c core.Class) ([]RetargetingRow, error) {
+	defer r.track("retarget")()
 	if r.cfg.Deployment == nil {
 		return nil, ErrNeedsDeployment
 	}

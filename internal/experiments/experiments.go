@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/population"
 	"repro/internal/stats"
@@ -52,6 +54,13 @@ type Config struct {
 	RemovalSteps []float64
 	// Seed drives all sampling.
 	Seed uint64
+	// Metrics receives phase timings and audit counters; nil selects the
+	// process-wide obs.Default() registry.
+	Metrics *obs.Registry
+	// Progress, when set, receives live audit progress from every
+	// platform's fan-out scans: the platform name, specs completed, and
+	// the batch total. It may be called concurrently from audit workers.
+	Progress func(platform string, done, total int)
 }
 
 // withDefaults fills the paper's parameters.
@@ -87,6 +96,7 @@ type Runner struct {
 	order       []string
 	auditors    map[string]*core.Auditor
 	individuals map[string]map[string][]core.Measurement
+	metrics     *obs.Registry
 }
 
 // NewRunner prepares a runner over the deployment or provider set in cfg.
@@ -105,21 +115,30 @@ func NewRunner(cfg Config) (*Runner, error) {
 	default:
 		return nil, fmt.Errorf("experiments: Config.Deployment or Config.Providers is required")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	r := &Runner{
 		cfg:         cfg,
 		auditors:    make(map[string]*core.Auditor),
 		individuals: make(map[string]map[string][]core.Measurement),
+		metrics:     reg,
 	}
 	for _, p := range providers {
 		if _, dup := r.auditors[p.Name()]; dup {
 			return nil, fmt.Errorf("experiments: duplicate provider %q", p.Name())
 		}
 		r.order = append(r.order, p.Name())
-		a := core.NewAuditor(p)
+		a := core.NewAuditorWith(p, reg)
 		// The simulators' estimate path is lock-free and the measurement
 		// cache collapses duplicate in-flight calls, so scans and
 		// composition audits fan out across all cores by default.
 		a.Concurrency = runtime.GOMAXPROCS(0)
+		if cfg.Progress != nil {
+			name := p.Name()
+			a.Progress = func(done, total int) { cfg.Progress(name, done, total) }
+		}
 		r.auditors[p.Name()] = a
 	}
 	if cfg.Deployment != nil {
@@ -137,6 +156,24 @@ func NewRunner(cfg Config) (*Runner, error) {
 		wg.Wait()
 	}
 	return r, nil
+}
+
+// track times one experiment phase: `defer r.track("fig1")()` records the
+// wall-clock into experiment_phase_seconds{phase="fig1"} and counts the
+// completion, so a run's per-phase cost shows up in /metrics and in
+// adauditctl's --metrics summary.
+func (r *Runner) track(phase string) func() {
+	start := time.Now()
+	return func() {
+		r.metrics.Gauge("experiment_phase_seconds", obs.L("phase", phase)).Set(time.Since(start).Seconds())
+		r.metrics.Counter("experiment_phases_total").Inc()
+	}
+}
+
+// PhaseSeconds reports the last recorded wall-clock of a phase (0 when the
+// phase has not run).
+func (r *Runner) PhaseSeconds(phase string) float64 {
+	return r.metrics.GaugeValue("experiment_phase_seconds", obs.L("phase", phase))
 }
 
 // PlatformNames returns the platform interface names in presentation order.

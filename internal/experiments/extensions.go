@@ -47,6 +47,7 @@ type LookalikeRow struct {
 // class (their product's existing customers do); the study audits the seed
 // and its expansions with Equation 1.
 func (r *Runner) LookalikeStudy(c core.Class, seedSize int, ratio float64) ([]LookalikeRow, error) {
+	defer r.track("lookalike")()
 	if r.cfg.Deployment == nil {
 		return nil, ErrNeedsDeployment
 	}
@@ -145,6 +146,7 @@ type MitigationRow struct {
 // compositions, discriminatory ones consistently run greedily discovered
 // skewed compositions toward the class.
 func (r *Runner) MitigationStudy(c core.Class, cfg mitigation.EvalConfig) ([]MitigationRow, error) {
+	defer r.track("mitigation")()
 	var rows []MitigationRow
 	for _, name := range r.order {
 		a, err := r.Auditor(name)

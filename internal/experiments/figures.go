@@ -67,6 +67,7 @@ func (r *Runner) compositionSets(name string, c core.Class, include3Way bool) ([
 // interface, for Individual / Random 2-way / Top & Bottom 2-way and (for
 // gender) Top & Bottom 3-way targetings.
 func (r *Runner) Figure1() ([]BoxRow, error) {
+	defer r.track("fig1")()
 	var rows []BoxRow
 	male, err := r.compositionSets(catalog.PlatformFacebookRestricted, classMale(), true)
 	if err != nil {
@@ -83,6 +84,7 @@ func (r *Runner) Figure1() ([]BoxRow, error) {
 // Figure2 reproduces Figure 2: the same distributions toward males and ages
 // 18-24 on Facebook's full interface, Google, and LinkedIn.
 func (r *Runner) Figure2() ([]BoxRow, error) {
+	defer r.track("fig2")()
 	var rows []BoxRow
 	for _, name := range []string{catalog.PlatformFacebook, catalog.PlatformGoogle, catalog.PlatformLinkedIn} {
 		for _, c := range []core.Class{classMale(), classYoung()} {
@@ -134,12 +136,14 @@ func (r *Runner) removalFor(c core.Class) ([]RemovalSeries, error) {
 // across all four interfaces (Top 2-way 90th percentile and Bottom 2-way
 // 10th percentile).
 func (r *Runner) Figure3() ([]RemovalSeries, error) {
+	defer r.track("fig3")()
 	return r.removalFor(classMale())
 }
 
 // Figure4 reproduces Appendix Figure 4: the Figure 1/2 box batteries for
 // the remaining age ranges (25-34, 35-54, 55+) across all interfaces.
 func (r *Runner) Figure4() ([]BoxRow, error) {
+	defer r.track("fig4")()
 	var rows []BoxRow
 	for _, age := range []population.AgeRange{population.Age25to34, population.Age35to54, population.Age55Plus} {
 		c := core.AgeClass(age)
@@ -175,6 +179,7 @@ type RecallRow struct {
 // for all individual options, skewed individual options, and Top/Bottom
 // 2-way compositions, across platforms and classes.
 func (r *Runner) Figure5() ([]RecallRow, error) {
+	defer r.track("fig5")()
 	classes := []core.Class{
 		core.GenderClass(population.Male),
 		core.GenderClass(population.Female),
@@ -248,6 +253,7 @@ func filterSkewedAway(ms []core.Measurement) []core.Measurement {
 // Figure6 reproduces Appendix Figure 6: the removal sweep for the age
 // classes (18-24, 25-34, 35-54, 55+ Top; 55+ Bottom).
 func (r *Runner) Figure6() ([]RemovalSeries, error) {
+	defer r.track("fig6")()
 	var out []RemovalSeries
 	for _, age := range population.AllAgeRanges() {
 		series, err := r.removalFor(core.AgeClass(age))

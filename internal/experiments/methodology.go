@@ -56,6 +56,7 @@ func (c MethodologyConfig) withDefaults() MethodologyConfig {
 // Methodology reproduces the paper's §3 "Understanding size estimates"
 // studies on every platform.
 func (r *Runner) Methodology(cfg MethodologyConfig) ([]MethodologyRow, error) {
+	defer r.track("methodology")()
 	cfg = cfg.withDefaults()
 	var rows []MethodologyRow
 	for _, name := range r.order {
@@ -113,6 +114,7 @@ func rounderFor(name string) estimate.Rounder {
 // RoundingBounds reproduces the §3 rounding-robustness check for one class
 // across all platforms.
 func (r *Runner) RoundingBounds(c core.Class) ([]RoundingBoundsRow, error) {
+	defer r.track("rounding")()
 	var rows []RoundingBoundsRow
 	for _, name := range r.order {
 		a, err := r.Auditor(name)

@@ -49,6 +49,7 @@ func (r Report) Passed() int {
 // needed to evaluate the paper's checkable claims. Extension claims that
 // need direct deployment access are skipped for provider-backed runners.
 func (r *Runner) BuildReport() (Report, error) {
+	defer r.track("report")()
 	rep := Report{GeneratedAt: time.Now()}
 	add := func(section, statement, paper, measured string, holds bool) {
 		rep.Claims = append(rep.Claims, Claim{

@@ -49,6 +49,7 @@ func table1Platforms() []string {
 // 100 most skewed composition audiences, and the recall of the top-1 versus
 // the union of the top-10 compositions.
 func (r *Runner) Table1() ([]Table1Row, error) {
+	defer r.track("tab1")()
 	var rows []Table1Row
 	for _, c := range core.Table1Classes() {
 		for _, name := range table1Platforms() {
@@ -178,6 +179,7 @@ func (r *Runner) allPlatformNames() []string {
 // compositions per platform (male- and female-favoured), showing how the
 // combined ratio exceeds both individual ratios.
 func (r *Runner) Table2(perCell int) ([]ExampleRow, error) {
+	defer r.track("tab2")()
 	if perCell <= 0 {
 		perCell = 5
 	}
@@ -197,6 +199,7 @@ func (r *Runner) Table2(perCell int) ([]ExampleRow, error) {
 // Table3 reproduces Table 3: illustrative age-skewed compositions per
 // platform (favouring 18-24 and 55+).
 func (r *Runner) Table3(perCell int) ([]ExampleRow, error) {
+	defer r.track("tab3")()
 	if perCell <= 0 {
 		perCell = 5
 	}

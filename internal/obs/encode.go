@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteText renders the registry in a Prometheus-style text exposition:
+// one `name{labels} value` line per series, preceded by a `# TYPE` comment
+// per metric name. Counters print as integers; gauges as compact floats;
+// histograms expand into quantile series (seconds) plus `_count` and
+// `_sum` lines. Output is deterministically ordered, so it is diffable and
+// golden-testable.
+func (r *Registry) WriteText(w io.Writer) error {
+	lastName := ""
+	for _, s := range r.Gather() {
+		if s.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, kindString(s.Kind)); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if err := writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kindString names a kind in TYPE comments.
+func kindString(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// writeSeries renders one snapshot.
+func writeSeries(w io.Writer, s SeriesSnapshot) error {
+	switch s.Kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", formatSeries(s.Name, s.Labels), int64(s.Value))
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", formatSeries(s.Name, s.Labels), formatFloat(s.Value))
+		return err
+	case KindHistogram:
+		for _, q := range [...]struct {
+			label string
+			v     time.Duration
+		}{
+			{"0.5", s.Hist.P50},
+			{"0.95", s.Hist.P95},
+			{"0.99", s.Hist.P99},
+		} {
+			labels := append(append([]Label(nil), s.Labels...), L("quantile", q.label))
+			if _, err := fmt.Fprintf(w, "%s %s\n", formatSeries(s.Name, labels), formatFloat(q.v.Seconds())); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", formatSeries(s.Name+"_count", s.Labels), s.Hist.Count); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %s\n", formatSeries(s.Name+"_sum", s.Labels), formatFloat(s.Hist.Sum.Seconds()))
+		return err
+	}
+	return nil
+}
+
+// formatSeries renders `name{k="v",...}` (or bare name without labels).
+func formatSeries(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float compactly and deterministically.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry's text exposition —
+// mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestWriteTextGolden locks the /metrics text exposition: series ordering,
+// TYPE comments, label rendering, histogram expansion, and float
+// formatting. Regenerate with `go test ./internal/obs -run Golden
+// -update-golden` after deliberate format changes.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("platform_queries_total", L("interface", "facebook"), L("door", "measure")).Add(1234)
+	r.Counter("platform_queries_total", L("interface", "facebook"), L("door", "estimate")).Add(7)
+	r.Counter("audit_cache_hits_total", L("platform", "google")).Add(900)
+	r.Gauge("experiment_phase_seconds", L("phase", "fig1")).Set(12.75)
+	r.Gauge("experiment_phase_seconds", L("phase", "tab1")).Set(0.03125)
+	h := r.Histogram("adapi_server_request_seconds", L("interface", "linkedin"), L("door", "measure"))
+	// Exact powers of two land on bucket boundaries, so quantile
+	// interpolation is deterministic across platforms.
+	for i := 0; i < 8; i++ {
+		h.Observe(1 << 20 * time.Nanosecond) // ~1 ms
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(1 << 24 * time.Nanosecond) // ~16.8 ms
+	}
+	// A label value that needs sanitizing must arrive quoted-safe.
+	r.Counter("odd_total", L("desc", "say \"hi\"\nnow")).Inc()
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("text exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteTextEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry produced output: %q", buf.String())
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSanitizeLabelValue checks the properties the text exposition relies
+// on: sanitized values are valid UTF-8, contain no quote, backslash, or
+// control bytes (so `k="v"` can never be broken open), are bounded in
+// length, and sanitizing is idempotent.
+func FuzzSanitizeLabelValue(f *testing.F) {
+	for _, s := range []string{
+		"", "facebook-restricted", `say "hi"`, "back\\slash",
+		"line\nbreak", "ctrl\x00byte", "bad\xff\xfeutf8", "unicode ∧ fine",
+		strings.Repeat("x", 1000), "quantile=\"0.99\"} 1\nevil_total 1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := SanitizeLabelValue(s)
+		if !utf8.ValidString(out) {
+			t.Fatalf("invalid UTF-8 in %q", out)
+		}
+		if strings.ContainsAny(out, "\"\\\n\r\t") {
+			t.Fatalf("unsafe byte survived: %q", out)
+		}
+		for _, r := range out {
+			if r < 0x20 || r == 0x7f {
+				t.Fatalf("control rune %q survived in %q", r, out)
+			}
+		}
+		if utf8.RuneCountInString(out) > 256 {
+			t.Fatalf("output too long: %d runes", utf8.RuneCountInString(out))
+		}
+		if again := SanitizeLabelValue(out); again != out {
+			t.Fatalf("not idempotent: %q -> %q", out, again)
+		}
+	})
+}
+
+// FuzzSanitizeName checks name sanitization always yields a valid
+// identifier and is idempotent.
+func FuzzSanitizeName(f *testing.F) {
+	for _, s := range []string{"", "ok_name", "9lead", "dots.mid", "bad\x00"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := SanitizeName(s)
+		if out == "" {
+			t.Fatal("empty name")
+		}
+		for i := 0; i < len(out); i++ {
+			if !isNameByte(out[i], i == 0) {
+				t.Fatalf("invalid byte %q at %d in %q", out[i], i, out)
+			}
+		}
+		if again := SanitizeName(out); again != out {
+			t.Fatalf("not idempotent: %q -> %q", out, again)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_total", L("platform", "facebook"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same identity in any label order resolves to the same series.
+	c2 := r.Counter("queries_total", L("platform", "facebook"))
+	if c2 != c {
+		t.Fatal("same series resolved to a different counter")
+	}
+	if got := r.CounterValue("queries_total", L("platform", "facebook")); got != 5 {
+		t.Fatalf("CounterValue = %d, want 5", got)
+	}
+	if got := r.CounterValue("absent_total"); got != 0 {
+		t.Fatalf("absent CounterValue = %d, want 0", got)
+	}
+
+	g := r.Gauge("phase_seconds", L("phase", "fig1"))
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	if got := r.GaugeValue("phase_seconds", L("phase", "fig1")); got != 2.5 {
+		t.Fatalf("GaugeValue = %v, want 2.5", got)
+	}
+}
+
+func TestLabelOrderIndependence(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("b", "2"), L("a", "1"))
+	b := r.Counter("x_total", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestKindClashReturnsDetachedInstrument(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	g := r.Gauge("dual")
+	g.Set(3) // must not panic, must not corrupt the counter
+	if got := r.CounterValue("dual"); got != 0 {
+		t.Fatalf("counter corrupted by kind clash: %d", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Snapshot(); s.Count != 0 || s.P50 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	// 1000 observations spread uniformly over 1..1000 µs: p50 should land
+	// near 500µs and p99 near 990µs, within log-bucket resolution (one
+	// power-of-two bucket ≈ ±50% of the true value).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	checkWithin := func(name string, got, want time.Duration) {
+		t.Helper()
+		if got < want/2 || got > want*2 {
+			t.Errorf("%s = %v, want within 2x of %v", name, got, want)
+		}
+	}
+	checkWithin("p50", s.P50, 500*time.Microsecond)
+	checkWithin("p95", s.P95, 950*time.Microsecond)
+	checkWithin("p99", s.P99, 990*time.Microsecond)
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	wantSum := time.Duration(1000*1001/2) * time.Microsecond
+	if s.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	if m := s.Mean(); m != wantSum/1000 {
+		t.Errorf("mean = %v, want %v", m, wantSum/1000)
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second) // clamps to zero, never panics
+	h.Observe(0)
+	s := h.Snapshot()
+	if s.Count != 2 || s.P50 != 0 || s.Sum != 0 {
+		t.Fatalf("snapshot = %+v, want two zero observations", s)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100 * time.Millisecond)
+	s := h.Snapshot()
+	lo, hi := 64*time.Millisecond, 128*time.Millisecond // its power-of-two bucket
+	for _, q := range []time.Duration{s.P50, s.P95, s.P99} {
+		if q < lo || q > hi {
+			t.Fatalf("quantile %v outside bucket [%v, %v]", q, lo, hi)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from GOMAXPROCS goroutines —
+// concurrent get-or-create on colliding names, instrument updates, and
+// Gather/WriteText — and then checks totals. Run with -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("hammer_total", L("shard", fmt.Sprint(w%4))).Inc()
+				r.Gauge("hammer_gauge").Set(float64(i))
+				r.Histogram("hammer_seconds").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Gather()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for shard := 0; shard < 4; shard++ {
+		total += r.CounterValue("hammer_total", L("shard", fmt.Sprint(shard)))
+	}
+	want := int64(workers * perWorker)
+	if total != want {
+		t.Fatalf("lost updates: counted %d, want %d", total, want)
+	}
+	if got := r.Histogram("hammer_seconds").Count(); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "_"},
+		{"queries_total", "queries_total"},
+		{"has space", "has_space"},
+		{"dots.and-dashes", "dots_and_dashes"},
+		{"9starts_with_digit", "_9starts_with_digit"},
+		{"naïve", "na__ve"}, // multibyte rune → one '_' per byte
+	}
+	for _, c := range cases {
+		if got := SanitizeName(c.in); got != c.want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if again := SanitizeName(SanitizeName(c.in)); again != SanitizeName(c.in) {
+			t.Errorf("SanitizeName not idempotent on %q", c.in)
+		}
+	}
+}
+
+func TestSanitizeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"facebook-restricted", "facebook-restricted"},
+		{`say "hi"`, "say _hi_"},
+		{"back\\slash", "back_slash"},
+		{"line\nbreak\ttab", "line break tab"},
+		{"ctrl\x01byte", "ctrl?byte"},
+		{"bad\xffutf8", "bad?utf8"},
+		{"unicode ∧ fine", "unicode ∧ fine"},
+	}
+	for _, c := range cases {
+		if got := SanitizeLabelValue(c.in); got != c.want {
+			t.Errorf("SanitizeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

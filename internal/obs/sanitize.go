@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// SanitizeName coerces s into a valid metric or label-key name:
+// [a-zA-Z_][a-zA-Z0-9_]*. Invalid bytes become '_', a leading digit gains a
+// '_' prefix, and an empty result becomes "_". Sanitization is idempotent,
+// so names that are already valid pass through unchanged.
+func SanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	valid := true
+	for i := 0; i < len(s); i++ {
+		if !isNameByte(s[i], i == 0) {
+			valid = false
+			break
+		}
+	}
+	if valid {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if isNameByte(c, false) {
+			if i == 0 && c >= '0' && c <= '9' {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// isNameByte reports whether c may appear in a name (first restricts to
+// non-digit leading characters).
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	default:
+		return false
+	}
+}
+
+// SanitizeLabelValue coerces s into a safely quotable label value: valid
+// UTF-8 with backslashes, double quotes, newlines, and other control bytes
+// escaped or replaced, truncated to a bounded length. The output never
+// contains a raw '"', '\\', or control character, so embedding it between
+// double quotes in the text exposition can never break the line format.
+// Sanitization is idempotent on its own output.
+func SanitizeLabelValue(s string) string {
+	const maxLen = 256
+	var b strings.Builder
+	b.Grow(len(s))
+	n := 0
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if n >= maxLen {
+			break
+		}
+		switch {
+		case r == utf8.RuneError && size == 1:
+			b.WriteByte('?') // invalid UTF-8 byte
+		case r == '"', r == '\\':
+			b.WriteByte('_')
+		case r == '\n', r == '\r', r == '\t':
+			b.WriteByte(' ')
+		case r < 0x20 || r == 0x7f:
+			b.WriteByte('?')
+		default:
+			b.WriteRune(r)
+		}
+		i += size
+		n++
+	}
+	return b.String()
+}

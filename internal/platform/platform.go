@@ -28,6 +28,7 @@ import (
 	"repro/internal/audience"
 	"repro/internal/catalog"
 	"repro/internal/estimate"
+	"repro/internal/obs"
 	"repro/internal/pii"
 	"repro/internal/pixel"
 	"repro/internal/population"
@@ -96,6 +97,9 @@ type Config struct {
 	// lookalike creation is replaced by demographic-blind "Special Ad
 	// Audiences" (paper §2.2).
 	SpecialAdAudiences bool
+	// Metrics receives the interface's query counters; nil selects the
+	// process-wide obs.Default() registry.
+	Metrics *obs.Registry
 }
 
 // Interface is one simulated advertiser-facing targeting interface.
@@ -111,6 +115,14 @@ type Interface struct {
 	topicSets     []lazySet // lazily materialized, by topic index
 	placementSets []lazySet // lazily materialized, by placement index
 	queryCount    atomic.Int64
+
+	// Query counters, resolved once at construction so the estimate hot
+	// path pays only atomic adds (the Measure benchmarks gate the
+	// overhead at ≤5%).
+	mEstimateQueries *obs.Counter // platform_queries_total{door="estimate"}
+	mMeasureQueries  *obs.Counter // platform_queries_total{door="measure"}
+	mRoundingHits    *obs.Counter // estimates the rounder changed
+	mFloorRejections *obs.Counter // nonzero exact sizes floored to 0
 
 	mu      sync.RWMutex // guards custom, dir, tracker
 	custom  []customAudience
@@ -150,11 +162,20 @@ func New(cfg Config) (*Interface, error) {
 	if _, ok := cfg.Objectives[cfg.DefaultObjective]; !ok {
 		return nil, fmt.Errorf("platform: default objective %q not in objective table", cfg.DefaultObjective)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	iface := obs.L("interface", cfg.Name)
 	return &Interface{
-		cfg:           cfg,
-		attrSets:      make([]lazySet, len(cfg.Catalog.Attributes)),
-		topicSets:     make([]lazySet, len(cfg.Catalog.Topics)),
-		placementSets: make([]lazySet, len(cfg.Catalog.Placements)),
+		cfg:              cfg,
+		attrSets:         make([]lazySet, len(cfg.Catalog.Attributes)),
+		topicSets:        make([]lazySet, len(cfg.Catalog.Topics)),
+		placementSets:    make([]lazySet, len(cfg.Catalog.Placements)),
+		mEstimateQueries: reg.Counter("platform_queries_total", iface, obs.L("door", "estimate")),
+		mMeasureQueries:  reg.Counter("platform_queries_total", iface, obs.L("door", "measure")),
+		mRoundingHits:    reg.Counter("platform_rounding_hits_total", iface),
+		mFloorRejections: reg.Counter("platform_floor_rejections_total", iface),
 	}, nil
 }
 
@@ -474,13 +495,31 @@ func impressionFactor(cap int) float64 {
 	return f
 }
 
+// roundAndCount rounds the exact statistic and records the query against
+// the door's counters: every served query, plus whether rounding changed
+// the reported value (rounding hit) or floored a nonzero audience to 0
+// (the paper's minimum-reporting floors: Facebook 1,000, LinkedIn 300,
+// Google 40).
+func (p *Interface) roundAndCount(v float64, queries *obs.Counter) int64 {
+	exact := int64(v + 0.5)
+	rounded := p.cfg.Rounder.Round(exact)
+	queries.Inc()
+	switch {
+	case rounded == 0 && exact > 0:
+		p.mFloorRejections.Inc()
+	case rounded != exact:
+		p.mRoundingHits.Inc()
+	}
+	return rounded
+}
+
 // Estimate returns the advertiser-visible rounded size estimate.
 func (p *Interface) Estimate(req EstimateRequest) (int64, error) {
 	v, err := p.estimateExact(req, p.cfg.AdvertiserRules)
 	if err != nil {
 		return 0, err
 	}
-	return p.cfg.Rounder.Round(int64(v + 0.5)), nil
+	return p.roundAndCount(v, p.mEstimateQueries), nil
 }
 
 // Measure returns the rounded size estimate under measurement rules — the
@@ -491,7 +530,7 @@ func (p *Interface) Measure(req EstimateRequest) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return p.cfg.Rounder.Round(int64(v + 0.5)), nil
+	return p.roundAndCount(v, p.mMeasureQueries), nil
 }
 
 // Warm materializes every attribute, topic, and placement audience, fanning
