@@ -23,6 +23,11 @@
 //	-universe N -seed N          in-process deployment sizing
 //	-k N                         compositions per discovered set
 //	-qps N                       client-side rate limit for remote audits
+//	-store DIR                   persist every measurement to a durable
+//	                             store so a killed run can be resumed
+//	-resume                      continue an interrupted -store run; its
+//	                             persisted measurements are served from
+//	                             disk without re-querying the platforms
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/population"
+	"repro/internal/store"
 	"repro/internal/targeting"
 )
 
@@ -60,6 +66,8 @@ func main() {
 		format     = flag.String("format", "text", "output format: text | json")
 		metrics    = flag.Bool("metrics", false, "print a run metrics summary (cache hit rates, upstream calls, retries, phase wall-clocks) and log live audit progress")
 		metricsOut = flag.String("metrics-out", "", "write the full metrics snapshot (text exposition) to FILE after the run")
+		storeDir   = flag.String("store", "", "durable measurement store directory (created if absent)")
+		resume     = flag.Bool("resume", false, "resume an interrupted run from the measurements persisted in -store")
 
 		specPlatform = flag.String("spec-platform", "facebook-restricted", "platform for the spec experiment")
 		specAttrs    = flag.String("attrs", "", "spec experiment: attribute ids or name substrings, comma separated")
@@ -70,17 +78,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: adauditctl [flags] <fig1..fig6|tab1..tab3|methodology|rounding|lookalike|mitigation|all>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *endpoint, *universe, *seed, *k, *qps, *granCalls, *out, *format,
-		*metrics, *metricsOut,
-		specArgs{platform: *specPlatform, attrs: *specAttrs, topics: *specTopics}); err != nil {
+	if err := run(runOptions{
+		experiment: flag.Arg(0),
+		endpoint:   *endpoint,
+		universe:   *universe,
+		seed:       *seed,
+		k:          *k,
+		qps:        *qps,
+		granCalls:  *granCalls,
+		out:        *out,
+		format:     *format,
+		metrics:    *metrics,
+		metricsOut: *metricsOut,
+		storeDir:   *storeDir,
+		resume:     *resume,
+		spec:       specArgs{platform: *specPlatform, attrs: *specAttrs, topics: *specTopics},
+	}); err != nil {
 		log.Fatalf("adauditctl: %v", err)
 	}
 }
 
+// runOptions carries one invocation's flag surface.
+type runOptions struct {
+	experiment string
+	endpoint   string
+	universe   int
+	seed       uint64
+	k          int
+	qps        float64
+	granCalls  int
+	out        string
+	format     string
+	metrics    bool
+	metricsOut string
+	storeDir   string
+	resume     bool
+	spec       specArgs
+}
+
 // newRunner builds the runner from either door.
-func newRunner(endpoint string, universe int, seed uint64, k int, qps float64, progress bool) (*experiments.Runner, error) {
+func newRunner(o runOptions, st *store.Store) (*experiments.Runner, error) {
+	endpoint, universe, seed, k, qps := o.endpoint, o.universe, o.seed, o.k, o.qps
 	cfg := experiments.Config{K: k, Seed: seed + 1}
-	if progress {
+	if st != nil {
+		cfg.Store = st
+	}
+	if o.metrics {
 		// Throttled live progress: one line per 250 completed specs plus
 		// each batch's completion, so long fan-out scans are steerable
 		// without drowning the log.
@@ -201,20 +244,67 @@ func runSpec(w io.Writer, r *experiments.Runner, args specArgs) error {
 	return nil
 }
 
-func run(experiment, endpoint string, universe int, seed uint64, k int, qps float64, granCalls int, out, format string, metrics bool, metricsOut string, sa specArgs) error {
+// openRunStore opens (or refuses to open) the durable store an invocation
+// asked for. A populated store demands an explicit -resume so two concurrent
+// campaigns cannot silently share — and cross-contaminate — one archive, and
+// -resume demands existing state so a typo'd directory fails loudly instead
+// of starting a silent fresh run.
+func openRunStore(o runOptions) (*store.Store, error) {
+	if o.storeDir == "" {
+		if o.resume {
+			return nil, fmt.Errorf("-resume requires -store DIR")
+		}
+		return nil, nil
+	}
+	st, err := store.Open(o.storeDir, store.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("opening store: %w", err)
+	}
+	if st.Len() > 0 && !o.resume {
+		n := st.Len()
+		st.Close()
+		return nil, fmt.Errorf("store %s already holds %d measurements; pass -resume to continue that run, or point -store at a fresh directory", o.storeDir, n)
+	}
+	if o.resume {
+		if st.Len() == 0 {
+			st.Close()
+			return nil, fmt.Errorf("-resume: store %s holds no measurements to resume from", o.storeDir)
+		}
+		log.Printf("resuming from %s (%d persisted measurements)", st.Dir(), st.Len())
+	}
+	return st, nil
+}
+
+func run(o runOptions) error {
+	experiment, format, metrics, metricsOut, sa := o.experiment, o.format, o.metrics, o.metricsOut, o.spec
+	granCalls := o.granCalls
 	if format != "text" && format != "json" {
 		return fmt.Errorf("unknown format %q", format)
 	}
 	w := io.Writer(os.Stdout)
-	if out != "-" {
-		f, err := os.Create(out)
+	if o.out != "-" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	r, err := newRunner(endpoint, universe, seed, k, qps, metrics)
+	st, err := openRunStore(o)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		defer func() {
+			stats := st.Stats()
+			if err := st.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+			log.Printf("store: %d measurements persisted (%d appended this run, %d bytes on disk)",
+				stats.Records, stats.Appends, stats.BytesOnDisk)
+		}()
+	}
+	r, err := newRunner(o, st)
 	if err != nil {
 		return err
 	}
@@ -366,21 +456,32 @@ func run(experiment, endpoint string, universe int, seed uint64, k int, qps floa
 		}
 		return nil
 	}
+	names := []string{experiment}
 	if experiment == "all" {
-		names := []string{"methodology", "rounding", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "tab2", "tab3", "mitigation"}
-		if endpoint == "" {
+		names = []string{"methodology", "rounding", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "tab2", "tab3", "mitigation"}
+		if o.endpoint == "" {
 			names = append(names, "lookalike", "delivery", "retarget")
 		}
-		for _, name := range names {
-			if err := runOne(name); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
+	}
+	if o.resume {
+		// A resumed experiment re-runs from the top, but every measurement
+		// the killed run persisted is served from disk — checkpoints tell
+		// the operator how much of the battery is pure replay.
+		if done := r.CompletedPhases(names...); len(done) > 0 {
+			log.Printf("resume: phases already completed once: %s (re-deriving from stored measurements)",
+				strings.Join(done, ", "))
+		}
+	}
+	for i, name := range names {
+		if err := runOne(name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := r.MarkPhaseComplete(name); err != nil {
+			log.Printf("checkpointing %s: %v", name, err)
+		}
+		if i < len(names)-1 {
 			fmt.Fprintln(w)
 		}
-		return finish()
-	}
-	if err := runOne(experiment); err != nil {
-		return err
 	}
 	return finish()
 }
@@ -391,8 +492,8 @@ func run(experiment, endpoint string, universe int, seed uint64, k int, qps floa
 func printMetricsSummary(w io.Writer, r *experiments.Runner, phases []string) error {
 	reg := obs.Default()
 	fmt.Fprintf(w, "\n# Run metrics\n")
-	fmt.Fprintf(w, "%-22s %9s %9s %9s %8s %9s %8s %8s %12s\n",
-		"platform", "specs", "upstream", "hits", "hitrate", "collapsed", "retries", "429s", "p95_upstream")
+	fmt.Fprintf(w, "%-22s %9s %9s %9s %9s %8s %9s %8s %8s %12s\n",
+		"platform", "specs", "upstream", "hits", "disk", "hitrate", "collapsed", "retries", "429s", "p95_upstream")
 	for _, name := range r.PlatformNames() {
 		a, err := r.Auditor(name)
 		if err != nil {
@@ -403,11 +504,12 @@ func printMetricsSummary(w io.Writer, r *experiments.Runner, phases []string) er
 			continue
 		}
 		lbl := obs.L("platform", name)
-		fmt.Fprintf(w, "%-22s %9d %9d %9d %7.1f%% %9d %8d %8d %12s\n",
+		fmt.Fprintf(w, "%-22s %9d %9d %9d %9d %7.1f%% %9d %8d %8d %12s\n",
 			name,
 			reg.CounterValue("audit_specs_total", lbl),
 			core.UpstreamCalls(a.Provider()),
 			st.Hits,
+			st.StoreHits,
 			100*st.HitRate(),
 			st.Collapsed,
 			reg.CounterValue("adapi_client_retries_total", lbl),

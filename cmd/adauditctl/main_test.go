@@ -9,14 +9,30 @@ import (
 	"testing"
 
 	"repro/internal/adapi"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
+
+// baseOpts returns the scaled-down options the CLI tests share.
+func baseOpts(experiment, endpoint, out string) runOptions {
+	return runOptions{
+		experiment: experiment,
+		endpoint:   endpoint,
+		universe:   12000,
+		seed:       7,
+		k:          60,
+		qps:        500,
+		granCalls:  800,
+		out:        out,
+		format:     "text",
+	}
+}
 
 // runToString executes run() into a temp file and returns its contents.
 func runToString(t *testing.T, experiment, endpoint string) string {
 	t.Helper()
 	out := filepath.Join(t.TempDir(), "out.txt")
-	if err := run(experiment, endpoint, 12000, 7, 60, 500, 800, out, "text", false, "", specArgs{}); err != nil {
+	if err := run(baseOpts(experiment, endpoint, out)); err != nil {
 		t.Fatalf("run(%s): %v", experiment, err)
 	}
 	data, err := os.ReadFile(out)
@@ -67,7 +83,10 @@ func TestRunWithMetricsSummary(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "out.txt")
 	snap := filepath.Join(dir, "metrics.txt")
-	if err := run("fig1", "", 12000, 7, 60, 500, 800, out, "text", true, snap, specArgs{}); err != nil {
+	o := baseOpts("fig1", "", out)
+	o.metrics = true
+	o.metricsOut = snap
+	if err := run(o); err != nil {
 		t.Fatalf("run(fig1, metrics): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -92,7 +111,7 @@ func TestRunWithMetricsSummary(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", "", 12000, 7, 50, 500, 800, "-", "text", false, "", specArgs{}); err == nil {
+	if err := run(baseOpts("fig99", "", "-")); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -127,17 +146,19 @@ func TestRunRemoteRejectsLookalike(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	// The lookalike study needs direct deployment access.
-	if err := run("lookalike", ts.URL, 12000, 7, 60, 500, 800, "-", "text", false, "", specArgs{}); err == nil {
+	if err := run(baseOpts("lookalike", ts.URL, "-")); err == nil {
 		t.Fatal("remote lookalike study should fail")
 	}
 }
 
 func TestRunSpecExperiment(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.txt")
-	err := run("spec", "", 12000, 7, 60, 500, 800, out, "text", false, "", specArgs{
+	o := baseOpts("spec", "", out)
+	o.spec = specArgs{
 		platform: "facebook-restricted",
 		attrs:    "Interests — Electrical engineering,Interests — Cars",
-	})
+	}
+	err := run(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,14 +192,18 @@ func TestResolveOptions(t *testing.T) {
 	if got, err := resolveOptions("", names); err != nil || got != nil {
 		t.Fatalf("empty selector = %v, %v", got, err)
 	}
-	if err := run("spec", "", 12000, 7, 60, 500, 800, "-", "text", false, "", specArgs{platform: "facebook"}); err == nil {
+	noSel := baseOpts("spec", "", "-")
+	noSel.spec = specArgs{platform: "facebook"}
+	if err := run(noSel); err == nil {
 		t.Fatal("spec with no selectors accepted")
 	}
 }
 
 func TestRunJSONFormat(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.json")
-	if err := run("tab1", "", 12000, 7, 60, 500, 800, out, "json", false, "", specArgs{}); err != nil {
+	o := baseOpts("tab1", "", out)
+	o.format = "json"
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -198,7 +223,77 @@ func TestRunJSONFormat(t *testing.T) {
 }
 
 func TestRunBadFormat(t *testing.T) {
-	if err := run("fig1", "", 12000, 7, 60, 500, 800, "-", "yaml", false, "", specArgs{}); err == nil {
+	bad := baseOpts("fig1", "", "-")
+	bad.format = "yaml"
+	if err := run(bad); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestRunStoreAndResume is the CLI acceptance path: a run persisted into
+// -store and then re-run with -resume produces byte-identical output while
+// answering every measurement from disk (store misses stay flat, store hits
+// climb) — the platforms see no repeat queries.
+func TestRunStoreAndResume(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "measurements")
+	out1 := filepath.Join(dir, "out1.txt")
+	out2 := filepath.Join(dir, "out2.txt")
+
+	first := baseOpts("fig1", "", out1)
+	first.storeDir = storeDir
+	if err := run(first); err != nil {
+		t.Fatalf("stored run: %v", err)
+	}
+
+	// A populated store without -resume is refused, not silently reused.
+	again := baseOpts("fig1", "", out2)
+	again.storeDir = storeDir
+	if err := run(again); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("populated store without -resume: err = %v, want refusal mentioning -resume", err)
+	}
+
+	lbl := obs.L("platform", "facebook-restricted")
+	reg := obs.Default()
+	hitsBefore := reg.CounterValue("audit_store_hits_total", lbl)
+	missesBefore := reg.CounterValue("audit_store_misses_total", lbl)
+
+	resumed := baseOpts("fig1", "", out2)
+	resumed.storeDir = storeDir
+	resumed.resume = true
+	if err := run(resumed); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if delta := reg.CounterValue("audit_store_misses_total", lbl) - missesBefore; delta != 0 {
+		t.Errorf("resumed run missed the store %d times, want 0 (every spec was persisted)", delta)
+	}
+	if delta := reg.CounterValue("audit_store_hits_total", lbl) - hitsBefore; delta <= 0 {
+		t.Error("resumed run recorded no store hits")
+	}
+
+	d1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Error("resumed output differs from the stored run")
+	}
+}
+
+func TestRunStoreFlagValidation(t *testing.T) {
+	// -resume without -store.
+	o := baseOpts("fig1", "", "-")
+	o.resume = true
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Fatalf("-resume without -store: err = %v", err)
+	}
+	// -resume against an empty store.
+	o.storeDir = filepath.Join(t.TempDir(), "fresh")
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("-resume on empty store: err = %v", err)
 	}
 }

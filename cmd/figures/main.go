@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-dir results] [-universe 131072] [-seed 0] [-k 1000]
+//	figures [-dir results] [-universe 131072] [-seed 0] [-k 1000] [-store DIR]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/population"
+	"repro/internal/store"
 )
 
 func main() {
@@ -29,14 +30,15 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "deployment seed")
 		k         = flag.Int("k", 1000, "compositions per discovered set")
 		granCalls = flag.Int("granularity-calls", 80000, "distinct calls for the granularity study")
+		storeDir  = flag.String("store", "", "durable measurement store directory; a re-run over it replays persisted measurements from disk")
 	)
 	flag.Parse()
-	if err := run(*dir, *universe, *seed, *k, *granCalls); err != nil {
+	if err := run(*dir, *universe, *seed, *k, *granCalls, *storeDir); err != nil {
 		log.Fatalf("figures: %v", err)
 	}
 }
 
-func run(dir string, universe int, seed uint64, k, granCalls int) error {
+func run(dir string, universe int, seed uint64, k, granCalls int, storeDir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -45,7 +47,25 @@ func run(dir string, universe int, seed uint64, k, granCalls int) error {
 	if err != nil {
 		return err
 	}
-	r, err := experiments.NewRunner(experiments.Config{Deployment: d, K: k, Seed: seed + 1})
+	cfg := experiments.Config{Deployment: d, K: k, Seed: seed + 1}
+	if storeDir != "" {
+		st, err := store.Open(storeDir, store.Options{})
+		if err != nil {
+			return fmt.Errorf("opening store: %w", err)
+		}
+		defer func() {
+			stats := st.Stats()
+			if err := st.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+			log.Printf("store: %d measurements persisted (%d appended this run)", stats.Records, stats.Appends)
+		}()
+		if n := st.Len(); n > 0 {
+			log.Printf("store %s holds %d measurements; replaying them from disk", st.Dir(), n)
+		}
+		cfg.Store = st
+	}
+	r, err := experiments.NewRunner(cfg)
 	if err != nil {
 		return err
 	}

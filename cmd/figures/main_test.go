@@ -12,7 +12,7 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 		t.Skip("short mode")
 	}
 	dir := t.TempDir()
-	if err := run(dir, 12000, 7, 60, 800); err != nil {
+	if err := run(dir, 12000, 7, 60, 800, ""); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{
@@ -44,7 +44,7 @@ func TestRunBadDir(t *testing.T) {
 	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(filepath.Join(tmp, "sub"), 12000, 7, 50, 500); err == nil {
+	if err := run(filepath.Join(tmp, "sub"), 12000, 7, 50, 500, ""); err == nil {
 		t.Fatal("creating results under a file should fail")
 	}
 }

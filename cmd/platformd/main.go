@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	platformd [-addr :8700] [-seed N] [-universe 131072] [-qps 0] [-warm] [-pprof] [-v]
+//	platformd [-addr :8700] [-seed N] [-universe 131072] [-qps 0] [-store DIR] [-warm] [-pprof] [-v]
 //
 // Routes per interface (facebook-restricted, facebook, google, linkedin):
 //
@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/adapi"
 	"repro/internal/platform"
+	"repro/internal/store"
 )
 
 func main() {
@@ -40,18 +41,19 @@ func main() {
 		universe = flag.Int("universe", 1<<17, "simulated users per platform")
 		qps      = flag.Float64("qps", 0, "per-interface rate limit in queries/sec (0 = unlimited)")
 		burst    = flag.Float64("burst", 20, "rate-limit burst capacity")
+		storeDir = flag.String("store", "", "durable auditor-door cache directory (empty = uncached)")
 		warm     = flag.Bool("warm", false, "materialize all option audiences before serving")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		verbose  = flag.Bool("v", false, "log every request")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *universe, *qps, *burst, *warm, *pprofOn, *verbose); err != nil {
+	if err := run(*addr, *seed, *universe, *qps, *burst, *storeDir, *warm, *pprofOn, *verbose); err != nil {
 		log.Fatalf("platformd: %v", err)
 	}
 }
 
 // buildHandler assembles the deployment and its HTTP handler.
-func buildHandler(seed uint64, universe int, qps, burst float64, warm, pprofOn, verbose bool) (http.Handler, *platform.Deployment, error) {
+func buildHandler(seed uint64, universe int, qps, burst float64, st *store.Store, warm, pprofOn, verbose bool) (http.Handler, *platform.Deployment, error) {
 	log.Printf("platformd: building deployment (universe=%d users/platform, seed=%d)", universe, seed)
 	start := time.Now()
 	d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
@@ -70,6 +72,9 @@ func buildHandler(seed uint64, universe int, qps, burst float64, warm, pprofOn, 
 	}
 
 	opts := adapi.ServerOptions{RateLimit: qps, Burst: burst, Pprof: pprofOn}
+	if st != nil {
+		opts.Store = st
+	}
 	if verbose {
 		opts.Logf = log.Printf
 	}
@@ -80,8 +85,24 @@ func buildHandler(seed uint64, universe int, qps, burst float64, warm, pprofOn, 
 	return srv.Handler(), d, nil
 }
 
-func run(addr string, seed uint64, universe int, qps, burst float64, warm, pprofOn, verbose bool) error {
-	handler, d, err := buildHandler(seed, universe, qps, burst, warm, pprofOn, verbose)
+func run(addr string, seed uint64, universe int, qps, burst float64, storeDir string, warm, pprofOn, verbose bool) error {
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(storeDir, store.Options{})
+		if err != nil {
+			return fmt.Errorf("opening store: %w", err)
+		}
+		defer func() {
+			stats := st.Stats()
+			if err := st.Close(); err != nil {
+				log.Printf("platformd: closing store: %v", err)
+			}
+			log.Printf("platformd: store closed (%d records, %d bytes on disk)", stats.Records, stats.BytesOnDisk)
+		}()
+		log.Printf("platformd: auditor-door cache at %s (%d records loaded)", st.Dir(), st.Len())
+	}
+	handler, d, err := buildHandler(seed, universe, qps, burst, st, warm, pprofOn, verbose)
 	if err != nil {
 		return err
 	}

@@ -11,11 +11,13 @@ import (
 
 	"repro/internal/adapi"
 	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/targeting"
 )
 
 func TestBuildHandlerServes(t *testing.T) {
-	handler, d, err := buildHandler(7, 8000, 0, 0, true, true, false)
+	handler, d, err := buildHandler(7, 8000, 0, 0, nil, true, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,14 +85,41 @@ func TestBuildHandlerServes(t *testing.T) {
 	}
 }
 
+func TestBuildHandlerWithStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	handler, _, err := buildHandler(7, 8000, 0, 0, st, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := adapi.NewClient(ctx, ts.URL, catalog.PlatformLinkedIn, adapi.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Measure(targeting.Attr(1)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d records after one measure, want 1", st.Len())
+	}
+}
+
 func TestBuildHandlerBadUniverse(t *testing.T) {
-	if _, _, err := buildHandler(7, 10, 0, 0, false, false, false); err == nil {
+	if _, _, err := buildHandler(7, 10, 0, 0, nil, false, false, false); err == nil {
 		t.Fatal("tiny universe accepted")
 	}
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.256.256.256:99999", 7, 8000, 0, 0, false, false, false); err == nil {
+	if err := run("256.256.256.256:99999", 7, 8000, 0, 0, "", false, false, false); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }

@@ -48,6 +48,11 @@ type ServerOptions struct {
 	Metrics *obs.Registry
 	// Pprof mounts net/http/pprof profiling handlers under /debug/pprof/.
 	Pprof bool
+	// Store, when set, backs every interface's auditor door (/measure) with
+	// a durable server-side cache: answers already persisted are served
+	// without querying the platform and survive restarts. The advertiser
+	// door is never cached. See internal/store for the on-disk format.
+	Store MeasurementStore
 }
 
 // Server exposes a Deployment's interfaces over HTTP, each in its own JSON
@@ -65,6 +70,11 @@ type ifaceHandler struct {
 	opts    *ServerOptions
 	reg     *obs.Registry
 	m429    *obs.Counter // adapi_server_429_total: throttled requests
+
+	// Server-side measurement cache (nil without ServerOptions.Store).
+	store        MeasurementStore
+	mStoreHits   *obs.Counter // adapi_server_store_hits_total
+	mStoreErrors *obs.Counter // adapi_server_store_errors_total
 }
 
 // doorMetrics is one endpoint's pre-resolved instruments, bound at route
@@ -114,6 +124,12 @@ func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 		}
 		if opts.RateLimit > 0 {
 			h.limiter = NewLimiter(opts.RateLimit, opts.Burst)
+		}
+		if opts.Store != nil {
+			iface := obs.L("interface", p.Name())
+			h.store = opts.Store
+			h.mStoreHits = opts.Metrics.Counter("adapi_server_store_hits_total", iface)
+			h.mStoreErrors = opts.Metrics.Counter("adapi_server_store_errors_total", iface)
 		}
 		prefix := "/" + p.Name()
 		s.mux.Handle(prefix+"/options", h.wrap(h.handleOptions, http.MethodGet, "options"))
@@ -211,8 +227,13 @@ func (h *ifaceHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	h.serveSize(w, r, h.p.Estimate)
 }
 
-// handleMeasure serves the auditor door.
+// handleMeasure serves the auditor door, from the durable cache when one is
+// configured.
 func (h *ifaceHandler) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	if h.store != nil {
+		h.serveSize(w, r, h.storedMeasure)
+		return
+	}
 	h.serveSize(w, r, h.p.Measure)
 }
 

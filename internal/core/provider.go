@@ -100,13 +100,20 @@ type cachingProvider struct {
 	calls    int64
 	budget   int64 // 0 = unlimited
 
+	// store, when set (NewStoredProvider), is the durable second cache
+	// tier: disk hits are free of budget, upstream answers are appended.
+	store MeasurementStore
+
 	// Cache observability, resolved once per provider (labeled by the
 	// platform name) so the lookup path pays one atomic add per outcome.
-	mHits      *obs.Counter   // served from the size cache
-	mMisses    *obs.Counter   // claimed the key and went upstream
-	mCollapsed *obs.Counter   // waited on another caller's in-flight miss
-	mRefused   *obs.Counter   // refused: query budget exhausted
-	mUpstream  *obs.Histogram // upstream Measure latency (misses only)
+	mHits        *obs.Counter   // served from the size cache
+	mMisses      *obs.Counter   // claimed the key and went upstream
+	mCollapsed   *obs.Counter   // waited on another caller's in-flight miss
+	mRefused     *obs.Counter   // refused: query budget exhausted
+	mUpstream    *obs.Histogram // upstream Measure latency (misses only)
+	mStoreHits   *obs.Counter   // served from the durable store
+	mStoreMisses *obs.Counter   // absent from the store, went upstream
+	mStoreErrors *obs.Counter   // store appends that failed (measurement kept)
 }
 
 // inflightCall is one upstream measurement in progress; done closes once v
@@ -157,6 +164,19 @@ func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
 		<-c.done
 		return c.v, c.err
 	}
+	if cp.store != nil {
+		// Disk tier: an answer a previous run already paid for. It fills
+		// the memory tier and charges no query budget — the paper's §5
+		// budget counts load placed on the platform, and a disk hit
+		// places none. The lookup is an in-memory index read, so holding
+		// the lock keeps racing callers collapsed onto one store probe.
+		if v, ok := cp.store.GetMeasurement(cp.Provider.Name(), key); ok {
+			cp.sizes[key] = v
+			cp.mu.Unlock()
+			cp.mStoreHits.Inc()
+			return v, nil
+		}
+	}
 	if cp.budget > 0 && cp.calls >= cp.budget {
 		cp.mu.Unlock()
 		cp.mRefused.Inc()
@@ -169,10 +189,25 @@ func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
 	cp.inflight[key] = c
 	cp.mu.Unlock()
 	cp.mMisses.Inc()
+	if cp.store != nil {
+		cp.mStoreMisses.Inc()
+	}
 
 	start := time.Now()
 	v, err := cp.Provider.Measure(spec)
 	cp.mUpstream.Observe(time.Since(start))
+
+	if err == nil && cp.store != nil {
+		// Persist before publishing: once another caller can read the
+		// answer from memory, a crash must not be able to lose it — the
+		// resumed run would otherwise re-pay budget for a spec this run
+		// already reported on. Append failures (disk full, torn device)
+		// are counted but do not fail the measurement; the audit degrades
+		// to in-memory caching.
+		if serr := cp.store.PutMeasurement(cp.Provider.Name(), key, v); serr != nil {
+			cp.mStoreErrors.Inc()
+		}
+	}
 
 	cp.mu.Lock()
 	if err == nil {
@@ -229,18 +264,28 @@ type CacheStats struct {
 	Collapsed int64
 	// Refused counts measurements rejected by the query budget.
 	Refused int64
+	// StoreHits counts measurements served from the durable store — the
+	// queries a resumed audit did not re-pay (0 when no store is
+	// attached).
+	StoreHits int64
+	// StoreMisses counts store lookups that fell through to upstream.
+	StoreMisses int64
+	// StoreErrors counts store appends that failed; the measurements were
+	// kept but will not survive a restart.
+	StoreErrors int64
 	// Upstream summarizes upstream Measure latency over the misses.
 	Upstream obs.HistogramSnapshot
 }
 
 // HitRate returns the fraction of lookups served without an upstream call
-// (hits plus collapsed waits over all admitted lookups); 0 when idle.
+// (memory hits, store hits, and collapsed waits over all admitted
+// lookups); 0 when idle.
 func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.Misses + s.Collapsed
+	total := s.Hits + s.StoreHits + s.Misses + s.Collapsed
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.Collapsed) / float64(total)
+	return float64(s.Hits+s.StoreHits+s.Collapsed) / float64(total)
 }
 
 // StatsOf reports a caching provider's cache statistics. The second result
@@ -250,11 +295,17 @@ func StatsOf(p Provider) (CacheStats, bool) {
 	if !ok {
 		return CacheStats{}, false
 	}
-	return CacheStats{
+	st := CacheStats{
 		Hits:      cp.mHits.Value(),
 		Misses:    cp.mMisses.Value(),
 		Collapsed: cp.mCollapsed.Value(),
 		Refused:   cp.mRefused.Value(),
 		Upstream:  cp.mUpstream.Snapshot(),
-	}, true
+	}
+	if cp.store != nil {
+		st.StoreHits = cp.mStoreHits.Value()
+		st.StoreMisses = cp.mStoreMisses.Value()
+		st.StoreErrors = cp.mStoreErrors.Value()
+	}
+	return st, true
 }

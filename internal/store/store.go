@@ -1,0 +1,360 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// File names inside a store directory.
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.idx"
+	tmpName  = "snapshot.tmp"
+)
+
+// Options configures a store.
+type Options struct {
+	// SyncEvery is how many appends may accumulate before the WAL is
+	// fsynced (1 = every append is durable before Put returns, the
+	// default). Larger values trade the tail of a crash for throughput;
+	// an audit that resumes only from the last fsynced record should keep
+	// this small relative to its query budget.
+	SyncEvery int
+	// CompactEvery triggers snapshot compaction once the WAL holds this
+	// many records (0 selects 8192; negative disables automatic
+	// compaction — Compact may still be called explicitly).
+	CompactEvery int
+	// ReadOnly opens the store for lookups only; Put returns an error and
+	// recovery does not truncate a torn WAL tail.
+	ReadOnly bool
+	// Metrics receives the store's instruments; nil selects the
+	// process-wide obs.Default() registry.
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 8192
+	}
+	return o
+}
+
+// Stats is a point-in-time view of one store.
+type Stats struct {
+	// Records is the number of distinct keys resident (snapshot + WAL).
+	Records int
+	// WALRecords is the number of records in the current WAL tail.
+	WALRecords int
+	// Appends counts records appended this session.
+	Appends int64
+	// Compactions counts snapshot compactions this session.
+	Compactions int64
+	// RecoveredTruncated counts bytes dropped from a torn WAL tail at open.
+	RecoveredTruncated int64
+	// RecoveredSkipped counts CRC-mismatched records skipped at open.
+	RecoveredSkipped int64
+	// BytesOnDisk is the snapshot + WAL size after the last append or
+	// compaction.
+	BytesOnDisk int64
+}
+
+// Store is a durable map from measurement keys to platform-scale audience
+// sizes: an in-memory index over an append-only WAL plus an immutable
+// snapshot. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	mem        map[Key]int64
+	wal        *os.File
+	walRecords int // records in the WAL file (including unflushed)
+	unsynced   int // appends since the last fsync
+	buf        []byte
+	stats      Stats
+	closed     bool
+	appendErr  error // first WAL write error; store degrades to read-only
+
+	mAppends     *obs.Counter
+	mCompactions *obs.Counter
+	mAppendLat   *obs.Histogram
+	gRecords     *obs.Gauge
+	gBytes       *obs.Gauge
+}
+
+// Open opens (creating if needed) the store rooted at dir. Recovery loads
+// the snapshot, replays the WAL over it, truncates a torn tail, and skips
+// CRC-mismatched records; neither crash artifact is an error.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:          dir,
+		opts:         opts,
+		mem:          make(map[Key]int64),
+		mAppends:     reg.Counter("store_appends_total"),
+		mCompactions: reg.Counter("store_compactions_total"),
+		mAppendLat:   reg.Histogram("store_wal_append_seconds"),
+		gRecords:     reg.Gauge("store_records"),
+		gBytes:       reg.Gauge("store_bytes_on_disk"),
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.recoverWAL(); err != nil {
+		return nil, err
+	}
+	if !opts.ReadOnly {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
+	s.publishSizes()
+	return s, nil
+}
+
+// recoverWAL replays the WAL into memory, counting and repairing crash
+// artifacts: a short final record is truncated (unless read-only) and
+// records with bad CRCs are skipped on fixed-size boundaries.
+func (s *Store) recoverWAL() error {
+	path := filepath.Join(s.dir, walName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading WAL: %w", err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if len(data) < headerSize {
+		// The process died while writing the very first header: nothing
+		// was acknowledged, so an empty WAL is the correct recovery.
+		s.stats.RecoveredTruncated = int64(len(data))
+		if !s.opts.ReadOnly {
+			if err := os.Truncate(path, 0); err != nil {
+				return fmt.Errorf("store: truncating torn WAL header: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := checkHeader(data, walMagic, "WAL"); err != nil {
+		return err
+	}
+	body := data[headerSize:]
+	goodEnd := 0 // offset past the last decodable record
+	for off := 0; off < len(body); off += recordSize {
+		rec, err := decodeRecord(body[off:])
+		switch {
+		case errors.Is(err, ErrShortRecord):
+			// Torn tail: the process died mid-append. Everything after
+			// the last whole record is noise.
+			s.stats.RecoveredTruncated = int64(len(body) - off)
+			off = len(body)
+		case errors.Is(err, ErrBadCRC):
+			// Latent corruption: skip this record but keep replaying — a
+			// single bad sector must not cost the rest of the archive.
+			s.stats.RecoveredSkipped++
+			goodEnd = off + recordSize
+		case err == nil:
+			s.mem[rec.Key] = rec.Value
+			s.walRecords++
+			goodEnd = off + recordSize
+		default:
+			return err
+		}
+	}
+	if s.stats.RecoveredTruncated > 0 && !s.opts.ReadOnly {
+		if err := os.Truncate(path, int64(headerSize+goodEnd)); err != nil {
+			return fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// openWAL opens the WAL for appending, writing the header on first use.
+func (s *Store) openWAL() error {
+	path := filepath.Join(s.dir, walName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening WAL: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(encodeHeader(walMagic)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: writing WAL header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	} else if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	s.wal = f
+	return nil
+}
+
+// Get returns the stored size for key.
+func (s *Store) Get(key Key) (int64, bool) {
+	s.mu.Lock()
+	v, ok := s.mem[key]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Len returns the number of distinct keys resident.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Put durably records key → size: the record is appended to the WAL and,
+// per Options.SyncEvery, fsynced before Put returns. Re-putting an existing
+// key with the same value is a no-op (measurements are immutable facts); a
+// changed value overwrites, last-writer-wins on replay.
+func (s *Store) Put(key Key, size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: put on closed store")
+	}
+	if s.opts.ReadOnly {
+		return fmt.Errorf("store: put on read-only store")
+	}
+	if s.appendErr != nil {
+		return s.appendErr
+	}
+	if v, ok := s.mem[key]; ok && v == size {
+		return nil
+	}
+	start := time.Now()
+	s.buf = appendRecord(s.buf[:0], Record{Key: key, Value: size})
+	if _, err := s.wal.Write(s.buf); err != nil {
+		// A failed append leaves an undefined tail on disk; degrade to
+		// read-only rather than risk interleaving further records. The
+		// torn tail is repaired by recovery on the next open.
+		s.appendErr = fmt.Errorf("store: WAL append: %w", err)
+		return s.appendErr
+	}
+	s.unsynced++
+	if s.unsynced >= s.opts.SyncEvery {
+		if err := s.wal.Sync(); err != nil {
+			s.appendErr = fmt.Errorf("store: WAL fsync: %w", err)
+			return s.appendErr
+		}
+		s.unsynced = 0
+	}
+	s.mAppendLat.Observe(time.Since(start))
+	s.mem[key] = size
+	s.walRecords++
+	s.stats.Appends++
+	s.mAppends.Inc()
+	s.publishSizes()
+	if s.opts.CompactEvery > 0 && s.walRecords >= s.opts.CompactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Sync forces any buffered appends to disk.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil || s.unsynced == 0 {
+		return nil
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	s.unsynced = 0
+	return nil
+}
+
+// Compact folds the WAL into a fresh immutable snapshot and truncates the
+// log, bounding replay work at the next open.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.ReadOnly {
+		return fmt.Errorf("store: compact on read-only store")
+	}
+	return s.compactLocked()
+}
+
+// Stats returns a point-in-time view of the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Records = len(s.mem)
+	st.WALRecords = s.walRecords
+	st.BytesOnDisk = s.bytesOnDiskLocked()
+	return st
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close syncs and closes the WAL. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal == nil {
+		return nil
+	}
+	var err error
+	if s.unsynced > 0 && s.appendErr == nil {
+		err = s.wal.Sync()
+	}
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	return err
+}
+
+// bytesOnDiskLocked sizes the snapshot and WAL files.
+func (s *Store) bytesOnDiskLocked() int64 {
+	var total int64
+	for _, name := range []string{walName, snapName} {
+		if st, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
+			total += st.Size()
+		}
+	}
+	return total
+}
+
+// publishSizes refreshes the size gauges (callers hold mu).
+func (s *Store) publishSizes() {
+	s.gRecords.Set(float64(len(s.mem)))
+	s.gBytes.Set(float64(s.bytesOnDiskLocked()))
+}

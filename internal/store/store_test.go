@@ -1,0 +1,224 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// open is a test helper that opens a store with its own registry.
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestPutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	want := map[string]int64{
+		"(attribute:1)":                10_000,
+		"(attribute:1)&(attribute:2)":  4_300,
+		"(attribute:2)!-(attribute:3)": 120,
+	}
+	for spec, size := range want {
+		if err := s.PutMeasurement("facebook", spec, size); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Same spec on another platform must be a distinct key.
+	if err := s.PutMeasurement("google", "(attribute:1)", 77); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	for spec, size := range want {
+		got, ok := s2.GetMeasurement("facebook", spec)
+		if !ok || got != size {
+			t.Errorf("after reopen, %q = (%d, %v), want (%d, true)", spec, got, ok, size)
+		}
+	}
+	if got, ok := s2.GetMeasurement("google", "(attribute:1)"); !ok || got != 77 {
+		t.Errorf("google key = (%d, %v), want (77, true)", got, ok)
+	}
+	if _, ok := s2.GetMeasurement("linkedin", "(attribute:1)"); ok {
+		t.Error("unwritten platform key unexpectedly present")
+	}
+	if n := s2.Len(); n != 4 {
+		t.Errorf("Len = %d, want 4", n)
+	}
+}
+
+func TestKeyOfPlatformQualified(t *testing.T) {
+	if KeyOf("facebook", "(attribute:1)") == KeyOf("google", "(attribute:1)") {
+		t.Error("same spec on different platforms collided")
+	}
+	if KeyOf("a", "b\x00c") == KeyOf("a\x00b", "c") {
+		// The separator byte must not allow platform/spec boundary
+		// ambiguity to produce equal digests for distinct identities.
+		t.Error("platform/spec boundary ambiguity")
+	}
+	if KeyOf("facebook", "x") != KeyOf("facebook", "x") {
+		t.Error("KeyOf not deterministic")
+	}
+}
+
+func TestRePutSameValueIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	defer s.Close()
+	k := KeyOf("p", "spec")
+	for i := 0; i < 5; i++ {
+		if err := s.Put(k, 42); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if st := s.Stats(); st.Appends != 1 || st.WALRecords != 1 {
+		t.Errorf("appends=%d wal=%d, want 1/1 (idempotent re-put)", st.Appends, st.WALRecords)
+	}
+	// A changed value is last-writer-wins.
+	if err := s.Put(k, 43); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if v, _ := s.Get(k); v != 43 {
+		t.Errorf("after overwrite, Get = %d, want 43", v)
+	}
+}
+
+func TestAutomaticCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{CompactEvery: 10})
+	for i := 0; i < 25; i++ {
+		if err := s.Put(KeyOf("p", string(rune('a'+i))), int64(i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions != 2 {
+		t.Errorf("compactions = %d, want 2 (25 puts / every 10)", st.Compactions)
+	}
+	if st.WALRecords >= 10 {
+		t.Errorf("WAL holds %d records after compaction, want < 10", st.WALRecords)
+	}
+	if st.Records != 25 {
+		t.Errorf("records = %d, want 25", st.Records)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	for i := 0; i < 25; i++ {
+		if v, ok := s2.Get(KeyOf("p", string(rune('a'+i)))); !ok || v != int64(i) {
+			t.Fatalf("after compacted reopen, key %d = (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestExplicitCompactionShrinksWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{CompactEvery: -1})
+	for i := 0; i < 100; i++ {
+		if err := s.Put(KeyOf("p", string(rune(i))), int64(i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	walPath := filepath.Join(dir, walName)
+	before, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() || after.Size() != headerSize {
+		t.Errorf("WAL %d bytes after compaction (was %d), want header-only %d", after.Size(), before.Size(), headerSize)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Errorf("snapshot missing after compaction: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.PutMeasurement("p", "spec", 9); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	ro := open(t, dir, Options{ReadOnly: true})
+	defer ro.Close()
+	if v, ok := ro.GetMeasurement("p", "spec"); !ok || v != 9 {
+		t.Errorf("read-only Get = (%d, %v), want (9, true)", v, ok)
+	}
+	if err := ro.Put(KeyOf("p", "other"), 1); err == nil {
+		t.Error("Put on read-only store succeeded")
+	}
+	if err := ro.Compact(); err == nil {
+		t.Error("Compact on read-only store succeeded")
+	}
+}
+
+func TestSyncEveryBatches(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SyncEvery: 100})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(KeyOf("p", string(rune(i))), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	if n := s2.Len(); n != 10 {
+		t.Errorf("after batched sync + reopen, Len = %d, want 10", n)
+	}
+}
+
+func TestClosedStoreRejectsPut(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	s.Close()
+	if err := s.Put(KeyOf("p", "x"), 1); err == nil {
+		t.Error("Put on closed store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestStatsBytesOnDisk(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	defer s.Close()
+	if err := s.Put(KeyOf("p", "x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.BytesOnDisk != headerSize+recordSize {
+		t.Errorf("BytesOnDisk = %d, want %d", st.BytesOnDisk, headerSize+recordSize)
+	}
+}

@@ -325,9 +325,14 @@ func cloneClauses(cs []Clause) []Clause {
 }
 
 // Canonical returns a canonical string form of the spec: clauses sorted,
-// refs within clauses sorted. Two specs denoting the same formula (up to
-// clause and ref order) have the same canonical form, which the audit layer
-// uses for dedup and caching.
+// refs within clauses sorted, and duplicates collapsed at both levels —
+// a repeated ref inside a clause (x ∨ x ≡ x) and a repeated clause inside
+// the spec (c ∧ c ≡ c, and likewise for the excluded disjunction) denote
+// the same audience. Two specs denoting the same formula therefore have
+// the same canonical form, which the audit layer uses for dedup and
+// caching and the durable store hashes into its content address; a spec
+// that differs only by clause order, ref order, or duplication must never
+// cost a second upstream query or a second store record.
 func Canonical(s Spec) string {
 	part := func(cs []Clause) string {
 		strs := make([]string, len(cs))
@@ -337,14 +342,25 @@ func Canonical(s Spec) string {
 				refs[j] = r.String()
 			}
 			sort.Strings(refs)
-			strs[i] = "(" + strings.Join(refs, "|") + ")"
+			strs[i] = "(" + strings.Join(dedupSorted(refs), "|") + ")"
 		}
 		sort.Strings(strs)
-		return strings.Join(strs, "&")
+		return strings.Join(dedupSorted(strs), "&")
 	}
 	out := part(s.Include)
 	if len(s.Exclude) > 0 {
 		out += "!-" + part(s.Exclude)
+	}
+	return out
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice in place.
+func dedupSorted(ss []string) []string {
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
 	}
 	return out
 }

@@ -236,6 +236,40 @@ func TestCanonicalOrderInsensitive(t *testing.T) {
 	}
 }
 
+func TestCanonicalDeduplicates(t *testing.T) {
+	// x ∨ x ≡ x inside a clause.
+	dupRef := Spec{Include: []Clause{{{KindAttribute, 1}, {KindAttribute, 1}, {KindAttribute, 2}}}}
+	if got, want := Canonical(dupRef), Canonical(AnyAttr(1, 2)); got != want {
+		t.Errorf("duplicate ref not collapsed: %q vs %q", got, want)
+	}
+	// c ∧ c ≡ c at the spec level.
+	dupClause := And(Attr(3), Attr(3), Attr(4))
+	if got, want := Canonical(dupClause), Canonical(And(Attr(3), Attr(4))); got != want {
+		t.Errorf("duplicate clause not collapsed: %q vs %q", got, want)
+	}
+	// Duplicated clauses that differ only by internal ref order collapse too.
+	e := Spec{Include: []Clause{
+		{{KindAttribute, 1}, {KindAttribute, 2}},
+		{{KindAttribute, 2}, {KindAttribute, 1}},
+	}}
+	if got, want := Canonical(e), Canonical(AnyAttr(1, 2)); got != want {
+		t.Errorf("reordered duplicate clause not collapsed: %q vs %q", got, want)
+	}
+	// Excluded disjunctions deduplicate the same way.
+	ex := Excluding(Attr(1), Attr(2))
+	exDup := Excluding(Excluding(Attr(1), Attr(2)), Attr(2))
+	if got, want := Canonical(exDup), Canonical(ex); got != want {
+		t.Errorf("duplicate exclude clause not collapsed: %q vs %q", got, want)
+	}
+	// Deduplication must not conflate genuinely different audiences.
+	if Canonical(AnyAttr(1, 2)) == Canonical(AnyAttr(1, 2, 3)) {
+		t.Error("distinct OR clauses conflated")
+	}
+	if Canonical(And(Attr(1), Attr(2))) == Canonical(Attr(1)) {
+		t.Error("distinct AND specs conflated")
+	}
+}
+
 func TestCanonicalExcludeDistinct(t *testing.T) {
 	with := Excluding(Attr(1), Attr(2))
 	without := Attr(1)
