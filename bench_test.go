@@ -13,6 +13,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -589,9 +590,13 @@ func BenchmarkAblationBeamVs3WayGreedy(b *testing.B) {
 
 // --- parallel audience engine micro-benchmarks ---
 
-// measureBench prepares a warmed restricted interface and a cycle of 2-way
-// specs for the Measure throughput benchmarks, so the timed loop exercises
-// only the estimate path (no lazy materialization).
+// measureBench prepares a warmed restricted interface and the audit's query
+// stream for the Measure throughput benchmarks: a 40-plus battery (the
+// ADEA-style protected class spans two age buckets, so every spec carries
+// the same two-option age clause) — per attribute, a US-scoped reach query
+// and its gender-conditioned refinement, the exact pair the auditor issues
+// for every option it scans. The interface is pre-warmed so the timed loops
+// exercise only the estimate path (no lazy materialization).
 func measureBench(b *testing.B) (*platform.Interface, []targeting.Spec) {
 	b.Helper()
 	d, err := platform.NewDeployment(platform.DeployOptions{Seed: 7, UniverseSize: benchUniverse})
@@ -600,9 +605,17 @@ func measureBench(b *testing.B) (*platform.Interface, []targeting.Spec) {
 	}
 	p := d.FacebookRestricted.Warm()
 	n := len(p.Catalog().Attributes)
+	us := targeting.Clause{{Kind: targeting.KindLocation, ID: int(population.RegionUS)}}
+	male := targeting.Clause{{Kind: targeting.KindGender, ID: int(population.Male)}}
+	age40 := targeting.Clause{
+		{Kind: targeting.KindAge, ID: int(population.Age35to54)},
+		{Kind: targeting.KindAge, ID: int(population.Age55Plus)},
+	}
 	specs := make([]targeting.Spec, 64)
-	for i := range specs {
-		specs[i] = targeting.And(targeting.Attr(i%n), targeting.Attr((i*7+1)%n))
+	for i := 0; i < len(specs); i += 2 {
+		attr := targeting.Clause{{Kind: targeting.KindAttribute, ID: (i / 2) % n}}
+		specs[i] = targeting.Spec{Include: []targeting.Clause{attr, us, age40}}
+		specs[i+1] = targeting.Spec{Include: []targeting.Clause{attr, us, age40, male}}
 	}
 	return p, specs
 }
@@ -639,6 +652,49 @@ func BenchmarkMeasureParallel(b *testing.B) {
 	})
 	b.ReportMetric(float64(benchUniverse), "users/op")
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkMeasureBatch measures batched estimate throughput: each
+// iteration answers the full 64-spec batch with one MeasureMany call, so
+// the attribute-set words stream through cache once per tile instead of
+// once per spec. Reports per-query throughput plus the speedup over an
+// inline serial baseline timed on the same warmed interface (target ≥2×).
+func BenchmarkMeasureBatch(b *testing.B) {
+	p, specs := measureBench(b)
+	reqs := make([]platform.EstimateRequest, len(specs))
+	for i, s := range specs {
+		reqs[i].Spec = s
+	}
+	// Serial baseline: per-query cost of the one-spec door over the same
+	// spec cycle, sampled briefly so the speedup metric is self-contained.
+	serialStart := time.Now()
+	serialOps := 0
+	for time.Since(serialStart) < 50*time.Millisecond {
+		if _, err := p.Measure(reqs[serialOps%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+		serialOps++
+	}
+	serialPerQuery := time.Since(serialStart).Seconds() / float64(serialOps)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ests, err := p.MeasureMany(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range ests {
+			if e.Err != nil {
+				b.Fatal(e.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	queries := float64(b.N) * float64(len(reqs))
+	perQuery := b.Elapsed().Seconds() / queries
+	b.ReportMetric(queries/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(serialPerQuery/perQuery, "speedup-vs-serial")
+	b.ReportMetric(float64(len(reqs)), "batch-size")
 }
 
 // benchPopulationConfig is the universe config the construction benchmarks

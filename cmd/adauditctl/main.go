@@ -517,6 +517,37 @@ func printMetricsSummary(w io.Writer, r *experiments.Runner, phases []string) er
 			st.Upstream.P95.Round(time.Microsecond),
 		)
 	}
+	// Batched-evaluation roll-up: how much of the load the tiled kernel
+	// absorbed. Omitted entirely when nothing batched (e.g. a remote run
+	// against a server without the batch endpoint), keeping the summary
+	// unchanged for serial runs. Batch sizes are spec counts stored in the
+	// histogram's duration slots.
+	hists := make(map[string]obs.HistogramSnapshot)
+	for _, s := range reg.Gather() {
+		if s.Name == "batch_size_specs" {
+			hists[s.Label("interface")] = s.Hist
+		}
+	}
+	var batchRows [][6]any
+	for _, name := range r.PlatformNames() {
+		lbl := obs.L("interface", name)
+		q := reg.CounterValue("batched_queries_total", lbl)
+		if q == 0 {
+			continue
+		}
+		h := hists[name]
+		batchRows = append(batchRows, [6]any{
+			name, q, h.Count, reg.CounterValue("batch_kernel_blocks_total", lbl),
+			int64(h.P50), int64(h.P95),
+		})
+	}
+	if len(batchRows) > 0 {
+		fmt.Fprintf(w, "\n%-22s %9s %9s %9s %10s %10s\n",
+			"platform", "batched", "batches", "tiles", "p50_specs", "p95_specs")
+		for _, row := range batchRows {
+			fmt.Fprintf(w, "%-22s %9d %9d %9d %10d %10d\n", row[0], row[1], row[2], row[3], row[4], row[5])
+		}
+	}
 	fmt.Fprintf(w, "\n%-14s %12s\n", "phase", "wall-clock")
 	for _, ph := range phases {
 		fmt.Fprintf(w, "%-14s %11.3fs\n", ph, r.PhaseSeconds(ph))

@@ -94,7 +94,7 @@ func TestRunWithMetricsSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := string(data)
-	for _, want := range []string{"# Run metrics", "hitrate", "upstream", "fig1", "facebook-restricted"} {
+	for _, want := range []string{"# Run metrics", "hitrate", "upstream", "fig1", "facebook-restricted", "batched", "p95_specs"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("metrics summary missing %q:\n%s", want, got)
 		}
@@ -103,7 +103,7 @@ func TestRunWithMetricsSummary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"audit_cache_hits_total", "platform_queries_total", "experiment_phase_seconds{phase=\"fig1\"}"} {
+	for _, want := range []string{"audit_cache_hits_total", "platform_queries_total", "batched_queries_total", "experiment_phase_seconds{phase=\"fig1\"}"} {
 		if !strings.Contains(string(snapData), want) {
 			t.Errorf("metrics snapshot missing %q", want)
 		}

@@ -1,0 +1,208 @@
+package adapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// batchRequest is the envelope of POST /{platform}/measure-batch: an ordered
+// list of auditor-door request bodies, each in the platform's own dialect —
+// the same bytes POST /measure accepts, shipped together so one HTTP
+// exchange (and one rate-limit token) answers the whole batch.
+type batchRequest struct {
+	Requests []json.RawMessage `json:"requests"`
+}
+
+// batchSlot is one slot of the batch response: the dialect response body for
+// a slot that succeeded, or the endpoint's usual error envelope content for
+// one that failed. Exactly one of the two fields is set.
+type batchSlot struct {
+	Body  json.RawMessage `json:"body,omitempty"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error,omitempty"`
+}
+
+// batchResponse is the envelope of a measure-batch response, slot-for-slot
+// parallel to the request list.
+type batchResponse struct {
+	Results []batchSlot `json:"results"`
+}
+
+// slotError fills a response slot with a wire-coded error.
+func slotError(code, message string) batchSlot {
+	var s batchSlot
+	s.Error = &struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}{Code: code, Message: message}
+	return s
+}
+
+// handleMeasureBatch serves the auditor door's batch endpoint. Each slot is
+// decoded, measured, and encoded exactly as POST /measure would treat it —
+// store tier included — but the decodable slots reach the platform as one
+// MeasureMany call, so the in-process simulators answer them with single
+// tiled passes over the universe.
+func (h *ifaceHandler) handleMeasureBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, h.opts.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeMalformedRequest, "reading body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > h.opts.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, codeMalformedRequest, "body too large")
+		return
+	}
+	var env batchRequest
+	if err := json.Unmarshal(body, &env); err != nil {
+		writeError(w, http.StatusBadRequest, codeMalformedRequest, "malformed batch envelope: "+err.Error())
+		return
+	}
+
+	results := make([]batchSlot, len(env.Requests))
+	// Decode every slot first; only the well-formed ones go to the platform.
+	reqs := make([]platform.EstimateRequest, 0, len(env.Requests))
+	slots := make([]int, 0, len(env.Requests))
+	for i, raw := range env.Requests {
+		req, err := h.codec.DecodeRequest(raw)
+		if err != nil {
+			results[i] = slotError(errorCodeOrMalformed(err), err.Error())
+			continue
+		}
+		reqs = append(reqs, req)
+		slots = append(slots, i)
+	}
+
+	sizes := make([]platform.Estimate, len(reqs))
+	if h.store != nil {
+		// Store tier: persisted slots are answered without touching the
+		// platform; only the misses form the platform batch.
+		missIdx := make([]int, 0, len(reqs))
+		miss := make([]platform.EstimateRequest, 0, len(reqs))
+		for k, req := range reqs {
+			if v, ok := h.store.GetMeasurement(h.p.Name(), measureStoreKey(req)); ok {
+				h.mStoreHits.Inc()
+				sizes[k] = platform.Estimate{Size: v}
+				continue
+			}
+			missIdx = append(missIdx, k)
+			miss = append(miss, req)
+		}
+		missSizes, err := h.p.MeasureMany(miss)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+			return
+		}
+		for j, k := range missIdx {
+			sizes[k] = missSizes[j]
+			if missSizes[j].Err != nil {
+				continue
+			}
+			if serr := h.store.PutMeasurement(h.p.Name(), measureStoreKey(miss[j]), missSizes[j].Size); serr != nil {
+				h.mStoreErrors.Inc()
+				h.opts.logf("adapi: %s: store append failed: %v", h.p.Name(), serr)
+			}
+		}
+	} else {
+		ests, err := h.p.MeasureMany(reqs)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+			return
+		}
+		copy(sizes, ests)
+	}
+
+	for k, i := range slots {
+		if serr := sizes[k].Err; serr != nil {
+			results[i] = slotError(errorCode(serr), serr.Error())
+			continue
+		}
+		respBody, err := h.codec.EncodeResponse(sizes[k].Size)
+		if err != nil {
+			results[i] = slotError(codeInternal, err.Error())
+			continue
+		}
+		results[i] = batchSlot{Body: respBody}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(batchResponse{Results: results}); err != nil {
+		log.Printf("adapi: writing batch response: %v", err)
+	}
+}
+
+// Client implements core.BatchMeasurer: batches ship as one HTTP exchange.
+var _ core.BatchMeasurer = (*Client)(nil)
+
+// MeasureMany implements core.BatchMeasurer over the wire: the specs are
+// encoded in the platform's dialect and shipped as one POST /measure-batch
+// exchange, costing one rate-limit token and one round trip for the whole
+// batch. Each slot carries the size or the typed error the equivalent
+// serial Measure call would have produced. Against a server predating the
+// batch endpoint the call transparently degrades to serial Measure calls.
+func (c *Client) MeasureMany(specs []targeting.Spec) []core.BatchResult {
+	return c.MeasureManyContext(context.Background(), specs)
+}
+
+// MeasureManyContext is MeasureMany with caller-controlled cancellation.
+func (c *Client) MeasureManyContext(ctx context.Context, specs []targeting.Spec) []core.BatchResult {
+	out := make([]core.BatchResult, len(specs))
+	if len(specs) == 0 {
+		return out
+	}
+	env := batchRequest{Requests: make([]json.RawMessage, len(specs))}
+	for i, spec := range specs {
+		body, err := c.codec.EncodeRequest(platform.EstimateRequest{Spec: spec})
+		if err != nil {
+			// Encoding failures are per-spec and would fail serially too;
+			// ship a placeholder the server will reject so slots stay aligned.
+			return c.measureManySerial(ctx, specs)
+		}
+		env.Requests[i] = body
+	}
+	reqBody, err := json.Marshal(env)
+	if err != nil {
+		return c.measureManySerial(ctx, specs)
+	}
+	respBody, err := c.do(ctx, http.MethodPost, c.base+"/"+c.name+"/measure-batch", reqBody)
+	if err != nil {
+		// The exchange itself failed — a server without the endpoint, an
+		// oversized envelope, a network fault. Degrade to the serial door.
+		return c.measureManySerial(ctx, specs)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil || len(resp.Results) != len(specs) {
+		return c.measureManySerial(ctx, specs)
+	}
+	for i, slot := range resp.Results {
+		if slot.Error != nil {
+			out[i].Err = errorFromCode(slot.Error.Code, slot.Error.Message)
+			continue
+		}
+		out[i].Size, out[i].Err = c.codec.DecodeResponse(slot.Body)
+		if out[i].Err != nil {
+			out[i].Err = fmt.Errorf("adapi: malformed batch slot %d: %w", i, out[i].Err)
+		}
+	}
+	return out
+}
+
+// measureManySerial is the batch call's fallback: one serial exchange per
+// spec, exactly the pre-batch behaviour.
+func (c *Client) measureManySerial(ctx context.Context, specs []targeting.Spec) []core.BatchResult {
+	out := make([]core.BatchResult, len(specs))
+	for i, spec := range specs {
+		out[i].Size, out[i].Err = c.MeasureContext(ctx, spec)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package adapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/store"
+	"repro/internal/targeting"
+)
+
+// batchSpecs builds a mixed batch against an interface: valid singles and
+// pairs, a duplicate, an unknown option, and an empty spec.
+func batchSpecs(nAttr int) []targeting.Spec {
+	return []targeting.Spec{
+		targeting.Attr(0),
+		targeting.And(targeting.Attr(1), targeting.Attr(2)),
+		targeting.Attr(0), // duplicate of slot 0
+		targeting.Attr(nAttr + 5),
+		targeting.Attr(3),
+		{},
+	}
+}
+
+// TestMeasureBatchMatchesSerial: for every dialect, one measure-batch
+// exchange must return slot for slot what serial /measure calls return —
+// sizes and typed errors both.
+func TestMeasureBatchMatchesSerial(t *testing.T) {
+	ts, _ := startServer(t, ServerOptions{Metrics: obs.NewRegistry()})
+	ctx := context.Background()
+	for _, name := range []string{catalog.PlatformFacebook, catalog.PlatformFacebookRestricted, catalog.PlatformGoogle, catalog.PlatformLinkedIn} {
+		c, err := NewClient(ctx, ts.URL, name, ClientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := batchSpecs(len(c.AttributeNames()))
+		got := c.MeasureMany(specs)
+		if len(got) != len(specs) {
+			t.Fatalf("%s: %d slots for %d specs", name, len(got), len(specs))
+		}
+		for i, spec := range specs {
+			size, serr := c.Measure(spec)
+			if (got[i].Err == nil) != (serr == nil) {
+				t.Fatalf("%s slot %d: batch err=%v, serial err=%v", name, i, got[i].Err, serr)
+			}
+			if serr != nil {
+				if got[i].Err.Error() != serr.Error() {
+					t.Fatalf("%s slot %d: batch err %q, serial err %q", name, i, got[i].Err, serr)
+				}
+				continue
+			}
+			if got[i].Size != size {
+				t.Fatalf("%s slot %d: batch size %d, serial %d", name, i, got[i].Size, size)
+			}
+		}
+	}
+}
+
+// TestMeasureBatchOneExchange: the whole batch costs one request on the
+// measure-batch door and zero on the serial measure door.
+func TestMeasureBatchOneExchange(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts, _ := startServer(t, ServerOptions{Metrics: reg})
+	c, err := NewClient(context.Background(), ts.URL, catalog.PlatformFacebook, ClientOptions{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := batchSpecs(len(c.AttributeNames()))
+	for _, r := range c.MeasureMany(specs) {
+		_ = r
+	}
+	iface := obs.L("interface", catalog.PlatformFacebook)
+	if n := reg.CounterValue("adapi_server_requests_total", iface, obs.L("door", "measure-batch")); n != 1 {
+		t.Errorf("measure-batch requests = %d, want 1", n)
+	}
+	if n := reg.CounterValue("adapi_server_requests_total", iface, obs.L("door", "measure")); n != 0 {
+		t.Errorf("measure requests = %d, want 0 (no serial fallback)", n)
+	}
+}
+
+// TestMeasureBatchStoreTier: a store-backed server answers a repeated batch
+// entirely from disk — the platform sees no queries the second time.
+func TestMeasureBatchStoreTier(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reg := obs.NewRegistry()
+	ts, d := startServer(t, ServerOptions{Store: st, Metrics: reg})
+	var p *platform.Interface
+	for _, cand := range d.Interfaces() {
+		if cand.Name() == catalog.PlatformFacebook {
+			p = cand
+		}
+	}
+	c, err := NewClient(context.Background(), ts.URL, catalog.PlatformFacebook, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []targeting.Spec{targeting.Attr(0), targeting.Attr(1), targeting.And(targeting.Attr(0), targeting.Attr(1))}
+	first := c.MeasureMany(specs)
+	for i, r := range first {
+		if r.Err != nil {
+			t.Fatalf("first batch slot %d: %v", i, r.Err)
+		}
+	}
+	if n := st.Len(); n != len(specs) {
+		t.Fatalf("store holds %d records, want %d", n, len(specs))
+	}
+	before := p.QueryCount()
+	second := c.MeasureMany(specs)
+	for i, r := range second {
+		if r.Err != nil || r.Size != first[i].Size {
+			t.Errorf("second batch slot %d: (%d, %v), want (%d, nil)", i, r.Size, r.Err, first[i].Size)
+		}
+	}
+	if delta := p.QueryCount() - before; delta != 0 {
+		t.Errorf("second batch placed %d queries on the platform, want 0", delta)
+	}
+	if hits := reg.CounterValue("adapi_server_store_hits_total", obs.L("interface", catalog.PlatformFacebook)); hits != int64(len(specs)) {
+		t.Errorf("store hits = %d, want %d", hits, len(specs))
+	}
+}
+
+// TestMeasureBatchFallsBackOnOldServer: against a server without the batch
+// endpoint the client silently degrades to serial measure exchanges.
+func TestMeasureBatchFallsBackOnOldServer(t *testing.T) {
+	codec, err := CodecFor(catalog.PlatformFacebook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/facebook/options", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(optionsResponse{
+			Platform:   catalog.PlatformFacebook,
+			Attributes: []string{"a0", "a1"},
+		})
+	})
+	var serialCalls int
+	mux.HandleFunc("/facebook/measure", func(w http.ResponseWriter, r *http.Request) {
+		serialCalls++
+		body, err := codec.EncodeResponse(int64(1000 * serialCalls))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		w.Write(body)
+	})
+	mux.HandleFunc("/facebook/measure-batch", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":{"code":"unknown_route","message":"no such endpoint"}}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c, err := NewClient(context.Background(), ts.URL, catalog.PlatformFacebook, ClientOptions{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []targeting.Spec{targeting.Attr(0), targeting.Attr(1)}
+	res := c.MeasureMany(specs)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("slot %d: %v", i, r.Err)
+		}
+		if want := int64(1000 * (i + 1)); r.Size != want {
+			t.Errorf("slot %d: size %d, want %d", i, r.Size, want)
+		}
+	}
+	if serialCalls != len(specs) {
+		t.Errorf("serial fallback calls = %d, want %d", serialCalls, len(specs))
+	}
+}
+
+// TestMeasureBatchMalformedEnvelope: a non-envelope body is rejected whole.
+func TestMeasureBatchMalformedEnvelope(t *testing.T) {
+	ts, _ := startServer(t, ServerOptions{Metrics: obs.NewRegistry()})
+	resp, err := http.Post(ts.URL+"/facebook/measure-batch", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -98,10 +98,11 @@ func (h *ifaceHandler) doorMetrics(door string) doorMetrics {
 //
 // Routes (per interface name, e.g. "facebook-restricted"):
 //
-//	GET  /{name}/options   → option lists
-//	POST /{name}/estimate  → advertiser-door size estimate
-//	POST /{name}/measure   → auditor-door size estimate
-//	GET  /healthz          → liveness
+//	GET  /{name}/options        → option lists
+//	POST /{name}/estimate       → advertiser-door size estimate
+//	POST /{name}/measure        → auditor-door size estimate
+//	POST /{name}/measure-batch  → auditor-door batch (one exchange, many specs)
+//	GET  /healthz               → liveness
 func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = 1 << 20
@@ -135,6 +136,7 @@ func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 		s.mux.Handle(prefix+"/options", h.wrap(h.handleOptions, http.MethodGet, "options"))
 		s.mux.Handle(prefix+"/estimate", h.wrap(h.handleEstimate, http.MethodPost, "estimate"))
 		s.mux.Handle(prefix+"/measure", h.wrap(h.handleMeasure, http.MethodPost, "measure"))
+		s.mux.Handle(prefix+"/measure-batch", h.wrap(h.handleMeasureBatch, http.MethodPost, "measure-batch"))
 		s.registerAudienceRoutes(h)
 	}
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -256,10 +256,20 @@ func (a *Auditor) Audit(spec targeting.Spec, c Class) (Measurement, error) {
 		tOut += v
 	}
 
+	if err := finishMeasurement(&m, c, tot, tIn, tOut); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// finishMeasurement fills the Equation 1 fields of a measurement from the
+// measured class-conditioned sizes — shared by the serial Audit path and
+// the batched fan-out so both compute identical ratios and recalls.
+func finishMeasurement(m *Measurement, c Class, tot classTotals, tIn, tOut int64) error {
 	m.InClass, m.OutClass = tIn, tOut
 	ratio, err := repRatio(tIn, tOut, tot.in, tot.out)
 	if err != nil {
-		return m, err
+		return err
 	}
 	if c.Excluded {
 		// Ratio toward the complement population is the reciprocal; recall
@@ -274,7 +284,7 @@ func (a *Auditor) Audit(spec targeting.Spec, c Class) (Measurement, error) {
 		m.Recall = tIn
 	}
 	m.RepRatio = ratio
-	return m, nil
+	return nil
 }
 
 // repRatio evaluates Equation 1 from rounded estimates. When the

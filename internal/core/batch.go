@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// BatchResult is one slot of a batched measurement: the size or the error
+// the equivalent serial Measure call would have returned.
+type BatchResult struct {
+	Size int64
+	Err  error
+}
+
+// BatchMeasurer is the optional batch extension of Provider: answer many
+// measurement queries in one call. Implementations must be slot-for-slot
+// equivalent to serial Measure — same sizes, same errors — differing only
+// in evaluation cost. The in-process platform provider lowers a batch into
+// the tiled counting kernel; the caching provider partitions it into
+// cache/store hits and unique upstream misses; the adapi client ships it
+// as one HTTP exchange.
+type BatchMeasurer interface {
+	MeasureMany(specs []targeting.Spec) []BatchResult
+}
+
+// MeasureMany measures every spec through p: one batched call when p
+// implements BatchMeasurer, otherwise serial Measure calls in spec order.
+// Either way the returned slice has one slot per spec.
+func MeasureMany(p Provider, specs []targeting.Spec) []BatchResult {
+	if bm, ok := p.(BatchMeasurer); ok {
+		return bm.MeasureMany(specs)
+	}
+	out := make([]BatchResult, len(specs))
+	for i, s := range specs {
+		out[i].Size, out[i].Err = p.Measure(s)
+	}
+	return out
+}
+
+// batchCapable reports whether p's provider chain bottoms out in a native
+// BatchMeasurer. The caching wrapper always implements the interface (it
+// can fall back to serial upstream calls), so the walk looks through it at
+// the wrapped provider: fan-outs switch to the batched path only when
+// batching actually reaches a kernel or a wire exchange, and plain serial
+// providers (including single-threaded test fakes) keep the worker-pool
+// path and its call pattern.
+func batchCapable(p Provider) bool {
+	for {
+		cp, ok := p.(*cachingProvider)
+		if !ok {
+			_, ok := p.(BatchMeasurer)
+			return ok
+		}
+		p = cp.Provider
+	}
+}
+
+// MeasureMany implements BatchMeasurer for the in-process simulators via
+// the platform's tiled batch door.
+func (pp *platformProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
+	reqs := make([]platform.EstimateRequest, len(specs))
+	for i, s := range specs {
+		reqs[i].Spec = s
+	}
+	ests, err := pp.p.MeasureMany(reqs)
+	out := make([]BatchResult, len(specs))
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	for i, e := range ests {
+		out[i] = BatchResult{Size: e.Size, Err: e.Err}
+	}
+	return out
+}
+
+// MeasureMany implements BatchMeasurer for the caching provider. Under one
+// lock acquisition the batch is partitioned exactly as serial Measure
+// would treat each spec in slot order: memory hits, waits on another
+// caller's in-flight miss, duplicates of a key this batch already claimed,
+// store hits (filling the memory tier, budget-free), budget refusals, and
+// claimed misses. Only the unique misses are charged against the budget
+// and sent upstream — as one batch when the wrapped provider is itself a
+// BatchMeasurer, serially in claim order otherwise — then persisted before
+// being published, with failed slots refunded, exactly like the serial
+// path.
+func (cp *cachingProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
+	out := make([]BatchResult, len(specs))
+	if len(specs) == 0 {
+		return out
+	}
+	type claim struct {
+		slot int
+		key  string
+		call *inflightCall
+	}
+	type wait struct {
+		slot int
+		call *inflightCall
+	}
+	type dup struct {
+		slot, of int // slot copies the result of claim index `of`
+	}
+	var claims []claim
+	var waits []wait
+	var dups []dup
+	claimIdx := make(map[string]int)
+	var hits, collapsed, refused, storeHits int64
+
+	cp.mu.Lock()
+	for i, spec := range specs {
+		key := targeting.Canonical(spec)
+		if v, ok := cp.sizes[key]; ok {
+			out[i].Size = v
+			hits++
+			continue
+		}
+		if ci, ok := claimIdx[key]; ok {
+			// A duplicate within this batch: the claim's upstream answer
+			// serves this slot too, like a second caller collapsing onto an
+			// in-flight miss.
+			dups = append(dups, dup{slot: i, of: ci})
+			collapsed++
+			continue
+		}
+		if c, ok := cp.inflight[key]; ok {
+			waits = append(waits, wait{slot: i, call: c})
+			collapsed++
+			continue
+		}
+		if cp.store != nil {
+			if v, ok := cp.store.GetMeasurement(cp.Provider.Name(), key); ok {
+				cp.sizes[key] = v
+				out[i].Size = v
+				storeHits++
+				continue
+			}
+		}
+		if cp.budget > 0 && cp.calls >= cp.budget {
+			out[i].Err = fmt.Errorf("%w: %d calls made", ErrQueryBudget, cp.budget)
+			refused++
+			continue
+		}
+		cp.calls++
+		c := &inflightCall{done: make(chan struct{})}
+		cp.inflight[key] = c
+		claimIdx[key] = len(claims)
+		claims = append(claims, claim{slot: i, key: key, call: c})
+	}
+	cp.mu.Unlock()
+
+	cp.mHits.Add(hits)
+	cp.mCollapsed.Add(collapsed)
+	cp.mRefused.Add(refused)
+	cp.mMisses.Add(int64(len(claims)))
+	if cp.store != nil {
+		cp.mStoreHits.Add(storeHits)
+		cp.mStoreMisses.Add(int64(len(claims)))
+	}
+
+	if len(claims) > 0 {
+		missSpecs := make([]targeting.Spec, len(claims))
+		for k, cl := range claims {
+			missSpecs[k] = specs[cl.slot]
+		}
+		start := time.Now()
+		var res []BatchResult
+		if bm, ok := cp.Provider.(BatchMeasurer); ok {
+			res = bm.MeasureMany(missSpecs)
+		} else {
+			// Serial fallback in claim order: providers without a batch door
+			// (remote fakes, plain wrappers) see the identical call sequence
+			// a serial fan-out would have produced.
+			res = make([]BatchResult, len(claims))
+			for k, s := range missSpecs {
+				res[k].Size, res[k].Err = cp.Provider.Measure(s)
+			}
+		}
+		// One observation per upstream exchange (the batch is the unit of
+		// upstream latency, as one HTTP round trip serves the whole batch).
+		cp.mUpstream.Observe(time.Since(start))
+
+		if cp.store != nil {
+			// Persist before publishing, as in the serial path: once a
+			// result is readable from memory a crash must not lose it.
+			for k, cl := range claims {
+				if res[k].Err != nil {
+					continue
+				}
+				if serr := cp.store.PutMeasurement(cp.Provider.Name(), cl.key, res[k].Size); serr != nil {
+					cp.mStoreErrors.Inc()
+				}
+			}
+		}
+
+		cp.mu.Lock()
+		for k, cl := range claims {
+			if res[k].Err == nil {
+				cp.sizes[cl.key] = res[k].Size
+			} else {
+				// Refund failed calls, matching serial accounting.
+				cp.calls--
+				res[k].Size = 0
+			}
+			delete(cp.inflight, cl.key)
+		}
+		cp.mu.Unlock()
+		for k, cl := range claims {
+			cl.call.v, cl.call.err = res[k].Size, res[k].Err
+			close(cl.call.done)
+			out[cl.slot] = BatchResult{Size: res[k].Size, Err: res[k].Err}
+		}
+	}
+
+	for _, d := range dups {
+		out[d.slot] = out[claims[d.of].slot]
+	}
+	for _, w := range waits {
+		<-w.call.done
+		out[w.slot] = BatchResult{Size: w.call.v, Err: w.call.err}
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// serialOnly hides a provider's BatchMeasurer implementation, forcing every
+// fan-out above it down the serial worker-pool path. Used to compare the
+// batched and serial auditor paths over the same platform.
+type serialOnly struct{ p Provider }
+
+func (s serialOnly) Name() string                               { return s.p.Name() }
+func (s serialOnly) AttributeNames() []string                   { return s.p.AttributeNames() }
+func (s serialOnly) TopicNames() []string                       { return s.p.TopicNames() }
+func (s serialOnly) CrossFeature() bool                         { return s.p.CrossFeature() }
+func (s serialOnly) Measure(spec targeting.Spec) (int64, error) { return s.p.Measure(spec) }
+
+func TestBatchCapable(t *testing.T) {
+	d := testDeploy(t)
+	pp := NewPlatformProvider(d.Facebook)
+	if !batchCapable(pp) {
+		t.Error("platform provider should be batch-capable")
+	}
+	if !batchCapable(NewCachingProviderWith(pp, obs.NewRegistry())) {
+		t.Error("caching provider over a kernel should be batch-capable")
+	}
+	if batchCapable(serialOnly{pp}) {
+		t.Error("serialOnly wrapper must not be batch-capable")
+	}
+	if batchCapable(NewCachingProviderWith(serialOnly{pp}, obs.NewRegistry())) {
+		t.Error("caching provider over a serial provider must not be batch-capable")
+	}
+	if batchCapable(&slowProvider{attrs: []string{"a"}}) {
+		t.Error("test fake must not be batch-capable")
+	}
+}
+
+// TestMeasureManyFallbackSerial: the package-level helper must serve plain
+// providers with serial calls in slot order.
+func TestMeasureManyFallbackSerial(t *testing.T) {
+	sp := &slowProvider{attrs: []string{"a", "b"}}
+	specs := []targeting.Spec{targeting.Attr(0), targeting.Attr(1), targeting.Attr(0)}
+	res := MeasureMany(sp, specs)
+	if len(res) != 3 {
+		t.Fatalf("got %d slots, want 3", len(res))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("slot %d: %v", i, r.Err)
+		}
+	}
+	if got := sp.calls.Load(); got != 3 {
+		t.Errorf("upstream calls = %d, want 3 (no dedup without a cache)", got)
+	}
+}
+
+// TestMeasureManyBudgetChargesOnlyUniqueMisses is the budget acceptance
+// criterion: a batch with K slots answerable from cache charges the budget
+// for at most batch−K upstream queries, and in-batch duplicates of one key
+// are charged once.
+func TestMeasureManyBudgetChargesOnlyUniqueMisses(t *testing.T) {
+	sp := &slowProvider{attrs: []string{"a", "b", "c", "d", "e", "f"}}
+	cp := NewCachingProviderWith(sp, obs.NewRegistry())
+
+	// Warm two keys serially: K = 2 cached slots.
+	for i := 0; i < 2; i++ {
+		if _, err := cp.Measure(targeting.Attr(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	SetQueryBudget(cp, 4) // 2 spent, 2 remaining
+
+	// Batch of 8 slots: 2 cached, 2 duplicate pairs (2 unique misses),
+	// then 2 more distinct misses that must be refused — the 2 remaining
+	// budget calls are consumed by the first 2 unique misses.
+	specs := []targeting.Spec{
+		targeting.Attr(0), // cached
+		targeting.Attr(2), // miss (charged)
+		targeting.Attr(1), // cached
+		targeting.Attr(3), // miss (charged)
+		targeting.Attr(2), // duplicate of slot 1 — free
+		targeting.Attr(3), // duplicate of slot 3 — free
+		targeting.Attr(4), // over budget — refused
+		targeting.Attr(5), // over budget — refused
+	}
+	res := cp.(*cachingProvider).MeasureMany(specs)
+	for _, i := range []int{0, 1, 2, 3, 4, 5} {
+		if res[i].Err != nil {
+			t.Errorf("slot %d: unexpected error %v", i, res[i].Err)
+		}
+	}
+	for _, i := range []int{6, 7} {
+		if !errors.Is(res[i].Err, ErrQueryBudget) {
+			t.Errorf("slot %d: err = %v, want ErrQueryBudget", i, res[i].Err)
+		}
+	}
+	if res[1].Size != res[4].Size || res[3].Size != res[5].Size {
+		t.Error("duplicate slots disagree with their claims")
+	}
+	if got := sp.calls.Load(); got != 4 {
+		t.Errorf("upstream calls = %d, want 4 (2 warm + 2 batch misses)", got)
+	}
+	if got := UpstreamCalls(cp); got != 4 {
+		t.Errorf("UpstreamCalls = %d, want 4", got)
+	}
+	stats, _ := StatsOf(cp)
+	if stats.Hits != 2 || stats.Collapsed != 2 || stats.Refused != 2 {
+		t.Errorf("stats = %+v, want 2 hits / 2 collapsed / 2 refused", stats)
+	}
+}
+
+// TestMeasureManyStoreHitsAreBudgetFree: a second process re-batching
+// persisted specs pays zero upstream budget for the stored slots.
+func TestMeasureManyStoreHitsAreBudgetFree(t *testing.T) {
+	dir := t.TempDir()
+	specs := []targeting.Spec{targeting.Attr(0), targeting.Attr(1), targeting.Attr(2)}
+
+	st1 := openStore(t, dir)
+	sp1 := &slowProvider{attrs: []string{"a", "b", "c", "d"}}
+	cp1 := NewStoredProviderWith(sp1, st1, obs.NewRegistry())
+	first := cp1.(*cachingProvider).MeasureMany(specs)
+	for i, r := range first {
+		if r.Err != nil {
+			t.Fatalf("first run slot %d: %v", i, r.Err)
+		}
+	}
+	if got := sp1.calls.Load(); got != 3 {
+		t.Fatalf("first run upstream calls = %d, want 3", got)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: 3 stored slots + 1 genuinely new one, budget 1. The
+	// stored slots must not touch the budget; the new slot consumes it.
+	st2 := openStore(t, dir)
+	sp2 := &slowProvider{attrs: []string{"a", "b", "c", "d"}}
+	cp2 := NewStoredProviderWith(sp2, st2, obs.NewRegistry())
+	SetQueryBudget(cp2, 1)
+	batch := append(append([]targeting.Spec{}, specs...), targeting.Attr(3))
+	res := cp2.(*cachingProvider).MeasureMany(batch)
+	for i := range specs {
+		if res[i].Err != nil {
+			t.Errorf("stored slot %d: %v", i, res[i].Err)
+		}
+		if res[i].Size != first[i].Size {
+			t.Errorf("stored slot %d: size %d, want %d", i, res[i].Size, first[i].Size)
+		}
+	}
+	if res[3].Err != nil {
+		t.Errorf("new slot: %v", res[3].Err)
+	}
+	if got := sp2.calls.Load(); got != 1 {
+		t.Errorf("second run upstream calls = %d, want 1 (stored slots are free)", got)
+	}
+}
+
+// TestMeasureManyRefundsFailedSlots: failed upstream slots surface their
+// error, stay uncached, and refund their budget charge.
+func TestMeasureManyRefundsFailedSlots(t *testing.T) {
+	boom := errors.New("boom")
+	sp := &slowProvider{attrs: []string{"a", "b", "c", "d"}, fail: func(spec targeting.Spec) error {
+		refs := targeting.Refs(spec)
+		if len(refs) == 1 && refs[0].ID%2 == 1 {
+			return boom
+		}
+		return nil
+	}}
+	cp := NewCachingProviderWith(sp, obs.NewRegistry())
+	specs := []targeting.Spec{targeting.Attr(0), targeting.Attr(1), targeting.Attr(2), targeting.Attr(3)}
+	for round := 0; round < 2; round++ {
+		res := cp.(*cachingProvider).MeasureMany(specs)
+		for i, r := range res {
+			if i%2 == 1 {
+				if !errors.Is(r.Err, boom) {
+					t.Fatalf("round %d slot %d: err = %v, want boom", round, i, r.Err)
+				}
+				if r.Size != 0 {
+					t.Fatalf("round %d slot %d: failed slot has size %d", round, i, r.Size)
+				}
+			} else if r.Err != nil {
+				t.Fatalf("round %d slot %d: %v", round, i, r.Err)
+			}
+		}
+	}
+	// Round 1: 4 calls (2 fail, refunded). Round 2: even keys cached, odd
+	// keys retried (and refunded again) — 6 upstream calls, 2 charged.
+	if got := sp.calls.Load(); got != 6 {
+		t.Errorf("upstream calls = %d, want 6", got)
+	}
+	if got := UpstreamCalls(cp); got != 2 {
+		t.Errorf("UpstreamCalls = %d, want 2 (failures refunded)", got)
+	}
+}
+
+// TestMeasureManySingleflightAcrossBatches: concurrent batches over the
+// same key set still produce exactly one upstream call per unique key —
+// whichever batch claims a key first serves the rest.
+func TestMeasureManySingleflightAcrossBatches(t *testing.T) {
+	sp := &slowProvider{attrs: []string{"a", "b", "c", "d", "e", "f", "g", "h"}}
+	cp := NewCachingProviderWith(sp, obs.NewRegistry()).(*cachingProvider)
+	specs := make([]targeting.Spec, 8)
+	for i := range specs {
+		specs[i] = targeting.Attr(i)
+	}
+	var wg sync.WaitGroup
+	results := make([][]BatchResult, 6)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Half the goroutines batch in reverse order to force
+			// cross-batch wait interleavings.
+			batch := specs
+			if g%2 == 1 {
+				batch = make([]targeting.Spec, len(specs))
+				for i, s := range specs {
+					batch[len(specs)-1-i] = s
+				}
+			}
+			results[g] = cp.MeasureMany(batch)
+		}(g)
+	}
+	wg.Wait()
+	for g, res := range results {
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("goroutine %d slot %d: %v", g, i, r.Err)
+			}
+			j := i
+			if g%2 == 1 {
+				j = len(specs) - 1 - i
+			}
+			if r.Size != results[0][j].Size {
+				t.Fatalf("goroutine %d slot %d: size %d, want %d", g, i, r.Size, results[0][j].Size)
+			}
+		}
+	}
+	if got := sp.calls.Load(); got != int64(len(specs)) {
+		t.Errorf("upstream calls = %d, want %d (one per unique key)", got, len(specs))
+	}
+}
+
+// sameMeasurements compares two measurement slices field by field.
+func sameMeasurements(t *testing.T, label string, got, want []Measurement) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d measurements, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("%s[%d]:\n  batched: %+v\n  serial:  %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchedAuditorMatchesSerial is the end-to-end equivalence property:
+// every fan-out workload — individual scans, greedy composition, beam
+// search, overlap and union analyses — must produce identical results
+// through the batched path and the serial worker-pool path.
+func TestBatchedAuditorMatchesSerial(t *testing.T) {
+	d := testDeploy(t)
+	for _, iface := range []*platform.Interface{d.Facebook, d.Google} {
+		pp := NewPlatformProvider(iface)
+		batched := NewAuditorWith(pp, obs.NewRegistry())
+		serial := NewAuditorWith(serialOnly{pp}, obs.NewRegistry())
+		serial.Concurrency = 4
+		for _, c := range []Class{male(), female(), young().Not()} {
+			bi, err := batched.Individuals(c)
+			if err != nil {
+				t.Fatalf("%s/%s batched Individuals: %v", iface.Name(), c, err)
+			}
+			si, err := serial.Individuals(c)
+			if err != nil {
+				t.Fatalf("%s/%s serial Individuals: %v", iface.Name(), c, err)
+			}
+			sameMeasurements(t, iface.Name()+"/"+c.String()+"/individuals", bi, si)
+
+			bg, berr := batched.GreedyCompositions(bi, c, ComposeConfig{K: 20})
+			sg, serr := serial.GreedyCompositions(si, c, ComposeConfig{K: 20})
+			if (berr == nil) != (serr == nil) {
+				t.Fatalf("%s/%s greedy: batched err=%v, serial err=%v", iface.Name(), c, berr, serr)
+			}
+			if berr == nil {
+				sameMeasurements(t, iface.Name()+"/"+c.String()+"/greedy", bg, sg)
+			}
+
+			if berr == nil && len(bg) >= 2 {
+				top := bg
+				if len(top) > 6 {
+					top = top[:6]
+				}
+				bo, berr := batched.MedianOverlap(top, c, OverlapConfig{MaxPairs: 10, Seed: 3})
+				so, serr := serial.MedianOverlap(top, c, OverlapConfig{MaxPairs: 10, Seed: 3})
+				if (berr == nil) != (serr == nil) || (berr == nil && bo != so) {
+					t.Fatalf("%s/%s overlap: batched (%v, %v), serial (%v, %v)",
+						iface.Name(), c, bo, berr, so, serr)
+				}
+				bu, berr := batched.EstimateUnionRecall(top[:2], c, 0)
+				su, serr := serial.EstimateUnionRecall(top[:2], c, 0)
+				if (berr == nil) != (serr == nil) || (berr == nil && !reflect.DeepEqual(bu, su)) {
+					t.Fatalf("%s/%s union: batched (%+v, %v), serial (%+v, %v)",
+						iface.Name(), c, bu, berr, su, serr)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedBeamMatchesSerial compares beam search (the deepest fan-out)
+// between the two paths on a non-cross-feature platform.
+func TestBatchedBeamMatchesSerial(t *testing.T) {
+	d := testDeploy(t)
+	pp := NewPlatformProvider(d.Facebook)
+	batched := NewAuditorWith(pp, obs.NewRegistry())
+	serial := NewAuditorWith(serialOnly{pp}, obs.NewRegistry())
+	c := female()
+	bi, err := batched.Individuals(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := serial.Individuals(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BeamConfig{Arity: 3, Width: 8, Seeds: 10}
+	bb, berr := batched.BeamCompositions(bi, c, cfg)
+	sb, serr := serial.BeamCompositions(si, c, cfg)
+	if (berr == nil) != (serr == nil) {
+		t.Fatalf("beam: batched err=%v, serial err=%v", berr, serr)
+	}
+	if berr == nil {
+		sameMeasurements(t, "beam", bb, sb)
+	}
+}

@@ -76,8 +76,12 @@ func (a *Auditor) BeamCompositions(individuals []Measurement, c Class, cfg BeamC
 		beam = beam[:cfg.Width]
 	}
 	for level := 2; level <= cfg.Arity; level++ {
+		// Collect the level's deduplicated extension candidates first, then
+		// audit them as one batch: the whole frontier is measured in a few
+		// tiled passes (or one worker-pool fan-out) instead of one serial
+		// Audit per candidate.
 		seen := make(map[string]bool)
-		var next []Measurement
+		var cands []targeting.Spec
 		for _, partial := range beam {
 			partialIDs := make(map[string]bool)
 			for _, r := range targeting.Refs(partial.Spec) {
@@ -94,15 +98,22 @@ func (a *Auditor) BeamCompositions(individuals []Measurement, c Class, cfg BeamC
 					continue
 				}
 				seen[key] = true
-				m, err := a.Audit(spec, c)
-				if errors.Is(err, ErrBelowFloor) {
-					continue
-				}
-				if err != nil {
-					return nil, fmt.Errorf("beam level %d: %w", level, err)
-				}
-				next = append(next, m)
+				cands = append(cands, spec)
 			}
+		}
+		results, err := a.auditMany(cands, c)
+		if err != nil {
+			return nil, fmt.Errorf("beam level %d: %w", level, err)
+		}
+		var next []Measurement
+		for _, r := range results {
+			if errors.Is(r.err, ErrBelowFloor) {
+				continue
+			}
+			if r.err != nil {
+				return nil, fmt.Errorf("beam level %d: %w", level, r.err)
+			}
+			next = append(next, r.m)
 		}
 		if len(next) == 0 {
 			return nil, fmt.Errorf("%w: no level-%d compositions above the reach floor", ErrBelowFloor, level)

@@ -44,6 +44,50 @@ func (a *Auditor) classCount(spec targeting.Spec, c Class) (int64, error) {
 	return total, nil
 }
 
+// classCounts is the batched form of classCount: one slot per spec, spec
+// order preserved. When the provider chain answers batches natively the
+// class-conditioned sizes are measured in one batch (one tiled kernel pass
+// or one wire exchange); otherwise the specs are measured serially,
+// aborting on the first error exactly like repeated classCount calls.
+func (a *Auditor) classCounts(specs []targeting.Spec, c Class) ([]int64, error) {
+	if !batchCapable(a.p) {
+		out := make([]int64, len(specs))
+		for i, s := range specs {
+			v, err := a.classCount(s, c)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	base := c
+	base.Excluded = false
+	clauses := []targeting.Clause{base.baseClause()}
+	if c.Excluded {
+		clauses = base.otherClauses()
+	}
+	per := len(clauses)
+	cond := make([]targeting.Spec, 0, len(specs)*per)
+	for _, s := range specs {
+		for _, cl := range clauses {
+			cond = append(cond, a.scoped(withClause(s, cl)))
+		}
+	}
+	res := MeasureMany(a.p, cond)
+	out := make([]int64, len(specs))
+	for i := range specs {
+		for j := 0; j < per; j++ {
+			r := res[i*per+j]
+			if r.Err != nil {
+				return nil, translateRuleError(r.Err)
+			}
+			out[i] += r.Size
+		}
+	}
+	return out, nil
+}
+
 // Overlap is one pairwise overlap between two skewed targeting audiences,
 // conservatively measured as the intersection relative to the smaller
 // audience (paper fn. 12).
@@ -75,14 +119,14 @@ func (a *Auditor) PairwiseOverlaps(ms []Measurement, c Class, cfg OverlapConfig)
 	if n < 2 {
 		return nil, errors.New("core: need at least two targetings for overlap")
 	}
-	// Class-restricted size of each audience.
-	sizes := make([]int64, n)
+	// Class-restricted size of each audience — one batch over all inputs.
+	specs := make([]targeting.Spec, n)
 	for i, m := range ms {
-		v, err := a.classCount(m.Spec, c)
-		if err != nil {
-			return nil, err
-		}
-		sizes[i] = v
+		specs[i] = m.Spec
+	}
+	sizes, err := a.classCounts(specs, c)
+	if err != nil {
+		return nil, err
 	}
 	type pair struct{ i, j int }
 	var pairs []pair
@@ -101,7 +145,11 @@ func (a *Auditor) PairwiseOverlaps(ms []Measurement, c Class, cfg OverlapConfig)
 		}
 		pairs = sampled
 	}
-	out := make([]Overlap, 0, len(pairs))
+	// Drop the pairs whose smaller audience rounds to zero before measuring,
+	// so the batched intersection set is exactly the query set the serial
+	// loop would have issued.
+	kept := pairs[:0]
+	interSpecs := make([]targeting.Spec, 0, len(pairs))
 	for _, pr := range pairs {
 		small := sizes[pr.i]
 		if sizes[pr.j] < small {
@@ -110,11 +158,20 @@ func (a *Auditor) PairwiseOverlaps(ms []Measurement, c Class, cfg OverlapConfig)
 		if small <= 0 {
 			continue
 		}
-		inter, err := a.classCount(targeting.And(ms[pr.i].Spec, ms[pr.j].Spec), c)
-		if err != nil {
-			return nil, err
+		kept = append(kept, pr)
+		interSpecs = append(interSpecs, targeting.And(ms[pr.i].Spec, ms[pr.j].Spec))
+	}
+	inters, err := a.classCounts(interSpecs, c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Overlap, 0, len(kept))
+	for k, pr := range kept {
+		small := sizes[pr.i]
+		if sizes[pr.j] < small {
+			small = sizes[pr.j]
 		}
-		out = append(out, Overlap{I: pr.i, J: pr.j, Fraction: float64(inter) / float64(small)})
+		out = append(out, Overlap{I: pr.i, J: pr.j, Fraction: float64(inters[k]) / float64(small)})
 	}
 	return out, nil
 }
@@ -193,28 +250,27 @@ func (a *Auditor) EstimateUnionRecall(ms []Measurement, c Class, maxOrder int) (
 	sign := int64(1)
 	var acc, maxSingle int64
 	for k := 1; k <= maxOrder; k++ {
-		var term int64
-		var combErr error
+		// Collect the order's C(n,k) intersections, then measure them as one
+		// batch: each inclusion–exclusion order is a single kernel pass (or
+		// wire exchange) instead of a serial query per combination.
+		var combSpecs []targeting.Spec
 		combinations(n, k, func(idx []int) {
-			if combErr != nil {
-				return
-			}
 			parts := make([]targeting.Spec, k)
 			for j, i := range idx {
 				parts[j] = ms[i].Spec
 			}
-			v, err := a.classCount(targeting.And(parts...), c)
-			if err != nil {
-				combErr = err
-				return
-			}
+			combSpecs = append(combSpecs, targeting.And(parts...))
+		})
+		vals, err := a.classCounts(combSpecs, c)
+		if err != nil {
+			return out, err
+		}
+		var term int64
+		for _, v := range vals {
 			if k == 1 && v > maxSingle {
 				maxSingle = v
 			}
 			term += v
-		})
-		if combErr != nil {
-			return out, combErr
 		}
 		acc += sign * term
 		sign = -sign

@@ -17,19 +17,25 @@ type auditResult struct {
 }
 
 // auditMany audits every spec against c, preserving spec order. When the
-// auditor's Concurrency is above 1 the specs are fanned out over a worker
-// pool; the class totals (the auditor's only lazily-written shared state)
-// are primed before the fan-out so workers touch the totals cache
-// read-only. Providers and the measurement cache are safe for concurrent
-// use; the Auditor itself must still be driven from one goroutine.
+// provider chain answers batches natively (an in-process kernel or a wire
+// batch endpoint), the specs are measured in two batched phases; otherwise,
+// when the auditor's Concurrency is above 1, they fan out over a worker
+// pool. The class totals (the auditor's only lazily-written shared state)
+// are primed first so the fan-out touches the totals cache read-only.
+// Providers and the measurement cache are safe for concurrent use; the
+// Auditor itself must still be driven from one goroutine.
 func (a *Auditor) auditMany(specs []targeting.Spec, c Class) ([]auditResult, error) {
 	if err := validateClass(c); err != nil {
 		return nil, err
 	}
 	base := c
 	base.Excluded = false
-	if _, err := a.totals(base); err != nil {
+	tot, err := a.totals(base)
+	if err != nil {
 		return nil, err
+	}
+	if len(specs) > 0 && batchCapable(a.p) {
+		return a.auditManyBatched(specs, c, tot), nil
 	}
 
 	results := make([]auditResult, len(specs))
@@ -72,6 +78,86 @@ func (a *Auditor) auditMany(specs []targeting.Spec, c Class) ([]auditResult, err
 	close(idxs)
 	wg.Wait()
 	return results, nil
+}
+
+// auditManyBatched is the batched form of the fan-out: phase one measures
+// every spec's total reach in one batch, phase two measures the
+// class-conditioned sizes of the specs above the floor in a second batch.
+// Each slot reproduces Audit exactly — same measurements through the same
+// cache, same floor cutoff, same error precedence (reach, then in-class,
+// then the complement clauses in order) — so the results are bit-identical
+// to the serial loop; only the number of passes over the universe changes.
+func (a *Auditor) auditManyBatched(specs []targeting.Spec, c Class, tot classTotals) []auditResult {
+	results := make([]auditResult, len(specs))
+	base := c
+	base.Excluded = false
+	others := base.otherClauses()
+
+	a.mSpecs.Add(int64(len(specs)))
+	for i, spec := range specs {
+		results[i].m = Measurement{Desc: a.Describe(spec), Spec: spec}
+	}
+
+	reachSpecs := make([]targeting.Spec, len(specs))
+	for i, spec := range specs {
+		reachSpecs[i] = a.scoped(spec)
+	}
+	reach := MeasureMany(a.p, reachSpecs)
+
+	// start[i] indexes spec i's group of 1+len(others) conditioned slots in
+	// the second batch; -1 marks specs already failed or below the floor.
+	per := 1 + len(others)
+	start := make([]int, len(specs))
+	cond := make([]targeting.Spec, 0, len(specs)*per)
+	var belowFloor int64
+	for i, spec := range specs {
+		start[i] = -1
+		if reach[i].Err != nil {
+			results[i].err = reach[i].Err
+			continue
+		}
+		results[i].m.TotalReach = reach[i].Size
+		if reach[i].Size < a.RecallFloor {
+			belowFloor++
+			results[i].err = fmt.Errorf("%w: reach %d < %d", ErrBelowFloor, reach[i].Size, a.RecallFloor)
+			continue
+		}
+		start[i] = len(cond)
+		cond = append(cond, a.scoped(withClause(spec, base.baseClause())))
+		for _, cl := range others {
+			cond = append(cond, a.scoped(withClause(spec, cl)))
+		}
+	}
+	a.mBelowFloor.Add(belowFloor)
+	condRes := MeasureMany(a.p, cond)
+
+	total := len(specs)
+	for i := range specs {
+		if j := start[i]; j >= 0 {
+			results[i].err = finishSlot(&results[i].m, c, tot, condRes[j:j+per])
+		}
+		if a.Progress != nil {
+			a.Progress(i+1, total)
+		}
+	}
+	return results
+}
+
+// finishSlot folds one spec's conditioned measurements (in-class first,
+// then the complement clauses in order) into the measurement.
+func finishSlot(m *Measurement, c Class, tot classTotals, slots []BatchResult) error {
+	if slots[0].Err != nil {
+		return slots[0].Err
+	}
+	tIn := slots[0].Size
+	var tOut int64
+	for _, r := range slots[1:] {
+		if r.Err != nil {
+			return r.Err
+		}
+		tOut += r.Size
+	}
+	return finishMeasurement(m, c, tot, tIn, tOut)
 }
 
 // IndividualScan audits every option of one feature kind against the class,

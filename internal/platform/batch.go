@@ -1,0 +1,164 @@
+package platform
+
+import (
+	"time"
+
+	"repro/internal/audience"
+	"repro/internal/obs"
+	"repro/internal/targeting"
+)
+
+// Estimate is one slot of a batched size query: the rounded platform-scale
+// size, or the error the equivalent serial call would have returned.
+type Estimate struct {
+	Size int64
+	Err  error
+}
+
+// MeasureMany answers a batch of auditor-door size queries in one tiled
+// pass over the universe (audience.CountMany): per cache-sized block,
+// every request is evaluated while the shared attribute words are hot, so
+// a batch loads each set from memory once instead of once per spec.
+// Results are bit-identical to len(reqs) serial Measure calls — the same
+// validation, counting formula, scaling, and rounding run per request; no
+// grouping by objective or frequency cap is needed because the user count
+// is independent of both (they only scale the counted statistic).
+// Per-request failures are reported in their slot, never as a batch error.
+func (p *Interface) MeasureMany(reqs []EstimateRequest) ([]Estimate, error) {
+	return p.sizeMany(reqs, p.MeasurementRules(), p.mMeasureQueries)
+}
+
+// EstimateMany is the advertiser-door equivalent of MeasureMany: batched
+// Estimate calls under the advertiser rules.
+func (p *Interface) EstimateMany(reqs []EstimateRequest) ([]Estimate, error) {
+	return p.sizeMany(reqs, p.cfg.AdvertiserRules, p.mEstimateQueries)
+}
+
+// sizeMany validates every request, lowers the valid specs into kernel
+// count requests, runs the tiled kernel once, and applies each platform's
+// scaling and rounding per slot.
+func (p *Interface) sizeMany(reqs []EstimateRequest, rules targeting.Rules, queries *obs.Counter) ([]Estimate, error) {
+	out := make([]Estimate, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	p.mBatchSize.Observe(time.Duration(len(reqs)))
+
+	// Pass 1: per-request parameter validation (same order of checks as the
+	// serial path: rules, objective, frequency cap).
+	eligible := make([]float64, len(reqs))
+	impressions := make([]float64, len(reqs))
+	refTotal, clauseTotal := 0, 0
+	for i := range reqs {
+		e, f, err := p.queryParams(reqs[i], rules)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		eligible[i], impressions[i] = e, f
+		for _, cl := range reqs[i].Spec.Include {
+			refTotal += len(cl)
+		}
+		for _, cl := range reqs[i].Spec.Exclude {
+			refTotal += len(cl)
+		}
+		clauseTotal += len(reqs[i].Spec.Include) + len(reqs[i].Spec.Exclude)
+	}
+
+	// Pass 2: lower valid specs into kernel requests. One set arena and one
+	// clause arena back every request, so a 64-spec batch costs a handful
+	// of allocations rather than hundreds.
+	kreqs := make([]audience.CountReq, 0, len(reqs))
+	slot := make([]int, 0, len(reqs))
+	setArena := make([]*audience.Set, 0, refTotal)
+	clauseArena := make([]audience.CountClause, 0, clauseTotal)
+	for i := range reqs {
+		if out[i].Err != nil {
+			continue
+		}
+		kr, setEnd, clauseEnd, err := p.lowerSpec(reqs[i].Spec, setArena, clauseArena)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		setArena, clauseArena = setEnd, clauseEnd
+		kreqs = append(kreqs, kr)
+		slot = append(slot, i)
+	}
+
+	counts := audience.CountMany(kreqs)
+	if len(kreqs) > 0 {
+		n := int64(len(kreqs))
+		p.queryCount.Add(n)
+		queries.Add(n)
+		p.mBatchedQueries.Add(n)
+		p.mBatchBlocks.Add(int64(audience.KernelBlocks(p.cfg.Universe.Size())))
+	}
+
+	// Scale and round exactly as the serial path does, with the counter
+	// updates tallied once per batch.
+	sf := p.ScaleFactor()
+	var roundingHits, floorRejections int64
+	for k, i := range slot {
+		v := float64(counts[k]) * sf * eligible[i]
+		if p.cfg.ImpressionEstimates {
+			v *= impressions[i]
+		}
+		exact := int64(v + 0.5)
+		rounded := p.cfg.Rounder.Round(exact)
+		switch {
+		case rounded == 0 && exact > 0:
+			floorRejections++
+		case rounded != exact:
+			roundingHits++
+		}
+		out[i].Size = rounded
+	}
+	if floorRejections > 0 {
+		p.mFloorRejections.Add(floorRejections)
+	}
+	if roundingHits > 0 {
+		p.mRoundingHits.Add(roundingHits)
+	}
+	return out, nil
+}
+
+// lowerSpec resolves a spec's refs into one kernel count request, appending
+// the resolved sets and clauses to the shared arenas. Error positions match
+// countMatched: clauses in include-then-exclude order, refs in clause
+// order, empty shapes rejected where the serial evaluation would reject
+// them.
+func (p *Interface) lowerSpec(spec targeting.Spec, setArena []*audience.Set, clauseArena []audience.CountClause) (audience.CountReq, []*audience.Set, []audience.CountClause, error) {
+	if len(spec.Include) == 0 {
+		return audience.CountReq{}, setArena, clauseArena, targeting.ErrEmptySpec
+	}
+	set0, clause0 := len(setArena), len(clauseArena)
+	lowerClause := func(cl targeting.Clause, negate bool) error {
+		if len(cl) == 0 {
+			return targeting.ErrEmptyClause
+		}
+		s0 := len(setArena)
+		for _, r := range cl {
+			s, err := p.refSet(r)
+			if err != nil {
+				return err
+			}
+			setArena = append(setArena, s)
+		}
+		s1 := len(setArena)
+		clauseArena = append(clauseArena, audience.CountClause{Or: setArena[s0:s1:s1], Negate: negate})
+		return nil
+	}
+	for _, cl := range spec.Include {
+		if err := lowerClause(cl, false); err != nil {
+			return audience.CountReq{}, setArena[:set0], clauseArena[:clause0], err
+		}
+	}
+	for _, cl := range spec.Exclude {
+		if err := lowerClause(cl, true); err != nil {
+			return audience.CountReq{}, setArena[:set0], clauseArena[:clause0], err
+		}
+	}
+	c1 := len(clauseArena)
+	return audience.CountReq{Clauses: clauseArena[clause0:c1:c1]}, setArena, clauseArena, nil
+}

@@ -119,10 +119,13 @@ type Interface struct {
 	// Query counters, resolved once at construction so the estimate hot
 	// path pays only atomic adds (the Measure benchmarks gate the
 	// overhead at ≤5%).
-	mEstimateQueries *obs.Counter // platform_queries_total{door="estimate"}
-	mMeasureQueries  *obs.Counter // platform_queries_total{door="measure"}
-	mRoundingHits    *obs.Counter // estimates the rounder changed
-	mFloorRejections *obs.Counter // nonzero exact sizes floored to 0
+	mEstimateQueries *obs.Counter   // platform_queries_total{door="estimate"}
+	mMeasureQueries  *obs.Counter   // platform_queries_total{door="measure"}
+	mRoundingHits    *obs.Counter   // estimates the rounder changed
+	mFloorRejections *obs.Counter   // nonzero exact sizes floored to 0
+	mBatchedQueries  *obs.Counter   // batched_queries_total: queries answered via the tiled kernel
+	mBatchBlocks     *obs.Counter   // batch_kernel_blocks_total: tiles the kernel walked
+	mBatchSize       *obs.Histogram // batch_size_specs: log2 batch-size distribution
 
 	mu      sync.RWMutex // guards custom, dir, tracker
 	custom  []customAudience
@@ -176,6 +179,9 @@ func New(cfg Config) (*Interface, error) {
 		mMeasureQueries:  reg.Counter("platform_queries_total", iface, obs.L("door", "measure")),
 		mRoundingHits:    reg.Counter("platform_rounding_hits_total", iface),
 		mFloorRejections: reg.Counter("platform_floor_rejections_total", iface),
+		mBatchedQueries:  reg.Counter("batched_queries_total", iface),
+		mBatchBlocks:     reg.Counter("batch_kernel_blocks_total", iface),
+		mBatchSize:       reg.Histogram("batch_size_specs", iface),
 	}, nil
 }
 
@@ -445,10 +451,14 @@ func (p *Interface) countMatched(spec targeting.Spec) (int, error) {
 	return acc.Count(), nil
 }
 
-// estimateExact computes the unrounded platform-scale statistic.
-func (p *Interface) estimateExact(req EstimateRequest, rules targeting.Rules) (float64, error) {
+// queryParams validates the non-spec estimate parameters and returns the
+// two factors the exact statistic is scaled by: the objective-eligibility
+// fraction and, on impression-estimating interfaces, the frequency-cap
+// impression factor (1 elsewhere). Shared by the serial and batched paths
+// so both reject and scale identically.
+func (p *Interface) queryParams(req EstimateRequest, rules targeting.Rules) (eligible, impressions float64, err error) {
 	if err := rules.Validate(req.Spec); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	obj := req.Objective
 	if obj == "" {
@@ -456,14 +466,31 @@ func (p *Interface) estimateExact(req EstimateRequest, rules targeting.Rules) (f
 	}
 	eligible, ok := p.cfg.Objectives[obj]
 	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownObjective, obj)
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownObjective, obj)
 	}
 	cap := req.FrequencyCapPerMonth
 	if cap == 0 {
 		cap = 1
 	}
 	if cap < 1 || cap > 30 {
-		return 0, ErrBadFrequencyCap
+		return 0, 0, ErrBadFrequencyCap
+	}
+	impressions = 1
+	if p.cfg.ImpressionEstimates {
+		// With a per-user monthly cap of c, a Display campaign can serve up
+		// to c impressions to each matched user; light users see fewer.
+		// The sub-linear factor models users with fewer eligible pageviews
+		// than the cap.
+		impressions = impressionFactor(cap)
+	}
+	return eligible, impressions, nil
+}
+
+// estimateExact computes the unrounded platform-scale statistic.
+func (p *Interface) estimateExact(req EstimateRequest, rules targeting.Rules) (float64, error) {
+	eligible, impressions, err := p.queryParams(req, rules)
+	if err != nil {
+		return 0, err
 	}
 	count, err := p.countMatched(req.Spec)
 	if err != nil {
@@ -471,11 +498,7 @@ func (p *Interface) estimateExact(req EstimateRequest, rules targeting.Rules) (f
 	}
 	v := float64(count) * p.ScaleFactor() * eligible
 	if p.cfg.ImpressionEstimates {
-		// With a per-user monthly cap of c, a Display campaign can serve up
-		// to c impressions to each matched user; light users see fewer.
-		// The sub-linear factor models users with fewer eligible pageviews
-		// than the cap.
-		v *= impressionFactor(cap)
+		v *= impressions
 	}
 	p.queryCount.Add(1)
 	return v, nil

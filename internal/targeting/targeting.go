@@ -165,7 +165,10 @@ func (r Rules) validate(s Spec) error {
 	if r.MaxClauses > 0 && len(s.Include) > r.MaxClauses {
 		return fmt.Errorf("%w: %d include clauses, limit %d", ErrTooManyClauses, len(s.Include), r.MaxClauses)
 	}
-	kindSeen := make(map[Kind]int)
+	// Validation sits on the hot measurement path: kinds are counted in a
+	// small array and duplicates found by scanning, so a valid spec checks
+	// without allocating.
+	var kindSeen [numKinds]int
 	for _, group := range [][]Clause{s.Include, s.Exclude} {
 		for _, cl := range group {
 			k, err := r.validateClause(cl)
@@ -177,8 +180,8 @@ func (r Rules) validate(s Spec) error {
 	}
 	if !r.AndWithinFeature {
 		for k, n := range kindSeen {
-			if n > 1 && (k == KindAttribute || k == KindTopic || k == KindPlacement) {
-				return fmt.Errorf("%w: %d %s clauses", ErrAndWithinFeature, n, k)
+			if n > 1 && (Kind(k) == KindAttribute || Kind(k) == KindTopic || Kind(k) == KindPlacement) {
+				return fmt.Errorf("%w: %d %s clauses", ErrAndWithinFeature, n, Kind(k))
 			}
 		}
 	}
@@ -191,15 +194,15 @@ func (r Rules) validateClause(cl Clause) (Kind, error) {
 		return 0, ErrEmptyClause
 	}
 	k := cl[0].Kind
-	seen := make(map[Ref]bool, len(cl))
-	for _, ref := range cl {
+	for i, ref := range cl {
 		if ref.Kind != k {
 			return 0, ErrMixedClause
 		}
-		if seen[ref] {
-			return 0, fmt.Errorf("%w: %s", ErrDuplicateRef, ref)
+		for _, prev := range cl[:i] {
+			if prev == ref {
+				return 0, fmt.Errorf("%w: %s", ErrDuplicateRef, ref)
+			}
 		}
-		seen[ref] = true
 		if err := r.validateRef(ref); err != nil {
 			return 0, err
 		}
