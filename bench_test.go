@@ -697,6 +697,73 @@ func BenchmarkMeasureBatch(b *testing.B) {
 	b.ReportMetric(float64(len(reqs)), "batch-size")
 }
 
+// BenchmarkCompiledBatch measures the steady-state audit loop the query
+// compiler targets: the same 64-spec battery as BenchmarkMeasureBatch, with
+// canonical keys precomputed (as core's caching provider passes them down)
+// and the plan and schedule caches warmed, so each iteration runs only the
+// frozen schedule's kernels. The legacy per-batch lowering path
+// (DeployOptions.NoPlanCompiler) is sampled inline over the identical
+// workload so the speedup metric is self-contained.
+func BenchmarkCompiledBatch(b *testing.B) {
+	p, specs := measureBench(b)
+	reqs := make([]platform.EstimateRequest, len(specs))
+	for i, s := range specs {
+		reqs[i].Spec = s
+		reqs[i].CacheKey = targeting.Canonical(s)
+	}
+
+	ld, err := platform.NewDeployment(platform.DeployOptions{Seed: 7, UniverseSize: benchUniverse, NoPlanCompiler: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp := ld.FacebookRestricted.Warm()
+	legacyStart := time.Now()
+	legacyOps := 0
+	for time.Since(legacyStart) < 200*time.Millisecond {
+		ests, err := lp.MeasureMany(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		legacyOps += len(ests)
+	}
+	legacyPerQuery := time.Since(legacyStart).Seconds() / float64(legacyOps)
+
+	// Warm the plan and schedule caches, and cross-check: compiled answers
+	// must match the legacy path slot for slot before timing anything.
+	warm, err := p.MeasureMany(reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	check, err := lp.MeasureMany(reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range warm {
+		if warm[i].Err != nil || warm[i].Size != check[i].Size {
+			b.Fatalf("slot %d: compiled (%d, %v) != legacy %d", i, warm[i].Size, warm[i].Err, check[i].Size)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ests, err := p.MeasureMany(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range ests {
+			if e.Err != nil {
+				b.Fatal(e.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	queries := float64(b.N) * float64(len(reqs))
+	perQuery := b.Elapsed().Seconds() / queries
+	b.ReportMetric(queries/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(legacyPerQuery/perQuery, "speedup-vs-legacy")
+	b.ReportMetric(float64(len(reqs)), "batch-size")
+}
+
 // benchPopulationConfig is the universe config the construction benchmarks
 // build (full feature set: factors, regions, heavy-tailed activity).
 func benchPopulationConfig() population.Config {

@@ -43,20 +43,21 @@ func main() {
 		burst    = flag.Float64("burst", 20, "rate-limit burst capacity")
 		storeDir = flag.String("store", "", "durable auditor-door cache directory (empty = uncached)")
 		warm     = flag.Bool("warm", false, "materialize all option audiences before serving")
+		comp     = flag.Bool("compressed", false, "materialize compressed audience forms for the query compiler")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		verbose  = flag.Bool("v", false, "log every request")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *universe, *qps, *burst, *storeDir, *warm, *pprofOn, *verbose); err != nil {
+	if err := run(*addr, *seed, *universe, *qps, *burst, *storeDir, *warm, *comp, *pprofOn, *verbose); err != nil {
 		log.Fatalf("platformd: %v", err)
 	}
 }
 
 // buildHandler assembles the deployment and its HTTP handler.
-func buildHandler(seed uint64, universe int, qps, burst float64, st *store.Store, warm, pprofOn, verbose bool) (http.Handler, *platform.Deployment, error) {
+func buildHandler(seed uint64, universe int, qps, burst float64, st *store.Store, warm, compressed, pprofOn, verbose bool) (http.Handler, *platform.Deployment, error) {
 	log.Printf("platformd: building deployment (universe=%d users/platform, seed=%d)", universe, seed)
 	start := time.Now()
-	d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe, Compressed: compressed})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -85,7 +86,7 @@ func buildHandler(seed uint64, universe int, qps, burst float64, st *store.Store
 	return srv.Handler(), d, nil
 }
 
-func run(addr string, seed uint64, universe int, qps, burst float64, storeDir string, warm, pprofOn, verbose bool) error {
+func run(addr string, seed uint64, universe int, qps, burst float64, storeDir string, warm, compressed, pprofOn, verbose bool) error {
 	var st *store.Store
 	if storeDir != "" {
 		var err error
@@ -102,7 +103,7 @@ func run(addr string, seed uint64, universe int, qps, burst float64, storeDir st
 		}()
 		log.Printf("platformd: auditor-door cache at %s (%d records loaded)", st.Dir(), st.Len())
 	}
-	handler, d, err := buildHandler(seed, universe, qps, burst, st, warm, pprofOn, verbose)
+	handler, d, err := buildHandler(seed, universe, qps, burst, st, warm, compressed, pprofOn, verbose)
 	if err != nil {
 		return err
 	}

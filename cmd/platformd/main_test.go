@@ -17,7 +17,7 @@ import (
 )
 
 func TestBuildHandlerServes(t *testing.T) {
-	handler, d, err := buildHandler(7, 8000, 0, 0, nil, true, true, false)
+	handler, d, err := buildHandler(7, 8000, 0, 0, nil, true, true, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestBuildHandlerWithStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	handler, _, err := buildHandler(7, 8000, 0, 0, st, false, false, false)
+	handler, _, err := buildHandler(7, 8000, 0, 0, st, false, false, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,13 +113,13 @@ func TestBuildHandlerWithStore(t *testing.T) {
 }
 
 func TestBuildHandlerBadUniverse(t *testing.T) {
-	if _, _, err := buildHandler(7, 10, 0, 0, nil, false, false, false); err == nil {
+	if _, _, err := buildHandler(7, 10, 0, 0, nil, false, false, false, false); err == nil {
 		t.Fatal("tiny universe accepted")
 	}
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.256.256.256:99999", 7, 8000, 0, 0, "", false, false, false); err == nil {
+	if err := run("256.256.256.256:99999", 7, 8000, 0, 0, "", false, false, false, false); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }

@@ -518,6 +518,43 @@ func countPair3Range(a, b, d, e []uint64, lo, hi int) (cp, ck int) {
 // countPairRange is the fused kernel for the audit's dominant chain — a
 // reach query a ∩ b and one conditioned child a ∩ b ∩ e — counting both in
 // a single pass: three loads and two popcounts serve two requests.
+// countPairRange2 counts two fused reach/conditioned chains that share
+// their AND operand b and their child's extra operand e: per word, b and e
+// are loaded once for both chains, halving the shared-operand traffic in
+// the load-bound inner loop.
+func countPairRange2(a0, a1, b, e []uint64, lo, hi int) (cp0, ck0, cp1, ck1 int) {
+	a0 = a0[lo:hi]
+	a1 = a1[lo:hi]
+	b = b[lo:hi]
+	e = e[lo:hi]
+	a1 = a1[:len(a0)]
+	b = b[:len(a0)]
+	e = e[:len(a0)]
+	i := 0
+	for ; i+2 <= len(a0); i += 2 {
+		t0, e0 := b[i], e[i]
+		t1, e1 := b[i+1], e[i+1]
+		w00 := a0[i] & t0
+		w01 := a0[i+1] & t1
+		w10 := a1[i] & t0
+		w11 := a1[i+1] & t1
+		cp0 += bits.OnesCount64(w00) + bits.OnesCount64(w01)
+		cp1 += bits.OnesCount64(w10) + bits.OnesCount64(w11)
+		ck0 += bits.OnesCount64(w00&e0) + bits.OnesCount64(w01&e1)
+		ck1 += bits.OnesCount64(w10&e0) + bits.OnesCount64(w11&e1)
+	}
+	for ; i < len(a0); i++ {
+		t, ee := b[i], e[i]
+		w0 := a0[i] & t
+		w1 := a1[i] & t
+		cp0 += bits.OnesCount64(w0)
+		cp1 += bits.OnesCount64(w1)
+		ck0 += bits.OnesCount64(w0 & ee)
+		ck1 += bits.OnesCount64(w1 & ee)
+	}
+	return
+}
+
 func countPairRange(a, b, e []uint64, lo, hi int) (cp, ck int) {
 	a = a[lo:hi]
 	b = b[lo:hi]

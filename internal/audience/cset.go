@@ -1,0 +1,611 @@
+package audience
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// This file implements CSet, a roaring-style compressed bitset. A dense Set
+// spends one word per 64 users regardless of how many users it actually
+// holds; most interest audiences are only a few percent dense, so a full
+// catalog of dense sets is dominated by zero words and every count query
+// streams them all. CSet splits the universe into chunks of 2^16 users and
+// stores each non-empty chunk in whichever of three container forms is
+// smallest:
+//
+//   - array: the sorted 16-bit member offsets (sparse chunks, ≤4096 members)
+//   - bitmap: the chunk's dense words (heavily populated chunks)
+//   - run: sorted [start, last] intervals (clustered chunks)
+//
+// Empty chunks cost nothing, which is what makes 2^24-user shards fit: an
+// audience touching 1% of such a universe stores ~2 bytes per member instead
+// of 2 MiB of mostly-zero words. The plan executor (plan.go) walks a CSet's
+// containers directly when the sparsest operand of a query is compressed,
+// skipping every chunk the audience does not touch.
+
+const (
+	// chunkBits is the log2 of the chunk width: one container covers 2^16
+	// user indices, the classic roaring chunk.
+	chunkBits  = 16
+	chunkSize  = 1 << chunkBits
+	chunkWords = chunkSize / 64
+
+	// arrayCutoff is the largest membership an array container may hold;
+	// past it a bitmap (8 KiB) is smaller than the 2-byte entries.
+	arrayCutoff = chunkSize / 16
+)
+
+// Container forms.
+type ctype uint8
+
+const (
+	ctArray ctype = iota
+	ctBitmap
+	ctRun
+)
+
+// crun is one interval of consecutive members, inclusive on both ends
+// (an exclusive end could not express a run touching offset 65535).
+type crun struct {
+	start, last uint16
+}
+
+// container holds one non-empty chunk in its chosen form. Exactly one of
+// arr, bits, runs is non-nil, per typ; card caches the membership count.
+type container struct {
+	typ  ctype
+	card int
+	arr  []uint16
+	bits []uint64
+	runs []crun
+}
+
+// CSet is a compressed audience set over user indices [0, Len()). CSets are
+// immutable once built: they are constructed from a dense Set (FromSet) and
+// queried, never mutated, which is what lets compiled plans share them
+// freely across goroutines.
+type CSet struct {
+	n     int
+	card  int
+	keys  []uint32 // chunk indices of non-empty chunks, ascending
+	conts []container
+}
+
+// FromSet compresses a dense set. Each chunk picks the smallest of the
+// three container forms; the result is bit-identical to s (ToSet inverts
+// it exactly, property-tested at container-boundary sizes).
+func FromSet(s *Set) *CSet {
+	c := &CSet{n: s.n}
+	nw := len(s.words)
+	for base := 0; base < nw; base += chunkWords {
+		end := base + chunkWords
+		if end > nw {
+			end = nw
+		}
+		words := s.words[base:end]
+		cont, ok := packChunk(words)
+		if !ok {
+			continue
+		}
+		c.keys = append(c.keys, uint32(base/chunkWords))
+		c.conts = append(c.conts, cont)
+		c.card += cont.card
+	}
+	return c
+}
+
+// packChunk compresses one chunk's words into its smallest container form.
+// It reports false for an empty chunk.
+func packChunk(words []uint64) (container, bool) {
+	card, runs := 0, 0
+	var carry uint64 // last bit of the previous word
+	for _, w := range words {
+		card += bits.OnesCount64(w)
+		// A run starts at every 0→1 transition; shifting in the previous
+		// word's top bit catches runs crossing word boundaries.
+		runs += bits.OnesCount64(w &^ (w<<1 | carry))
+		carry = w >> 63
+	}
+	if card == 0 {
+		return container{}, false
+	}
+	arrayBytes, bitmapBytes, runBytes := 2*card, 8*len(words), 4*runs
+	if card > arrayCutoff {
+		arrayBytes = 1 << 30
+	}
+	switch {
+	case runBytes < arrayBytes && runBytes < bitmapBytes:
+		return container{typ: ctRun, card: card, runs: chunkRuns(words, runs)}, true
+	case arrayBytes <= bitmapBytes:
+		return container{typ: ctArray, card: card, arr: chunkArray(words, card)}, true
+	default:
+		bw := make([]uint64, len(words))
+		copy(bw, words)
+		return container{typ: ctBitmap, card: card, bits: bw}, true
+	}
+}
+
+// chunkArray extracts the sorted member offsets of one chunk.
+func chunkArray(words []uint64, card int) []uint16 {
+	out := make([]uint16, 0, card)
+	for wi, w := range words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, uint16(wi<<6+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// chunkRuns extracts the sorted inclusive member intervals of one chunk.
+func chunkRuns(words []uint64, nruns int) []crun {
+	out := make([]crun, 0, nruns)
+	inRun := false
+	var start int
+	for wi, w := range words {
+		for b := 0; b < 64; b++ {
+			set := w&(1<<uint(b)) != 0
+			switch {
+			case set && !inRun:
+				start = wi<<6 + b
+				inRun = true
+			case !set && inRun:
+				out = append(out, crun{start: uint16(start), last: uint16(wi<<6 + b - 1)})
+				inRun = false
+			}
+		}
+	}
+	if inRun {
+		out = append(out, crun{start: uint16(start), last: uint16(len(words)<<6 - 1)})
+	}
+	return out
+}
+
+// ToSet decompresses back to a dense set.
+func (c *CSet) ToSet() *Set {
+	s := New(c.n)
+	for ci, key := range c.keys {
+		base := int(key) * chunkWords
+		expandChunk(&c.conts[ci], s.words[base:min(base+chunkWords, len(s.words))])
+	}
+	return s
+}
+
+// expandChunk ORs one container's members into dst (the chunk's words).
+func expandChunk(cont *container, dst []uint64) {
+	switch cont.typ {
+	case ctArray:
+		for _, v := range cont.arr {
+			dst[v>>6] |= 1 << uint(v&63)
+		}
+	case ctBitmap:
+		for i, w := range cont.bits {
+			dst[i] |= w
+		}
+	case ctRun:
+		for _, r := range cont.runs {
+			for v := int(r.start); ; v++ {
+				dst[v>>6] |= 1 << uint(v&63)
+				if v == int(r.last) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// Len returns the universe size.
+func (c *CSet) Len() int { return c.n }
+
+// Count returns the number of users in the set (cached; O(1)).
+func (c *CSet) Count() int { return c.card }
+
+// Containers reports how many non-empty chunks the set stores — the unit of
+// work a compressed plan execution walks.
+func (c *CSet) Containers() int { return len(c.keys) }
+
+// Bytes reports the approximate heap footprint of the container payloads,
+// the number the dense/compressed memory comparison in DESIGN.md §9 uses.
+func (c *CSet) Bytes() int {
+	b := 4 * len(c.keys)
+	for i := range c.conts {
+		cont := &c.conts[i]
+		b += 2*len(cont.arr) + 8*len(cont.bits) + 4*len(cont.runs)
+	}
+	return b
+}
+
+// Contains reports whether user index i is in the set.
+func (c *CSet) Contains(i int) bool {
+	if i < 0 || i >= c.n {
+		return false
+	}
+	ci, ok := c.findChunk(uint32(i >> chunkBits))
+	if !ok {
+		return false
+	}
+	return containerContains(&c.conts[ci], uint16(i&(chunkSize-1)))
+}
+
+// findChunk locates the container index of a chunk key.
+func (c *CSet) findChunk(key uint32) (int, bool) {
+	i := sort.Search(len(c.keys), func(j int) bool { return c.keys[j] >= key })
+	return i, i < len(c.keys) && c.keys[i] == key
+}
+
+// containerContains reports membership of offset v in one container.
+func containerContains(cont *container, v uint16) bool {
+	switch cont.typ {
+	case ctArray:
+		i := sort.Search(len(cont.arr), func(j int) bool { return cont.arr[j] >= v })
+		return i < len(cont.arr) && cont.arr[i] == v
+	case ctBitmap:
+		return cont.bits[v>>6]&(1<<uint(v&63)) != 0
+	default:
+		i := sort.Search(len(cont.runs), func(j int) bool { return cont.runs[j].last >= v })
+		return i < len(cont.runs) && cont.runs[i].start <= v
+	}
+}
+
+// CountRange returns the number of members with index in [lo, hi). Bounds
+// are clamped to the universe, so callers may pass any window.
+func (c *CSet) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > c.n {
+		hi = c.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	total := 0
+	for ci, key := range c.keys {
+		base := int(key) << chunkBits
+		if base >= hi {
+			break
+		}
+		cont := &c.conts[ci]
+		if base+chunkSize <= lo {
+			continue
+		}
+		if lo <= base && base+chunkSize <= hi {
+			total += cont.card
+			continue
+		}
+		clo, chi := lo-base, hi-base
+		if clo < 0 {
+			clo = 0
+		}
+		if chi > chunkSize {
+			chi = chunkSize
+		}
+		total += containerCountRange(cont, clo, chi)
+	}
+	return total
+}
+
+// containerCountRange counts members with offset in [lo, hi) within one
+// container, 0 ≤ lo < hi ≤ chunkSize.
+func containerCountRange(cont *container, lo, hi int) int {
+	switch cont.typ {
+	case ctArray:
+		i := sort.Search(len(cont.arr), func(j int) bool { return int(cont.arr[j]) >= lo })
+		k := sort.Search(len(cont.arr), func(j int) bool { return int(cont.arr[j]) >= hi })
+		return k - i
+	case ctBitmap:
+		return bitmapCountRange(cont.bits, lo, hi)
+	default:
+		total := 0
+		for _, r := range cont.runs {
+			s, l := int(r.start), int(r.last)
+			if s >= hi {
+				break
+			}
+			if l < lo {
+				continue
+			}
+			if s < lo {
+				s = lo
+			}
+			if l > hi-1 {
+				l = hi - 1
+			}
+			total += l - s + 1
+		}
+		return total
+	}
+}
+
+// bitmapCountRange popcounts bit indices [lo, hi) of a word slice.
+func bitmapCountRange(words []uint64, lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)&63)
+	if loW == hiW {
+		return bits.OnesCount64(words[loW] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(words[loW]&loMask) + bits.OnesCount64(words[hiW]&hiMask)
+	for i := loW + 1; i < hiW; i++ {
+		c += bits.OnesCount64(words[i])
+	}
+	return c
+}
+
+// checkCompat panics if d is not over the same universe as c.
+func (c *CSet) checkCompat(d *CSet) {
+	if c.n != d.n {
+		panic(fmt.Sprintf("audience: universe size mismatch %d != %d", c.n, d.n))
+	}
+}
+
+// --- container-wise counting kernels ---
+
+// CSetCountAnd returns |a ∩ b| walking only chunks present in both sets.
+func CSetCountAnd(a, b *CSet) int {
+	a.checkCompat(b)
+	total := 0
+	i, j := 0, 0
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			i++
+		case a.keys[i] > b.keys[j]:
+			j++
+		default:
+			total += countAndChunk(&a.conts[i], &b.conts[j])
+			i++
+			j++
+		}
+	}
+	return total
+}
+
+// CSetCountAndNot returns |a \ b|: per chunk, a's membership minus the
+// intersection (chunks absent from b contribute a's full card).
+func CSetCountAndNot(a, b *CSet) int {
+	a.checkCompat(b)
+	return a.card - CSetCountAnd(a, b)
+}
+
+// CSetCountOr returns |a ∪ b| by inclusion–exclusion over the chunk walk.
+func CSetCountOr(a, b *CSet) int {
+	a.checkCompat(b)
+	return a.card + b.card - CSetCountAnd(a, b)
+}
+
+// countAndChunk counts the intersection of two aligned containers. Array
+// operands probe the other container; run pairs intersect intervals; the
+// remaining dense pairs run word kernels (runs expand against bitmaps via
+// masked range popcounts, never a scratch buffer).
+func countAndChunk(x, y *container) int {
+	// Probe with the smaller array.
+	if y.typ == ctArray && (x.typ != ctArray || len(x.arr) > len(y.arr)) {
+		x, y = y, x
+	}
+	switch {
+	case x.typ == ctArray && y.typ == ctArray:
+		c, i, j := 0, 0, 0
+		for i < len(x.arr) && j < len(y.arr) {
+			switch {
+			case x.arr[i] < y.arr[j]:
+				i++
+			case x.arr[i] > y.arr[j]:
+				j++
+			default:
+				c++
+				i++
+				j++
+			}
+		}
+		return c
+	case x.typ == ctArray:
+		c := 0
+		for _, v := range x.arr {
+			if containerContains(y, v) {
+				c++
+			}
+		}
+		return c
+	case x.typ == ctBitmap && y.typ == ctBitmap:
+		nw := min(len(x.bits), len(y.bits))
+		return countAndRange(x.bits[:nw], y.bits[:nw], 0, nw)
+	case x.typ == ctRun && y.typ == ctRun:
+		c, i, j := 0, 0, 0
+		for i < len(x.runs) && j < len(y.runs) {
+			xs, xl := int(x.runs[i].start), int(x.runs[i].last)
+			ys, yl := int(y.runs[j].start), int(y.runs[j].last)
+			if s, l := max(xs, ys), min(xl, yl); s <= l {
+				c += l - s + 1
+			}
+			if xl < yl {
+				i++
+			} else {
+				j++
+			}
+		}
+		return c
+	default:
+		// Run against bitmap: popcount the bitmap inside each run.
+		if x.typ != ctRun {
+			x, y = y, x
+		}
+		c := 0
+		for _, r := range x.runs {
+			c += bitmapCountRange(y.bits, int(r.start), int(r.last)+1)
+		}
+		return c
+	}
+}
+
+// --- container-wise materializing kernels ---
+
+// CSetAnd returns a ∩ b as a new compressed set.
+func CSetAnd(a, b *CSet) *CSet {
+	a.checkCompat(b)
+	out := &CSet{n: a.n}
+	var scratch [chunkWords]uint64
+	i, j := 0, 0
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			i++
+		case a.keys[i] > b.keys[j]:
+			j++
+		default:
+			cont, ok := chunkOp(&a.conts[i], &b.conts[j], a.chunkLen(a.keys[i]), opAnd, &scratch)
+			out.appendChunk(a.keys[i], cont, ok)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// CSetAndNot returns a \ b as a new compressed set.
+func CSetAndNot(a, b *CSet) *CSet {
+	a.checkCompat(b)
+	out := &CSet{n: a.n}
+	var scratch [chunkWords]uint64
+	i, j := 0, 0
+	for i < len(a.keys) {
+		switch {
+		case j >= len(b.keys) || a.keys[i] < b.keys[j]:
+			cont, ok := cloneContainer(&a.conts[i])
+			out.appendChunk(a.keys[i], cont, ok)
+			i++
+		case a.keys[i] > b.keys[j]:
+			j++
+		default:
+			cont, ok := chunkOp(&a.conts[i], &b.conts[j], a.chunkLen(a.keys[i]), opAndNot, &scratch)
+			out.appendChunk(a.keys[i], cont, ok)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// CSetOr returns a ∪ b as a new compressed set.
+func CSetOr(a, b *CSet) *CSet {
+	a.checkCompat(b)
+	out := &CSet{n: a.n}
+	var scratch [chunkWords]uint64
+	i, j := 0, 0
+	for i < len(a.keys) || j < len(b.keys) {
+		switch {
+		case j >= len(b.keys) || (i < len(a.keys) && a.keys[i] < b.keys[j]):
+			cont, ok := cloneContainer(&a.conts[i])
+			out.appendChunk(a.keys[i], cont, ok)
+			i++
+		case i >= len(a.keys) || a.keys[i] > b.keys[j]:
+			cont, ok := cloneContainer(&b.conts[j])
+			out.appendChunk(b.keys[j], cont, ok)
+			j++
+		default:
+			cont, ok := chunkOp(&a.conts[i], &b.conts[j], a.chunkLen(a.keys[i]), opOr, &scratch)
+			out.appendChunk(a.keys[i], cont, ok)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// chunkLen returns the word width of chunk key (short for the last chunk of
+// a universe that is not a chunk multiple).
+func (c *CSet) chunkLen(key uint32) int {
+	nw := (c.n + 63) / 64
+	base := int(key) * chunkWords
+	if base+chunkWords > nw {
+		return nw - base
+	}
+	return chunkWords
+}
+
+// appendChunk adds a (possibly empty) result container to the set.
+func (c *CSet) appendChunk(key uint32, cont container, ok bool) {
+	if !ok {
+		return
+	}
+	c.keys = append(c.keys, key)
+	c.conts = append(c.conts, cont)
+	c.card += cont.card
+}
+
+// cloneContainer deep-copies a container (materializing ops must not alias
+// their operands' payloads).
+func cloneContainer(cont *container) (container, bool) {
+	out := container{typ: cont.typ, card: cont.card}
+	switch cont.typ {
+	case ctArray:
+		out.arr = append([]uint16(nil), cont.arr...)
+	case ctBitmap:
+		out.bits = append([]uint64(nil), cont.bits...)
+	default:
+		out.runs = append([]crun(nil), cont.runs...)
+	}
+	return out, true
+}
+
+// Chunk-op selectors for chunkOp.
+type chunkOpKind uint8
+
+const (
+	opAnd chunkOpKind = iota
+	opAndNot
+	opOr
+)
+
+// chunkOp combines two aligned containers through a scratch word buffer and
+// repacks the result into its smallest form. Array∩array takes a direct
+// merge path; the rest expand, which is still container-wise work — only
+// the two containers' payloads are touched, never the whole universe.
+func chunkOp(x, y *container, nw int, op chunkOpKind, scratch *[chunkWords]uint64) (container, bool) {
+	if op == opAnd && x.typ == ctArray && y.typ == ctArray {
+		var out []uint16
+		i, j := 0, 0
+		for i < len(x.arr) && j < len(y.arr) {
+			switch {
+			case x.arr[i] < y.arr[j]:
+				i++
+			case x.arr[i] > y.arr[j]:
+				j++
+			default:
+				out = append(out, x.arr[i])
+				i++
+				j++
+			}
+		}
+		if len(out) == 0 {
+			return container{}, false
+		}
+		return container{typ: ctArray, card: len(out), arr: out}, true
+	}
+	words := scratch[:nw]
+	clear(words)
+	expandChunk(x, words)
+	switch op {
+	case opAnd, opAndNot:
+		var buf [chunkWords]uint64
+		other := buf[:nw]
+		expandChunk(y, other)
+		if op == opAnd {
+			for i := range words {
+				words[i] &= other[i]
+			}
+		} else {
+			for i := range words {
+				words[i] &^= other[i]
+			}
+		}
+	case opOr:
+		expandChunk(y, words)
+	}
+	return packChunk(words)
+}

@@ -1,0 +1,237 @@
+package audience
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// csetSizes exercises every chunk-boundary shape: sub-chunk, exactly one
+// chunk, one bit either side of the boundary, and multi-chunk universes
+// whose last chunk is partial.
+var csetSizes = []int{1, 63, 64, 65, 1000, chunkSize - 1, chunkSize, chunkSize + 1, 3*chunkSize + 777}
+
+// csetShapes builds sets that force each container form: near-empty
+// (array), heavy (bitmap), clustered (run), and striped mixes so one CSet
+// holds several forms at once.
+func csetShapes(n int) map[string]*Set {
+	return map[string]*Set{
+		"empty":  New(n),
+		"sparse": randomSet(11, n, 0.0005),
+		"dense":  randomSet(12, n, 0.5),
+		"full": NewFromFunc(n, func(i int) bool {
+			return true
+		}),
+		"runs": NewFromFunc(n, func(i int) bool {
+			return (i/997)%2 == 0
+		}),
+		"mixed": NewFromFunc(n, func(i int) bool {
+			switch (i >> chunkBits) % 3 {
+			case 0:
+				return xrand.Bernoulli(0.001, 13, uint64(i))
+			case 1:
+				return (i/513)%2 == 1
+			default:
+				return xrand.Bernoulli(0.6, 14, uint64(i))
+			}
+		}),
+		"gapped": NewFromFunc(n, func(i int) bool {
+			return (i>>chunkBits)%2 == 0 && xrand.Bernoulli(0.01, 15, uint64(i))
+		}),
+	}
+}
+
+func TestCSetRoundTrip(t *testing.T) {
+	for _, n := range csetSizes {
+		for name, s := range csetShapes(n) {
+			c := FromSet(s)
+			if c.Len() != s.Len() {
+				t.Fatalf("n=%d %s: Len = %d, want %d", n, name, c.Len(), s.Len())
+			}
+			if c.Count() != s.Count() {
+				t.Fatalf("n=%d %s: Count = %d, want %d", n, name, c.Count(), s.Count())
+			}
+			if back := c.ToSet(); !Equal(back, s) {
+				t.Fatalf("n=%d %s: ToSet(FromSet(s)) != s", n, name)
+			}
+		}
+	}
+}
+
+func TestCSetContains(t *testing.T) {
+	for _, n := range csetSizes {
+		for name, s := range csetShapes(n) {
+			c := FromSet(s)
+			step := 1
+			if n > 4096 {
+				step = 61 // prime stride still hits every word class
+			}
+			for i := -1; i <= n; i += step {
+				if got, want := c.Contains(i), s.Contains(i); got != want {
+					t.Fatalf("n=%d %s: Contains(%d) = %v, want %v", n, name, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCSetCountRange(t *testing.T) {
+	for _, n := range csetSizes {
+		for name, s := range csetShapes(n) {
+			c := FromSet(s)
+			windows := [][2]int{
+				{0, n}, {-5, n + 5}, {0, 0}, {n, n},
+				{0, n / 2}, {n / 3, 2 * n / 3},
+				{chunkSize - 1, chunkSize + 1}, {chunkSize, 2 * chunkSize},
+				{1, n - 1}, {63, 65},
+			}
+			for _, w := range windows {
+				want := s.CountRange(w[0], w[1])
+				if got := c.CountRange(w[0], w[1]); got != want {
+					t.Fatalf("n=%d %s: CountRange(%d,%d) = %d, want %d", n, name, w[0], w[1], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSetCountRange checks the dense CountRange against a naive scan, since
+// the CSet test above uses it as the reference.
+func TestSetCountRange(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 129, 1000} {
+		s := randomSet(21, n, 0.37)
+		for lo := -2; lo <= n+1; lo += 1 + n/37 {
+			for hi := lo; hi <= n+2; hi += 1 + n/31 {
+				want := 0
+				for i := lo; i < hi; i++ {
+					if s.Contains(i) {
+						want++
+					}
+				}
+				if got := s.CountRange(lo, hi); got != want {
+					t.Fatalf("n=%d: CountRange(%d,%d) = %d, want %d", n, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCSetCountKernels(t *testing.T) {
+	for _, n := range csetSizes {
+		shapes := csetShapes(n)
+		names := []string{"empty", "sparse", "dense", "full", "runs", "mixed", "gapped"}
+		for _, an := range names {
+			for _, bn := range names {
+				a, b := shapes[an], shapes[bn]
+				ca, cb := FromSet(a), FromSet(b)
+				if got, want := CSetCountAnd(ca, cb), CountAnd(a, b); got != want {
+					t.Fatalf("n=%d %s∩%s: CSetCountAnd = %d, want %d", n, an, bn, got, want)
+				}
+				if got, want := CSetCountAndNot(ca, cb), CountAndNot(a, b); got != want {
+					t.Fatalf("n=%d %s\\%s: CSetCountAndNot = %d, want %d", n, an, bn, got, want)
+				}
+				if got, want := CSetCountOr(ca, cb), CountOr(a, b); got != want {
+					t.Fatalf("n=%d %s∪%s: CSetCountOr = %d, want %d", n, an, bn, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCSetMaterializingOps(t *testing.T) {
+	for _, n := range csetSizes {
+		shapes := csetShapes(n)
+		names := []string{"empty", "sparse", "dense", "full", "runs", "mixed", "gapped"}
+		for _, an := range names {
+			for _, bn := range names {
+				a, b := shapes[an], shapes[bn]
+				ca, cb := FromSet(a), FromSet(b)
+				if got, want := CSetAnd(ca, cb).ToSet(), And(a, b); !Equal(got, want) {
+					t.Fatalf("n=%d %s∩%s: CSetAnd mismatch", n, an, bn)
+				}
+				if got, want := CSetAndNot(ca, cb).ToSet(), AndNot(a, b); !Equal(got, want) {
+					t.Fatalf("n=%d %s\\%s: CSetAndNot mismatch", n, an, bn)
+				}
+				if got, want := CSetOr(ca, cb).ToSet(), Or(a, b); !Equal(got, want) {
+					t.Fatalf("n=%d %s∪%s: CSetOr mismatch", n, an, bn)
+				}
+			}
+		}
+	}
+}
+
+// TestCSetMaterializedCardinality checks that the card caches of op results
+// match their membership, and that materializing ops do not alias operand
+// payloads.
+func TestCSetMaterializedCardinality(t *testing.T) {
+	n := 2*chunkSize + 100
+	a := randomSet(31, n, 0.3)
+	b := randomSet(32, n, 0.02)
+	ca, cb := FromSet(a), FromSet(b)
+	for name, c := range map[string]*CSet{
+		"and":    CSetAnd(ca, cb),
+		"andnot": CSetAndNot(ca, cb),
+		"or":     CSetOr(ca, cb),
+	} {
+		if c.Count() != c.ToSet().Count() {
+			t.Fatalf("%s: cached Count %d != materialized %d", name, c.Count(), c.ToSet().Count())
+		}
+	}
+	before := ca.ToSet()
+	_ = CSetOr(ca, cb)
+	_ = CSetAndNot(ca, cb)
+	if !Equal(before, ca.ToSet()) {
+		t.Fatal("materializing ops mutated their operand")
+	}
+}
+
+// TestCSetCompression sanity-checks the container choices: sparse data must
+// not pick bitmaps, clustered data must compress far below dense size.
+func TestCSetCompression(t *testing.T) {
+	n := 4 * chunkSize
+	dense := 8 * ((n + 63) / 64)
+
+	sparse := FromSet(randomSet(41, n, 0.001))
+	if sparse.Bytes() >= dense/8 {
+		t.Fatalf("sparse set compressed to %d bytes, want far under dense %d", sparse.Bytes(), dense)
+	}
+	runs := FromSet(NewFromFunc(n, func(i int) bool { return (i/2048)%2 == 0 }))
+	if runs.Bytes() >= dense/8 {
+		t.Fatalf("run-structured set compressed to %d bytes, want far under dense %d", runs.Bytes(), dense)
+	}
+	if g := FromSet(New(n)); g.Containers() != 0 || g.Bytes() != 0 {
+		t.Fatalf("empty set stores %d containers / %d bytes", g.Containers(), g.Bytes())
+	}
+}
+
+func TestCSetChecksCompat(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected universe-size mismatch panic")
+		}
+	}()
+	CSetCountAnd(FromSet(New(100)), FromSet(New(200)))
+}
+
+func BenchmarkCSetCount(b *testing.B) {
+	n := 1 << 22 // a 4M-user shard: the scale the compressed path targets
+	sparse := NewFromFunc(n, func(i int) bool {
+		return xrand.Bernoulli(0.005, 51, uint64(i))
+	})
+	scope := NewFromFunc(n, func(i int) bool {
+		return xrand.Bernoulli(0.5, 52, uint64(i))
+	})
+	cs, cc := FromSet(sparse), FromSet(scope)
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkInt = CountAnd(sparse, scope)
+		}
+	})
+	b.Run("compressed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkInt = CSetCountAnd(cs, cc)
+		}
+	})
+}
+
+var sinkInt int

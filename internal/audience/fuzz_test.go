@@ -1,0 +1,87 @@
+package audience
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// fuzzSizes are the universes the plan-equivalence fuzzer draws from; the
+// 2^16±1 entries sit exactly on the CSet container boundary, where chunk
+// arithmetic bugs would live.
+var fuzzSizes = []int{63, 1000, chunkSize - 1, chunkSize, chunkSize + 1, 2*chunkSize + 100}
+
+// FuzzPlanExecEquivalence decodes arbitrary bytes into a batch of
+// and-of-ors requests over a pool of sets (sparse through dense, with and
+// without compressed forms), compiles them, and checks that both Count and
+// the batched Exec agree with the naive Set-operation evaluator. Any
+// rewrite the compiler performs — operand reordering, union folding, chain
+// fusion, tail extraction, compressed dispatch — must be invisible here.
+func FuzzPlanExecEquivalence(f *testing.F) {
+	f.Add(uint8(2), uint64(1), []byte{0x02, 0x00, 0x13, 0x01, 0x27})
+	f.Add(uint8(3), uint64(2), []byte{0x03, 0x05, 0x81, 0x12, 0x02, 0x33, 0xa4})
+	f.Add(uint8(4), uint64(3), []byte{0x01, 0x44, 0x02, 0x96, 0x07, 0x03, 0x58, 0x1b, 0xe2})
+	f.Fuzz(func(t *testing.T, sizeSel uint8, seed uint64, prog []byte) {
+		n := fuzzSizes[int(sizeSel)%len(fuzzSizes)]
+		densities := []float64{0.001, 0.1, 0.45, 0.015, 0.65}
+		pool := make([]*Set, len(densities))
+		cpool := make([]*CSet, len(densities))
+		for i, p := range densities {
+			pool[i] = randomSet(xrand.Mix(seed, uint64(i)), n, p)
+			cpool[i] = FromSet(pool[i])
+		}
+		// Each request is one count byte (1–3 clauses) followed by one byte
+		// per clause: low bits pick the first member, bit 5 widens the OR
+		// with a second member, bit 2 negates (never the first clause), bit
+		// 7 attaches the compressed form.
+		var reqs []CountReq
+		var plans []*Plan
+		for pos := 0; pos < len(prog) && len(plans) < 6; {
+			nclauses := int(prog[pos])%3 + 1
+			pos++
+			if pos+nclauses > len(prog) {
+				break
+			}
+			var req CountReq
+			var pcs []PlanClause
+			for ci := 0; ci < nclauses; ci++ {
+				b := prog[pos]
+				pos++
+				idx := int(b) % len(pool)
+				or := []*Set{pool[idx]}
+				pc := PlanClause{Or: []Operand{{Set: pool[idx]}}}
+				if b&0x80 != 0 {
+					pc.Or[0].C = cpool[idx]
+				}
+				if b&0x20 != 0 {
+					idx2 := int(b>>3) % len(pool)
+					or = append(or, pool[idx2])
+					op := Operand{Set: pool[idx2]}
+					if b&0x40 != 0 {
+						op.C = cpool[idx2]
+					}
+					pc.Or = append(pc.Or, op)
+				}
+				negate := ci > 0 && b&0x04 != 0
+				pc.Negate = negate
+				req.Clauses = append(req.Clauses, CountClause{Or: or, Negate: negate})
+				pcs = append(pcs, pc)
+			}
+			reqs = append(reqs, req)
+			plans = append(plans, CompilePlan(n, pcs))
+		}
+		if len(plans) == 0 {
+			return
+		}
+		got := ExecPlans(plans)
+		for i, req := range reqs {
+			want := naiveCount(req)
+			if got[i] != want {
+				t.Fatalf("n=%d slot=%d: ExecPlans = %d, want %d", n, i, got[i], want)
+			}
+			if solo := plans[i].Count(); solo != want {
+				t.Fatalf("n=%d slot=%d: Plan.Count = %d, want %d", n, i, solo, want)
+			}
+		}
+	})
+}

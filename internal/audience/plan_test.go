@@ -1,0 +1,291 @@
+package audience
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// planify converts a CountReq into plan clauses, optionally attaching
+// compressed forms to every operand so the compressed dispatch and the
+// union CSet folding get exercised.
+func planify(req CountReq, withC bool) []PlanClause {
+	out := make([]PlanClause, len(req.Clauses))
+	for ci, cl := range req.Clauses {
+		or := make([]Operand, len(cl.Or))
+		for k, s := range cl.Or {
+			or[k] = Operand{Set: s}
+			if withC {
+				or[k].C = FromSet(s)
+			}
+		}
+		out[ci] = PlanClause{Or: or, Negate: cl.Negate}
+	}
+	return out
+}
+
+// reqUniverse returns the universe size of a request's first set.
+func reqUniverse(req CountReq) int {
+	return req.Clauses[0].Or[0].Len()
+}
+
+func TestPlanMatchesNaive(t *testing.T) {
+	for _, n := range batchSizes {
+		if n == 0 {
+			continue
+		}
+		sets := make([]*Set, 6)
+		for i := range sets {
+			sets[i] = randomSet(uint64(100+i), n, 0.1+0.15*float64(i))
+		}
+		reqs := []CountReq{
+			{Clauses: []CountClause{{Or: sets[0:1]}}},
+			{Clauses: []CountClause{{Or: sets[0:1]}, {Or: sets[1:2]}}},
+			{Clauses: []CountClause{{Or: sets[0:1]}, {Or: sets[1:2]}, {Or: sets[2:3]}}},
+			{Clauses: []CountClause{{Or: sets[0:1]}, {Or: sets[1:2]}, {Or: sets[2:3]}, {Or: sets[3:4]}}},
+			{Clauses: []CountClause{{Or: sets[0:1]}, {Or: sets[1:2]}, {Or: sets[4:5], Negate: true}}},
+			{Clauses: []CountClause{{Or: sets[0:1]}, {Or: sets[4:5], Negate: true}, {Or: sets[5:6], Negate: true}}},
+			{Clauses: []CountClause{{Or: sets[0:2]}, {Or: sets[2:4]}}},
+			{Clauses: []CountClause{{Or: sets[0:3]}, {Or: sets[3:5], Negate: true}}},
+			{Clauses: []CountClause{{Or: sets[0:2]}, {Or: sets[2:3]}, {Or: sets[3:6], Negate: true}}},
+		}
+		for _, withC := range []bool{false, true} {
+			plans := make([]*Plan, len(reqs))
+			for i, req := range reqs {
+				plans[i] = CompilePlan(n, planify(req, withC))
+				if got, want := plans[i].Count(), naiveCount(req); got != want {
+					t.Errorf("n=%d withC=%v req=%d: Plan.Count = %d, want %d", n, withC, i, got, want)
+				}
+			}
+			got := ExecPlans(plans)
+			for i, req := range reqs {
+				if want := naiveCount(req); got[i] != want {
+					t.Errorf("n=%d withC=%v req=%d: ExecPlans = %d, want %d", n, withC, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCompressedDispatch pins the dense/compressed dispatch rule: a
+// plan whose sparsest operand is under one member per word walks the
+// compressed path, a dense one does not, and both count identically.
+func TestPlanCompressedDispatch(t *testing.T) {
+	n := 3*chunkSize + 777
+	sparse := randomSet(61, n, 0.002)
+	clustered := NewFromFunc(n, func(i int) bool { return (i>>chunkBits) == 1 && (i/300)%30 == 0 })
+	scope := randomSet(62, n, 0.5)
+	excl := randomSet(63, n, 0.3)
+	for name, base := range map[string]*Set{"sparse": sparse, "clustered": clustered} {
+		p := CompilePlan(n, []PlanClause{
+			{Or: []Operand{{Set: scope}}},
+			{Or: []Operand{{Set: base, C: FromSet(base)}}},
+			{Or: []Operand{{Set: excl}}, Negate: true},
+		})
+		if !p.Compressed() {
+			t.Fatalf("%s: plan not compressed despite sparse base with C", name)
+		}
+		want := CountAndNot(And(base, scope), excl)
+		if got := p.Count(); got != want {
+			t.Fatalf("%s: compressed Count = %d, want %d", name, got, want)
+		}
+	}
+	dense := CompilePlan(n, []PlanClause{
+		{Or: []Operand{{Set: scope, C: FromSet(scope)}}},
+		{Or: []Operand{{Set: excl, C: FromSet(excl)}}},
+	})
+	if dense.Compressed() {
+		t.Fatal("dense plan took the compressed path")
+	}
+	if got, want := dense.Count(), CountAnd(scope, excl); got != want {
+		t.Fatalf("dense Count = %d, want %d", got, want)
+	}
+}
+
+// TestPlanBatteryShape pins the batch analysis on the audit's dominant
+// shape: reach/conditioned pairs over a shared tail. Chains must fuse,
+// the common tail must be extracted once, duplicates must collapse, and
+// every count must equal independent evaluation.
+func TestPlanBatteryShape(t *testing.T) {
+	n := blockWords*64*2 + 17
+	scope := randomSet(71, n, 0.6)
+	age := randomSet(72, n, 0.4)
+	gender := randomSet(73, n, 0.5)
+	var plans []*Plan
+	var reqs []CountReq
+	for a := 0; a < 9; a++ {
+		attr := randomSet(uint64(80+a), n, 0.1)
+		reach := CountReq{Clauses: []CountClause{{Or: []*Set{attr}}, {Or: []*Set{scope}}, {Or: []*Set{age}}}}
+		cond := CountReq{Clauses: []CountClause{{Or: []*Set{attr}}, {Or: []*Set{scope}}, {Or: []*Set{age}}, {Or: []*Set{gender}}}}
+		plans = append(plans, CompilePlan(n, planify(reach, false)), CompilePlan(n, planify(cond, false)))
+		reqs = append(reqs, reach, cond)
+	}
+	// Duplicate pointer: the same compiled plan in two slots.
+	plans = append(plans, plans[0])
+	reqs = append(reqs, reqs[0])
+
+	pb := CompileBatch(plans)
+	if len(pb.dups) != 1 {
+		t.Fatalf("dups = %d, want 1", len(pb.dups))
+	}
+	if len(pb.roots) != 9 {
+		t.Fatalf("roots = %d, want 9 (each conditioned plan fused onto its reach plan)", len(pb.roots))
+	}
+	if len(pb.tails) != 1 {
+		t.Fatalf("tails = %d, want 1 (shared scope∩age tail)", len(pb.tails))
+	}
+	// Nine chains over one (tail, extra) group pair off as four pairs plus
+	// one leftover root on the unpaired path.
+	if len(pb.pairs) != 4 {
+		t.Fatalf("pairs = %d, want 4", len(pb.pairs))
+	}
+	paired := 0
+	for _, p := range pb.paired {
+		if p {
+			paired++
+		}
+	}
+	if paired != 8 {
+		t.Fatalf("paired roots = %d, want 8", paired)
+	}
+	got := pb.Exec()
+	for i, req := range reqs {
+		if want := naiveCount(req); got[i] != want {
+			t.Errorf("slot %d: Exec = %d, want %d", i, got[i], want)
+		}
+	}
+	// Re-execution of the cached schedule must be stable.
+	for i, v := range pb.Exec() {
+		if v != got[i] {
+			t.Fatalf("slot %d: re-Exec = %d, want %d", i, v, got[i])
+		}
+	}
+}
+
+// TestPlanRandomBatches drives random spec shapes — mixed unions,
+// negations, duplicate plans, and operands with and without compressed
+// forms — through CompileBatch, checking every slot against the naive
+// evaluator.
+func TestPlanRandomBatches(t *testing.T) {
+	for trial := uint64(0); trial < 40; trial++ {
+		rng := xrand.New(xrand.Mix(99, trial))
+		n := rng.Intn(3*blockWords*64) + 1
+		pool := make([]*Set, 6)
+		cpool := make([]*CSet, 6)
+		for i := range pool {
+			p := 0.2 * float64(i%4)
+			if i%3 == 0 {
+				p = 0.003 // sparse members so compressed dispatch triggers
+			}
+			pool[i] = randomSet(trial*20+uint64(i), n, p)
+			cpool[i] = FromSet(pool[i])
+		}
+		batch := rng.Intn(9) + 1
+		reqs := make([]CountReq, batch)
+		plans := make([]*Plan, batch)
+		for ri := range reqs {
+			if ri > 0 && rng.Intn(5) == 0 {
+				reqs[ri] = reqs[ri-1]
+				plans[ri] = plans[ri-1] // duplicate pointer path
+				continue
+			}
+			clauses := rng.Intn(3) + 1
+			var pcs []PlanClause
+			for ci := 0; ci < clauses; ci++ {
+				width := rng.Intn(2) + 1
+				or := make([]*Set, width)
+				pc := PlanClause{Negate: ci > 0 && rng.Intn(3) == 0}
+				for k := range or {
+					si := rng.Intn(len(pool))
+					or[k] = pool[si]
+					op := Operand{Set: pool[si]}
+					if rng.Intn(2) == 0 {
+						op.C = cpool[si]
+					}
+					pc.Or = append(pc.Or, op)
+				}
+				reqs[ri].Clauses = append(reqs[ri].Clauses, CountClause{Or: or, Negate: pc.Negate})
+				pcs = append(pcs, pc)
+			}
+			plans[ri] = CompilePlan(n, pcs)
+		}
+		got := ExecPlans(plans)
+		for i, req := range reqs {
+			if want := naiveCount(req); got[i] != want {
+				t.Fatalf("trial=%d n=%d slot=%d: ExecPlans = %d, want %d", trial, n, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestPlanBatchConcurrentExec hammers one cached schedule from many
+// goroutines: Exec acquires its scratch per call, so concurrent runs must
+// all return the same counts.
+func TestPlanBatchConcurrentExec(t *testing.T) {
+	n := blockWords*64 + 333
+	a := randomSet(91, n, 0.3)
+	b := randomSet(92, n, 0.5)
+	c := randomSet(93, n, 0.4)
+	d := randomSet(94, n, 0.2)
+	one := func(sets ...*Set) *Plan {
+		var pcs []PlanClause
+		for _, s := range sets {
+			pcs = append(pcs, PlanClause{Or: []Operand{{Set: s}}})
+		}
+		return CompilePlan(n, pcs)
+	}
+	pb := CompileBatch([]*Plan{one(a, b, c), one(a, b, c, d), one(d, b, c), one(d, b, c, a)})
+	want := pb.Exec()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				got := pb.Exec()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("slot %d: concurrent Exec = %d, want %d", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPlanPanics(t *testing.T) {
+	s := randomSet(1, 100, 0.5)
+	other := randomSet(2, 200, 0.5)
+	for name, fn := range map[string]func(){
+		"no clauses":    func() { CompilePlan(100, nil) },
+		"negated first": func() { CompilePlan(100, []PlanClause{{Or: []Operand{{Set: s}}, Negate: true}}) },
+		"empty clause":  func() { CompilePlan(100, []PlanClause{{Or: []Operand{{Set: s}}}, {}}) },
+		"nil set":       func() { CompilePlan(100, []PlanClause{{Or: []Operand{{}}}}) },
+		"wrong n":       func() { CompilePlan(100, []PlanClause{{Or: []Operand{{Set: other}}}}) },
+		"batch mixed": func() {
+			CompileBatch([]*Plan{
+				CompilePlan(100, []PlanClause{{Or: []Operand{{Set: s}}}}),
+				CompilePlan(200, []PlanClause{{Or: []Operand{{Set: other}}}}),
+			})
+		},
+		"batch nil": func() { CompileBatch([]*Plan{nil}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPlanEmptyBatch(t *testing.T) {
+	if got := ExecPlans(nil); len(got) != 0 {
+		t.Fatalf("ExecPlans(nil) = %v, want empty", got)
+	}
+}

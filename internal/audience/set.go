@@ -13,21 +13,33 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Set is a fixed-size bitset over user indices [0, Len()).
 // The zero value is an empty set of length 0; use New to create a usable set.
 type Set struct {
 	n     int
+	id    uint64
 	words []uint64
 }
+
+// setIDs hands out a process-unique id per constructed Set. The plan
+// compiler keys subset detection and cross-plan sharing on these ids, so
+// every constructor (including scratch reuse) must mint a fresh one.
+var setIDs atomic.Uint64
+
+// ID returns a process-unique identifier for the set, assigned at
+// construction. Two sets with the same id are the same object; the zero
+// value Set has id 0, which no constructed set ever gets.
+func (s *Set) ID() uint64 { return s.id }
 
 // New returns an empty set over a universe of n users.
 func New(n int) *Set {
 	if n < 0 {
 		panic("audience: negative universe size")
 	}
-	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+	return &Set{n: n, id: setIDs.Add(1), words: make([]uint64, (n+63)/64)}
 }
 
 // NewFromFunc returns a set over n users containing every index i for which
@@ -69,18 +81,42 @@ func (s *Set) Contains(i int) bool {
 	return s.words[i>>6]&(1<<uint(i&63)) != 0
 }
 
-// Count returns the number of users in the set.
+// Count returns the number of users in the set. Trailing zero words —
+// the common tail of mostly-empty scratch sets — are skipped with a
+// backward scan (one load-compare per word) instead of popcounted.
 func (s *Set) Count() int {
-	c := 0
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
+	hi := len(s.words)
+	for hi > 0 && s.words[hi-1] == 0 {
+		hi--
 	}
-	return c
+	return countRange1(s.words, 0, hi)
+}
+
+// CountRange returns the number of users in the set with indices in
+// [lo, hi). Out-of-range bounds are clamped to the universe.
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	wlo, whi := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)&63)
+	if wlo == whi {
+		return bits.OnesCount64(s.words[wlo] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(s.words[wlo]&loMask) + bits.OnesCount64(s.words[whi]&hiMask)
+	return c + countRange1(s.words, wlo+1, whi)
 }
 
 // Clone returns a copy of the set.
 func (s *Set) Clone() *Set {
-	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	c := &Set{n: s.n, id: setIDs.Add(1), words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
 }
@@ -148,7 +184,7 @@ func (s *Set) AndNotWith(t *Set) {
 // And returns a new set holding the intersection of a and b.
 func And(a, b *Set) *Set {
 	a.checkCompat(b)
-	out := &Set{n: a.n, words: make([]uint64, len(a.words))}
+	out := &Set{n: a.n, id: setIDs.Add(1), words: make([]uint64, len(a.words))}
 	for i := range out.words {
 		out.words[i] = a.words[i] & b.words[i]
 	}
@@ -158,7 +194,7 @@ func And(a, b *Set) *Set {
 // Or returns a new set holding the union of a and b.
 func Or(a, b *Set) *Set {
 	a.checkCompat(b)
-	out := &Set{n: a.n, words: make([]uint64, len(a.words))}
+	out := &Set{n: a.n, id: setIDs.Add(1), words: make([]uint64, len(a.words))}
 	for i := range out.words {
 		out.words[i] = a.words[i] | b.words[i]
 	}
@@ -168,7 +204,7 @@ func Or(a, b *Set) *Set {
 // AndNot returns a new set holding a minus b.
 func AndNot(a, b *Set) *Set {
 	a.checkCompat(b)
-	out := &Set{n: a.n, words: make([]uint64, len(a.words))}
+	out := &Set{n: a.n, id: setIDs.Add(1), words: make([]uint64, len(a.words))}
 	for i := range out.words {
 		out.words[i] = a.words[i] &^ b.words[i]
 	}
@@ -262,12 +298,18 @@ func UnionAll(sets ...*Set) *Set {
 	return out
 }
 
-// Equal reports whether a and b contain exactly the same users.
+// Equal reports whether a and b contain exactly the same users. Trailing
+// words that are zero in both sets — the common tail when comparing
+// mostly-empty scratch sets — are skipped with a cheap OR scan.
 func Equal(a, b *Set) bool {
 	if a.n != b.n {
 		return false
 	}
-	for i := range a.words {
+	hi := len(a.words)
+	for hi > 0 && a.words[hi-1]|b.words[hi-1] == 0 {
+		hi--
+	}
+	for i := 0; i < hi; i++ {
 		if a.words[i] != b.words[i] {
 			return false
 		}
@@ -315,6 +357,7 @@ func NewScratch(n int) *Set {
 		clear(s.words)
 	}
 	s.n = n
+	s.id = setIDs.Add(1)
 	return s
 }
 

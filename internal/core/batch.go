@@ -26,6 +26,17 @@ type BatchMeasurer interface {
 	MeasureMany(specs []targeting.Spec) []BatchResult
 }
 
+// KeyedBatchMeasurer is the optional keyed refinement of BatchMeasurer:
+// the caller passes each spec's canonical form (targeting.Canonical)
+// alongside it. The caching provider already computes those keys to
+// partition a batch, and the platform's batched doors use the same keys for
+// their compiled-plan cache — passing them down means the measurement cache
+// and the plan cache share one canonicalization pass per spec. keys[i] must
+// be the canonical form of specs[i].
+type KeyedBatchMeasurer interface {
+	MeasureManyKeyed(specs []targeting.Spec, keys []string) []BatchResult
+}
+
 // MeasureMany measures every spec through p: one batched call when p
 // implements BatchMeasurer, otherwise serial Measure calls in spec order.
 // Either way the returned slice has one slot per spec.
@@ -61,9 +72,23 @@ func batchCapable(p Provider) bool {
 // MeasureMany implements BatchMeasurer for the in-process simulators via
 // the platform's tiled batch door.
 func (pp *platformProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
+	return pp.measureMany(specs, nil)
+}
+
+// MeasureManyKeyed implements KeyedBatchMeasurer: the canonical keys ride
+// down as plan-cache keys so the platform skips re-canonicalizing specs the
+// measurement cache already hashed.
+func (pp *platformProvider) MeasureManyKeyed(specs []targeting.Spec, keys []string) []BatchResult {
+	return pp.measureMany(specs, keys)
+}
+
+func (pp *platformProvider) measureMany(specs []targeting.Spec, keys []string) []BatchResult {
 	reqs := make([]platform.EstimateRequest, len(specs))
 	for i, s := range specs {
 		reqs[i].Spec = s
+		if keys != nil {
+			reqs[i].CacheKey = keys[i]
+		}
 	}
 	ests, err := pp.p.MeasureMany(reqs)
 	out := make([]BatchResult, len(specs))
@@ -165,12 +190,18 @@ func (cp *cachingProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
 
 	if len(claims) > 0 {
 		missSpecs := make([]targeting.Spec, len(claims))
+		missKeys := make([]string, len(claims))
 		for k, cl := range claims {
 			missSpecs[k] = specs[cl.slot]
+			missKeys[k] = cl.key
 		}
 		start := time.Now()
 		var res []BatchResult
-		if bm, ok := cp.Provider.(BatchMeasurer); ok {
+		if km, ok := cp.Provider.(KeyedBatchMeasurer); ok {
+			// The canonical keys this partition pass computed double as the
+			// downstream plan-cache keys.
+			res = km.MeasureManyKeyed(missSpecs, missKeys)
+		} else if bm, ok := cp.Provider.(BatchMeasurer); ok {
 			res = bm.MeasureMany(missSpecs)
 		} else {
 			// Serial fallback in claim order: providers without a batch door

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/audience"
@@ -34,10 +35,162 @@ func (p *Interface) EstimateMany(reqs []EstimateRequest) ([]Estimate, error) {
 	return p.sizeMany(reqs, p.cfg.AdvertiserRules, p.mEstimateQueries)
 }
 
-// sizeMany validates every request, lowers the valid specs into kernel
-// count requests, runs the tiled kernel once, and applies each platform's
-// scaling and rounding per slot.
+// sizeMany answers a batch through the query compiler: every valid spec
+// resolves to a cached compiled plan (keyed by its canonical form), the
+// batch of plans is frozen into a cached execution schedule, and only the
+// kernels run per call. Validation stays per-request and syntactic — the
+// canonical key collapses duplicate refs and clauses that the rules reject,
+// so validation outcomes must never be shared across specs with equal
+// keys — and the scaling and rounding are identical to the serial path.
+// When the compiler is disabled (Config.PlanCacheSize < 0) the per-batch
+// lowering path is used instead.
 func (p *Interface) sizeMany(reqs []EstimateRequest, rules targeting.Rules, queries *obs.Counter) ([]Estimate, error) {
+	if p.plans == nil {
+		return p.sizeManyLegacy(reqs, rules, queries)
+	}
+	out := make([]Estimate, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	p.mBatchSize.Observe(time.Duration(len(reqs)))
+
+	// Pass 1: per-request parameter validation, exactly as the serial path
+	// orders its checks (rules, objective, frequency cap).
+	eligible := make([]float64, len(reqs))
+	impressions := make([]float64, len(reqs))
+	for i := range reqs {
+		e, f, err := p.queryParams(reqs[i], rules)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		eligible[i], impressions[i] = e, f
+	}
+
+	// Pass 2: optimistic schedule lookup. The batch's schedule key is the
+	// concatenation of the param-valid slots' canonical keys in slot order;
+	// a hit means this exact spec sequence compiled before with every plan
+	// cache-stable, so the frozen schedule executes with no per-slot plan
+	// resolution at all — the steady-state audit loop's path. The key buffer
+	// and slot bookkeeping come from a pool: the loop runs per batch, and
+	// growing a fresh 2KB key by appends would cost more than the lookup.
+	bs := batchScratchPool.Get().(*batchScratch)
+	valid := bs.valid[:0]
+	keys := bs.keys[:0]
+	schedKey := bs.schedKey[:0]
+	for len(keys) < len(reqs) {
+		keys = append(keys, "")
+	}
+	for i := range reqs {
+		if out[i].Err != nil {
+			continue
+		}
+		key := reqs[i].CacheKey
+		if key == "" {
+			key = targeting.Canonical(reqs[i].Spec)
+		}
+		keys[i] = key
+		valid = append(valid, i)
+		schedKey = append(schedKey, key...)
+		schedKey = append(schedKey, 0)
+	}
+
+	var counts []int
+	var slot []int
+	if pb, ok := p.plans.scheds.getBytes(schedKey); ok && len(valid) > 0 {
+		p.mPlanHits.Add(int64(len(valid)))
+		counts = pb.Exec()
+		slot = valid
+	} else {
+		// Miss: resolve each slot's plan (cached by its canonical key),
+		// compile the schedule, and freeze it under the batch key — but only
+		// when every param-valid slot resolved to a cache-stable plan. A
+		// cached schedule therefore never owns a resolution error (whose
+		// identity depends on the request's literal clause order, not its
+		// canonical form) or a transient custom-audience plan.
+		plans := make([]*audience.Plan, 0, len(valid))
+		slot = make([]int, 0, len(valid))
+		schedulable := true
+		for _, i := range valid {
+			plan, cached, err := p.planFor(keys[i], reqs[i].Spec)
+			if err != nil {
+				out[i].Err = err
+				schedulable = false
+				continue
+			}
+			plans = append(plans, plan)
+			slot = append(slot, i)
+			if !cached {
+				schedulable = false
+			}
+		}
+		if len(plans) > 0 {
+			pb := audience.CompileBatch(plans)
+			if schedulable {
+				p.plans.scheds.add(string(schedKey), pb)
+			}
+			counts = pb.Exec()
+		}
+	}
+	if len(slot) > 0 {
+		n := int64(len(slot))
+		p.queryCount.Add(n)
+		queries.Add(n)
+		p.mBatchedQueries.Add(n)
+		p.mBatchBlocks.Add(int64(audience.KernelBlocks(p.cfg.Universe.Size())))
+	}
+
+	p.scaleAndRound(out, counts, slot, eligible, impressions)
+	bs.valid, bs.keys, bs.schedKey = valid, keys, schedKey
+	batchScratchPool.Put(bs)
+	return out, nil
+}
+
+// batchScratch is sizeMany's pooled per-batch bookkeeping: the valid-slot
+// list, the per-slot canonical keys, and the concatenated schedule key.
+type batchScratch struct {
+	valid    []int
+	keys     []string
+	schedKey []byte
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// scaleAndRound applies the platform's scaling and rounding to the raw
+// kernel counts, exactly as the serial path does, with the counter updates
+// tallied once per batch.
+func (p *Interface) scaleAndRound(out []Estimate, counts []int, slot []int, eligible, impressions []float64) {
+	sf := p.ScaleFactor()
+	var roundingHits, floorRejections int64
+	for k, i := range slot {
+		v := float64(counts[k]) * sf * eligible[i]
+		if p.cfg.ImpressionEstimates {
+			v *= impressions[i]
+		}
+		exact := int64(v + 0.5)
+		rounded := p.cfg.Rounder.Round(exact)
+		switch {
+		case rounded == 0 && exact > 0:
+			floorRejections++
+		case rounded != exact:
+			roundingHits++
+		}
+		out[i].Size = rounded
+	}
+	if floorRejections > 0 {
+		p.mFloorRejections.Add(floorRejections)
+	}
+	if roundingHits > 0 {
+		p.mRoundingHits.Add(roundingHits)
+	}
+}
+
+// sizeManyLegacy validates every request, lowers the valid specs into
+// kernel count requests, runs the tiled kernel once, and applies each
+// platform's scaling and rounding per slot. This is the pre-compiler batch
+// path, kept behind Config.PlanCacheSize < 0 as the compiler's benchmark
+// baseline.
+func (p *Interface) sizeManyLegacy(reqs []EstimateRequest, rules targeting.Rules, queries *obs.Counter) ([]Estimate, error) {
 	out := make([]Estimate, len(reqs))
 	if len(reqs) == 0 {
 		return out, nil
@@ -95,31 +248,7 @@ func (p *Interface) sizeMany(reqs []EstimateRequest, rules targeting.Rules, quer
 		p.mBatchBlocks.Add(int64(audience.KernelBlocks(p.cfg.Universe.Size())))
 	}
 
-	// Scale and round exactly as the serial path does, with the counter
-	// updates tallied once per batch.
-	sf := p.ScaleFactor()
-	var roundingHits, floorRejections int64
-	for k, i := range slot {
-		v := float64(counts[k]) * sf * eligible[i]
-		if p.cfg.ImpressionEstimates {
-			v *= impressions[i]
-		}
-		exact := int64(v + 0.5)
-		rounded := p.cfg.Rounder.Round(exact)
-		switch {
-		case rounded == 0 && exact > 0:
-			floorRejections++
-		case rounded != exact:
-			roundingHits++
-		}
-		out[i].Size = rounded
-	}
-	if floorRejections > 0 {
-		p.mFloorRejections.Add(floorRejections)
-	}
-	if roundingHits > 0 {
-		p.mRoundingHits.Add(roundingHits)
-	}
+	p.scaleAndRound(out, counts, slot, eligible, impressions)
 	return out, nil
 }
 

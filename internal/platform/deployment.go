@@ -45,6 +45,24 @@ type DeployOptions struct {
 	// UniformActivity disables the heavy-tailed per-user activity offsets,
 	// for the activity ablation.
 	UniformActivity bool
+	// Compressed materializes roaring-style compressed forms of the catalog
+	// option sets, letting the query compiler dispatch sparse-base plans to
+	// the container walk instead of the dense kernel.
+	Compressed bool
+	// NoPlanCompiler disables the query compiler and its plan caches,
+	// keeping the legacy per-batch lowering path. This is the compiler's
+	// benchmark baseline.
+	NoPlanCompiler bool
+}
+
+// planCacheSize maps the compiler knobs onto Config.PlanCacheSize: the
+// default cache when the compiler is on, the negative sentinel when it is
+// disabled.
+func (o DeployOptions) planCacheSize() int {
+	if o.NoPlanCompiler {
+		return -1
+	}
+	return 0
 }
 
 // withDefaults fills defaults.
@@ -226,6 +244,8 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		Rounder:          pickRounder(estimate.Facebook()),
 		Objectives:       map[Objective]float64{ObjectiveReach: 1, ObjectiveTraffic: 0.72},
 		DefaultObjective: ObjectiveReach,
+		PlanCacheSize:    opts.planCacheSize(),
+		Compressed:       opts.Compressed,
 	})
 	if err != nil {
 		return nil, err
@@ -261,6 +281,8 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		Rounder:            pickRounder(estimate.Facebook()),
 		Objectives:         map[Objective]float64{ObjectiveReach: 1, ObjectiveTraffic: 0.72},
 		DefaultObjective:   ObjectiveReach,
+		PlanCacheSize:      opts.planCacheSize(),
+		Compressed:         opts.Compressed,
 	})
 	if err != nil {
 		return nil, err
@@ -293,6 +315,8 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		Objectives:          map[Objective]float64{ObjectiveBrandAwarenessReach: 1, ObjectiveTraffic: 0.65},
 		DefaultObjective:    ObjectiveBrandAwarenessReach,
 		ImpressionEstimates: true,
+		PlanCacheSize:       opts.planCacheSize(),
+		Compressed:          opts.Compressed,
 	})
 	if err != nil {
 		return nil, err
@@ -323,6 +347,8 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		Rounder:          pickRounder(estimate.LinkedIn()),
 		Objectives:       map[Objective]float64{ObjectiveBrandAwareness: 1, ObjectiveTraffic: 0.70},
 		DefaultObjective: ObjectiveBrandAwareness,
+		PlanCacheSize:    opts.planCacheSize(),
+		Compressed:       opts.Compressed,
 	})
 	if err != nil {
 		return nil, err

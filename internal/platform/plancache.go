@@ -1,0 +1,333 @@
+package platform
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/audience"
+	"repro/internal/targeting"
+)
+
+// This file threads the audience query compiler through the platform: specs
+// are lowered to audience.Plan once and cached under the same canonical key
+// the measurement cache and durable store use, batches of cached plans are
+// frozen into audience.PlanBatch schedules, and multi-ref OR clauses
+// resolve to interface-wide shared unions so the batch analyzer can
+// common-subexpression them across plans. Everything here is bounded: plans,
+// unions, and schedules each live in an LRU sized by Config.PlanCacheSize.
+
+// Cache bounds. The plan cache holds PlanCacheSize entries (default below);
+// the union and schedule caches are derived from it.
+const (
+	defaultPlanCacheSize = 4096
+	minDerivedCacheSize  = 16
+)
+
+// lruNode is one entry of lruCache's intrusive recency list.
+type lruNode[V any] struct {
+	key        string
+	val        V
+	prev, next *lruNode[V]
+}
+
+// lruCache is a mutex-guarded LRU map. The platform's query path performs
+// one get per spec (plan cache) or one per batch (schedule cache), so a
+// plain mutex is far from contended relative to the kernel work behind it.
+type lruCache[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	table map[string]*lruNode[V]
+	head  *lruNode[V] // most recently used
+	tail  *lruNode[V] // eviction candidate
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache[V]{cap: capacity, table: make(map[string]*lruNode[V], capacity)}
+}
+
+func (l *lruCache[V]) get(key string) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n, ok := l.table[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.moveToFront(n)
+	return n.val, true
+}
+
+// getBytes is get with a byte-slice key: the map lookup converts in place
+// without allocating, which matters for the schedule cache's per-batch
+// concatenated keys.
+func (l *lruCache[V]) getBytes(key []byte) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n, ok := l.table[string(key)]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.moveToFront(n)
+	return n.val, true
+}
+
+func (l *lruCache[V]) add(key string, v V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n, ok := l.table[key]; ok {
+		n.val = v
+		l.moveToFront(n)
+		return
+	}
+	n := &lruNode[V]{key: key, val: v}
+	l.table[key] = n
+	l.pushFront(n)
+	if len(l.table) > l.cap {
+		evict := l.tail
+		l.unlink(evict)
+		delete(l.table, evict.key)
+	}
+}
+
+func (l *lruCache[V]) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.table)
+}
+
+func (l *lruCache[V]) pushFront(n *lruNode[V]) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *lruCache[V]) unlink(n *lruNode[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+}
+
+func (l *lruCache[V]) moveToFront(n *lruNode[V]) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}
+
+// planCache bundles the interface's three compiler caches.
+type planCache struct {
+	plans  *lruCache[*audience.Plan]      // canonical spec key → compiled plan
+	unions *lruCache[audience.Operand]    // canonical clause key → shared union
+	scheds *lruCache[*audience.PlanBatch] // batch key sequence → frozen schedule
+}
+
+func newPlanCache(size int) *planCache {
+	if size == 0 {
+		size = defaultPlanCacheSize
+	}
+	derived := size / 8
+	if derived < minDerivedCacheSize {
+		derived = minDerivedCacheSize
+	}
+	return &planCache{
+		plans:  newLRU[*audience.Plan](size),
+		unions: newLRU[audience.Operand](derived),
+		scheds: newLRU[*audience.PlanBatch](derived),
+	}
+}
+
+// lazyCSet caches one compressed audience behind an atomic pointer,
+// mirroring lazySet for the dense forms.
+type lazyCSet struct {
+	ptr  atomic.Pointer[audience.CSet]
+	once sync.Once
+}
+
+func (lc *lazyCSet) get(build func() *audience.CSet) *audience.CSet {
+	if c := lc.ptr.Load(); c != nil {
+		return c
+	}
+	lc.once.Do(func() { lc.ptr.Store(build()) })
+	return lc.ptr.Load()
+}
+
+// csetFor returns the compressed form of a catalog-backed option set,
+// building it lazily. Demographic and custom-audience sets stay dense-only:
+// demographics are far too dense for the compressed walk to ever win, and
+// custom audiences are transient per-advertiser state.
+func (p *Interface) csetFor(r targeting.Ref, s *audience.Set) *audience.CSet {
+	build := func() *audience.CSet { return audience.FromSet(s) }
+	switch r.Kind {
+	case targeting.KindAttribute:
+		return p.attrCSets[r.ID].get(build)
+	case targeting.KindTopic:
+		return p.topicCSets[r.ID].get(build)
+	case targeting.KindPlacement:
+		return p.placementCSets[r.ID].get(build)
+	default:
+		return nil
+	}
+}
+
+// operandFor resolves one targeting ref to a plan operand, attaching the
+// compressed form when the interface materializes them.
+func (p *Interface) operandFor(r targeting.Ref) (audience.Operand, error) {
+	s, err := p.refSet(r)
+	if err != nil {
+		return audience.Operand{}, err
+	}
+	op := audience.Operand{Set: s}
+	if p.cfg.Compressed {
+		op.C = p.csetFor(r, s)
+	}
+	return op, nil
+}
+
+// unionOperand resolves a multi-ref OR clause to a single shared operand.
+// The union is keyed by its sorted, deduplicated ref strings — the same
+// normalization targeting.Canonical applies — so every plan whose clause
+// unions the same options references the same materialized set, which is
+// what lets CompileBatch common-subexpression tails across plans.
+func (p *Interface) unionOperand(cl targeting.Clause) (audience.Operand, error) {
+	parts := make([]string, len(cl))
+	for i, r := range cl {
+		parts[i] = r.String()
+	}
+	sort.Strings(parts)
+	key := parts[0]
+	for i := 1; i < len(parts); i++ {
+		if parts[i] != parts[i-1] {
+			key += "|" + parts[i]
+		}
+	}
+	if op, ok := p.plans.unions.get(key); ok {
+		return op, nil
+	}
+	// Resolve in clause order so error positions match the serial path.
+	sets := make([]*audience.Set, len(cl))
+	for i, r := range cl {
+		s, err := p.refSet(r)
+		if err != nil {
+			return audience.Operand{}, err
+		}
+		sets[i] = s
+	}
+	u := audience.UnionAll(sets...)
+	op := audience.Operand{Set: u}
+	if p.cfg.Compressed && u.Count() < (u.Len()+63)/64 {
+		op.C = audience.FromSet(u)
+	}
+	p.plans.unions.add(key, op)
+	return op, nil
+}
+
+// specCacheable reports whether a spec's plan may be cached: specs touching
+// custom audiences compile fresh every time, since audience ids are dynamic
+// per-advertiser state the canonical key does not pin.
+func specCacheable(spec targeting.Spec) bool {
+	for _, cl := range spec.Include {
+		for _, r := range cl {
+			if r.Kind == targeting.KindCustomAudience {
+				return false
+			}
+		}
+	}
+	for _, cl := range spec.Exclude {
+		for _, r := range cl {
+			if r.Kind == targeting.KindCustomAudience {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// compileSpec lowers one spec into a compiled plan. Shape and resolution
+// errors are produced in the same order as the serial evaluation and the
+// legacy batch lowering: clauses in include-then-exclude order, refs in
+// clause order.
+func (p *Interface) compileSpec(spec targeting.Spec) (*audience.Plan, error) {
+	if len(spec.Include) == 0 {
+		return nil, targeting.ErrEmptySpec
+	}
+	clauses := make([]audience.PlanClause, 0, len(spec.Include)+len(spec.Exclude))
+	lower := func(cl targeting.Clause, negate bool) error {
+		if len(cl) == 0 {
+			return targeting.ErrEmptyClause
+		}
+		var op audience.Operand
+		var err error
+		if len(cl) == 1 {
+			op, err = p.operandFor(cl[0])
+		} else {
+			op, err = p.unionOperand(cl)
+		}
+		if err != nil {
+			return err
+		}
+		clauses = append(clauses, audience.PlanClause{Or: []audience.Operand{op}, Negate: negate})
+		return nil
+	}
+	for _, cl := range spec.Include {
+		if err := lower(cl, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, cl := range spec.Exclude {
+		if err := lower(cl, true); err != nil {
+			return nil, err
+		}
+	}
+	return audience.CompilePlan(p.cfg.Universe.Size(), clauses), nil
+}
+
+// planFor returns the compiled plan for a spec, from cache when possible.
+// The second result reports whether the plan is cache-stable (usable in a
+// cached batch schedule).
+func (p *Interface) planFor(key string, spec targeting.Spec) (*audience.Plan, bool, error) {
+	cacheable := specCacheable(spec)
+	if cacheable {
+		if plan, ok := p.plans.plans.get(key); ok {
+			p.mPlanHits.Inc()
+			return plan, true, nil
+		}
+		p.mPlanMisses.Inc()
+	}
+	plan, err := p.compileSpec(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	p.mPlansCompiled.Inc()
+	if cacheable {
+		p.plans.plans.add(key, plan)
+	}
+	return plan, cacheable, nil
+}
+
+// PlanCacheStats reports the plan cache's current occupancy, for tests and
+// diagnostics.
+func (p *Interface) PlanCacheStats() (plans, unions, schedules int) {
+	if p.plans == nil {
+		return 0, 0, 0
+	}
+	return p.plans.plans.len(), p.plans.unions.len(), p.plans.scheds.len()
+}

@@ -61,6 +61,12 @@ type EstimateRequest struct {
 	// the most restrictive value (1) so impressions ≈ unique users. Zero
 	// selects 1.
 	FrequencyCapPerMonth int
+	// CacheKey optionally carries the spec's precomputed canonical form
+	// (targeting.Canonical). The batched doors use it as the plan-cache
+	// key so callers that already canonicalized — the core measurement
+	// cache does — avoid a second pass; when empty it is computed on
+	// demand. Must match the spec if set.
+	CacheKey string
 }
 
 // Errors returned by estimate queries.
@@ -97,6 +103,15 @@ type Config struct {
 	// lookalike creation is replaced by demographic-blind "Special Ad
 	// Audiences" (paper §2.2).
 	SpecialAdAudiences bool
+	// PlanCacheSize bounds the compiled-plan LRU behind the batched query
+	// doors. Zero selects the default size; a negative value disables the
+	// query compiler entirely, keeping the per-batch lowering path (used to
+	// benchmark the compiler against it).
+	PlanCacheSize int
+	// Compressed materializes roaring-style compressed forms of the
+	// catalog option sets alongside the dense ones, letting compiled plans
+	// with a sparse base walk containers instead of streaming words.
+	Compressed bool
 	// Metrics receives the interface's query counters; nil selects the
 	// process-wide obs.Default() registry.
 	Metrics *obs.Registry
@@ -116,6 +131,16 @@ type Interface struct {
 	placementSets []lazySet // lazily materialized, by placement index
 	queryCount    atomic.Int64
 
+	// Compressed forms of the catalog sets, built lazily when
+	// cfg.Compressed is set (plancache.go).
+	attrCSets      []lazyCSet
+	topicCSets     []lazyCSet
+	placementCSets []lazyCSet
+
+	// plans holds the query compiler's caches; nil when the compiler is
+	// disabled (Config.PlanCacheSize < 0).
+	plans *planCache
+
 	// Query counters, resolved once at construction so the estimate hot
 	// path pays only atomic adds (the Measure benchmarks gate the
 	// overhead at ≤5%).
@@ -126,6 +151,9 @@ type Interface struct {
 	mBatchedQueries  *obs.Counter   // batched_queries_total: queries answered via the tiled kernel
 	mBatchBlocks     *obs.Counter   // batch_kernel_blocks_total: tiles the kernel walked
 	mBatchSize       *obs.Histogram // batch_size_specs: log2 batch-size distribution
+	mPlanHits        *obs.Counter   // plan_cache_hits_total: specs served by a cached plan
+	mPlanMisses      *obs.Counter   // plan_cache_misses_total: cacheable specs that had to compile
+	mPlansCompiled   *obs.Counter   // plans_compiled_total: every CompilePlan run (incl. uncacheable)
 
 	mu      sync.RWMutex // guards custom, dir, tracker
 	custom  []customAudience
@@ -170,11 +198,14 @@ func New(cfg Config) (*Interface, error) {
 		reg = obs.Default()
 	}
 	iface := obs.L("interface", cfg.Name)
-	return &Interface{
+	p := &Interface{
 		cfg:              cfg,
 		attrSets:         make([]lazySet, len(cfg.Catalog.Attributes)),
 		topicSets:        make([]lazySet, len(cfg.Catalog.Topics)),
 		placementSets:    make([]lazySet, len(cfg.Catalog.Placements)),
+		attrCSets:        make([]lazyCSet, len(cfg.Catalog.Attributes)),
+		topicCSets:       make([]lazyCSet, len(cfg.Catalog.Topics)),
+		placementCSets:   make([]lazyCSet, len(cfg.Catalog.Placements)),
 		mEstimateQueries: reg.Counter("platform_queries_total", iface, obs.L("door", "estimate")),
 		mMeasureQueries:  reg.Counter("platform_queries_total", iface, obs.L("door", "measure")),
 		mRoundingHits:    reg.Counter("platform_rounding_hits_total", iface),
@@ -182,7 +213,14 @@ func New(cfg Config) (*Interface, error) {
 		mBatchedQueries:  reg.Counter("batched_queries_total", iface),
 		mBatchBlocks:     reg.Counter("batch_kernel_blocks_total", iface),
 		mBatchSize:       reg.Histogram("batch_size_specs", iface),
-	}, nil
+		mPlanHits:        reg.Counter("plan_cache_hits_total", iface),
+		mPlanMisses:      reg.Counter("plan_cache_misses_total", iface),
+		mPlansCompiled:   reg.Counter("plans_compiled_total", iface),
+	}
+	if cfg.PlanCacheSize >= 0 {
+		p.plans = newPlanCache(cfg.PlanCacheSize)
+	}
+	return p, nil
 }
 
 // Name returns the interface name.

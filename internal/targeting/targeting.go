@@ -13,10 +13,12 @@
 package targeting
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Kind identifies a targeting feature family.
@@ -337,35 +339,152 @@ func cloneClauses(cs []Clause) []Clause {
 // that differs only by clause order, ref order, or duplication must never
 // cost a second upstream query or a second store record.
 func Canonical(s Spec) string {
-	part := func(cs []Clause) string {
-		strs := make([]string, len(cs))
-		for i, c := range cs {
-			refs := make([]string, len(c))
-			for j, r := range c {
-				refs[j] = r.String()
-			}
-			sort.Strings(refs)
-			strs[i] = "(" + strings.Join(dedupSorted(refs), "|") + ")"
-		}
-		sort.Strings(strs)
-		return strings.Join(dedupSorted(strs), "&")
-	}
-	out := part(s.Include)
+	cs := canonPool.Get().(*canonScratch)
+	defer canonPool.Put(cs)
+	cs.arena = cs.arena[:0]
+	cs.spans = cs.spans[:0]
+	incEnd := cs.lowerPart(s.Include)
+	excEnd := incEnd
 	if len(s.Exclude) > 0 {
-		out += "!-" + part(s.Exclude)
+		excEnd = cs.lowerPart(s.Exclude)
 	}
-	return out
+
+	total := 0
+	for _, sp := range cs.spans {
+		total += sp.end - sp.start
+	}
+	if incEnd > 1 {
+		total += incEnd - 1 // '&' between include clauses
+	}
+	if n := excEnd - incEnd; n > 0 {
+		total += len("!-") + n - 1
+	}
+
+	var b strings.Builder
+	b.Grow(total)
+	for i := 0; i < incEnd; i++ {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.Write(cs.arena[cs.spans[i].start:cs.spans[i].end])
+	}
+	if excEnd > incEnd {
+		b.WriteString("!-")
+		for i := incEnd; i < excEnd; i++ {
+			if i > incEnd {
+				b.WriteByte('&')
+			}
+			b.Write(cs.arena[cs.spans[i].start:cs.spans[i].end])
+		}
+	}
+	return b.String()
 }
 
-// dedupSorted removes adjacent duplicates from a sorted slice in place.
-func dedupSorted(ss []string) []string {
-	out := ss[:0]
-	for i, s := range ss {
-		if i == 0 || s != ss[i-1] {
-			out = append(out, s)
+// canonScratch holds the reusable buffers one Canonical call needs: a byte
+// arena the clause strings are rendered into once, the span list addressing
+// them, and a ref scratch for per-clause sorting. Pooled so a hot audit loop
+// canonicalizing thousands of specs allocates only each call's result
+// string.
+type canonScratch struct {
+	arena []byte
+	spans []canonSpan
+	refs  []Ref
+}
+
+// canonSpan addresses one rendered clause inside the arena.
+type canonSpan struct{ start, end int }
+
+var canonPool = sync.Pool{New: func() any { return new(canonScratch) }}
+
+// lowerPart renders one clause list (include or exclude) into the arena:
+// each clause's refs sorted and deduplicated, then the clauses themselves
+// sorted byte-wise and deduplicated — identical text and order to sorting
+// the formatted strings. Returns the new length of cs.spans.
+func (cs *canonScratch) lowerPart(clauses []Clause) int {
+	base := len(cs.spans)
+	for _, c := range clauses {
+		cs.refs = append(cs.refs[:0], c...)
+		// Insertion sort: clauses hold a handful of refs, and unlike
+		// sort.Slice this allocates nothing.
+		for i := 1; i < len(cs.refs); i++ {
+			for j := i; j > 0 && refCompare(cs.refs[j], cs.refs[j-1]) < 0; j-- {
+				cs.refs[j], cs.refs[j-1] = cs.refs[j-1], cs.refs[j]
+			}
+		}
+		start := len(cs.arena)
+		cs.arena = append(cs.arena, '(')
+		wrote := false
+		for j, r := range cs.refs {
+			if j > 0 && r == cs.refs[j-1] {
+				continue
+			}
+			if wrote {
+				cs.arena = append(cs.arena, '|')
+			}
+			cs.arena = appendRef(cs.arena, r)
+			wrote = true
+		}
+		cs.arena = append(cs.arena, ')')
+		cs.spans = append(cs.spans, canonSpan{start, len(cs.arena)})
+	}
+	part := cs.spans[base:]
+	for i := 1; i < len(part); i++ {
+		for j := i; j > 0 && bytes.Compare(cs.arena[part[j].start:part[j].end], cs.arena[part[j-1].start:part[j-1].end]) < 0; j-- {
+			part[j], part[j-1] = part[j-1], part[j]
 		}
 	}
-	return out
+	kept := base
+	for i, sp := range part {
+		if i > 0 {
+			prev := cs.spans[kept-1]
+			if bytes.Equal(cs.arena[sp.start:sp.end], cs.arena[prev.start:prev.end]) {
+				continue
+			}
+		}
+		cs.spans[kept] = sp
+		kept++
+	}
+	cs.spans = cs.spans[:kept]
+	return kept
+}
+
+// appendRef renders r exactly as Ref.String does, without fmt.
+func appendRef(b []byte, r Ref) []byte {
+	b = append(b, kindName(r.Kind)...)
+	b = append(b, ':')
+	return strconv.AppendInt(b, int64(r.ID), 10)
+}
+
+// kindNames mirrors Kind.String for the valid kinds, indexable without a
+// switch on the canonicalization hot path.
+var kindNames = [numKinds]string{
+	KindAttribute:      "attribute",
+	KindTopic:          "topic",
+	KindGender:         "gender",
+	KindAge:            "age",
+	KindCustomAudience: "custom-audience",
+	KindLocation:       "location",
+	KindPlacement:      "placement",
+}
+
+func kindName(k Kind) string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return k.String()
+}
+
+// refCompare orders refs exactly as sort.Strings orders their formatted
+// forms. Kind names are compared directly (no valid name is a prefix of
+// another, and the fmt fallback names embed their distinct numbers), and
+// equal kinds compare their IDs' decimal renderings byte-wise — "10" sorts
+// before "9", matching the string sort the rendered arena would produce.
+func refCompare(a, b Ref) int {
+	if a.Kind != b.Kind {
+		return strings.Compare(kindName(a.Kind), kindName(b.Kind))
+	}
+	var ba, bb [20]byte
+	return bytes.Compare(strconv.AppendInt(ba[:0], int64(a.ID), 10), strconv.AppendInt(bb[:0], int64(b.ID), 10))
 }
 
 // AttrIDs returns the IDs of all attribute refs in the include clauses, in

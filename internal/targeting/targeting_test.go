@@ -2,6 +2,9 @@ package targeting
 
 import (
 	"errors"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -337,3 +340,150 @@ func TestValidateErrorMentionsInterface(t *testing.T) {
 		t.Fatalf("error %q does not lead with interface name", got)
 	}
 }
+
+// canonicalRef is the straightforward string-slice implementation Canonical
+// had before the pooled rewrite, kept verbatim as the reference: the durable
+// store content-addresses measurements by this exact text, so the rewrite
+// must reproduce it byte for byte on every input.
+func canonicalRef(s Spec) string {
+	dedupSorted := func(ss []string) []string {
+		out := ss[:0]
+		for i, s := range ss {
+			if i == 0 || s != ss[i-1] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	part := func(cs []Clause) string {
+		strs := make([]string, len(cs))
+		for i, c := range cs {
+			refs := make([]string, len(c))
+			for j, r := range c {
+				refs[j] = r.String()
+			}
+			sort.Strings(refs)
+			strs[i] = "(" + strings.Join(dedupSorted(refs), "|") + ")"
+		}
+		sort.Strings(strs)
+		return strings.Join(dedupSorted(strs), "&")
+	}
+	out := part(s.Include)
+	if len(s.Exclude) > 0 {
+		out += "!-" + part(s.Exclude)
+	}
+	return out
+}
+
+// TestCanonicalMatchesReference drives the rewritten Canonical against the
+// reference on adversarial fixed cases — multi-digit IDs whose decimal and
+// numeric orders differ, negative IDs, invalid kinds, empty clauses — and a
+// large randomized sweep.
+func TestCanonicalMatchesReference(t *testing.T) {
+	fixed := []Spec{
+		{},
+		{Include: []Clause{{}}},
+		{Include: []Clause{{}, {}}},
+		Attr(0),
+		AnyAttr(9, 10, 1, 100), // "10" < "9" in string order
+		{Include: []Clause{{{KindAttribute, -3}, {KindAttribute, 2}, {KindAttribute, -14}}}},
+		{Include: []Clause{{{Kind(200), 1}, {KindAttribute, 1}, {Kind(9), 5}}}},
+		{Include: []Clause{{{KindTopic, 7}}}, Exclude: []Clause{{}}},
+		Excluding(And(Attr(12), Attr(3)), AnyAttr(21, 2)),
+		{
+			Include: []Clause{
+				{{KindGender, 1}, {KindAge, 2}, {KindGender, 1}},
+				{{KindCustomAudience, 44}, {KindLocation, 0}},
+				{{KindPlacement, 5}},
+				{{KindGender, 1}, {KindAge, 2}},
+			},
+			Exclude: []Clause{{{KindAttribute, 10}}, {{KindAttribute, 9}}},
+		},
+	}
+	for i, s := range fixed {
+		if got, want := Canonical(s), canonicalRef(s); got != want {
+			t.Errorf("fixed case %d: Canonical = %q, reference = %q", i, got, want)
+		}
+	}
+
+	rng := xrand.New(333)
+	kinds := []Kind{KindAttribute, KindTopic, KindGender, KindAge, KindCustomAudience, KindLocation, KindPlacement, Kind(99)}
+	for trial := 0; trial < 2000; trial++ {
+		var s Spec
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			var cl Clause
+			for r := 0; r < rng.Intn(4); r++ {
+				id := rng.Intn(2000) - 20
+				cl = append(cl, Ref{Kind: kinds[rng.Intn(len(kinds))], ID: id})
+			}
+			s.Include = append(s.Include, cl)
+		}
+		for c := 0; c < rng.Intn(3); c++ {
+			var cl Clause
+			for r := 0; r < rng.Intn(3); r++ {
+				cl = append(cl, Ref{Kind: kinds[rng.Intn(len(kinds))], ID: rng.Intn(50)})
+			}
+			s.Exclude = append(s.Exclude, cl)
+		}
+		if got, want := Canonical(s), canonicalRef(s); got != want {
+			t.Fatalf("trial %d: Canonical(%+v) = %q, reference = %q", trial, s, got, want)
+		}
+	}
+}
+
+// TestCanonicalConcurrent checks the scratch pool under parallel callers.
+func TestCanonicalConcurrent(t *testing.T) {
+	specs := make([]Spec, 32)
+	want := make([]string, len(specs))
+	for i := range specs {
+		specs[i] = Excluding(And(Attr(i), AnyAttr(i+1, i+2), WithGender(Attr(i%7), i%2)), Attr(50-i))
+		want[i] = canonicalRef(specs[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				i := iter % len(specs)
+				if got := Canonical(specs[i]); got != want[i] {
+					t.Errorf("spec %d: %q, want %q", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkCanonical measures the canonicalization hot path on the audit
+// loop's typical shape: a conditioned composition with an exclusion.
+func BenchmarkCanonical(b *testing.B) {
+	spec := Excluding(
+		And(Attr(17), AnyAttr(3, 41, 8), WithGender(Attr(29), 1)),
+		AnyAttr(55, 12),
+	)
+	b.ReportAllocs()
+	var sink string
+	for i := 0; i < b.N; i++ {
+		sink = Canonical(spec)
+	}
+	benchSink = sink
+}
+
+// BenchmarkCanonicalReference measures the pre-rewrite implementation on
+// the same spec, for comparison against BenchmarkCanonical.
+func BenchmarkCanonicalReference(b *testing.B) {
+	spec := Excluding(
+		And(Attr(17), AnyAttr(3, 41, 8), WithGender(Attr(29), 1)),
+		AnyAttr(55, 12),
+	)
+	b.ReportAllocs()
+	var sink string
+	for i := 0; i < b.N; i++ {
+		sink = canonicalRef(spec)
+	}
+	benchSink = sink
+}
+
+var benchSink string
