@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/adapi"
 	"repro/internal/catalog"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mitigation"
@@ -57,6 +58,9 @@ import (
 func main() {
 	var (
 		endpoint   = flag.String("endpoint", "", "remote platformd base URL (empty = in-process)")
+		clusterMap = flag.String("cluster", "", "comma-separated shard map name=url,... — audit a sharded deployment through a scatter-gather coordinator")
+		replicas   = flag.Int("cluster-replicas", 1, "replica owners per partition beyond the primary (-cluster)")
+		partSize   = flag.Int("partition-size", 0, "users per ring partition, 0 = default 65536 (-cluster)")
 		universe   = flag.Int("universe", 1<<17, "in-process simulated users per platform")
 		seed       = flag.Uint64("seed", 0, "deployment seed")
 		k          = flag.Int("k", 1000, "compositions per discovered set")
@@ -81,6 +85,9 @@ func main() {
 	if err := run(runOptions{
 		experiment: flag.Arg(0),
 		endpoint:   *endpoint,
+		cluster:    *clusterMap,
+		replicas:   *replicas,
+		partSize:   *partSize,
 		universe:   *universe,
 		seed:       *seed,
 		k:          *k,
@@ -102,6 +109,9 @@ func main() {
 type runOptions struct {
 	experiment string
 	endpoint   string
+	cluster    string
+	replicas   int
+	partSize   int
 	universe   int
 	seed       uint64
 	k          int
@@ -133,6 +143,25 @@ func newRunner(o runOptions, st *store.Store) (*experiments.Runner, error) {
 			}
 		}
 	}
+	if o.cluster != "" {
+		coord, err := newCoordinator(o)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{
+			catalog.PlatformFacebookRestricted,
+			catalog.PlatformFacebook,
+			catalog.PlatformGoogle,
+			catalog.PlatformLinkedIn,
+		} {
+			p, err := coord.Provider(name)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Providers = append(cfg.Providers, p)
+		}
+		return experiments.NewRunner(cfg)
+	}
 	if endpoint == "" {
 		log.Printf("building in-process deployment (universe=%d, seed=%d)", universe, seed)
 		d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
@@ -158,6 +187,49 @@ func newRunner(o runOptions, st *store.Store) (*experiments.Runner, error) {
 		cfg.Providers = append(cfg.Providers, c)
 	}
 	return experiments.NewRunner(cfg)
+}
+
+// newCoordinator parses -cluster's name=url shard map and assembles the
+// scatter-gather coordinator. Every shard must have been started with the
+// same -ring node list, -seed, -universe, and -partition-size, or the
+// merge-then-round invariant (and the counts) would silently break.
+func newCoordinator(o runOptions) (*cluster.Coordinator, error) {
+	var nodes []string
+	urls := make(map[string]string)
+	for _, part := range strings.Split(o.cluster, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("-cluster entry %q is not name=url", part)
+		}
+		if _, dup := urls[name]; dup {
+			return nil, fmt.Errorf("-cluster names shard %q twice", name)
+		}
+		nodes = append(nodes, name)
+		urls[name] = url
+	}
+	ring, err := cluster.NewRing(nodes, 0, o.replicas)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := cluster.NewLayout(ring, o.universe, o.partSize)
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]cluster.Conn, 0, len(nodes))
+	for _, n := range nodes {
+		conns = append(conns, adapi.NewShardConn(n, urls[n], nil))
+	}
+	log.Printf("auditing %d-shard cluster (%d partitions of %d users, %d replicas)",
+		len(nodes), layout.NumPartitions(), layout.PartitionSize(), o.replicas)
+	return cluster.NewCoordinator(cluster.Options{
+		Layout: layout,
+		Conns:  conns,
+		Deploy: platform.DeployOptions{Seed: o.seed, UniverseSize: o.universe},
+	})
 }
 
 // specArgs carries the ad-hoc spec experiment's selectors.

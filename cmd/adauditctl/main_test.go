@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/adapi"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/platform"
 )
@@ -148,6 +149,73 @@ func TestRunRemoteRejectsLookalike(t *testing.T) {
 	// The lookalike study needs direct deployment access.
 	if err := run(baseOpts("lookalike", ts.URL, "-")); err == nil {
 		t.Fatal("remote lookalike study should fail")
+	}
+}
+
+// TestRunClusterMode is the CLI acceptance path for -cluster: fig1 audited
+// through a 3-shard scatter-gather cluster over live HTTP must produce
+// byte-identical output to the in-process run on the same seeded universe.
+func TestRunClusterMode(t *testing.T) {
+	const universe = 12000
+	ring, err := cluster.NewRing([]string{"s0", "s1", "s2"}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, universe, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []string
+	for _, n := range ring.Nodes() {
+		sh, err := cluster.NewShard(n, layout, platform.DeployOptions{
+			Seed: 7, UniverseSize: universe, Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := adapi.NewServer(sh.Deployment(), adapi.ServerOptions{Metrics: obs.NewRegistry(), Shard: sh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		entries = append(entries, n+"="+ts.URL)
+	}
+
+	dir := t.TempDir()
+	clusterOut := filepath.Join(dir, "cluster.txt")
+	o := baseOpts("fig1", "", clusterOut)
+	o.cluster = strings.Join(entries, ",")
+	o.partSize = 1024
+	o.replicas = 1
+	if err := run(o); err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+
+	want := runToString(t, "fig1", "")
+	got, err := os.ReadFile(clusterOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("cluster fig1 output differs from in-process run:\n--- cluster ---\n%s\n--- in-process ---\n%s", got, want)
+	}
+}
+
+func TestNewCoordinatorFlagValidation(t *testing.T) {
+	o := baseOpts("fig1", "", "-")
+	o.cluster = "s0"
+	if _, err := newCoordinator(o); err == nil || !strings.Contains(err.Error(), "name=url") {
+		t.Fatalf("malformed -cluster entry: err = %v", err)
+	}
+	o.cluster = "s0=http://x,s0=http://y"
+	if _, err := newCoordinator(o); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate shard name: err = %v", err)
+	}
+	o.cluster = "s0=http://x"
+	o.replicas = 1 // 1 replica needs 2 nodes
+	if _, err := newCoordinator(o); err == nil {
+		t.Fatal("replicas > nodes-1 accepted")
 	}
 }
 

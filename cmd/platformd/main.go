@@ -5,6 +5,7 @@
 // Usage:
 //
 //	platformd [-addr :8700] [-seed N] [-universe 131072] [-qps 0] [-store DIR] [-warm] [-pprof] [-v]
+//	platformd -shard-id NAME -ring a,b,c [-ring-replicas 1] [-partition-size 65536] ...
 //
 // Routes per interface (facebook-restricted, facebook, google, linkedin):
 //
@@ -14,6 +15,12 @@
 //	GET  /healthz
 //	GET  /metrics        (query counters, cache stats, latency quantiles)
 //	GET  /debug/pprof/*  (with -pprof)
+//
+// In shard mode (-shard-id) the process materializes only the user-ID
+// partitions the consistent-hash ring assigns it and additionally mounts
+// the cluster door:
+//
+//	POST /cluster/count-batch   (raw partition counts for a coordinator)
 package main
 
 import (
@@ -26,43 +33,114 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/adapi"
+	"repro/internal/cluster"
 	"repro/internal/platform"
 	"repro/internal/store"
 )
 
+// config is one invocation's flag surface.
+type config struct {
+	addr     string
+	seed     uint64
+	universe int
+	qps      float64
+	burst    float64
+	storeDir string
+	warm     bool
+	comp     bool
+	pprofOn  bool
+	verbose  bool
+
+	// Shard mode.
+	shardID      string
+	ring         string
+	ringVnodes   int
+	ringReplicas int
+	partSize     int
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8700", "listen address")
-		seed     = flag.Uint64("seed", 0, "deployment seed (0 = default)")
-		universe = flag.Int("universe", 1<<17, "simulated users per platform")
-		qps      = flag.Float64("qps", 0, "per-interface rate limit in queries/sec (0 = unlimited)")
-		burst    = flag.Float64("burst", 20, "rate-limit burst capacity")
-		storeDir = flag.String("store", "", "durable auditor-door cache directory (empty = uncached)")
-		warm     = flag.Bool("warm", false, "materialize all option audiences before serving")
-		comp     = flag.Bool("compressed", false, "materialize compressed audience forms for the query compiler")
-		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
-		verbose  = flag.Bool("v", false, "log every request")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8700", "listen address")
+	flag.Uint64Var(&cfg.seed, "seed", 0, "deployment seed (0 = default)")
+	flag.IntVar(&cfg.universe, "universe", 1<<17, "simulated users per platform (global size in shard mode)")
+	flag.Float64Var(&cfg.qps, "qps", 0, "per-interface rate limit in queries/sec (0 = unlimited)")
+	flag.Float64Var(&cfg.burst, "burst", 20, "rate-limit burst capacity")
+	flag.StringVar(&cfg.storeDir, "store", "", "durable auditor-door cache directory (empty = uncached)")
+	flag.BoolVar(&cfg.warm, "warm", false, "materialize all option audiences before serving")
+	flag.BoolVar(&cfg.comp, "compressed", false, "materialize compressed audience forms (shard mode: retain catalog audiences compressed-only)")
+	flag.BoolVar(&cfg.pprofOn, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	flag.BoolVar(&cfg.verbose, "v", false, "log every request")
+	flag.StringVar(&cfg.shardID, "shard-id", "", "serve as the named cluster shard (requires -ring)")
+	flag.StringVar(&cfg.ring, "ring", "", "comma-separated cluster node names, e.g. a,b,c (shard mode)")
+	flag.IntVar(&cfg.ringVnodes, "ring-vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+	flag.IntVar(&cfg.ringReplicas, "ring-replicas", 1, "replica owners per partition beyond the primary")
+	flag.IntVar(&cfg.partSize, "partition-size", 0, "users per ring partition (0 = default 65536)")
 	flag.Parse()
-	if err := run(*addr, *seed, *universe, *qps, *burst, *storeDir, *warm, *comp, *pprofOn, *verbose); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatalf("platformd: %v", err)
 	}
 }
 
-// buildHandler assembles the deployment and its HTTP handler.
-func buildHandler(seed uint64, universe int, qps, burst float64, st *store.Store, warm, compressed, pprofOn, verbose bool) (http.Handler, *platform.Deployment, error) {
-	log.Printf("platformd: building deployment (universe=%d users/platform, seed=%d)", universe, seed)
-	start := time.Now()
-	d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe, Compressed: compressed})
-	if err != nil {
-		return nil, nil, err
+// buildShardLayout parses the ring flags into the cluster layout every node
+// of a deployment must agree on.
+func buildShardLayout(cfg config) (*cluster.Layout, error) {
+	if cfg.ring == "" {
+		return nil, fmt.Errorf("-shard-id requires -ring with the full node list")
 	}
-	log.Printf("platformd: deployment ready in %v", time.Since(start))
-	if warm {
+	var nodes []string
+	for _, n := range strings.Split(cfg.ring, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	ring, err := cluster.NewRing(nodes, cfg.ringVnodes, cfg.ringReplicas)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewLayout(ring, cfg.universe, cfg.partSize)
+}
+
+// buildHandler assembles the deployment (full or shard slice) and its HTTP
+// handler.
+func buildHandler(cfg config, st *store.Store) (http.Handler, *platform.Deployment, error) {
+	dopts := platform.DeployOptions{Seed: cfg.seed, UniverseSize: cfg.universe, Compressed: cfg.comp}
+	var d *platform.Deployment
+	var shard *cluster.Shard
+	start := time.Now()
+	if cfg.shardID != "" {
+		layout, err := buildShardLayout(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("platformd: building shard %s (universe=%d global, %d partitions of %d, replicas=%d, seed=%d)",
+			cfg.shardID, cfg.universe, layout.NumPartitions(), layout.PartitionSize(), layout.Ring().Replicas(), cfg.seed)
+		shard, err = cluster.NewShard(cfg.shardID, layout, dopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		d = shard.Deployment()
+		local := 0
+		for _, p := range shard.Held() {
+			local += layout.Span(p).Len()
+		}
+		log.Printf("platformd: shard %s holds %d/%d partitions (%d users/platform) — ready in %v",
+			cfg.shardID, len(shard.Held()), layout.NumPartitions(), local, time.Since(start))
+	} else {
+		log.Printf("platformd: building deployment (universe=%d users/platform, seed=%d)", cfg.universe, cfg.seed)
+		var err error
+		d, err = platform.NewDeployment(dopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("platformd: deployment ready in %v", time.Since(start))
+	}
+	if cfg.warm {
 		start = time.Now()
 		for _, p := range d.Interfaces() {
 			p.Warm()
@@ -72,11 +150,14 @@ func buildHandler(seed uint64, universe int, qps, burst float64, st *store.Store
 		log.Printf("platformd: warm-up done in %v", time.Since(start))
 	}
 
-	opts := adapi.ServerOptions{RateLimit: qps, Burst: burst, Pprof: pprofOn}
+	opts := adapi.ServerOptions{RateLimit: cfg.qps, Burst: cfg.burst, Pprof: cfg.pprofOn}
 	if st != nil {
 		opts.Store = st
 	}
-	if verbose {
+	if shard != nil {
+		opts.Shard = shard
+	}
+	if cfg.verbose {
 		opts.Logf = log.Printf
 	}
 	srv, err := adapi.NewServer(d, opts)
@@ -86,11 +167,11 @@ func buildHandler(seed uint64, universe int, qps, burst float64, st *store.Store
 	return srv.Handler(), d, nil
 }
 
-func run(addr string, seed uint64, universe int, qps, burst float64, storeDir string, warm, compressed, pprofOn, verbose bool) error {
+func run(cfg config) error {
 	var st *store.Store
-	if storeDir != "" {
+	if cfg.storeDir != "" {
 		var err error
-		st, err = store.Open(storeDir, store.Options{})
+		st, err = store.Open(cfg.storeDir, store.Options{})
 		if err != nil {
 			return fmt.Errorf("opening store: %w", err)
 		}
@@ -103,17 +184,17 @@ func run(addr string, seed uint64, universe int, qps, burst float64, storeDir st
 		}()
 		log.Printf("platformd: auditor-door cache at %s (%d records loaded)", st.Dir(), st.Len())
 	}
-	handler, d, err := buildHandler(seed, universe, qps, burst, st, warm, compressed, pprofOn, verbose)
+	handler, d, err := buildHandler(cfg, st)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
@@ -121,8 +202,11 @@ func run(addr string, seed uint64, universe int, qps, burst float64, storeDir st
 	for _, p := range d.Interfaces() {
 		fmt.Printf("  %-20s http://%s/%s/{options,estimate,measure}\n", p.Name(), ln.Addr(), p.Name())
 	}
+	if cfg.shardID != "" {
+		fmt.Printf("  %-20s http://%s/cluster/count-batch\n", "cluster door", ln.Addr())
+	}
 	fmt.Printf("  %-20s http://%s/metrics\n", "metrics", ln.Addr())
-	if pprofOn {
+	if cfg.pprofOn {
 		fmt.Printf("  %-20s http://%s/debug/pprof/\n", "pprof", ln.Addr())
 	}
 

@@ -11,13 +11,15 @@ import (
 
 	"repro/internal/adapi"
 	"repro/internal/catalog"
+	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/platform"
 	"repro/internal/store"
 	"repro/internal/targeting"
 )
 
 func TestBuildHandlerServes(t *testing.T) {
-	handler, d, err := buildHandler(7, 8000, 0, 0, nil, true, true, true, false)
+	handler, d, err := buildHandler(config{seed: 7, universe: 8000, warm: true, comp: true, pprofOn: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestBuildHandlerWithStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	handler, _, err := buildHandler(7, 8000, 0, 0, st, false, false, false, false)
+	handler, _, err := buildHandler(config{seed: 7, universe: 8000}, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,14 +114,65 @@ func TestBuildHandlerWithStore(t *testing.T) {
 	}
 }
 
+func TestBuildHandlerShardMode(t *testing.T) {
+	cfg := config{
+		seed: 7, universe: 8000, comp: true,
+		shardID: "a", ring: "a, b", ringReplicas: 1, partSize: 1024,
+	}
+	handler, d, err := buildHandler(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("no deployment returned")
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// The cluster door answers raw counts for a held partition.
+	conn := adapi.NewShardConn("a", ts.URL, nil)
+	ring, err := cluster.NewRing([]string{"a", "b"}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, 8000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := layout.HeldPartitions("a")
+	if len(held) == 0 {
+		t.Skip("shard a holds nothing at this size")
+	}
+	res, err := conn.CountBatch(context.Background(), catalog.PlatformFacebook, platform.DoorMeasure,
+		held[:1], []platform.EstimateRequest{{Spec: targeting.Attr(0)}})
+	if err != nil {
+		t.Fatalf("cluster door: %v", err)
+	}
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("cluster door result: %+v", res)
+	}
+	if res[0].Count < 0 || res[0].Count > int64(layout.Span(held[0]).Len()) {
+		t.Fatalf("raw count %d outside partition bounds", res[0].Count)
+	}
+}
+
+func TestBuildHandlerShardModeErrors(t *testing.T) {
+	if _, _, err := buildHandler(config{seed: 7, universe: 8000, shardID: "a"}, nil); err == nil {
+		t.Fatal("-shard-id without -ring accepted")
+	}
+	if _, _, err := buildHandler(config{seed: 7, universe: 8000, shardID: "zz", ring: "a,b"}, nil); err == nil {
+		t.Fatal("shard id outside ring accepted")
+	}
+}
+
 func TestBuildHandlerBadUniverse(t *testing.T) {
-	if _, _, err := buildHandler(7, 10, 0, 0, nil, false, false, false, false); err == nil {
+	if _, _, err := buildHandler(config{seed: 7, universe: 10}, nil); err == nil {
 		t.Fatal("tiny universe accepted")
 	}
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.256.256.256:99999", 7, 8000, 0, 0, "", false, false, false, false); err == nil {
+	if err := run(config{addr: "256.256.256.256:99999", seed: 7, universe: 8000}); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }

@@ -191,7 +191,10 @@ func (c *Client) MeasureManyContext(ctx context.Context, specs []targeting.Spec)
 		}
 		out[i].Size, out[i].Err = c.codec.DecodeResponse(slot.Body)
 		if out[i].Err != nil {
-			out[i].Err = fmt.Errorf("adapi: malformed batch slot %d: %w", i, out[i].Err)
+			// Identify the slot by its spec's canonical key: batch indices
+			// mean nothing to a caller that deduplicated or reordered specs,
+			// while the canonical key names the exact query that failed.
+			out[i].Err = fmt.Errorf("adapi: malformed batch slot %s: %w", targeting.Canonical(specs[i]), out[i].Err)
 		}
 	}
 	return out

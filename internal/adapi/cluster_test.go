@@ -1,0 +1,275 @@
+package adapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/targeting"
+)
+
+// startShardServer mounts one cluster shard behind a full adapi server, the
+// way platformd -shard-id runs it.
+func startShardServer(t *testing.T, s *cluster.Shard) *httptest.Server {
+	t.Helper()
+	srv, err := NewServer(s.Deployment(), ServerOptions{Metrics: obs.NewRegistry(), Shard: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClusterDoorEndToEnd runs a 3-shard cluster over real HTTP — each
+// shard behind its own adapi server, the coordinator wired through
+// ShardConn — and checks scatter-gather MeasureMany is bit-identical to
+// the single-node deployment.
+func TestClusterDoorEndToEnd(t *testing.T) {
+	const size = 15000
+	opts := platform.DeployOptions{Seed: 21, UniverseSize: size, Metrics: obs.NewRegistry()}
+	single := serverDeploy(t)
+
+	nodes := []string{"s0", "s1", "s2"}
+	ring, err := cluster.NewRing(nodes, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, size, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]cluster.Conn, 0, len(nodes))
+	for _, n := range nodes {
+		s, err := cluster.NewShard(n, layout, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := startShardServer(t, s)
+		conns = append(conns, NewShardConn(n, ts.URL, nil))
+	}
+	coord, err := cluster.NewCoordinator(cluster.Options{
+		Layout:  layout,
+		Conns:   conns,
+		Deploy:  opts,
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range single.Interfaces() {
+		specs := batchSpecs(len(p.Catalog().Attributes))
+		reqs := make([]platform.EstimateRequest, len(specs))
+		for i := range specs {
+			reqs[i] = platform.EstimateRequest{Spec: specs[i]}
+		}
+		got, err := coord.MeasureMany(p.Name(), reqs)
+		if err != nil {
+			t.Fatalf("%s: cluster over HTTP: %v", p.Name(), err)
+		}
+		want, err := p.MeasureMany(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			if (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("%s slot %d: cluster err=%v, single err=%v", p.Name(), i, got[i].Err, want[i].Err)
+			}
+			if want[i].Err == nil && got[i].Size != want[i].Size {
+				t.Fatalf("%s slot %d: cluster size %d, single %d", p.Name(), i, got[i].Size, want[i].Size)
+			}
+		}
+	}
+}
+
+// TestClusterDoorFailover kills one shard's HTTP server mid-cluster: the
+// coordinator must fail its partitions over to the replica servers and
+// still match the single node.
+func TestClusterDoorFailover(t *testing.T) {
+	const size = 15000
+	opts := platform.DeployOptions{Seed: 21, UniverseSize: size, Metrics: obs.NewRegistry()}
+	single := serverDeploy(t)
+
+	nodes := []string{"s0", "s1", "s2"}
+	ring, err := cluster.NewRing(nodes, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, size, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make(map[string]*httptest.Server, len(nodes))
+	conns := make([]cluster.Conn, 0, len(nodes))
+	for _, n := range nodes {
+		s, err := cluster.NewShard(n, layout, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := startShardServer(t, s)
+		servers[n] = ts
+		conns = append(conns, NewShardConn(n, ts.URL, nil))
+	}
+	coord, err := cluster.NewCoordinator(cluster.Options{
+		Layout:  layout,
+		Conns:   conns,
+		Deploy:  opts,
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers["s1"].Close() // connection refused from here on
+
+	p := single.Facebook
+	reqs := []platform.EstimateRequest{
+		{Spec: targeting.Attr(0)},
+		{Spec: targeting.And(targeting.Attr(1), targeting.Attr(2))},
+	}
+	got, err := coord.MeasureMany(p.Name(), reqs)
+	if err != nil {
+		t.Fatalf("failover over HTTP: %v", err)
+	}
+	want, err := p.MeasureMany(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if got[i].Err != nil || want[i].Err != nil {
+			t.Fatalf("slot %d: unexpected errs %v / %v", i, got[i].Err, want[i].Err)
+		}
+		if got[i].Size != want[i].Size {
+			t.Fatalf("slot %d: failover size %d, single %d", i, got[i].Size, want[i].Size)
+		}
+	}
+}
+
+// TestClusterDoorPartitionNotHeld checks the typed error survives the HTTP
+// round trip: the coordinator's failover logic matches it with errors.Is.
+func TestClusterDoorPartitionNotHeld(t *testing.T) {
+	const size = 15000
+	opts := platform.DeployOptions{Seed: 21, UniverseSize: size, Metrics: obs.NewRegistry()}
+	nodes := []string{"s0", "s1", "s2"}
+	ring, err := cluster.NewRing(nodes, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, size, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cluster.NewShard("s0", layout, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foreign uint32
+	found := false
+	for p := 0; p < layout.NumPartitions(); p++ {
+		if layout.Primary(uint32(p)) != "s0" {
+			foreign, found = uint32(p), true
+			break
+		}
+	}
+	if !found {
+		t.Skip("s0 owns everything")
+	}
+	ts := startShardServer(t, s)
+	conn := NewShardConn("s0", ts.URL, nil)
+	_, err = conn.CountBatch(context.Background(), catalog.PlatformFacebook, platform.DoorMeasure,
+		[]uint32{foreign}, []platform.EstimateRequest{{Spec: targeting.Attr(0)}})
+	if !errors.Is(err, cluster.ErrPartitionNotHeld) {
+		t.Fatalf("foreign partition over HTTP: got %v, want ErrPartitionNotHeld", err)
+	}
+}
+
+// TestShardConnRejectsMiswiredShard: a conn that reaches the wrong shard
+// must fail loudly instead of merging the wrong partial counts.
+func TestShardConnRejectsMiswiredShard(t *testing.T) {
+	const size = 15000
+	opts := platform.DeployOptions{Seed: 21, UniverseSize: size, Metrics: obs.NewRegistry()}
+	ring, err := cluster.NewRing([]string{"s0", "s1"}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, size, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := cluster.NewShard("s0", layout, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startShardServer(t, s0)
+	conn := NewShardConn("s1", ts.URL, nil) // claims s1, reaches s0
+	_, err = conn.CountBatch(context.Background(), catalog.PlatformFacebook, platform.DoorMeasure,
+		layout.PrimaryPartitions("s0")[:1], []platform.EstimateRequest{{Spec: targeting.Attr(0)}})
+	if err == nil || !strings.Contains(err.Error(), "reached shard") {
+		t.Fatalf("miswired conn: got %v, want shard mismatch error", err)
+	}
+}
+
+// TestBatchSlotErrorNamesCanonicalKey is the regression test for the batch
+// client's malformed-slot error: it must identify the failing slot by the
+// spec's canonical key, not a bare batch index.
+func TestBatchSlotErrorNamesCanonicalKey(t *testing.T) {
+	codec, err := CodecFor(catalog.PlatformFacebook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/facebook/options", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(optionsResponse{
+			Platform:   catalog.PlatformFacebook,
+			Attributes: []string{"a0", "a1", "a2"},
+		})
+	})
+	mux.HandleFunc("/facebook/measure-batch", func(w http.ResponseWriter, r *http.Request) {
+		good, err := codec.EncodeResponse(4200)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Slot 0 decodes; slot 1's body is valid JSON but not a valid
+		// dialect response, so DecodeResponse fails client-side.
+		resp := batchResponse{Results: []batchSlot{
+			{Body: good},
+			{Body: json.RawMessage(`{"nonsense":true}`)},
+		}}
+		json.NewEncoder(w).Encode(resp)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c, err := NewClient(context.Background(), ts.URL, catalog.PlatformFacebook, ClientOptions{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []targeting.Spec{
+		targeting.Attr(0),
+		targeting.And(targeting.Attr(1), targeting.Attr(2)),
+	}
+	res := c.MeasureMany(specs)
+	if res[0].Err != nil {
+		t.Fatalf("slot 0 should decode: %v", res[0].Err)
+	}
+	if res[1].Err == nil {
+		t.Fatal("slot 1 should fail to decode")
+	}
+	key := targeting.Canonical(specs[1])
+	if !strings.Contains(res[1].Err.Error(), key) {
+		t.Fatalf("malformed-slot error %q does not name canonical key %q", res[1].Err, key)
+	}
+	if strings.Contains(res[1].Err.Error(), fmt.Sprintf("slot %d:", 1)) {
+		t.Fatalf("malformed-slot error %q still uses the batch index", res[1].Err)
+	}
+}

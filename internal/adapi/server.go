@@ -53,6 +53,10 @@ type ServerOptions struct {
 	// without querying the platform and survive restarts. The advertiser
 	// door is never cached. See internal/store for the on-disk format.
 	Store MeasurementStore
+	// Shard, when set, mounts the cluster door (POST /cluster/count-batch):
+	// the raw-count endpoint a coordinator scatters batches to. Set by
+	// platformd in shard mode.
+	Shard ShardBackend
 }
 
 // Server exposes a Deployment's interfaces over HTTP, each in its own JSON
@@ -138,6 +142,9 @@ func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 		s.mux.Handle(prefix+"/measure", h.wrap(h.handleMeasure, http.MethodPost, "measure"))
 		s.mux.Handle(prefix+"/measure-batch", h.wrap(h.handleMeasureBatch, http.MethodPost, "measure-batch"))
 		s.registerAudienceRoutes(h)
+	}
+	if opts.Shard != nil {
+		s.registerClusterRoutes(opts.Shard)
 	}
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,141 @@
+package audience
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// buildSetPattern fills a dense set with a deterministic mixture that forces
+// all three container forms: a sparse salt (array chunks), a dense band
+// (bitmap chunks), long runs (run chunks), and empty chunks in between.
+func buildSetPattern(n int, seed uint64) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		chunk := i >> chunkBits
+		switch chunk % 4 {
+		case 0: // sparse
+			if xrand.Mix(seed, 1, uint64(i))%97 == 0 {
+				s.Add(i)
+			}
+		case 1: // dense
+			if xrand.Mix(seed, 2, uint64(i))%3 != 0 {
+				s.Add(i)
+			}
+		case 2: // runs
+			if (i>>9)%2 == 0 {
+				s.Add(i)
+			}
+		default: // mostly empty, a few stragglers
+			if xrand.Mix(seed, 3, uint64(i))%5011 == 0 {
+				s.Add(i)
+			}
+		}
+	}
+	return s
+}
+
+// setEq compares two dense sets word for word.
+func setEq(a, b *Set) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSetCSetOpsMatchDense pins the dense×compressed in-place kernels
+// against their dense×dense counterparts at container-boundary sizes.
+func TestSetCSetOpsMatchDense(t *testing.T) {
+	sizes := []int{63, 1000, chunkSize - 1, chunkSize, chunkSize + 1, 2*chunkSize + 100, 4*chunkSize + 63}
+	for _, n := range sizes {
+		a := buildSetPattern(n, 11)
+		b := buildSetPattern(n, 22)
+		cb := FromSet(b)
+
+		or := a.Clone()
+		or.OrWithC(cb)
+		wantOr := a.Clone()
+		wantOr.OrWith(b)
+		if !setEq(or, wantOr) {
+			t.Fatalf("n=%d: OrWithC mismatch (got %d, want %d)", n, or.Count(), wantOr.Count())
+		}
+
+		and := a.Clone()
+		and.AndWithC(cb)
+		wantAnd := a.Clone()
+		wantAnd.AndWith(b)
+		if !setEq(and, wantAnd) {
+			t.Fatalf("n=%d: AndWithC mismatch (got %d, want %d)", n, and.Count(), wantAnd.Count())
+		}
+
+		not := a.Clone()
+		not.AndNotWithC(cb)
+		wantNot := a.Clone()
+		wantNot.AndNotWith(b)
+		if !setEq(not, wantNot) {
+			t.Fatalf("n=%d: AndNotWithC mismatch (got %d, want %d)", n, not.Count(), wantNot.Count())
+		}
+	}
+}
+
+// TestSetCSetOpsEdgeSets covers the degenerate operands: empty and full
+// compressed sets against empty, full, and patterned accumulators.
+func TestSetCSetOpsEdgeSets(t *testing.T) {
+	const n = chunkSize + 513
+	empty := New(n)
+	full := New(n)
+	full.Fill()
+	pat := buildSetPattern(n, 7)
+
+	for _, acc := range []*Set{empty, full, pat} {
+		for _, operand := range []*Set{empty, full, pat} {
+			c := FromSet(operand)
+
+			or := acc.Clone()
+			or.OrWithC(c)
+			wantOr := acc.Clone()
+			wantOr.OrWith(operand)
+			if !setEq(or, wantOr) {
+				t.Fatalf("OrWithC edge mismatch (acc=%d op=%d)", acc.Count(), operand.Count())
+			}
+
+			and := acc.Clone()
+			and.AndWithC(c)
+			wantAnd := acc.Clone()
+			wantAnd.AndWith(operand)
+			if !setEq(and, wantAnd) {
+				t.Fatalf("AndWithC edge mismatch (acc=%d op=%d)", acc.Count(), operand.Count())
+			}
+
+			not := acc.Clone()
+			not.AndNotWithC(c)
+			wantNot := acc.Clone()
+			wantNot.AndNotWith(operand)
+			if !setEq(not, wantNot) {
+				t.Fatalf("AndNotWithC edge mismatch (acc=%d op=%d)", acc.Count(), operand.Count())
+			}
+		}
+	}
+}
+
+// TestClearBitRange pins the masked range-clear helper across word
+// boundaries.
+func TestClearBitRange(t *testing.T) {
+	const n = 256
+	for _, r := range [][2]int{{0, 0}, {0, 1}, {0, 64}, {63, 65}, {1, 255}, {64, 192}, {100, 101}, {0, n}} {
+		s := New(n)
+		s.Fill()
+		clearBitRange(s.words, r[0], r[1])
+		for i := 0; i < n; i++ {
+			want := i < r[0] || i >= r[1]
+			if s.Contains(i) != want {
+				t.Fatalf("clearBitRange(%d, %d): bit %d = %v, want %v", r[0], r[1], i, s.Contains(i), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/targeting"
+	"repro/internal/xrand"
+)
+
+// Equivalence battery settings: a universe small enough to rebuild per
+// shard count, partitions small enough that 16 shards all hold something.
+const (
+	eqUniverse  = 1 << 16
+	eqPartition = 1 << 12
+	eqSeed      = 7_2020
+)
+
+// clusterNodes names n shards.
+func clusterNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%02d", i)
+	}
+	return out
+}
+
+// buildCluster assembles an in-process cluster: ring, layout, one Shard per
+// node, and a coordinator wired straight to the shards.
+func buildCluster(t testing.TB, nodes []string, replicas int, opts platform.DeployOptions, partitionSize int) (*Coordinator, []*Shard) {
+	t.Helper()
+	ring, err := NewRing(nodes, 0, replicas)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	layout, err := NewLayout(ring, opts.UniverseSize, partitionSize)
+	if err != nil {
+		t.Fatalf("NewLayout: %v", err)
+	}
+	shards := make([]*Shard, 0, len(nodes))
+	conns := make([]Conn, 0, len(nodes))
+	for _, n := range nodes {
+		s, err := NewShard(n, layout, opts)
+		if err != nil {
+			t.Fatalf("NewShard(%s): %v", n, err)
+		}
+		shards = append(shards, s)
+		conns = append(conns, s)
+	}
+	coord, err := NewCoordinator(Options{
+		Layout:  layout,
+		Conns:   conns,
+		Deploy:  opts,
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return coord, shards
+}
+
+// clusterBatch builds a mixed batch against p: every spec shape the doors
+// accept or reject — plain attributes, ANDs, OR clauses, demographic
+// conditioning (the conditioned chain-fusion path), exclusions, topics,
+// unknown ids, empty specs — across objectives and frequency caps. It
+// mirrors the platform package's batch generator so the cluster battery
+// covers the same surface the single-node battery pins.
+func clusterBatch(p *platform.Interface, seed uint64, n int) []platform.EstimateRequest {
+	rng := xrand.New(xrand.Mix(seed, 99))
+	nAttr := len(p.Catalog().Attributes)
+	nTopic := len(p.Catalog().Topics)
+	objectives := []platform.Objective{
+		"", platform.ObjectiveReach, platform.ObjectiveBrandAwarenessReach,
+		platform.ObjectiveBrandAwareness, platform.ObjectiveTraffic, "bogus",
+	}
+	caps := []int{0, 0, 0, 1, 3, 30, 31, -2}
+	reqs := make([]platform.EstimateRequest, n)
+	for i := range reqs {
+		var spec targeting.Spec
+		switch rng.Intn(9) {
+		case 0: // single attribute
+			spec = targeting.Attr(rng.Intn(nAttr))
+		case 1: // AND of two attributes (chain fusion on the compiled path)
+			spec = targeting.And(targeting.Attr(rng.Intn(nAttr)), targeting.Attr(rng.Intn(nAttr)))
+		case 2: // attribute ∧ topic (the only AND Google accepts)
+			if nTopic > 0 {
+				spec = targeting.And(targeting.Attr(rng.Intn(nAttr)), targeting.Topic(rng.Intn(nTopic)))
+			} else {
+				spec = targeting.Attr(rng.Intn(nAttr))
+			}
+		case 3: // OR clause of two attributes
+			spec = targeting.Spec{Include: []targeting.Clause{{
+				{Kind: targeting.KindAttribute, ID: rng.Intn(nAttr)},
+				{Kind: targeting.KindAttribute, ID: rng.Intn(nAttr)},
+			}}}
+		case 4: // attribute conditioned on a demographic (reach-style audit query)
+			spec = targeting.And(targeting.Attr(rng.Intn(nAttr)))
+			spec.Include = append(spec.Include, targeting.Clause{{Kind: targeting.KindGender, ID: rng.Intn(2)}})
+		case 5: // attribute conditioned on gender ∧ age ∧ location (the full audit chain)
+			spec = targeting.And(targeting.Attr(rng.Intn(nAttr)))
+			spec.Include = append(spec.Include,
+				targeting.Clause{{Kind: targeting.KindGender, ID: rng.Intn(2)}},
+				targeting.Clause{{Kind: targeting.KindAge, ID: rng.Intn(4)}},
+				targeting.Clause{{Kind: targeting.KindLocation, ID: 0}},
+			)
+		case 6: // attribute minus an attribute (exclusions are rule-gated)
+			spec = targeting.Attr(rng.Intn(nAttr))
+			spec.Exclude = []targeting.Clause{{{Kind: targeting.KindAttribute, ID: rng.Intn(nAttr)}}}
+		case 7: // unknown option id
+			spec = targeting.Attr(nAttr + rng.Intn(10))
+		default: // empty spec
+			spec = targeting.Spec{}
+		}
+		reqs[i] = platform.EstimateRequest{
+			Spec:                 spec,
+			Objective:            objectives[rng.Intn(len(objectives))],
+			FrequencyCapPerMonth: caps[rng.Intn(len(caps))],
+		}
+	}
+	return reqs
+}
+
+// matchSlot asserts one scatter-gather slot equals the single-node outcome
+// bit for bit: same size, or an error with the same message.
+func matchSlot(t *testing.T, ctxt string, i int, got platform.Estimate, want platform.Estimate) {
+	t.Helper()
+	if (got.Err == nil) != (want.Err == nil) {
+		t.Fatalf("%s slot %d: cluster err=%v, single-node err=%v", ctxt, i, got.Err, want.Err)
+	}
+	if want.Err != nil {
+		if got.Err.Error() != want.Err.Error() {
+			t.Fatalf("%s slot %d: cluster err %q, single-node err %q", ctxt, i, got.Err, want.Err)
+		}
+		return
+	}
+	if got.Size != want.Size {
+		t.Fatalf("%s slot %d: cluster size %d, single-node size %d", ctxt, i, got.Size, want.Size)
+	}
+}
+
+// TestClusterEquivalence is the battery the tentpole hangs from: for shard
+// counts N ∈ {1, 2, 3, 7, 16}, scatter-gather MeasureMany and EstimateMany
+// over every interface must be bit-identical (post-rounding) to the
+// single-node deployment on the same seeded universe — sizes and error
+// messages both. The single node runs the compiled-plan path, the shards
+// run the compressed-only shard path, so agreement pins the whole stack:
+// span-restricted population build, CSet evaluation kernels, raw-count
+// additivity, and the coordinator's merge-then-round order.
+func TestClusterEquivalence(t *testing.T) {
+	opts := platform.DeployOptions{
+		Seed:         eqSeed,
+		UniverseSize: eqUniverse,
+		Compressed:   true,
+		Metrics:      obs.NewRegistry(),
+	}
+	single, err := platform.NewDeployment(platform.DeployOptions{
+		Seed:         eqSeed,
+		UniverseSize: eqUniverse,
+		Metrics:      obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("single-node deployment: %v", err)
+	}
+
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			t.Parallel()
+			replicas := 1
+			if n == 1 {
+				replicas = 0
+			}
+			coord, _ := buildCluster(t, clusterNodes(n), replicas, opts, eqPartition)
+			for _, p := range single.Interfaces() {
+				reqs := clusterBatch(p, uint64(3000+n), 48)
+
+				got, err := coord.MeasureMany(p.Name(), reqs)
+				if err != nil {
+					t.Fatalf("%s: cluster MeasureMany: %v", p.Name(), err)
+				}
+				want, err := p.MeasureMany(reqs)
+				if err != nil {
+					t.Fatalf("%s: single MeasureMany: %v", p.Name(), err)
+				}
+				for i := range reqs {
+					matchSlot(t, p.Name()+"/measure", i, got[i], want[i])
+				}
+
+				got, err = coord.EstimateMany(p.Name(), reqs)
+				if err != nil {
+					t.Fatalf("%s: cluster EstimateMany: %v", p.Name(), err)
+				}
+				want, err = p.EstimateMany(reqs)
+				if err != nil {
+					t.Fatalf("%s: single EstimateMany: %v", p.Name(), err)
+				}
+				for i := range reqs {
+					matchSlot(t, p.Name()+"/estimate", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestClusterEquivalenceLargeUniverse is the acceptance-scale variant of
+// the battery: 3 shards over a seeded 2^20 universe, scatter-gather
+// MeasureMany bit-identical to the single node. One shard count and a
+// tighter batch keep it tractable where the N-sweep above stays at 2^16.
+func TestClusterEquivalenceLargeUniverse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2^20 universe build in -short mode")
+	}
+	const size = 1 << 20
+	opts := platform.DeployOptions{
+		Seed:         eqSeed,
+		UniverseSize: size,
+		Compressed:   true,
+		Metrics:      obs.NewRegistry(),
+	}
+	single, err := platform.NewDeployment(platform.DeployOptions{
+		Seed:         eqSeed,
+		UniverseSize: size,
+		Metrics:      obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("single-node deployment: %v", err)
+	}
+	coord, _ := buildCluster(t, clusterNodes(3), 1, opts, 1<<16)
+	for _, p := range single.Interfaces() {
+		reqs := clusterBatch(p, 2020, 24)
+		got, err := coord.MeasureMany(p.Name(), reqs)
+		if err != nil {
+			t.Fatalf("%s: cluster MeasureMany: %v", p.Name(), err)
+		}
+		want, err := p.MeasureMany(reqs)
+		if err != nil {
+			t.Fatalf("%s: single MeasureMany: %v", p.Name(), err)
+		}
+		for i := range reqs {
+			matchSlot(t, p.Name()+"/measure", i, got[i], want[i])
+		}
+	}
+}
+
+// TestClusterSerialDoors pins the single-request doors (Measure/Estimate)
+// against the single-node serial path on a 3-shard cluster, including the
+// error cases.
+func TestClusterSerialDoors(t *testing.T) {
+	opts := platform.DeployOptions{
+		Seed:         eqSeed,
+		UniverseSize: eqUniverse,
+		Compressed:   true,
+		Metrics:      obs.NewRegistry(),
+	}
+	single, err := platform.NewDeployment(platform.DeployOptions{
+		Seed: eqSeed, UniverseSize: eqUniverse, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("single-node deployment: %v", err)
+	}
+	coord, _ := buildCluster(t, clusterNodes(3), 1, opts, eqPartition)
+
+	for _, p := range single.Interfaces() {
+		for i, req := range clusterBatch(p, 4242, 24) {
+			gotSize, gotErr := coord.Measure(p.Name(), req)
+			wantSize, wantErr := p.Measure(req)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s req %d: cluster Measure err=%v, single err=%v", p.Name(), i, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("%s req %d: cluster Measure err %q, single err %q", p.Name(), i, gotErr, wantErr)
+				}
+				continue
+			}
+			if gotSize != wantSize {
+				t.Fatalf("%s req %d: cluster Measure %d, single %d", p.Name(), i, gotSize, wantSize)
+			}
+
+			gotSize, gotErr = coord.Estimate(p.Name(), req)
+			wantSize, wantErr = p.Estimate(req)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s req %d: cluster Estimate err=%v, single err=%v", p.Name(), i, gotErr, wantErr)
+			}
+			if wantErr == nil && gotSize != wantSize {
+				t.Fatalf("%s req %d: cluster Estimate %d, single %d", p.Name(), i, gotSize, wantSize)
+			}
+		}
+	}
+}
+
+// TestClusterProvider checks the core.Provider adapter: names, catalog
+// views, and batched measurement all flow through the scatter path and
+// match the single node.
+func TestClusterProvider(t *testing.T) {
+	opts := platform.DeployOptions{
+		Seed:         eqSeed,
+		UniverseSize: eqUniverse,
+		Compressed:   true,
+		Metrics:      obs.NewRegistry(),
+	}
+	single, err := platform.NewDeployment(platform.DeployOptions{
+		Seed: eqSeed, UniverseSize: eqUniverse, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("single-node deployment: %v", err)
+	}
+	coord, _ := buildCluster(t, clusterNodes(2), 1, opts, eqPartition)
+
+	p := single.Facebook
+	prov, err := coord.Provider(p.Name())
+	if err != nil {
+		t.Fatalf("Provider: %v", err)
+	}
+	if prov.Name() != p.Name() {
+		t.Fatalf("provider name %q, want %q", prov.Name(), p.Name())
+	}
+	if got, want := len(prov.AttributeNames()), len(p.Catalog().Attributes); got != want {
+		t.Fatalf("provider has %d attributes, want %d", got, want)
+	}
+	if got, want := len(prov.TopicNames()), len(p.Catalog().Topics); got != want {
+		t.Fatalf("provider has %d topics, want %d", got, want)
+	}
+	if got, want := prov.CrossFeature(), !p.Rules().AndWithinFeature; got != want {
+		t.Fatalf("provider CrossFeature %v, want %v", got, want)
+	}
+	if got, err := prov.Measure(targeting.Attr(0)); err != nil {
+		t.Fatalf("provider Measure: %v", err)
+	} else if want, _ := p.Measure(platform.EstimateRequest{Spec: targeting.Attr(0)}); got != want {
+		t.Fatalf("provider Measure %d, single %d", got, want)
+	}
+	specs := []targeting.Spec{
+		targeting.Attr(0),
+		targeting.And(targeting.Attr(1), targeting.Attr(2)),
+		targeting.Attr(len(p.Catalog().Attributes) + 5), // unknown
+	}
+	bm, ok := prov.(core.BatchMeasurer)
+	if !ok {
+		t.Fatal("cluster provider should implement core.BatchMeasurer")
+	}
+	res := bm.MeasureMany(specs)
+	for i, spec := range specs {
+		wantSize, wantErr := p.Measure(platform.EstimateRequest{Spec: spec})
+		if (res[i].Err == nil) != (wantErr == nil) {
+			t.Fatalf("spec %d: provider err=%v, single err=%v", i, res[i].Err, wantErr)
+		}
+		if wantErr == nil && res[i].Size != wantSize {
+			t.Fatalf("spec %d: provider size %d, single %d", i, res[i].Size, wantSize)
+		}
+	}
+	if _, err := coord.Provider("nope"); err == nil {
+		t.Fatal("Provider(nope) should fail")
+	}
+}
+
+// TestCoordinatorValidation exercises the constructor's error paths.
+func TestCoordinatorValidation(t *testing.T) {
+	ring, err := NewRing([]string{"a", "b"}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := NewLayout(ring, 1<<12, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(Options{}); err == nil {
+		t.Fatal("nil layout should fail")
+	}
+	if _, err := NewCoordinator(Options{Layout: layout}); err == nil {
+		t.Fatal("missing conns should fail")
+	}
+	opts := platform.DeployOptions{Seed: 1, UniverseSize: 1 << 12, Metrics: obs.NewRegistry()}
+	sa, err := NewShard("a", layout, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(Options{Layout: layout, Conns: []Conn{sa, sa}, Deploy: opts}); err == nil {
+		t.Fatal("duplicate conns should fail")
+	}
+	if _, err := NewShard("zz", layout, opts); err == nil {
+		t.Fatal("shard not in ring should fail")
+	}
+}
+
+// TestShardRejectsForeignPartition pins the ErrPartitionNotHeld contract
+// the coordinator's failover leans on.
+func TestShardRejectsForeignPartition(t *testing.T) {
+	ring, err := NewRing(clusterNodes(3), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := NewLayout(ring, 1<<14, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := platform.DeployOptions{Seed: 3, UniverseSize: 1 << 14, Metrics: obs.NewRegistry()}
+	s, err := NewShard("shard-00", layout, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Deployment() == nil {
+		t.Fatal("shard has no deployment")
+	}
+	if got, want := s.Held(), layout.HeldPartitions("shard-00"); len(got) != len(want) {
+		t.Fatalf("shard holds %d partitions, layout says %d", len(got), len(want))
+	}
+	var foreign uint32
+	found := false
+	for p := 0; p < layout.NumPartitions(); p++ {
+		if layout.Primary(uint32(p)) != "shard-00" {
+			foreign, found = uint32(p), true
+			break
+		}
+	}
+	if !found {
+		t.Skip("shard-00 owns everything at this size")
+	}
+	req := []platform.EstimateRequest{{Spec: targeting.Attr(0)}}
+	if _, err := s.CountBatch(context.Background(), catalog.PlatformFacebook, platform.DoorMeasure, []uint32{foreign}, req); !errors.Is(err, ErrPartitionNotHeld) {
+		t.Fatalf("foreign partition: got %v, want ErrPartitionNotHeld", err)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/population"
+)
+
+// DefaultPartitionSize is the user-ID range assigned as one unit: one CSet
+// chunk (2^16 users), so a partition boundary is always a container
+// boundary and a chunk never straddles shards.
+const DefaultPartitionSize = 1 << 16
+
+// Layout maps the global user-ID space onto a ring: the space is cut into
+// fixed-size partitions (the consistent-hash keys), each owned by a primary
+// shard and replicated on the ring's replica successors. All three platform
+// universes of a deployment share one layout — they are the same ID space.
+type Layout struct {
+	ring          *Ring
+	universeSize  int
+	partitionSize int
+	numParts      int
+}
+
+// NewLayout builds a layout. partitionSize <= 0 selects
+// DefaultPartitionSize; it must be a multiple of 64 (bitset words must not
+// straddle partitions — the shard spans it produces feed
+// population.NewShard, which enforces the same alignment).
+func NewLayout(ring *Ring, universeSize, partitionSize int) (*Layout, error) {
+	if ring == nil {
+		return nil, fmt.Errorf("cluster: layout needs a ring")
+	}
+	if universeSize <= 0 {
+		return nil, fmt.Errorf("cluster: universe size must be positive, got %d", universeSize)
+	}
+	if partitionSize <= 0 {
+		partitionSize = DefaultPartitionSize
+	}
+	if partitionSize%64 != 0 {
+		return nil, fmt.Errorf("cluster: partition size %d not a multiple of 64", partitionSize)
+	}
+	return &Layout{
+		ring:          ring,
+		universeSize:  universeSize,
+		partitionSize: partitionSize,
+		numParts:      (universeSize + partitionSize - 1) / partitionSize,
+	}, nil
+}
+
+// Ring returns the layout's ring.
+func (l *Layout) Ring() *Ring { return l.ring }
+
+// UniverseSize returns the global ID-space size.
+func (l *Layout) UniverseSize() int { return l.universeSize }
+
+// PartitionSize returns the partition width in users.
+func (l *Layout) PartitionSize() int { return l.partitionSize }
+
+// NumPartitions returns the partition count (the last may be short).
+func (l *Layout) NumPartitions() int { return l.numParts }
+
+// Span returns the global-ID span of partition p.
+func (l *Layout) Span(p uint32) population.Span {
+	lo := int(p) * l.partitionSize
+	hi := lo + l.partitionSize
+	if hi > l.universeSize {
+		hi = l.universeSize
+	}
+	return population.Span{Lo: lo, Hi: hi}
+}
+
+// Primary returns the shard that owns partition p.
+func (l *Layout) Primary(p uint32) string { return l.ring.Primary(uint64(p)) }
+
+// Owners returns partition p's owner set, primary first.
+func (l *Layout) Owners(p uint32) []string { return l.ring.Owners(uint64(p)) }
+
+// PrimaryPartitions returns the partitions node owns as primary, ascending.
+func (l *Layout) PrimaryPartitions(node string) []uint32 {
+	var out []uint32
+	for p := 0; p < l.numParts; p++ {
+		if l.Primary(uint32(p)) == node {
+			out = append(out, uint32(p))
+		}
+	}
+	return out
+}
+
+// HeldPartitions returns every partition node must materialize — the ones
+// it owns as primary or holds as a replica — ascending.
+func (l *Layout) HeldPartitions(node string) []uint32 {
+	var out []uint32
+	for p := 0; p < l.numParts; p++ {
+		for _, o := range l.Owners(uint32(p)) {
+			if o == node {
+				out = append(out, uint32(p))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ShardSpans merges node's held partitions into the ascending span list its
+// shard deployment materializes (population.NewShard input).
+func (l *Layout) ShardSpans(node string) []population.Span {
+	held := l.HeldPartitions(node)
+	spans := make([]population.Span, 0, len(held))
+	for _, p := range held {
+		s := l.Span(p)
+		if n := len(spans); n > 0 && spans[n-1].Hi == s.Lo {
+			spans[n-1].Hi = s.Hi
+			continue
+		}
+		spans = append(spans, s)
+	}
+	return spans
+}
+
+// localRanges maps held partitions (ascending) to the local index ranges of
+// a shard that materialized exactly those partitions in order.
+func (l *Layout) localRanges(held []uint32) map[uint32]platform.IndexRange {
+	local := make(map[uint32]platform.IndexRange, len(held))
+	lo := 0
+	for _, p := range held {
+		n := l.Span(p).Len()
+		local[p] = platform.IndexRange{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return local
+}

@@ -1,0 +1,168 @@
+// Package cluster partitions the simulated user universe across N platformd
+// shards behind a consistent-hash coordinator, the multi-node frontier of
+// the reproduction (ROADMAP: audits on 2^24–2^27 real users instead of one
+// process extrapolating via ScaleFactor).
+//
+// The design leans entirely on one property of the population layer: every
+// per-user draw is a stateless hash of (seed, global user ID). A shard that
+// materializes only the ID spans it owns is therefore bit-identical to that
+// slice of the full universe, raw matched-user counts over disjoint spans
+// are additive, and a coordinator that sums shard counts and applies the
+// platform's scaling and rounding exactly once reproduces the single-node
+// answer bit for bit — an invariant the equivalence battery in this package
+// pins for every shard count it runs.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Hash domains, kept distinct so ring-point placement and key lookup use
+// independent streams of the shared mixer.
+const (
+	ringPointDomain = 0x72696e67 // "ring"
+	ringKeyDomain   = 0x6b6579   // "key"
+)
+
+// DefaultVnodes is the virtual-node count per shard: enough points that the
+// largest/smallest primary-load ratio stays small without making ring
+// construction or the fuzz corpus slow.
+const DefaultVnodes = 64
+
+// Ring is a consistent hash ring over named shard nodes. Each node projects
+// vnodes points onto the 64-bit hash circle; a key is owned by the node of
+// the first point clockwise of the key's hash, and replicated on the next
+// replicas distinct nodes. Rings are immutable and deterministic: the same
+// node set (in any order) builds the same ring, and adding or removing a
+// node only moves the keys on the arcs its points owned — the property the
+// FuzzRingAssignment harness checks.
+type Ring struct {
+	vnodes   int
+	replicas int
+	nodes    []string // sorted, unique
+	hashes   []uint64 // point hashes, ascending
+	owner    []int32  // node index per point
+}
+
+// NewRing builds a ring. vnodes <= 0 selects DefaultVnodes; replicas is the
+// number of additional owners per key and must leave at least one distinct
+// node available (replicas <= len(nodes)-1).
+func NewRing(nodes []string, vnodes, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	if replicas < 0 || replicas > len(nodes)-1 {
+		return nil, fmt.Errorf("cluster: replicas must be in [0, %d], got %d", len(nodes)-1, replicas)
+	}
+	sorted := make([]string, len(nodes))
+	copy(sorted, nodes)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, errors.New("cluster: empty node name")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+	}
+	r := &Ring{
+		vnodes:   vnodes,
+		replicas: replicas,
+		nodes:    sorted,
+		hashes:   make([]uint64, 0, len(sorted)*vnodes),
+		owner:    make([]int32, 0, len(sorted)*vnodes),
+	}
+	type point struct {
+		h    uint64
+		node int32
+	}
+	points := make([]point, 0, len(sorted)*vnodes)
+	for ni, n := range sorted {
+		base := xrand.HashString(n)
+		for v := 0; v < vnodes; v++ {
+			points = append(points, point{xrand.Mix(ringPointDomain, base, uint64(v)), int32(ni)})
+		}
+	}
+	// Tie-break equal hashes by node index so construction is independent of
+	// input order even in the (astronomically unlikely) collision case.
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].h != points[j].h {
+			return points[i].h < points[j].h
+		}
+		return points[i].node < points[j].node
+	})
+	for _, pt := range points {
+		r.hashes = append(r.hashes, pt.h)
+		r.owner = append(r.owner, pt.node)
+	}
+	return r, nil
+}
+
+// Nodes returns the ring's node names, sorted (shared; do not modify).
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Vnodes returns the virtual-node count per node.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Replicas returns the number of additional owners per key.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// successor returns the index of the first ring point at or clockwise of h.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.hashes), func(j int) bool { return r.hashes[j] >= h })
+	if i == len(r.hashes) {
+		return 0
+	}
+	return i
+}
+
+// ownersFrom walks clockwise from the key's successor collecting the first
+// `want` distinct nodes.
+func (r *Ring) ownersFrom(key uint64, want int) []int32 {
+	start := r.successor(xrand.Mix(ringKeyDomain, key))
+	out := make([]int32, 0, want)
+	var seen uint64 // bitmask over node indices; rings are small
+	seenBig := map[int32]bool(nil)
+	for i := 0; i < len(r.hashes) && len(out) < want; i++ {
+		n := r.owner[(start+i)%len(r.hashes)]
+		if n < 64 {
+			if seen&(1<<uint(n)) != 0 {
+				continue
+			}
+			seen |= 1 << uint(n)
+		} else {
+			if seenBig == nil {
+				seenBig = make(map[int32]bool)
+			}
+			if seenBig[n] {
+				continue
+			}
+			seenBig[n] = true
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Primary returns the node that owns the key.
+func (r *Ring) Primary(key uint64) string {
+	return r.nodes[r.ownersFrom(key, 1)[0]]
+}
+
+// Owners returns the key's owner set — the primary followed by its replicas
+// on distinct nodes. The slice is freshly allocated.
+func (r *Ring) Owners(key uint64) []string {
+	idx := r.ownersFrom(key, 1+r.replicas)
+	out := make([]string, len(idx))
+	for i, n := range idx {
+		out[i] = r.nodes[n]
+	}
+	return out
+}

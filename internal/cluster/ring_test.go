@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 4, 0); err == nil {
+		t.Fatal("empty node list should fail")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 4, 0); err == nil {
+		t.Fatal("duplicate node should fail")
+	}
+	if _, err := NewRing([]string{"a", ""}, 4, 0); err == nil {
+		t.Fatal("empty node name should fail")
+	}
+	if _, err := NewRing([]string{"a", "b"}, 4, 2); err == nil {
+		t.Fatal("replicas > len(nodes)-1 should fail")
+	}
+	if _, err := NewRing([]string{"a", "b"}, 4, -1); err == nil {
+		t.Fatal("negative replicas should fail")
+	}
+}
+
+// TestRingOrderIndependent pins deterministic construction: the same node
+// set in any input order builds the same assignment.
+func TestRingOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"alpha", "beta", "gamma", "delta"}, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"delta", "gamma", "alpha", "beta"}, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 4096; key++ {
+		oa, ob := a.Owners(key), b.Owners(key)
+		if len(oa) != len(ob) {
+			t.Fatalf("key %d: owner counts differ", key)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("key %d owner %d: %q vs %q", key, i, oa[i], ob[i])
+			}
+		}
+	}
+}
+
+// TestRingOwnersDistinct checks the owner-set contract: primary first,
+// 1+replicas entries, all distinct.
+func TestRingOwnersDistinct(t *testing.T) {
+	r, err := NewRing(clusterNodes(7), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Vnodes() != DefaultVnodes {
+		t.Fatalf("vnodes %d, want default %d", r.Vnodes(), DefaultVnodes)
+	}
+	if r.Replicas() != 2 {
+		t.Fatalf("replicas %d, want 2", r.Replicas())
+	}
+	for key := uint64(0); key < 4096; key++ {
+		owners := r.Owners(key)
+		if len(owners) != 3 {
+			t.Fatalf("key %d: %d owners, want 3", key, len(owners))
+		}
+		if owners[0] != r.Primary(key) {
+			t.Fatalf("key %d: owners[0]=%q, Primary=%q", key, owners[0], r.Primary(key))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %d: duplicate owner %q in %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingBalance sanity-checks vnode spreading: with 64 vnodes each of 4
+// nodes should own a non-trivial share of a 4096-key space.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(clusterNodes(4), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[string]int{}
+	const keys = 4096
+	for key := uint64(0); key < keys; key++ {
+		load[r.Primary(key)]++
+	}
+	for _, n := range r.Nodes() {
+		if load[n] < keys/16 {
+			t.Fatalf("node %s owns only %d/%d keys — ring badly unbalanced", n, load[n], keys)
+		}
+	}
+}
+
+// TestLayoutPartitionsCoverUniverse checks the layout invariants the
+// coordinator and shards lean on: primary partitions partition the ID
+// space, spans tile it exactly, and localRanges concatenate held spans.
+func TestLayoutPartitionsCoverUniverse(t *testing.T) {
+	ring, err := NewRing(clusterNodes(5), 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 1<<16 + 1<<10 // deliberately not a partition multiple
+	layout, err := NewLayout(ring, size, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.PartitionSize() != 1<<12 {
+		t.Fatalf("partition size %d, want %d", layout.PartitionSize(), 1<<12)
+	}
+
+	owned := make(map[uint32]string)
+	for _, n := range ring.Nodes() {
+		for _, p := range layout.PrimaryPartitions(n) {
+			if prev, dup := owned[p]; dup {
+				t.Fatalf("partition %d owned by both %s and %s", p, prev, n)
+			}
+			owned[p] = n
+		}
+	}
+	if len(owned) != layout.NumPartitions() {
+		t.Fatalf("%d partitions owned, want %d", len(owned), layout.NumPartitions())
+	}
+
+	covered := 0
+	for p := 0; p < layout.NumPartitions(); p++ {
+		s := layout.Span(uint32(p))
+		if s.Lo != covered {
+			t.Fatalf("partition %d starts at %d, want %d", p, s.Lo, covered)
+		}
+		covered = s.Hi
+	}
+	if covered != size {
+		t.Fatalf("partitions cover %d, want %d", covered, size)
+	}
+
+	for _, n := range ring.Nodes() {
+		held := layout.HeldPartitions(n)
+		spans := layout.ShardSpans(n)
+		total := 0
+		for _, s := range spans {
+			total += s.Len()
+		}
+		local := layout.localRanges(held)
+		sum := 0
+		for _, p := range held {
+			r := local[p]
+			if r.Lo != sum {
+				t.Fatalf("node %s partition %d: local Lo %d, want %d", n, p, r.Lo, sum)
+			}
+			if r.Hi-r.Lo != layout.Span(p).Len() {
+				t.Fatalf("node %s partition %d: local len %d, want %d", n, p, r.Hi-r.Lo, layout.Span(p).Len())
+			}
+			sum = r.Hi
+		}
+		if sum != total {
+			t.Fatalf("node %s: local ranges cover %d, spans cover %d", n, sum, total)
+		}
+	}
+}
+
+func TestLayoutRejectsBadInput(t *testing.T) {
+	ring, err := NewRing([]string{"a"}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLayout(nil, 1<<12, 0); err == nil {
+		t.Fatal("nil ring should fail")
+	}
+	if _, err := NewLayout(ring, 0, 0); err == nil {
+		t.Fatal("zero universe should fail")
+	}
+	if _, err := NewLayout(ring, 1<<12, 100); err == nil {
+		t.Fatal("unaligned partition size should fail")
+	}
+}
+
+// FuzzRingAssignment fuzzes the ring's ownership invariants: every key has
+// exactly one primary; owner sets are distinct with the primary first and
+// never contain the primary among the replicas; and removing a non-owner
+// node never moves the key (stability under membership change — only keys
+// on the removed node's arcs may move). The seed corpus pins the 2^16±1
+// chunk boundaries, matching FuzzPlanExecEquivalence's corpus so partition
+// keys at CSet container edges are always exercised.
+func FuzzRingAssignment(f *testing.F) {
+	f.Add(uint64(1<<16-1), uint8(4), uint8(1))
+	f.Add(uint64(1<<16), uint8(4), uint8(1))
+	f.Add(uint64(1<<16+1), uint8(4), uint8(1))
+	f.Add(uint64(0), uint8(2), uint8(0))
+	f.Add(uint64(1<<24), uint8(16), uint8(2))
+	f.Add(uint64(^uint64(0)), uint8(7), uint8(3))
+
+	f.Fuzz(func(t *testing.T, key uint64, nNodes, nReplicas uint8) {
+		n := int(nNodes)%16 + 2 // 2..17 nodes
+		replicas := int(nReplicas) % n
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%03d", i)
+		}
+		r, err := NewRing(nodes, 8, replicas)
+		if err != nil {
+			t.Fatalf("NewRing(%d nodes, %d replicas): %v", n, replicas, err)
+		}
+
+		owners := r.Owners(key)
+		if len(owners) != 1+replicas {
+			t.Fatalf("key %d: %d owners, want %d", key, len(owners), 1+replicas)
+		}
+		primary := r.Primary(key)
+		if owners[0] != primary {
+			t.Fatalf("key %d: owners[0]=%q != Primary()=%q", key, owners[0], primary)
+		}
+		seen := map[string]bool{}
+		for i, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %d: duplicate owner %q", key, o)
+			}
+			seen[o] = true
+			if i > 0 && o == primary {
+				t.Fatalf("key %d: replica set contains primary %q", key, primary)
+			}
+		}
+
+		// Primary is a pure function of (node set, key).
+		if again := r.Primary(key); again != primary {
+			t.Fatalf("key %d: primary unstable: %q then %q", key, primary, again)
+		}
+
+		// Remove one node that is NOT an owner of this key: the whole owner
+		// set must be unchanged (consistent hashing moves only the removed
+		// node's arcs). Skip when every node owns the key.
+		if replicas+1 < n {
+			victim := ""
+			for _, cand := range nodes {
+				if !seen[cand] {
+					victim = cand
+					break
+				}
+			}
+			smaller := make([]string, 0, n-1)
+			for _, nd := range nodes {
+				if nd != victim {
+					smaller = append(smaller, nd)
+				}
+			}
+			rep2 := replicas
+			if rep2 > len(smaller)-1 {
+				rep2 = len(smaller) - 1
+			}
+			r2, err := NewRing(smaller, 8, rep2)
+			if err != nil {
+				t.Fatalf("shrunken ring: %v", err)
+			}
+			if got := r2.Primary(key); got != primary {
+				t.Fatalf("key %d: removing non-owner %q moved primary %q -> %q", key, victim, primary, got)
+			}
+			o2 := r2.Owners(key)
+			for i := 0; i < len(o2) && i < len(owners); i++ {
+				if o2[i] != owners[i] {
+					t.Fatalf("key %d: removing non-owner %q changed owner[%d] %q -> %q", key, victim, i, owners[i], o2[i])
+				}
+			}
+		}
+
+		// Hash-domain sanity: key lookup uses the key domain, so two distinct
+		// keys colliding on primary is fine, but the mapping must be stable
+		// across an identically-built ring.
+		r3, err := NewRing(nodes, 8, replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r3.Primary(key) != primary {
+			t.Fatalf("key %d: identically built ring disagrees on primary", key)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/platform"
+)
+
+// ErrPartitionNotHeld marks a count request addressed to a shard for a
+// partition it neither owns nor replicates — the coordinator's signal to
+// re-address the partition through the ring's owner list.
+var ErrPartitionNotHeld = errors.New("cluster: partition not held by shard")
+
+// Shard is one node's slice of the deployment: a platform.Deployment built
+// over exactly the partitions the ring assigns the node (primary plus
+// replicas), answering raw-count batches over any subset of them. Shard
+// implements Conn, so an in-process cluster wires coordinators straight to
+// shards; platformd wraps one behind the adapi transport for the real
+// multi-process topology.
+type Shard struct {
+	id    string
+	dep   *platform.Deployment
+	held  []uint32
+	local map[uint32]platform.IndexRange
+}
+
+// NewShard materializes node id's slice of the deployment described by
+// opts. The layout decides which global-ID spans the node holds; opts'
+// UniverseSize is overridden by the layout's (they describe the same
+// space). With opts.Compressed set the shard retains catalog audiences
+// compressed-only — the memory posture that fits a 2^24-user shard.
+func NewShard(id string, layout *Layout, opts platform.DeployOptions) (*Shard, error) {
+	found := false
+	for _, n := range layout.Ring().Nodes() {
+		if n == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: shard %q not in ring", id)
+	}
+	held := layout.HeldPartitions(id)
+	opts.UniverseSize = layout.UniverseSize()
+	opts.ShardSpans = layout.ShardSpans(id)
+	dep, err := platform.NewDeployment(opts)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s deployment: %w", id, err)
+	}
+	return &Shard{id: id, dep: dep, held: held, local: layout.localRanges(held)}, nil
+}
+
+// ID returns the shard's node name.
+func (s *Shard) ID() string { return s.id }
+
+// Deployment returns the shard's platform deployment (its local slice of
+// every universe).
+func (s *Shard) Deployment() *platform.Deployment { return s.dep }
+
+// Held returns the partitions the shard materializes, ascending (shared; do
+// not modify).
+func (s *Shard) Held() []uint32 { return s.held }
+
+// CountBatch evaluates the batch on interface iface under the given door
+// and returns each spec's raw matched-user count restricted to the listed
+// partitions. Scaling and rounding are deliberately absent: they are the
+// coordinator's merge-then-round job. Partitions must be held by this
+// shard; an unknown one fails the whole call with ErrPartitionNotHeld so
+// the coordinator can re-address it.
+func (s *Shard) CountBatch(ctx context.Context, iface string, door platform.Door, parts []uint32, reqs []platform.EstimateRequest) ([]platform.RawCount, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := s.dep.ByName(iface)
+	if err != nil {
+		return nil, err
+	}
+	ranges := make([]platform.IndexRange, 0, len(parts))
+	for _, part := range parts {
+		r, ok := s.local[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: shard %s, partition %d", ErrPartitionNotHeld, s.id, part)
+		}
+		ranges = append(ranges, r)
+	}
+	// Ascending ranges let the full-cover fast path in RawCountMany trigger
+	// when the batch asks for everything the shard holds.
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Lo < ranges[j].Lo })
+	return p.RawCountMany(door, reqs, ranges), nil
+}

@@ -46,6 +46,9 @@ func (p *Interface) EstimateMany(reqs []EstimateRequest) ([]Estimate, error) {
 // lowering path is used instead.
 func (p *Interface) sizeMany(reqs []EstimateRequest, rules targeting.Rules, queries *obs.Counter) ([]Estimate, error) {
 	if p.plans == nil {
+		if p.cfg.CSetOnly {
+			return p.sizeManyCSet(reqs, rules, queries)
+		}
 		return p.sizeManyLegacy(reqs, rules, queries)
 	}
 	out := make([]Estimate, len(reqs))

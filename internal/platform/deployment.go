@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/estimate"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/targeting"
 )
@@ -53,6 +54,20 @@ type DeployOptions struct {
 	// keeping the legacy per-batch lowering path. This is the compiler's
 	// benchmark baseline.
 	NoPlanCompiler bool
+	// ShardSpans restricts every universe to the given global-ID spans
+	// (population.NewShard): each platform materializes only the spanned
+	// users, with all draws still hashed by global ID so the shard is
+	// bit-identical to that slice of the full deployment. nil builds full
+	// universes; a non-nil empty slice builds a zero-user metadata
+	// deployment — catalogs, rules, rounders, and objectives with nobody in
+	// them — which is the cluster coordinator's validation and scaling
+	// view. Shard deployments with Compressed set retain catalog option
+	// sets compressed-only (Config.CSetOnly), the memory posture that lets
+	// a 2^24-user shard fit where a dense catalog would not.
+	ShardSpans []population.Span
+	// Metrics receives every interface's counters; nil selects the
+	// process-wide obs.Default() registry.
+	Metrics *obs.Registry
 }
 
 // planCacheSize maps the compiler knobs onto Config.PlanCacheSize: the
@@ -158,8 +173,15 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		}
 		return r
 	}
+	newUni := func(cfg population.Config) (*population.Universe, error) {
+		if opts.ShardSpans != nil {
+			return population.NewShard(cfg, opts.ShardSpans)
+		}
+		return population.New(cfg)
+	}
+	csetOnly := opts.Compressed && opts.ShardSpans != nil
 
-	fbUni, err := population.New(population.Config{
+	fbUni, err := newUni(population.Config{
 		Seed:        opts.Seed,
 		Size:        opts.UniverseSize,
 		ScaleFactor: FacebookTotalUsers / (float64(opts.UniverseSize) * DefaultUSShare),
@@ -174,7 +196,7 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("facebook universe: %w", err)
 	}
-	googleUni, err := population.New(population.Config{
+	googleUni, err := newUni(population.Config{
 		Seed:          opts.Seed + 1,
 		Size:          opts.UniverseSize,
 		ScaleFactor:   GoogleTotalUsers / float64(opts.UniverseSize),
@@ -186,7 +208,7 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("google universe: %w", err)
 	}
-	linkedInUni, err := population.New(population.Config{
+	linkedInUni, err := newUni(population.Config{
 		Seed:        opts.Seed + 2,
 		Size:        opts.UniverseSize,
 		ScaleFactor: LinkedInTotalUsers / (float64(opts.UniverseSize) * DefaultUSShare),
@@ -246,6 +268,8 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		DefaultObjective: ObjectiveReach,
 		PlanCacheSize:    opts.planCacheSize(),
 		Compressed:       opts.Compressed,
+		CSetOnly:         csetOnly,
+		Metrics:          opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -283,6 +307,8 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		DefaultObjective:   ObjectiveReach,
 		PlanCacheSize:      opts.planCacheSize(),
 		Compressed:         opts.Compressed,
+		CSetOnly:           csetOnly,
+		Metrics:            opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -317,6 +343,8 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		ImpressionEstimates: true,
 		PlanCacheSize:       opts.planCacheSize(),
 		Compressed:          opts.Compressed,
+		CSetOnly:            csetOnly,
+		Metrics:             opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -349,6 +377,8 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		DefaultObjective: ObjectiveBrandAwareness,
 		PlanCacheSize:    opts.planCacheSize(),
 		Compressed:       opts.Compressed,
+		CSetOnly:         csetOnly,
+		Metrics:          opts.Metrics,
 	})
 	if err != nil {
 		return nil, err

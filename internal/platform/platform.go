@@ -112,6 +112,13 @@ type Config struct {
 	// catalog option sets alongside the dense ones, letting compiled plans
 	// with a sparse base walk containers instead of streaming words.
 	Compressed bool
+	// CSetOnly retains catalog option audiences only in compressed form:
+	// each is materialized dense once, compressed, and the dense form
+	// dropped, and every spec evaluates through the dense-scratch ×
+	// compressed kernels. Cluster shards set this so a 2^24-user shard's
+	// catalog fits in memory; it implies the query compiler is disabled
+	// (compiled plans hold dense operands).
+	CSetOnly bool
 	// Metrics receives the interface's query counters; nil selects the
 	// process-wide obs.Default() registry.
 	Metrics *obs.Registry
@@ -217,7 +224,7 @@ func New(cfg Config) (*Interface, error) {
 		mPlanMisses:      reg.Counter("plan_cache_misses_total", iface),
 		mPlansCompiled:   reg.Counter("plans_compiled_total", iface),
 	}
-	if cfg.PlanCacheSize >= 0 {
+	if cfg.PlanCacheSize >= 0 && !cfg.CSetOnly {
 		p.plans = newPlanCache(cfg.PlanCacheSize)
 	}
 	return p, nil
@@ -530,7 +537,7 @@ func (p *Interface) estimateExact(req EstimateRequest, rules targeting.Rules) (f
 	if err != nil {
 		return 0, err
 	}
-	count, err := p.countMatched(req.Spec)
+	count, err := p.countMatchedRanges(req.Spec, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -600,6 +607,23 @@ func (p *Interface) Measure(req EstimateRequest) (int64, error) {
 // serving or benchmarking so first-query latency is not dominated by lazy
 // materialization. Safe to call concurrently with queries.
 func (p *Interface) Warm() *Interface {
+	warmAttr, warmTopic, warmPlacement := p.attrSet, p.topicSet, p.placementSet
+	if p.cfg.CSetOnly {
+		// Shards warm the compressed forms; the transient dense sets are
+		// dropped as each build finishes.
+		warmAttr = func(i int) *audience.Set {
+			p.refOperand(targeting.Ref{Kind: targeting.KindAttribute, ID: i})
+			return nil
+		}
+		warmTopic = func(i int) *audience.Set {
+			p.refOperand(targeting.Ref{Kind: targeting.KindTopic, ID: i})
+			return nil
+		}
+		warmPlacement = func(i int) *audience.Set {
+			p.refOperand(targeting.Ref{Kind: targeting.KindPlacement, ID: i})
+			return nil
+		}
+	}
 	total := len(p.cfg.Catalog.Attributes) + len(p.cfg.Catalog.Topics) + len(p.cfg.Catalog.Placements)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > total {
@@ -607,13 +631,13 @@ func (p *Interface) Warm() *Interface {
 	}
 	if workers <= 1 {
 		for i := range p.cfg.Catalog.Attributes {
-			p.attrSet(i)
+			warmAttr(i)
 		}
 		for i := range p.cfg.Catalog.Topics {
-			p.topicSet(i)
+			warmTopic(i)
 		}
 		for i := range p.cfg.Catalog.Placements {
-			p.placementSet(i)
+			warmPlacement(i)
 		}
 		return p
 	}
@@ -630,15 +654,15 @@ func (p *Interface) Warm() *Interface {
 	}
 	for i := range p.cfg.Catalog.Attributes {
 		i := i
-		jobs <- func() { p.attrSet(i) }
+		jobs <- func() { warmAttr(i) }
 	}
 	for i := range p.cfg.Catalog.Topics {
 		i := i
-		jobs <- func() { p.topicSet(i) }
+		jobs <- func() { warmTopic(i) }
 	}
 	for i := range p.cfg.Catalog.Placements {
 		i := i
-		jobs <- func() { p.placementSet(i) }
+		jobs <- func() { warmPlacement(i) }
 	}
 	close(jobs)
 	wg.Wait()

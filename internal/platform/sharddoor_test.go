@@ -1,0 +1,238 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/targeting"
+)
+
+// shardSpecs is the battery the shard-door tests count: conjunctions,
+// exclusions, multi-ref clauses, topics, and demographic chains, so both the
+// dense fast path and the scratch-accumulator path see every clause shape.
+func shardSpecs() []targeting.Spec {
+	return []targeting.Spec{
+		targeting.Attr(0),
+		targeting.And(targeting.Attr(1), targeting.Attr(2)),
+		targeting.AnyAttr(3, 4, 5),
+		targeting.Excluding(targeting.Attr(0), targeting.Attr(6)),
+		targeting.Excluding(targeting.And(targeting.Attr(1), targeting.Topic(0)), targeting.AnyAttr(7, 8)),
+		targeting.WithGender(targeting.WithAge(targeting.Attr(2), 1, 2), 1),
+		targeting.WithLocation(targeting.Topic(1), 0, 3),
+	}
+}
+
+func TestDoorStringParse(t *testing.T) {
+	for _, d := range []Door{DoorMeasure, DoorEstimate} {
+		got, err := ParseDoor(d.String())
+		if err != nil || got != d {
+			t.Fatalf("ParseDoor(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDoor("back"); err == nil {
+		t.Fatal("unknown door accepted")
+	}
+}
+
+// TestRawCountsAdditive is the invariant the cluster is built on: raw counts
+// over disjoint index ranges sum to the full-universe raw count, and pushing
+// the sum through ScaleAndRound is bit-identical to the single-node door.
+func TestRawCountsAdditive(t *testing.T) {
+	d, err := NewDeployment(DeployOptions{Seed: 43, UniverseSize: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := shardSpecs()
+	for _, p := range d.Interfaces() {
+		reqs := make([]EstimateRequest, len(specs))
+		for i := range specs {
+			reqs[i] = EstimateRequest{Spec: specs[i]}
+		}
+		for _, door := range []Door{DoorMeasure, DoorEstimate} {
+			full := p.RawCountMany(door, reqs, nil)
+			// Three uneven windows covering [0, n) without gaps.
+			n := 1 << 12
+			windows := [][]IndexRange{
+				{{Lo: 0, Hi: 1000}},
+				{{Lo: 1000, Hi: 1064}, {Lo: 1064, Hi: 3000}},
+				{{Lo: 3000, Hi: n}},
+			}
+			for i := range reqs {
+				eligible, impressions, err := p.QueryParams(door, reqs[i])
+				if (err == nil) != (full[i].Err == nil) {
+					t.Fatalf("%s %v slot %d: QueryParams err %v, RawCountMany err %v",
+						p.Name(), door, i, err, full[i].Err)
+				}
+				if full[i].Err != nil {
+					continue
+				}
+				var sum int64
+				for _, w := range windows {
+					part := p.RawCountMany(door, reqs[i:i+1], w)
+					if part[0].Err != nil {
+						t.Fatalf("%s %v slot %d window %v: %v", p.Name(), door, i, w, part[0].Err)
+					}
+					sum += part[0].Count
+				}
+				if sum != full[i].Count {
+					t.Fatalf("%s %v slot %d: windows sum %d, full count %d",
+						p.Name(), door, i, sum, full[i].Count)
+				}
+				got := p.ScaleAndRound(sum, eligible, impressions)
+				var want int64
+				if door == DoorMeasure {
+					want, err = p.Measure(reqs[i])
+				} else {
+					want, err = p.Estimate(reqs[i])
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s %v slot %d: ScaleAndRound(sum)=%d, door=%d",
+						p.Name(), door, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRawCountManyDoorRules: the estimate door enforces advertiser rules, so
+// a demographic spec that measures fine on facebook-restricted must fail in
+// its slot — with the same error the single-node door returns.
+func TestRawCountManyDoorRules(t *testing.T) {
+	d, err := NewDeployment(DeployOptions{Seed: 47, UniverseSize: 1 << 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.FacebookRestricted
+	reqs := []EstimateRequest{{Spec: targeting.WithGender(targeting.Attr(0), 1)}}
+	if got := p.RawCountMany(DoorMeasure, reqs, nil); got[0].Err != nil {
+		t.Fatalf("measure door rejected demographics: %v", got[0].Err)
+	}
+	got := p.RawCountMany(DoorEstimate, reqs, nil)
+	if got[0].Err == nil {
+		t.Fatal("estimate door accepted demographics on restricted interface")
+	}
+	if _, wantErr := p.Estimate(reqs[0]); wantErr == nil || wantErr.Error() != got[0].Err.Error() {
+		t.Fatalf("slot error %q, single-node door error %q", got[0].Err, wantErr)
+	}
+}
+
+// TestShardSliceMatchesFullUniverse builds a span-restricted deployment — a
+// shard holding the middle of the ID space — and checks its raw counts equal
+// the same windows counted on the full universe, compressed catalog and all.
+func TestShardSliceMatchesFullUniverse(t *testing.T) {
+	const size = 1 << 12
+	span := population.Span{Lo: 1024, Hi: 2048}
+	full, err := NewDeployment(DeployOptions{Seed: 53, UniverseSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := NewDeployment(DeployOptions{
+		Seed: 53, UniverseSize: size, Compressed: true,
+		ShardSpans: []population.Span{span},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := shardSpecs()
+	reqs := make([]EstimateRequest, len(specs))
+	for i := range specs {
+		reqs[i] = EstimateRequest{Spec: specs[i]}
+	}
+	for _, fp := range full.Interfaces() {
+		sp, err := shard.ByName(fp.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The shard's whole local space is the span; on the full universe
+		// the same users sit at global indices [Lo, Hi).
+		local := sp.RawCountMany(DoorMeasure, reqs, []IndexRange{{Lo: 0, Hi: span.Len()}})
+		global := fp.RawCountMany(DoorMeasure, reqs, []IndexRange{{Lo: span.Lo, Hi: span.Hi}})
+		for i := range reqs {
+			if (local[i].Err == nil) != (global[i].Err == nil) {
+				t.Fatalf("%s slot %d: shard err %v, full err %v", fp.Name(), i, local[i].Err, global[i].Err)
+			}
+			if local[i].Err == nil && local[i].Count != global[i].Count {
+				t.Fatalf("%s slot %d: shard counts %d, full universe counts %d",
+					fp.Name(), i, local[i].Count, global[i].Count)
+			}
+		}
+		// CSetOnly batching serves the same sizes through MeasureMany.
+		localMany, err := sp.MeasureMany(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			if localMany[i].Err != nil {
+				continue
+			}
+			one, err := sp.Measure(reqs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if localMany[i].Size != one {
+				t.Fatalf("%s slot %d: CSetOnly MeasureMany %d, Measure %d",
+					fp.Name(), i, localMany[i].Size, one)
+			}
+		}
+	}
+}
+
+// TestShardDoorErrors: malformed specs and unknown refs surface the same
+// typed errors on the shard door as on the dense path.
+func TestShardDoorErrors(t *testing.T) {
+	shard, err := NewDeployment(DeployOptions{
+		Seed: 59, UniverseSize: 1 << 11, Compressed: true,
+		ShardSpans: []population.Span{{Lo: 0, Hi: 1 << 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := shard.Google // offers both attributes and topics
+	nAttr := len(p.Catalog().Attributes)
+	nTopic := len(p.Catalog().Topics)
+	cases := []struct {
+		name string
+		spec targeting.Spec
+		want error
+	}{
+		{"empty spec", targeting.Spec{}, targeting.ErrEmptySpec},
+		{"empty clause", targeting.Spec{Include: []targeting.Clause{{}}}, targeting.ErrEmptyClause},
+		{"empty second clause", targeting.Spec{Include: []targeting.Clause{
+			{targeting.Ref{Kind: targeting.KindAttribute, ID: 0}}, {},
+		}}, targeting.ErrEmptyClause},
+		{"unknown attr", targeting.Attr(nAttr + 3), targeting.ErrUnknownOption},
+		{"unknown topic", targeting.Topic(nTopic + 3), targeting.ErrUnknownOption},
+		{"unknown attr in and", targeting.And(targeting.Attr(0), targeting.Attr(nAttr+3)), targeting.ErrUnknownOption},
+		{"unknown attr excluded", targeting.Excluding(targeting.Attr(0), targeting.Attr(nAttr+3)), targeting.ErrUnknownOption},
+	}
+	for _, tc := range cases {
+		got := p.RawCountMany(DoorMeasure, []EstimateRequest{{Spec: tc.spec}}, []IndexRange{{Lo: 0, Hi: 64}})
+		if !errors.Is(got[0].Err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got[0].Err, tc.want)
+		}
+	}
+}
+
+func TestCoversAll(t *testing.T) {
+	cases := []struct {
+		ranges []IndexRange
+		n      int
+		want   bool
+	}{
+		{nil, 10, false},
+		{[]IndexRange{{0, 10}}, 10, true},
+		{[]IndexRange{{0, 4}, {4, 10}}, 10, true},
+		{[]IndexRange{{0, 4}, {6, 10}}, 10, false},
+		{[]IndexRange{{0, 4}, {2, 10}}, 10, true},
+		{[]IndexRange{{0, 9}}, 10, false},
+	}
+	for _, tc := range cases {
+		if got := coversAll(tc.ranges, tc.n); got != tc.want {
+			t.Errorf("coversAll(%v, %d) = %v, want %v", tc.ranges, tc.n, got, tc.want)
+		}
+	}
+}

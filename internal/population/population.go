@@ -327,9 +327,24 @@ func (m AttrModel) Rate(c Cell, hasFactor bool) float64 {
 	return sigmoid(x)
 }
 
-// Universe is a materialized synthetic user population.
+// Span is one contiguous range of global user indices, inclusive of Lo and
+// exclusive of Hi. Shard universes (NewShard) are described by ascending,
+// non-overlapping spans of the global ID space.
+type Span struct {
+	Lo, Hi int
+}
+
+// Len returns the number of users the span covers.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Universe is a materialized synthetic user population — either the full
+// configured ID space (New) or a shard holding only a set of spans of it
+// (NewShard). All per-user draws hash global IDs, so a shard's users are
+// bit-identical to the same users in the full universe.
 type Universe struct {
 	cfg        Config
+	localSize  int                 // users materialized in this process
+	spans      []Span              // nil = the full [0, cfg.Size) space
 	cells      []Cell              // per-user demographic cell
 	factors    []uint32            // per-user factor bitmask
 	tiers      []uint8             // per-user activity tier
@@ -398,6 +413,46 @@ func New(cfg Config) (*Universe, error) {
 // newWithWorkers is New with an explicit worker count (property tests
 // compare sharded output against the workers=1 path).
 func newWithWorkers(cfg Config, workers int) (*Universe, error) {
+	return build(cfg, nil, workers)
+}
+
+// NewShard builds the sub-universe holding only the given spans of the
+// global ID space. The result has Size() equal to the total span length,
+// with local indices assigned in span order, while every random draw hashes
+// the user's global ID — so each user a shard holds is bit-identical to
+// that user in the full universe, and counts over disjoint spans sum to the
+// full-universe count. Spans must be ascending and non-overlapping, with
+// 64-aligned bounds (the final span may end at cfg.Size) so shard-local
+// bitset words never straddle a span. An empty span list yields a zero-user
+// metadata universe: the cluster coordinator uses one to validate and scale
+// queries without materializing anybody.
+func NewShard(cfg Config, spans []Span) (*Universe, error) {
+	if err := validateSpans(cfg.Size, spans); err != nil {
+		return nil, err
+	}
+	// Copy: the universe retains the slice beyond the call.
+	held := make([]Span, len(spans))
+	copy(held, spans)
+	return build(cfg, held, runtime.GOMAXPROCS(0))
+}
+
+// validateSpans checks the shard-span invariants NewShard documents.
+func validateSpans(size int, spans []Span) error {
+	prev := 0
+	for i, s := range spans {
+		if s.Lo < prev || s.Hi <= s.Lo || s.Hi > size {
+			return fmt.Errorf("population: span %d [%d, %d) not ascending within [0, %d)", i, s.Lo, s.Hi, size)
+		}
+		if s.Lo%64 != 0 || (s.Hi%64 != 0 && s.Hi != size) {
+			return fmt.Errorf("population: span %d [%d, %d) not 64-aligned", i, s.Lo, s.Hi)
+		}
+		prev = s.Hi
+	}
+	return nil
+}
+
+// build constructs a universe over the given spans (nil = the full space).
+func build(cfg Config, spans []Span, workers int) (*Universe, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -407,26 +462,35 @@ func newWithWorkers(cfg Config, workers int) (*Universe, error) {
 	if cfg.USShare == 0 {
 		cfg.USShare = 1
 	}
-	u := &Universe{
-		cfg:     cfg,
-		cells:   make([]Cell, cfg.Size),
-		factors: make([]uint32, cfg.Size),
-		tiers:   make([]uint8, cfg.Size),
-		regions: make([]uint8, cfg.Size),
+	localSize := cfg.Size
+	if spans != nil {
+		localSize = 0
+		for _, s := range spans {
+			localSize += s.Len()
+		}
 	}
-	u.all = audience.New(cfg.Size)
+	u := &Universe{
+		cfg:       cfg,
+		localSize: localSize,
+		spans:     spans,
+		cells:     make([]Cell, localSize),
+		factors:   make([]uint32, localSize),
+		tiers:     make([]uint8, localSize),
+		regions:   make([]uint8, localSize),
+	}
+	u.all = audience.New(localSize)
 	u.all.Fill()
 	for g := 0; g < NumGenders; g++ {
-		u.byGender[g] = audience.New(cfg.Size)
+		u.byGender[g] = audience.New(localSize)
 	}
 	for a := 0; a < NumAgeRanges; a++ {
-		u.byAge[a] = audience.New(cfg.Size)
+		u.byAge[a] = audience.New(localSize)
 	}
 	for c := 0; c < NumCells; c++ {
-		u.byCell[c] = audience.New(cfg.Size)
+		u.byCell[c] = audience.New(localSize)
 	}
 	for r := 0; r < NumRegions; r++ {
-		u.byRegion[r] = audience.New(cfg.Size)
+		u.byRegion[r] = audience.New(localSize)
 	}
 
 	// Cumulative region distribution: US first, then the fixed non-US mix.
@@ -455,22 +519,43 @@ func newWithWorkers(cfg Config, workers int) (*Universe, error) {
 		}
 	}
 
-	forEachShard(cfg.Size, workers, func(lo, hi int) {
-		u.buildRange(lo, hi, ageCum, regionCum)
+	u.forEachSpan(workers, func(lo, hi, gOff int) {
+		u.buildRange(lo, hi, gOff, ageCum, regionCum)
 	})
 	return u, nil
 }
 
-// buildRange draws users [lo, hi): demographic cell, factor mask, activity
-// tier, and region. Every draw is a stateless hash of (seed, ids), so the
-// range decomposition has no effect on the output; per-user slices are
-// index-disjoint across shards and the shared bitsets are written through
-// 64-aligned shard boundaries (see forEachShard).
-func (u *Universe) buildRange(lo, hi int, ageCum [NumAgeRanges]float64, regionCum [NumRegions]float64) {
+// forEachSpan fans fn out over the universe's local index space, span by
+// span, passing each worker range the span's local-to-global offset. Span
+// bounds are 64-aligned (validateSpans), so worker ranges within a span stay
+// word-disjoint in the local bitsets.
+func (u *Universe) forEachSpan(workers int, fn func(lo, hi, gOff int)) {
+	if u.spans == nil {
+		forEachShard(u.localSize, workers, func(lo, hi int) { fn(lo, hi, 0) })
+		return
+	}
+	llo := 0
+	for _, s := range u.spans {
+		gOff := s.Lo - llo
+		base := llo
+		forEachShard(s.Len(), workers, func(lo, hi int) { fn(base+lo, base+hi, gOff) })
+		llo += s.Len()
+	}
+}
+
+// buildRange draws users with local indices [lo, hi): demographic cell,
+// factor mask, activity tier, and region. Draw hashes use the global ID
+// (local index + gOff), so every draw is a stateless hash of (seed, global
+// ids) and the range decomposition — worker count or shard spans — has no
+// effect on any user's draw; per-user slices are index-disjoint across
+// shards and the shared bitsets are written through 64-aligned shard
+// boundaries (see forEachShard).
+func (u *Universe) buildRange(lo, hi, gOff int, ageCum [NumAgeRanges]float64, regionCum [NumRegions]float64) {
 	cfg := u.cfg
 	for i := lo; i < hi; i++ {
-		hg := xrand.Mix(cfg.Seed, domainDemo, uint64(i), 0)
-		ha := xrand.Mix(cfg.Seed, domainDemo, uint64(i), 1)
+		g64 := uint64(i + gOff)
+		hg := xrand.Mix(cfg.Seed, domainDemo, g64, 0)
+		ha := xrand.Mix(cfg.Seed, domainDemo, g64, 1)
 		g := Female
 		if xrand.Uniform01(hg) < cfg.MaleShare {
 			g = Male
@@ -491,14 +576,14 @@ func (u *Universe) buildRange(lo, hi int, ageCum [NumAgeRanges]float64, regionCu
 
 		var mask uint32
 		for f := range cfg.Factors {
-			if xrand.Bernoulli(u.factorRate[f][cell], cfg.Seed, domainFactor, uint64(f), uint64(i)) {
+			if xrand.Bernoulli(u.factorRate[f][cell], cfg.Seed, domainFactor, uint64(f), g64) {
 				mask |= 1 << uint(f)
 			}
 		}
 		u.factors[i] = mask
-		u.tiers[i] = uint8(xrand.Mix(cfg.Seed, domainActivity, uint64(i)) % ActivityTiers)
+		u.tiers[i] = uint8(xrand.Mix(cfg.Seed, domainActivity, g64) % ActivityTiers)
 
-		ur := xrand.Uniform01(xrand.Mix(cfg.Seed, domainRegion, uint64(i)))
+		ur := xrand.Uniform01(xrand.Mix(cfg.Seed, domainRegion, g64))
 		region := RegionOther
 		for r := 0; r < NumRegions; r++ {
 			if ur < regionCum[r] {
@@ -514,8 +599,17 @@ func (u *Universe) buildRange(lo, hi int, ageCum [NumAgeRanges]float64, regionCu
 // Config returns the universe's configuration.
 func (u *Universe) Config() Config { return u.cfg }
 
-// Size returns the number of simulated users.
-func (u *Universe) Size() int { return u.cfg.Size }
+// Size returns the number of users materialized in this process: the full
+// configured size for New universes, the total span length for shards.
+func (u *Universe) Size() int { return u.localSize }
+
+// GlobalSize returns the configured size of the whole ID space, regardless
+// of how much of it this universe holds.
+func (u *Universe) GlobalSize() int { return u.cfg.Size }
+
+// Spans returns the global-ID spans this universe holds (shared; do not
+// modify), or nil for a full universe.
+func (u *Universe) Spans() []Span { return u.spans }
 
 // ScaleFactor returns the simulated-to-platform count multiplier.
 func (u *Universe) ScaleFactor() float64 { return u.cfg.ScaleFactor }
@@ -582,10 +676,10 @@ func (u *Universe) materializeWithWorkers(m AttrModel, workers int) *audience.Se
 	if m.Factor >= 0 && m.Factor < len(u.cfg.Factors) {
 		factorBit = 1 << uint(m.Factor)
 	}
-	set := audience.New(u.cfg.Size)
-	forEachShard(u.cfg.Size, workers, func(lo, hi int) {
+	set := audience.New(u.localSize)
+	u.forEachSpan(workers, func(lo, hi, gOff int) {
 		for i := lo; i < hi; i++ {
-			h := xrand.Mix(u.cfg.Seed, domainAttr, m.ID, uint64(i))
+			h := xrand.Mix(u.cfg.Seed, domainAttr, m.ID, uint64(i+gOff))
 			fi := 0
 			if u.factors[i]&factorBit != 0 {
 				fi = 1

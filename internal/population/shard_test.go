@@ -1,0 +1,236 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/audience"
+)
+
+func shardTestConfig(size int) Config {
+	return Config{
+		Seed:        99,
+		Size:        size,
+		ScaleFactor: 37.5,
+		MaleShare:   0.52,
+		AgeShare:    [NumAgeRanges]float64{0.25, 0.32, 0.28, 0.15},
+		Factors: []FactorModel{
+			{Rate: 0.12, GenderLoad: 0.8},
+			{Rate: 0.05, AgeLoad: [NumAgeRanges]float64{0.5, 0.2, -0.2, -0.5}},
+			{Rate: 0.3},
+		},
+		USShare:       0.7,
+		ActivitySigma: 0.9,
+	}
+}
+
+// setsEqual compares two dense bitsets bit for bit.
+func setsEqual(a, b *audience.Set) bool {
+	if a.Len() != b.Len() || a.Count() != b.Count() {
+		return false
+	}
+	return audience.CountAnd(a, b) == a.Count()
+}
+
+// sliceOf extracts the dense bitset restricted to the given global spans,
+// reindexed to the shard-local space (spans concatenated in order).
+func sliceOf(full *audience.Set, spans []Span) *audience.Set {
+	n := 0
+	for _, s := range spans {
+		n += s.Len()
+	}
+	out := audience.New(n)
+	llo := 0
+	for _, s := range spans {
+		for g := s.Lo; g < s.Hi; g++ {
+			if full.Contains(g) {
+				out.Add(llo + (g - s.Lo))
+			}
+		}
+		llo += s.Len()
+	}
+	return out
+}
+
+// TestNewShardMatchesFullSlice pins the bit-identity contract: a shard
+// universe over any valid span set holds exactly the same users — same
+// demographics, factors, tiers, regions, and attribute memberships — as the
+// corresponding slice of the full universe.
+func TestNewShardMatchesFullSlice(t *testing.T) {
+	const size = 1 << 13
+	cfg := shardTestConfig(size)
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		spans []Span
+	}{
+		{"prefix", []Span{{0, 1 << 12}}},
+		{"middle", []Span{{1 << 11, 3 << 11}}},
+		{"suffix-to-size", []Span{{3 << 11, size}}},
+		{"two-spans", []Span{{0, 640}, {1 << 12, 1<<12 + 1024}}},
+		{"three-spans", []Span{{64, 128}, {4096, 4224}, {size - 64, size}}},
+		{"full-as-span", []Span{{0, size}}},
+	}
+	attrs := []AttrModel{
+		{ID: 7, BaseLogit: Logit(0.2), GenderLoad: 1.2, Factor: 0, FactorBoost: 1.5},
+		{ID: 8, BaseLogit: Logit(0.05), AgeLoad: [NumAgeRanges]float64{0.4, 0, -0.4, -0.8}, Factor: -1},
+		{ID: 9, BaseLogit: Logit(0.5), Factor: 2, FactorBoost: -1},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			shard, err := NewShard(cfg, tc.spans)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSize := 0
+			for _, s := range tc.spans {
+				wantSize += s.Len()
+			}
+			if shard.Size() != wantSize {
+				t.Fatalf("Size() = %d, want %d", shard.Size(), wantSize)
+			}
+			if shard.GlobalSize() != size {
+				t.Fatalf("GlobalSize() = %d, want %d", shard.GlobalSize(), size)
+			}
+
+			// Per-user draws, walked via the local→global index map.
+			llo := 0
+			for _, s := range tc.spans {
+				for g := s.Lo; g < s.Hi; g++ {
+					i := llo + (g - s.Lo)
+					if shard.CellOfUser(i) != full.CellOfUser(g) {
+						t.Fatalf("user %d (global %d): cell %v, want %v", i, g, shard.CellOfUser(i), full.CellOfUser(g))
+					}
+					if shard.ActivityTier(i) != full.ActivityTier(g) {
+						t.Fatalf("user %d (global %d): tier mismatch", i, g)
+					}
+					if shard.RegionOfUser(i) != full.RegionOfUser(g) {
+						t.Fatalf("user %d (global %d): region mismatch", i, g)
+					}
+					for f := range cfg.Factors {
+						if shard.HasFactor(i, f) != full.HasFactor(g, f) {
+							t.Fatalf("user %d (global %d): factor %d mismatch", i, g, f)
+						}
+					}
+				}
+				llo += s.Len()
+			}
+
+			// Demographic bitsets are the sliced full-universe bitsets.
+			for g := 0; g < NumGenders; g++ {
+				if !setsEqual(shard.GenderSet(Gender(g)), sliceOf(full.GenderSet(Gender(g)), tc.spans)) {
+					t.Fatalf("gender %v set mismatch", Gender(g))
+				}
+			}
+			for a := 0; a < NumAgeRanges; a++ {
+				if !setsEqual(shard.AgeSet(AgeRange(a)), sliceOf(full.AgeSet(AgeRange(a)), tc.spans)) {
+					t.Fatalf("age %v set mismatch", AgeRange(a))
+				}
+			}
+			for c := 0; c < NumCells; c++ {
+				if !setsEqual(shard.CellSet(Cell(c)), sliceOf(full.CellSet(Cell(c)), tc.spans)) {
+					t.Fatalf("cell %d set mismatch", c)
+				}
+			}
+			for r := 0; r < NumRegions; r++ {
+				if !setsEqual(shard.RegionSet(Region(r)), sliceOf(full.RegionSet(Region(r)), tc.spans)) {
+					t.Fatalf("region %v set mismatch", Region(r))
+				}
+			}
+
+			// Materialized attributes slice identically, for any worker count.
+			for _, m := range attrs {
+				want := sliceOf(full.Materialize(m), tc.spans)
+				for _, workers := range []int{1, 3, 8} {
+					if got := shard.materializeWithWorkers(m, workers); !setsEqual(got, want) {
+						t.Fatalf("attr %d (workers=%d): materialized set mismatch", m.ID, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNewShardCountsAdditive pins the scatter-gather foundation: raw counts
+// over a disjoint span partition of the ID space sum to the full-universe
+// count.
+func TestNewShardCountsAdditive(t *testing.T) {
+	const size = 1 << 13
+	cfg := shardTestConfig(size)
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := AttrModel{ID: 21, BaseLogit: Logit(0.15), GenderLoad: -0.9, Factor: 1, FactorBoost: 2}
+	want := full.Materialize(m).Count()
+
+	partitions := [][]Span{
+		{{0, size}},
+		{{0, size / 2}, {size / 2, size}},
+		{{0, 1 << 11}, {1 << 11, 5 << 10}, {5 << 10, size}},
+	}
+	for _, parts := range partitions {
+		got := 0
+		for _, span := range parts {
+			shard, err := NewShard(cfg, []Span{span})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += shard.Materialize(m).Count()
+		}
+		if got != want {
+			t.Fatalf("partition %v: summed count %d, want %d", parts, got, want)
+		}
+	}
+}
+
+// TestNewShardMetadataUniverse pins the coordinator's zero-user mode.
+func TestNewShardMetadataUniverse(t *testing.T) {
+	cfg := shardTestConfig(1 << 12)
+	u, err := NewShard(cfg, []Span{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Size() != 0 {
+		t.Fatalf("Size() = %d, want 0", u.Size())
+	}
+	if u.GlobalSize() != 1<<12 {
+		t.Fatalf("GlobalSize() = %d, want %d", u.GlobalSize(), 1<<12)
+	}
+	if u.ScaleFactor() != cfg.ScaleFactor {
+		t.Fatalf("ScaleFactor() = %v, want %v", u.ScaleFactor(), cfg.ScaleFactor)
+	}
+	if got := u.Materialize(AttrModel{ID: 1, BaseLogit: 2}).Count(); got != 0 {
+		t.Fatalf("metadata universe materialized %d users, want 0", got)
+	}
+}
+
+// TestNewShardRejectsInvalidSpans pins the span invariants.
+func TestNewShardRejectsInvalidSpans(t *testing.T) {
+	cfg := shardTestConfig(1 << 12)
+	bad := [][]Span{
+		{{-64, 0}},            // negative
+		{{0, 0}},              // empty span
+		{{128, 64}},           // inverted
+		{{0, 1<<12 + 64}},     // past the end
+		{{0, 128}, {64, 256}}, // overlapping
+		{{128, 256}, {0, 64}}, // out of order
+		{{32, 96}},            // unaligned Lo
+		{{0, 100}},            // unaligned Hi (not at size)
+	}
+	for _, spans := range bad {
+		if _, err := NewShard(cfg, spans); err == nil {
+			t.Fatalf("NewShard(%v) accepted invalid spans", spans)
+		}
+	}
+	// The final span may end at an unaligned cfg.Size.
+	odd := cfg
+	odd.Size = 1<<12 + 17
+	if _, err := NewShard(odd, []Span{{1 << 11, odd.Size}}); err != nil {
+		t.Fatalf("NewShard rejected size-clamped final span: %v", err)
+	}
+}
