@@ -597,7 +597,7 @@ func BenchmarkAblationBeamVs3WayGreedy(b *testing.B) {
 // and its gender-conditioned refinement, the exact pair the auditor issues
 // for every option it scans. The interface is pre-warmed so the timed loops
 // exercise only the estimate path (no lazy materialization).
-func measureBench(b *testing.B) (*platform.Interface, []targeting.Spec) {
+func measureBench(b testing.TB) (*platform.Interface, []targeting.Spec) {
 	b.Helper()
 	d, err := platform.NewDeployment(platform.DeployOptions{Seed: 7, UniverseSize: benchUniverse})
 	if err != nil {

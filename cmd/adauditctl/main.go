@@ -28,6 +28,12 @@
 //	-resume                      continue an interrupted -store run; its
 //	                             persisted measurements are served from
 //	                             disk without re-querying the platforms
+//	-trace                       record distributed traces through the whole
+//	                             audit path (cache, platform kernels, remote
+//	                             servers, cluster shards) and print the
+//	                             newest span trees after the run; with
+//	                             -store, provenance records append to
+//	                             <store>/provenance.jsonl
 package main
 
 import (
@@ -38,6 +44,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -49,6 +57,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mitigation"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/population"
 	"repro/internal/store"
@@ -72,6 +81,10 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the full metrics snapshot (text exposition) to FILE after the run")
 		storeDir   = flag.String("store", "", "durable measurement store directory (created if absent)")
 		resume     = flag.Bool("resume", false, "resume an interrupted run from the measurements persisted in -store")
+
+		traceOn     = flag.Bool("trace", false, "record distributed traces through the audit path and print the newest after the run")
+		traceSample = flag.Float64("trace-sample", 0.01, "probability an audit root starts a recorded trace, in [0,1] (-trace)")
+		traceSlow   = flag.Duration("trace-slow", 0, "force-record and log audits slower than this duration, even unsampled ones (implies -trace)")
 
 		specPlatform = flag.String("spec-platform", "facebook-restricted", "platform for the spec experiment")
 		specAttrs    = flag.String("attrs", "", "spec experiment: attribute ids or name substrings, comma separated")
@@ -99,6 +112,9 @@ func main() {
 		metricsOut: *metricsOut,
 		storeDir:   *storeDir,
 		resume:     *resume,
+		traceOn:    *traceOn,
+		sample:     *traceSample,
+		slow:       *traceSlow,
 		spec:       specArgs{platform: *specPlatform, attrs: *specAttrs, topics: *specTopics},
 	}); err != nil {
 		log.Fatalf("adauditctl: %v", err)
@@ -123,6 +139,9 @@ type runOptions struct {
 	metricsOut string
 	storeDir   string
 	resume     bool
+	traceOn    bool
+	sample     float64
+	slow       time.Duration
 	spec       specArgs
 }
 
@@ -376,6 +395,13 @@ func run(o runOptions) error {
 				stats.Records, stats.Appends, stats.BytesOnDisk)
 		}()
 	}
+	tracer, closeTrace, err := setupTracing(o)
+	if err != nil {
+		return err
+	}
+	if closeTrace != nil {
+		defer closeTrace()
+	}
 	r, err := newRunner(o, st)
 	if err != nil {
 		return err
@@ -515,6 +541,9 @@ func run(o runOptions) error {
 				return err
 			}
 		}
+		if tracer != nil {
+			printTraces(w, tracer)
+		}
 		if metricsOut != "" {
 			f, err := os.Create(metricsOut)
 			if err != nil {
@@ -556,6 +585,62 @@ func run(o runOptions) error {
 		}
 	}
 	return finish()
+}
+
+// setupTracing installs the process-wide tracer the -trace flags ask for,
+// returning it with an optional cleanup. With -store, provenance records
+// are additionally appended to <store>/provenance.jsonl, so a resumed
+// campaign accumulates one provenance archive alongside its measurements.
+func setupTracing(o runOptions) (*trace.Tracer, func(), error) {
+	if !o.traceOn && o.slow <= 0 {
+		return nil, nil, nil
+	}
+	var provW io.Writer
+	var closeFn func()
+	if o.storeDir != "" {
+		path := filepath.Join(o.storeDir, "provenance.jsonl")
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening provenance log: %w", err)
+		}
+		provW = f
+		closeFn = func() { f.Close() }
+		log.Printf("provenance: appending records to %s", path)
+	}
+	tracer := trace.New(trace.Options{
+		SampleRate:    o.sample,
+		SlowThreshold: o.slow,
+		SlowLog:       trace.NewSlowLog(os.Stderr),
+		Provenance:    trace.NewProvenanceLog(0, provW),
+	})
+	trace.SetDefault(tracer)
+	return tracer, closeFn, nil
+}
+
+// printTraces renders the newest buffered traces as indented span trees —
+// the CLI's window into the same data a traced platformd serves from
+// /debug/traces.
+func printTraces(w io.Writer, tr *trace.Tracer) {
+	const show = 5
+	sums := tr.Summaries(show)
+	fmt.Fprintf(w, "\n# Traces: %d buffered, %d provenance records", tr.Len(), tr.Provenance().Len())
+	if len(sums) == 0 {
+		fmt.Fprintf(w, " (nothing sampled — raise -trace-sample?)\n")
+		return
+	}
+	fmt.Fprintf(w, ", newest %d:\n", len(sums))
+	for _, s := range sums {
+		id, ok := trace.ParseTraceID(s.TraceID)
+		if !ok {
+			continue
+		}
+		d, ok := tr.Dump(id)
+		if !ok {
+			continue
+		}
+		fmt.Fprintln(w)
+		trace.Render(w, d)
+	}
 }
 
 // printMetricsSummary renders the run's observability roll-up: per-platform
@@ -620,6 +705,56 @@ func printMetricsSummary(w io.Writer, r *experiments.Runner, phases []string) er
 			fmt.Fprintf(w, "%-22s %9d %9d %9d %10d %10d\n", row[0], row[1], row[2], row[3], row[4], row[5])
 		}
 	}
+	// Cluster roll-up: the scatter path's per-shard health — requests,
+	// failed attempts, partitions failover moved off the shard, and attempt
+	// latency. Present only when a -cluster run touched the coordinator.
+	type shardRow struct {
+		requests, failures, moved int64
+		p50, p95                  time.Duration
+	}
+	shardRows := make(map[string]*shardRow)
+	var shardIDs []string
+	row := func(id string) *shardRow {
+		r, ok := shardRows[id]
+		if !ok {
+			r = &shardRow{}
+			shardRows[id] = r
+			shardIDs = append(shardIDs, id)
+		}
+		return r
+	}
+	for _, s := range reg.Gather() {
+		id := s.Label("shard")
+		if id == "" {
+			continue
+		}
+		switch s.Name {
+		case "cluster_shard_requests_total":
+			row(id).requests = int64(s.Value)
+		case "cluster_shard_failures_total":
+			row(id).failures = int64(s.Value)
+		case "cluster_partitions_reassigned_total":
+			row(id).moved = int64(s.Value)
+		case "cluster_shard_seconds":
+			row(id).p50, row(id).p95 = s.Hist.P50, s.Hist.P95
+		}
+	}
+	if len(shardIDs) > 0 {
+		sort.Strings(shardIDs)
+		fmt.Fprintf(w, "\n%-10s %9s %9s %12s %12s %12s\n",
+			"shard", "requests", "failures", "parts_moved", "p50_attempt", "p95_attempt")
+		for _, id := range shardIDs {
+			r := shardRows[id]
+			fmt.Fprintf(w, "%-10s %9d %9d %12d %12s %12s\n",
+				id, r.requests, r.failures, r.moved,
+				r.p50.Round(time.Microsecond), r.p95.Round(time.Microsecond))
+		}
+		fmt.Fprintf(w, "cluster: %d batches, %d failovers, %d partial results withheld\n",
+			reg.CounterValue("cluster_batches_total"),
+			reg.CounterValue("cluster_failovers_total"),
+			reg.CounterValue("cluster_partial_results_total"))
+	}
+
 	fmt.Fprintf(w, "\n%-14s %12s\n", "phase", "wall-clock")
 	for _, ph := range phases {
 		fmt.Fprintf(w, "%-14s %11.3fs\n", ph, r.PhaseSeconds(ph))

@@ -11,6 +11,7 @@ import (
 	"repro/internal/adapi"
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 )
 
@@ -199,6 +200,113 @@ func TestRunClusterMode(t *testing.T) {
 	}
 	if string(got) != want {
 		t.Errorf("cluster fig1 output differs from in-process run:\n--- cluster ---\n%s\n--- in-process ---\n%s", got, want)
+	}
+}
+
+// TestRunWithTracing runs fig1 with -trace -trace-sample 1 and a -store:
+// the run must print rendered span trees after the figures, and every
+// provenance record must additionally land in <store>/provenance.jsonl.
+func TestRunWithTracing(t *testing.T) {
+	defer trace.SetDefault(nil) // run() installs a process-wide tracer
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "measurements")
+	out := filepath.Join(dir, "out.txt")
+	o := baseOpts("fig1", "", out)
+	o.storeDir = storeDir
+	o.traceOn = true
+	o.sample = 1
+	if err := run(o); err != nil {
+		t.Fatalf("run(fig1, trace): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{"# Traces:", "buffered", "provenance records", "trace ", "audit.measure"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("traced run output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "nothing sampled") {
+		t.Error("sample rate 1 run reports nothing sampled")
+	}
+
+	prov, err := os.ReadFile(filepath.Join(storeDir, "provenance.jsonl"))
+	if err != nil {
+		t.Fatalf("provenance archive not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(prov)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("provenance archive is empty")
+	}
+	var rec trace.Provenance
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("provenance line is not JSON: %v\n%s", err, lines[0])
+	}
+	if rec.Platform == "" || rec.Key == "" || rec.Source == "" {
+		t.Fatalf("provenance record incomplete: %+v", rec)
+	}
+}
+
+// TestRunClusterMetricsAndTrace drives a traced, metered fig1 through a
+// 3-shard cluster: the metrics summary must include the per-shard table the
+// coordinator's labeled series feed, and the trace view must render cluster
+// spans.
+func TestRunClusterMetricsAndTrace(t *testing.T) {
+	defer trace.SetDefault(nil)
+	const universe = 12000
+	ring, err := cluster.NewRing([]string{"s0", "s1", "s2"}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, universe, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []string
+	for _, n := range ring.Nodes() {
+		sh, err := cluster.NewShard(n, layout, platform.DeployOptions{
+			Seed: 7, UniverseSize: universe, Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := adapi.NewServer(sh.Deployment(), adapi.ServerOptions{Metrics: obs.NewRegistry(), Shard: sh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		entries = append(entries, n+"="+ts.URL)
+	}
+
+	out := filepath.Join(t.TempDir(), "out.txt")
+	o := baseOpts("fig1", "", out)
+	o.cluster = strings.Join(entries, ",")
+	o.partSize = 1024
+	o.replicas = 1
+	o.metrics = true
+	o.traceOn = true
+	o.sample = 1
+	if err := run(o); err != nil {
+		t.Fatalf("traced cluster run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{
+		"# Run metrics",
+		"shard", "parts_moved", "p95_attempt", // per-shard table header
+		"s0", "s1", "s2", // one row per shard
+		"cluster:", "failovers", // roll-up line
+		"# Traces:", "cluster.size_many", "cluster.shard",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("traced cluster run missing %q:\n%s", want, got)
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	platformd [-addr :8700] [-seed N] [-universe 131072] [-qps 0] [-store DIR] [-warm] [-pprof] [-v]
+//	platformd [-addr :8700] [-seed N] [-universe 131072] [-qps 0] [-store DIR] [-warm] [-pprof] [-trace] [-v]
 //	platformd -shard-id NAME -ring a,b,c [-ring-replicas 1] [-partition-size 65536] ...
 //
 // Routes per interface (facebook-restricted, facebook, google, linkedin):
@@ -12,9 +12,17 @@
 //	GET  /{name}/options
 //	POST /{name}/estimate
 //	POST /{name}/measure
-//	GET  /healthz
-//	GET  /metrics        (query counters, cache stats, latency quantiles)
-//	GET  /debug/pprof/*  (with -pprof)
+//	GET  /healthz            (shard mode echoes shard ID, ring hash, held partitions)
+//	GET  /metrics            (query counters, cache stats, latency quantiles)
+//	GET  /debug/traces       (with -trace: sampled distributed traces, JSON)
+//	GET  /debug/provenance   (with -trace: per-measurement provenance records)
+//	GET  /debug/pprof/*      (with -pprof)
+//
+// With -trace the server continues any distributed trace arriving in the
+// X-Adaudit-Trace request header (auditing clients and cluster coordinators
+// send it), records spans through the platform query path, and serves the
+// buffered traces from /debug/traces. -trace-slow additionally force-records
+// and logs requests slower than the given duration, even unsampled ones.
 //
 // In shard mode (-shard-id) the process materializes only the user-ID
 // partitions the consistent-hash ring assigns it and additionally mounts
@@ -39,6 +47,7 @@ import (
 
 	"repro/internal/adapi"
 	"repro/internal/cluster"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/store"
 )
@@ -62,6 +71,11 @@ type config struct {
 	ringVnodes   int
 	ringReplicas int
 	partSize     int
+
+	// Tracing.
+	traceOn     bool
+	traceSample float64
+	traceSlow   time.Duration
 }
 
 func main() {
@@ -81,6 +95,9 @@ func main() {
 	flag.IntVar(&cfg.ringVnodes, "ring-vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
 	flag.IntVar(&cfg.ringReplicas, "ring-replicas", 1, "replica owners per partition beyond the primary")
 	flag.IntVar(&cfg.partSize, "partition-size", 0, "users per ring partition (0 = default 65536)")
+	flag.BoolVar(&cfg.traceOn, "trace", false, "enable distributed tracing (/debug/traces, /debug/provenance)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 1.0, "probability a locally-rooted trace is recorded, in [0,1] (with -trace)")
+	flag.DurationVar(&cfg.traceSlow, "trace-slow", 0, "force-record and log requests slower than this duration (implies -trace)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatalf("platformd: %v", err)
@@ -151,6 +168,17 @@ func buildHandler(cfg config, st *store.Store) (http.Handler, *platform.Deployme
 	}
 
 	opts := adapi.ServerOptions{RateLimit: cfg.qps, Burst: cfg.burst, Pprof: cfg.pprofOn}
+	if cfg.traceOn || cfg.traceSlow > 0 {
+		tracer := trace.New(trace.Options{
+			SampleRate:    cfg.traceSample,
+			SlowThreshold: cfg.traceSlow,
+			SlowLog:       trace.NewSlowLog(os.Stderr),
+			Provenance:    trace.NewProvenanceLog(0, nil),
+		})
+		trace.SetDefault(tracer)
+		opts.Tracer = tracer
+		log.Printf("platformd: tracing enabled (sample=%.3g, slow=%v) — /debug/traces, /debug/provenance", cfg.traceSample, cfg.traceSlow)
+	}
 	if st != nil {
 		opts.Store = st
 	}
@@ -206,6 +234,10 @@ func run(cfg config) error {
 		fmt.Printf("  %-20s http://%s/cluster/count-batch\n", "cluster door", ln.Addr())
 	}
 	fmt.Printf("  %-20s http://%s/metrics\n", "metrics", ln.Addr())
+	if cfg.traceOn || cfg.traceSlow > 0 {
+		fmt.Printf("  %-20s http://%s/debug/traces\n", "traces", ln.Addr())
+		fmt.Printf("  %-20s http://%s/debug/provenance\n", "provenance", ln.Addr())
+	}
 	if cfg.pprofOn {
 		fmt.Printf("  %-20s http://%s/debug/pprof/\n", "pprof", ln.Addr())
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/store"
 	"repro/internal/targeting"
@@ -111,6 +112,52 @@ func TestBuildHandlerWithStore(t *testing.T) {
 	}
 	if st.Len() != 1 {
 		t.Fatalf("store holds %d records after one measure, want 1", st.Len())
+	}
+}
+
+// TestBuildHandlerTracing covers the -trace wiring: the debug endpoints are
+// mounted, and a request carrying a sampled X-Adaudit-Trace header is
+// continued into a buffered trace the operator can list.
+func TestBuildHandlerTracing(t *testing.T) {
+	defer trace.SetDefault(nil) // buildHandler installs a process-wide tracer
+	handler, _, err := buildHandler(config{seed: 7, universe: 8000, traceOn: true, traceSample: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	const traceID = "000102030405060708090a0b0c0d0e0f"
+	req, err := http.NewRequest("GET", ts.URL+"/facebook/options", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.HeaderName, "00-"+traceID+"-00000000000000aa-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced options status %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/debug/traces", "/debug/provenance"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/traces" && !strings.Contains(string(body), traceID) {
+			t.Errorf("%s does not list continued trace %s:\n%s", path, traceID, body)
+		}
 	}
 }
 

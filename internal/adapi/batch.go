@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/targeting"
 )
@@ -70,6 +71,14 @@ func (h *ifaceHandler) handleMeasureBatch(w http.ResponseWriter, r *http.Request
 	}
 
 	results := make([]batchSlot, len(env.Requests))
+	// The platform batch door: traced when the request continues a
+	// distributed trace, so the kernel and plan-compile spans join it.
+	measureMany := h.p.MeasureMany
+	if ctx := r.Context(); trace.FromContext(ctx) != nil {
+		measureMany = func(reqs []platform.EstimateRequest) ([]platform.Estimate, error) {
+			return h.p.MeasureManyCtx(ctx, reqs)
+		}
+	}
 	// Decode every slot first; only the well-formed ones go to the platform.
 	reqs := make([]platform.EstimateRequest, 0, len(env.Requests))
 	slots := make([]int, 0, len(env.Requests))
@@ -98,7 +107,7 @@ func (h *ifaceHandler) handleMeasureBatch(w http.ResponseWriter, r *http.Request
 			missIdx = append(missIdx, k)
 			miss = append(miss, req)
 		}
-		missSizes, err := h.p.MeasureMany(miss)
+		missSizes, err := measureMany(miss)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 			return
@@ -114,7 +123,7 @@ func (h *ifaceHandler) handleMeasureBatch(w http.ResponseWriter, r *http.Request
 			}
 		}
 	} else {
-		ests, err := h.p.MeasureMany(reqs)
+		ests, err := measureMany(reqs)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 			return
@@ -154,11 +163,25 @@ func (c *Client) MeasureMany(specs []targeting.Spec) []core.BatchResult {
 	return c.MeasureManyContext(context.Background(), specs)
 }
 
+// MeasureManyCtx implements core.ContextBatchMeasurer.
+func (c *Client) MeasureManyCtx(ctx context.Context, specs []targeting.Spec) []core.BatchResult {
+	return c.MeasureManyContext(ctx, specs)
+}
+
 // MeasureManyContext is MeasureMany with caller-controlled cancellation.
+// A trace span riding the context records the exchange as one child span
+// (the batch is one wire exchange) and propagates the trace to the server.
 func (c *Client) MeasureManyContext(ctx context.Context, specs []targeting.Spec) []core.BatchResult {
 	out := make([]core.BatchResult, len(specs))
 	if len(specs) == 0 {
 		return out
+	}
+	span := trace.ChildOf(trace.FromContext(ctx), "adapi.client_batch")
+	if span != nil {
+		defer span.End()
+		span.Annotate("endpoint", c.base)
+		span.AnnotateInt("specs", int64(len(specs)))
+		ctx = trace.NewContext(ctx, span)
 	}
 	env := batchRequest{Requests: make([]json.RawMessage, len(specs))}
 	for i, spec := range specs {
@@ -197,12 +220,32 @@ func (c *Client) MeasureManyContext(ctx context.Context, specs []targeting.Spec)
 			out[i].Err = fmt.Errorf("adapi: malformed batch slot %s: %w", targeting.Canonical(specs[i]), out[i].Err)
 		}
 	}
+	if plog := span.ProvenanceLog(); plog != nil {
+		tid := span.TraceID()
+		for i := range out {
+			if out[i].Err != nil {
+				continue
+			}
+			plog.Add(trace.Provenance{
+				Platform: c.name,
+				Key:      targeting.Canonical(specs[i]),
+				Source:   "remote",
+				Endpoint: c.base,
+				TraceID:  tid,
+				Value:    out[i].Size,
+			})
+		}
+	}
 	return out
 }
 
 // measureManySerial is the batch call's fallback: one serial exchange per
-// spec, exactly the pre-batch behaviour.
+// spec, exactly the pre-batch behaviour. The context's span (the batch span
+// when the caller was traced) parents the per-spec client spans, so a trace
+// shows the degradation: one client_batch span fanning into serial
+// exchanges. Per-spec provenance is emitted by size().
 func (c *Client) measureManySerial(ctx context.Context, specs []targeting.Spec) []core.BatchResult {
+	trace.FromContext(ctx).Annotate("path", "serial")
 	out := make([]core.BatchResult, len(specs))
 	for i, spec := range specs {
 		out[i].Size, out[i].Err = c.MeasureContext(ctx, spec)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/targeting"
 )
@@ -143,9 +144,17 @@ func (c *Client) Measure(spec targeting.Spec) (int64, error) {
 	return c.MeasureContext(context.Background(), spec)
 }
 
-// MeasureContext is Measure with caller-controlled cancellation.
+// MeasureContext is Measure with caller-controlled cancellation. When the
+// context carries a trace span the exchange is recorded as a child span and
+// the trace rides the X-Adaudit-Trace header to the server, which continues
+// it — one trace spans both processes.
 func (c *Client) MeasureContext(ctx context.Context, spec targeting.Spec) (int64, error) {
 	return c.size(ctx, "/measure", platform.EstimateRequest{Spec: spec})
+}
+
+// MeasureCtx implements core.ContextMeasurer.
+func (c *Client) MeasureCtx(ctx context.Context, spec targeting.Spec) (int64, error) {
+	return c.MeasureContext(ctx, spec)
 }
 
 // Estimate queries the advertiser door, validating the spec as an
@@ -156,25 +165,57 @@ func (c *Client) Estimate(ctx context.Context, req platform.EstimateRequest) (in
 
 // size issues one dialect-encoded size query.
 func (c *Client) size(ctx context.Context, door string, req platform.EstimateRequest) (int64, error) {
+	span := trace.ChildOf(trace.FromContext(ctx), "adapi.client")
+	if span != nil {
+		defer span.End()
+		span.Annotate("endpoint", c.base)
+		span.Annotate("door", door)
+		ctx = trace.NewContext(ctx, span)
+	}
 	body, err := c.codec.EncodeRequest(req)
 	if err != nil {
+		span.SetError(err)
 		return 0, err
 	}
 	respBody, err := c.do(ctx, http.MethodPost, c.base+"/"+c.name+door, body)
 	if err != nil {
+		span.SetError(err)
 		return 0, err
 	}
-	return c.codec.DecodeResponse(respBody)
+	v, err := c.codec.DecodeResponse(respBody)
+	span.SetError(err)
+	if err == nil {
+		if plog := span.ProvenanceLog(); plog != nil {
+			plog.Add(trace.Provenance{
+				Platform: c.name,
+				Key:      targeting.Canonical(req.Spec),
+				Source:   "remote",
+				Endpoint: c.base,
+				TraceID:  span.TraceID(),
+				Value:    v,
+			})
+		}
+	}
+	return v, err
 }
 
 // do performs one HTTP exchange with rate limiting and bounded retries on
-// 429/5xx.
+// 429/5xx. A trace span riding the context is propagated to the server in
+// the X-Adaudit-Trace header, and each attempt's latency observation carries
+// the trace ID as an exemplar.
 func (c *Client) do(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	span := trace.FromContext(ctx)
+	header := span.Context().Format()
+	exID := "" // exemplars link only to traces the buffer actually records
+	if span.Sampled() {
+		exID = span.TraceID()
+	}
 	backoff := c.opts.RetryBase
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.mRetries.Inc()
+			span.AnnotateInt("retries", int64(attempt))
 		}
 		if err := c.limiter.Wait(ctx); err != nil {
 			return nil, err
@@ -190,15 +231,18 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) ([]byt
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if header != "" {
+			req.Header.Set(trace.HeaderName, header)
+		}
 		start := time.Now()
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			c.mRequests.Observe(time.Since(start))
+			c.mRequests.ObserveWithExemplar(time.Since(start), exID)
 			lastErr = err
 		} else {
 			respBody, readErr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 			resp.Body.Close()
-			c.mRequests.Observe(time.Since(start))
+			c.mRequests.ObserveWithExemplar(time.Since(start), exID)
 			if readErr != nil {
 				lastErr = readErr
 			} else {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 )
 
@@ -80,8 +81,9 @@ func (s *Server) registerClusterRoutes(backend ShardBackend) {
 			return
 		}
 		total.Inc()
+		var span *trace.Span
 		start := time.Now()
-		defer func() { latency.Observe(time.Since(start)) }()
+		defer func() { latency.ObserveWithExemplar(time.Since(start), exemplarID(span)) }()
 
 		body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes+1))
 		if err != nil {
@@ -102,7 +104,18 @@ func (s *Server) registerClusterRoutes(backend ShardBackend) {
 			writeError(w, http.StatusBadRequest, codeMalformedRequest, err.Error())
 			return
 		}
+		// The shard door continues the coordinator's trace: one span per
+		// count-batch, tagged with the serving shard and the work shipped.
+		r, span = continueTrace(&s.opts, r, "shard.count_batch")
+		if span != nil {
+			span.Annotate("shard", backend.ID())
+			span.Annotate("interface", req.Interface)
+			span.AnnotateInt("partitions", int64(len(req.Partitions)))
+			span.AnnotateInt("specs", int64(len(req.Requests)))
+			defer span.End()
+		}
 		res, err := backend.CountBatch(r.Context(), req.Interface, d, req.Partitions, req.Requests)
+		span.SetError(err)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, clusterErrorCode(err), err.Error())
 			return
@@ -167,6 +180,9 @@ func (c *ShardConn) CountBatch(ctx context.Context, iface string, door platform.
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if hv := trace.FromContext(ctx).Context().Format(); hv != "" {
+		httpReq.Header.Set(trace.HeaderName, hv)
+	}
 	httpResp, err := c.hc.Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("adapi: shard %s: %w", c.id, err)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 )
 
@@ -57,6 +58,21 @@ type ServerOptions struct {
 	// the raw-count endpoint a coordinator scatters batches to. Set by
 	// platformd in shard mode.
 	Shard ShardBackend
+	// Tracer continues distributed traces arriving in the X-Adaudit-Trace
+	// header and backs the /debug/traces and /debug/provenance endpoints;
+	// nil selects the process-wide trace.Default() (which may itself be nil
+	// — tracing disabled — in which case headers are ignored at the cost of
+	// one header lookup per request).
+	Tracer *trace.Tracer
+}
+
+// tracer resolves the serving tracer at request time, so a default tracer
+// installed after server construction is still picked up.
+func (s *ServerOptions) tracer() *trace.Tracer {
+	if s.Tracer != nil {
+		return s.Tracer
+	}
+	return trace.Default()
 }
 
 // Server exposes a Deployment's interfaces over HTTP, each in its own JSON
@@ -146,9 +162,12 @@ func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 	if opts.Shard != nil {
 		s.registerClusterRoutes(opts.Shard)
 	}
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"status":"ok"}`)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		s.opts.tracer().Handler().ServeHTTP(w, r)
+	})
+	s.mux.HandleFunc("/debug/provenance", func(w http.ResponseWriter, r *http.Request) {
+		s.opts.tracer().Provenance().Handler().ServeHTTP(w, r)
 	})
 	s.mux.Handle("/metrics", opts.Metrics.Handler())
 	if opts.Pprof {
@@ -163,6 +182,45 @@ func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// shardHealth is the optional readiness surface of a ShardBackend:
+// *cluster.Shard implements it, and the health endpoint echoes it so an
+// operator (or a coordinator's preflight) can verify every node of a
+// cluster agrees on the layout before a single count is scattered.
+type shardHealth interface {
+	Held() []uint32
+	RingHash() uint64
+}
+
+// healthResponse is the body of GET /healthz. The shard fields appear only
+// in shard mode: RingHash fingerprints the layout every node must share
+// (ring nodes, vnodes, replicas, universe, partition size), so two shards
+// disagreeing on it is a misconfigured cluster even when both report ok.
+type healthResponse struct {
+	Status     string `json:"status"`
+	Shard      string `json:"shard,omitempty"`
+	RingHash   string `json:"ring_hash,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
+	Tracing    bool   `json:"tracing"`
+}
+
+// handleHealthz serves readiness: liveness for a plain server, plus the
+// shard's identity, layout fingerprint, and held-partition count in shard
+// mode.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{Status: "ok", Tracing: s.opts.tracer().Enabled()}
+	if s.opts.Shard != nil {
+		resp.Shard = s.opts.Shard.ID()
+		if sh, ok := s.opts.Shard.(shardHealth); ok {
+			resp.RingHash = fmt.Sprintf("%016x", sh.RingHash())
+			resp.Partitions = len(sh.Held())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("adapi: writing healthz response: %v", err)
+	}
+}
 
 // logf logs if configured.
 func (s *ServerOptions) logf(format string, args ...any) {
@@ -183,9 +241,12 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 	}
 }
 
-// wrap applies method checking, rate limiting, metrics, and logging to a
-// handler. door labels the endpoint's request counter and latency
-// histogram.
+// wrap applies method checking, rate limiting, tracing, metrics, and
+// logging to a handler. door labels the endpoint's request counter and
+// latency histogram. A valid X-Adaudit-Trace header continues the caller's
+// distributed trace: the request runs under a remote-continued span carried
+// in its context, and the door's latency observation links to the trace via
+// an exemplar.
 func (h *ifaceHandler) wrap(fn func(http.ResponseWriter, *http.Request), method, door string) http.Handler {
 	m := h.doorMetrics(door)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -202,10 +263,50 @@ func (h *ifaceHandler) wrap(fn func(http.ResponseWriter, *http.Request), method,
 			return
 		}
 		h.opts.logf("adapi: %s %s", r.Method, r.URL.Path)
+		r, span := continueTrace(h.opts, r, "adapi.server."+door)
+		if span != nil {
+			span.Annotate("interface", h.p.Name())
+			defer span.End()
+		}
 		start := time.Now()
 		fn(w, r)
-		m.latency.Observe(time.Since(start))
+		m.latency.ObserveWithExemplar(time.Since(start), exemplarID(span))
 	})
+}
+
+// continueTrace resumes the trace a request's X-Adaudit-Trace header names,
+// returning the request rebound to a context carrying the remote-continued
+// span. Requests without a valid header (or with tracing disabled) pass
+// through untouched — the server never starts traces of its own, so an
+// untraced client costs the server one header lookup.
+func continueTrace(opts *ServerOptions, r *http.Request, name string) (*http.Request, *trace.Span) {
+	hv := r.Header.Get(trace.HeaderName)
+	if hv == "" {
+		return r, nil
+	}
+	tr := opts.tracer()
+	if !tr.Enabled() {
+		return r, nil
+	}
+	sc, err := trace.ParseHeader(hv)
+	if err != nil {
+		return r, nil
+	}
+	span := tr.StartRemote(sc, name)
+	if span == nil {
+		return r, nil
+	}
+	return r.WithContext(trace.NewContext(r.Context(), span)), span
+}
+
+// exemplarID is the trace ID a latency observation should link to: only
+// sampled spans, since an exemplar pointing at an unrecorded trace is a
+// dead link.
+func exemplarID(span *trace.Span) string {
+	if span.Sampled() {
+		return span.TraceID()
+	}
+	return ""
 }
 
 // handleOptions serves the option lists.
@@ -231,19 +332,38 @@ func (h *ifaceHandler) handleOptions(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleEstimate serves the advertiser door.
+// handleEstimate serves the advertiser door, through the platform's traced
+// door when the request continues a distributed trace.
 func (h *ifaceHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if ctx := r.Context(); trace.FromContext(ctx) != nil {
+		h.serveSize(w, r, func(req platform.EstimateRequest) (int64, error) {
+			return h.p.EstimateCtx(ctx, req)
+		})
+		return
+	}
 	h.serveSize(w, r, h.p.Estimate)
 }
 
 // handleMeasure serves the auditor door, from the durable cache when one is
-// configured.
+// configured, and through the platform's traced door when the request
+// continues a distributed trace.
 func (h *ifaceHandler) handleMeasure(w http.ResponseWriter, r *http.Request) {
-	if h.store != nil {
+	ctx := r.Context()
+	traced := trace.FromContext(ctx) != nil
+	switch {
+	case h.store != nil && traced:
+		h.serveSize(w, r, func(req platform.EstimateRequest) (int64, error) {
+			return h.storedMeasureCtx(ctx, req)
+		})
+	case h.store != nil:
 		h.serveSize(w, r, h.storedMeasure)
-		return
+	case traced:
+		h.serveSize(w, r, func(req platform.EstimateRequest) (int64, error) {
+			return h.p.MeasureCtx(ctx, req)
+		})
+	default:
+		h.serveSize(w, r, h.p.Measure)
 	}
-	h.serveSize(w, r, h.p.Measure)
 }
 
 // serveSize decodes the dialect request, queries the platform, and encodes

@@ -1,8 +1,10 @@
 package adapi
 
 import (
+	"context"
 	"strconv"
 
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/targeting"
 )
@@ -48,6 +50,38 @@ func (h *ifaceHandler) storedMeasure(req platform.EstimateRequest) (int64, error
 		return v, nil
 	}
 	v, err := h.p.Measure(req)
+	if err != nil {
+		return v, err
+	}
+	if serr := h.store.PutMeasurement(h.p.Name(), key, v); serr != nil {
+		h.mStoreErrors.Inc()
+		h.opts.logf("adapi: %s: store append failed: %v", h.p.Name(), serr)
+	}
+	return v, nil
+}
+
+// storedMeasureCtx is storedMeasure under a distributed trace: store-tier
+// hits annotate the server span and record "store"-sourced provenance (the
+// platform was never queried), misses go through the platform's traced
+// door, which records its own span and provenance.
+func (h *ifaceHandler) storedMeasureCtx(ctx context.Context, req platform.EstimateRequest) (int64, error) {
+	key := measureStoreKey(req)
+	if v, ok := h.store.GetMeasurement(h.p.Name(), key); ok {
+		h.mStoreHits.Inc()
+		span := trace.FromContext(ctx)
+		span.Annotate("store", "hit")
+		if plog := span.ProvenanceLog(); plog != nil {
+			plog.Add(trace.Provenance{
+				Platform: h.p.Name(),
+				Key:      key,
+				Source:   "store",
+				TraceID:  span.TraceID(),
+				Value:    v,
+			})
+		}
+		return v, nil
+	}
+	v, err := h.p.MeasureCtx(ctx, req)
 	if err != nil {
 		return v, err
 	}

@@ -1,0 +1,517 @@
+package adapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/platform"
+	"repro/internal/store"
+	"repro/internal/targeting"
+)
+
+// TestStoredMeasureTraceProvenance pins the store-tier provenance story on
+// the traced auditor door: the first traced measure misses the store and
+// is answered (and recorded) by the platform, the second is served from
+// disk — "store"-sourced provenance, platform counters flat, and the
+// server span annotated store=hit.
+func TestStoredMeasureTraceProvenance(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srvTracer := newTestTracer(53)
+	ts, _ := startServer(t, ServerOptions{Store: st, Metrics: obs.NewRegistry(), Tracer: srvTracer})
+
+	cliTracer := newTestTracer(59)
+	c, err := NewClient(context.Background(), ts.URL, "facebook", ClientOptions{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(name string) (int64, string) {
+		root := cliTracer.StartRoot(name)
+		defer root.End()
+		v, err := c.MeasureCtx(trace.NewContext(context.Background(), root), targeting.Attr(4))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return v, root.TraceID()
+	}
+	v1, tid1 := measure("audit.miss")
+	v2, tid2 := measure("audit.hit")
+	if v1 != v2 {
+		t.Fatalf("store-served measure %d differs from platform answer %d", v2, v1)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d records, want 1", st.Len())
+	}
+
+	sources := make(map[string]string) // source → trace ID
+	for _, r := range srvTracer.Provenance().Records() {
+		if r.Platform != "facebook" || r.Value != v1 {
+			t.Fatalf("malformed stored-door provenance %+v", r)
+		}
+		sources[r.Source] = r.TraceID
+	}
+	if sources["platform"] != tid1 || sources["store"] != tid2 || len(sources) != 2 {
+		t.Fatalf("provenance sources %v, want platform→%s and store→%s", sources, tid1, tid2)
+	}
+
+	// The hit's server span carries the store=hit annotation.
+	id, ok := trace.ParseTraceID(tid2)
+	if !ok {
+		t.Fatalf("trace ID %q does not parse", tid2)
+	}
+	sd, ok := srvTracer.Dump(id)
+	if !ok {
+		t.Fatal("server did not continue the hit's trace")
+	}
+	annotated := false
+	for _, s := range sd.Spans {
+		for _, a := range s.Annotations {
+			if a.Key == "store" && a.Value == "hit" {
+				annotated = true
+			}
+		}
+	}
+	if !annotated {
+		t.Fatal("store hit left no store=hit annotation on the server span")
+	}
+}
+
+// newTestTracer builds a deterministic always-sample tracer with isolated
+// metrics and provenance.
+func newTestTracer(seed uint64) *trace.Tracer {
+	return trace.New(trace.Options{
+		SampleRate: 1,
+		Seed:       seed,
+		Metrics:    obs.NewRegistry(),
+		Provenance: trace.NewProvenanceLog(0, nil),
+	})
+}
+
+// spanNames flattens a dump for containment checks.
+func spanNames(d trace.TraceDump) map[string]int {
+	out := make(map[string]int, len(d.Spans))
+	for _, s := range d.Spans {
+		out[s.Name]++
+	}
+	return out
+}
+
+// TestTracePropagationClientServer drives one traced measurement through
+// the real client→server HTTP path and checks the trace spans both
+// processes' tracers: the client records its exchange span, the server
+// continues the same trace ID from the X-Adaudit-Trace header, and both
+// sides leave provenance and a metrics exemplar pointing at the trace.
+func TestTracePropagationClientServer(t *testing.T) {
+	srvTracer := newTestTracer(31)
+	ts, _ := startServer(t, ServerOptions{Metrics: obs.NewRegistry(), Tracer: srvTracer})
+
+	cliTracer := newTestTracer(37)
+	reg := obs.NewRegistry()
+	c, err := NewClient(context.Background(), ts.URL, "facebook", ClientOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := cliTracer.StartRoot("audit.test")
+	ctx := trace.NewContext(context.Background(), root)
+	v, err := c.MeasureCtx(ctx, targeting.Attr(0))
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatalf("measured size %d, want > 0", v)
+	}
+
+	id, ok := trace.ParseTraceID(root.TraceID())
+	if !ok {
+		t.Fatalf("root trace ID %q does not parse", root.TraceID())
+	}
+
+	// Client side: the exchange span is buffered under the root's trace.
+	cd, ok := cliTracer.Dump(id)
+	if !ok {
+		t.Fatal("client tracer did not buffer the trace")
+	}
+	if n := spanNames(cd)["adapi.client"]; n != 1 {
+		t.Fatalf("client exchange spans: %d, want 1", n)
+	}
+
+	// Server side: same trace ID, continued from the header — the server
+	// never saw the root span, only its wire context.
+	sd, ok := srvTracer.Dump(id)
+	if !ok {
+		t.Fatal("server tracer did not continue the client's trace")
+	}
+	names := spanNames(sd)
+	if names["adapi.server.measure"] != 1 {
+		t.Fatalf("server spans %v, want one adapi.server.measure", names)
+	}
+
+	// Provenance: the client records the remote exchange, the server records
+	// the platform measurement — both linked to the same trace.
+	var remote, plat int
+	for _, r := range cliTracer.Provenance().Records() {
+		if r.Source == "remote" && r.TraceID == root.TraceID() {
+			remote++
+			if r.Endpoint != ts.URL {
+				t.Fatalf("remote provenance endpoint %q, want %q", r.Endpoint, ts.URL)
+			}
+			if r.Value != v {
+				t.Fatalf("remote provenance value %d, want %d", r.Value, v)
+			}
+		}
+	}
+	for _, r := range srvTracer.Provenance().Records() {
+		if r.Source == "platform" && r.TraceID == root.TraceID() {
+			plat++
+		}
+	}
+	if remote != 1 || plat != 1 {
+		t.Fatalf("provenance records remote=%d platform=%d, want 1 each", remote, plat)
+	}
+
+	// Exemplar: the client's request-latency series links back to the trace.
+	found := false
+	for _, s := range reg.Gather() {
+		if s.Name == "adapi_client_request_seconds" && s.Label("platform") == "facebook" {
+			found = true
+			if s.Hist.Exemplar == nil || s.Hist.Exemplar.TraceID != root.TraceID() {
+				t.Fatalf("request-latency exemplar %+v, want trace %s", s.Hist.Exemplar, root.TraceID())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("adapi_client_request_seconds series not found")
+	}
+}
+
+// TestTraceBatchPropagation is the batch-door variant: one traced
+// MeasureManyCtx must reach the server as a single continued trace through
+// /measure-batch, with per-slot remote provenance client-side.
+func TestTraceBatchPropagation(t *testing.T) {
+	srvTracer := newTestTracer(41)
+	ts, _ := startServer(t, ServerOptions{Metrics: obs.NewRegistry(), Tracer: srvTracer})
+
+	cliTracer := newTestTracer(43)
+	c, err := NewClient(context.Background(), ts.URL, "linkedin", ClientOptions{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []targeting.Spec{
+		targeting.Attr(0),
+		targeting.Attr(1),
+		targeting.And(targeting.Attr(0), targeting.Attr(2)),
+	}
+	root := cliTracer.StartRoot("audit.batch")
+	ctx := trace.NewContext(context.Background(), root)
+	res := c.MeasureManyCtx(ctx, specs)
+	root.End()
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("slot %d: %v", i, r.Err)
+		}
+	}
+
+	id, _ := trace.ParseTraceID(root.TraceID())
+	cd, ok := cliTracer.Dump(id)
+	if !ok {
+		t.Fatal("client tracer did not buffer the batch trace")
+	}
+	if n := spanNames(cd)["adapi.client_batch"]; n != 1 {
+		t.Fatalf("client batch spans: %d, want 1", n)
+	}
+	sd, ok := srvTracer.Dump(id)
+	if !ok {
+		t.Fatal("server tracer did not continue the batch trace")
+	}
+	if n := spanNames(sd)["adapi.server.measure-batch"]; n != 1 {
+		t.Fatalf("server batch spans: %d, want 1", n)
+	}
+	remote := 0
+	for _, r := range cliTracer.Provenance().Records() {
+		if r.Source == "remote" && r.TraceID == root.TraceID() {
+			remote++
+		}
+	}
+	if remote != len(specs) {
+		t.Fatalf("remote provenance records: %d, want one per slot (%d)", remote, len(specs))
+	}
+}
+
+// TestServerTraceContinuationPolicy pins the server-side cost and sampling
+// policy: no header → no span; an unsampled header (flags 00) → no span
+// (the client decided once for the whole tree); a sampled header → exactly
+// one continued trace.
+func TestServerTraceContinuationPolicy(t *testing.T) {
+	srvTracer := newTestTracer(47)
+	ts, _ := startServer(t, ServerOptions{Metrics: obs.NewRegistry(), Tracer: srvTracer})
+
+	get := func(header string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/facebook/options", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if header != "" {
+			req.Header.Set(trace.HeaderName, header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("options status %d", resp.StatusCode)
+		}
+	}
+
+	get("") // untraced
+	if n := srvTracer.Len(); n != 0 {
+		t.Fatalf("untraced request buffered %d traces", n)
+	}
+	get("00-00000000000000000000000000000abc-00000000000000ef-00") // unsampled
+	if n := srvTracer.Len(); n != 0 {
+		t.Fatalf("unsampled request buffered %d traces", n)
+	}
+	get("00-00000000000000000000000000000abc-00000000000000ef-01") // sampled
+	if n := srvTracer.Len(); n != 1 {
+		t.Fatalf("sampled request buffered %d traces, want 1", n)
+	}
+	id, _ := trace.ParseTraceID("00000000000000000000000000000abc")
+	d, ok := srvTracer.Dump(id)
+	if !ok {
+		t.Fatal("continued trace not retrievable by the remote trace ID")
+	}
+	if n := spanNames(d)["adapi.server.options"]; n != 1 {
+		t.Fatalf("continued spans %v, want one adapi.server.options", spanNames(d))
+	}
+}
+
+// TestDebugTraceEndpoints checks the /debug/traces and /debug/provenance
+// routes serve the tracer handed to the server — including the one-trace
+// dump by ID — and degrade to empty listings with tracing disabled.
+func TestDebugTraceEndpoints(t *testing.T) {
+	srvTracer := newTestTracer(53)
+	ts, _ := startServer(t, ServerOptions{Metrics: obs.NewRegistry(), Tracer: srvTracer})
+
+	span := srvTracer.StartRoot("local.work")
+	span.Annotate("k", "v")
+	span.End()
+
+	var listing struct {
+		Traces []trace.TraceSummary `json:"traces"`
+	}
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Traces) != 1 || listing.Traces[0].Root != "local.work" {
+		t.Fatalf("trace listing %+v, want one local.work trace", listing.Traces)
+	}
+
+	var dump trace.TraceDump
+	resp, err = http.Get(ts.URL + "/debug/traces?trace=" + listing.Traces[0].TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(dump.Spans) != 1 || dump.Spans[0].Name != "local.work" {
+		t.Fatalf("trace dump %+v, want the local.work span", dump)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/provenance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("provenance status %d", resp.StatusCode)
+	}
+
+	// Tracing disabled: both endpoints still answer (empty listings).
+	tsOff, _ := startServer(t, ServerOptions{Metrics: obs.NewRegistry()})
+	for _, path := range []string{"/debug/traces", "/debug/provenance"} {
+		resp, err := http.Get(tsOff.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s with tracing off: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthzShardEcho checks the shard-mode readiness surface: /healthz
+// must echo the shard's identity, the layout fingerprint every node has to
+// agree on, and its held-partition count — and a plain server must omit all
+// three.
+func TestHealthzShardEcho(t *testing.T) {
+	const size = 15000
+	opts := platform.DeployOptions{Seed: 21, UniverseSize: size, Metrics: obs.NewRegistry()}
+	ring, err := cluster.NewRing([]string{"s0", "s1", "s2"}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, size, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := cluster.NewShard("s1", layout, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startShardServer(t, shard)
+
+	var h healthResponse
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" {
+		t.Fatalf("healthz status %q", h.Status)
+	}
+	if h.Shard != "s1" {
+		t.Fatalf("healthz shard %q, want s1", h.Shard)
+	}
+	if want := fmt.Sprintf("%016x", layout.Fingerprint()); h.RingHash != want {
+		t.Fatalf("healthz ring_hash %q, want %q", h.RingHash, want)
+	}
+	if h.Partitions != len(shard.Held()) {
+		t.Fatalf("healthz partitions %d, want %d", h.Partitions, len(shard.Held()))
+	}
+	if h.Tracing {
+		t.Fatal("healthz reports tracing enabled on an untraced server")
+	}
+
+	// Plain (non-shard) server: liveness only, no shard fields, and the
+	// tracing flag flips with a tracer installed.
+	tsPlain, _ := startServer(t, ServerOptions{Metrics: obs.NewRegistry(), Tracer: newTestTracer(59)})
+	var plain healthResponse
+	resp, err = http.Get(tsPlain.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if plain.Status != "ok" || plain.Shard != "" || plain.RingHash != "" || plain.Partitions != 0 {
+		t.Fatalf("plain healthz %+v, want bare ok", plain)
+	}
+	if !plain.Tracing {
+		t.Fatal("healthz does not report tracing enabled")
+	}
+}
+
+// TestClusterDoorTracePropagation runs a traced scatter-gather over real
+// HTTP shards, each with its own tracer, and checks every shard's server
+// continued the coordinator's trace — the full fig1 path in miniature.
+func TestClusterDoorTracePropagation(t *testing.T) {
+	const size = 15000
+	opts := platform.DeployOptions{Seed: 21, UniverseSize: size, Metrics: obs.NewRegistry()}
+	nodes := []string{"s0", "s1", "s2"}
+	ring, err := cluster.NewRing(nodes, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, size, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardTracers := make(map[string]*trace.Tracer, len(nodes))
+	conns := make([]cluster.Conn, 0, len(nodes))
+	for i, n := range nodes {
+		s, err := cluster.NewShard(n, layout, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := newTestTracer(uint64(61 + i))
+		shardTracers[n] = tr
+		srv, err := NewServer(s.Deployment(), ServerOptions{Metrics: obs.NewRegistry(), Shard: s, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hts := newTestHTTPServer(t, srv)
+		conns = append(conns, NewShardConn(n, hts.URL, nil))
+	}
+	coord, err := cluster.NewCoordinator(cluster.Options{
+		Layout:  layout,
+		Conns:   conns,
+		Deploy:  opts,
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coordTracer := newTestTracer(67)
+	root := coordTracer.StartRoot("audit.cluster")
+	ctx := trace.NewContext(context.Background(), root)
+	reqs := []platform.EstimateRequest{
+		{Spec: targeting.Attr(0)},
+		{Spec: targeting.And(targeting.Attr(1), targeting.Attr(2))},
+	}
+	got, err := coord.MeasureManyCtx(ctx, "facebook", reqs)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("slot %d: %v", i, got[i].Err)
+		}
+	}
+
+	id, _ := trace.ParseTraceID(root.TraceID())
+	for _, n := range nodes {
+		d, ok := shardTracers[n].Dump(id)
+		if !ok {
+			t.Fatalf("shard %s did not continue the coordinator's trace", n)
+		}
+		if spanNames(d)["shard.count_batch"] < 1 {
+			t.Fatalf("shard %s trace has no count_batch span: %v", n, spanNames(d))
+		}
+	}
+	cd, ok := coordTracer.Dump(id)
+	if !ok {
+		t.Fatal("coordinator tracer did not buffer the trace")
+	}
+	names := spanNames(cd)
+	if names["cluster.size_many"] != 1 || names["cluster.shard"] < len(nodes) {
+		t.Fatalf("coordinator spans %v, want size_many plus one per shard", names)
+	}
+}
+
+// newTestHTTPServer wraps an adapi server in an httptest server with
+// cleanup (startShardServer builds its own Server; this variant takes one
+// preconfigured, e.g. with a tracer).
+func newTestHTTPServer(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/population"
 	"repro/internal/targeting"
@@ -173,12 +174,21 @@ func (c *Coordinator) Metadata() *platform.Deployment { return c.meta }
 // error is a cluster failure (ErrPartial after failover exhausted); per-
 // request failures stay in their slots, as on a single node.
 func (c *Coordinator) MeasureMany(iface string, reqs []platform.EstimateRequest) ([]platform.Estimate, error) {
-	return c.sizeMany(iface, platform.DoorMeasure, reqs)
+	return c.sizeMany(context.Background(), iface, platform.DoorMeasure, reqs)
+}
+
+// MeasureManyCtx is MeasureMany under a trace context: the scatter-gather
+// records one span per shard attempt (shard ID, failover round, outcome)
+// and the trace rides the X-Adaudit-Trace header to every remote shard
+// door. Tracing never alters the counts — traced and untraced batches are
+// bit-identical.
+func (c *Coordinator) MeasureManyCtx(ctx context.Context, iface string, reqs []platform.EstimateRequest) ([]platform.Estimate, error) {
+	return c.sizeMany(ctx, iface, platform.DoorMeasure, reqs)
 }
 
 // EstimateMany is MeasureMany through the advertiser door.
 func (c *Coordinator) EstimateMany(iface string, reqs []platform.EstimateRequest) ([]platform.Estimate, error) {
-	return c.sizeMany(iface, platform.DoorEstimate, reqs)
+	return c.sizeMany(context.Background(), iface, platform.DoorEstimate, reqs)
 }
 
 // Measure answers one auditor-door query.
@@ -192,7 +202,7 @@ func (c *Coordinator) Estimate(iface string, req platform.EstimateRequest) (int6
 }
 
 func (c *Coordinator) one(iface string, door platform.Door, req platform.EstimateRequest) (int64, error) {
-	out, err := c.sizeMany(iface, door, []platform.EstimateRequest{req})
+	out, err := c.sizeMany(context.Background(), iface, door, []platform.EstimateRequest{req})
 	if err != nil {
 		return 0, err
 	}
@@ -207,7 +217,7 @@ func (c *Coordinator) one(iface string, door platform.Door, req platform.Estimat
 // the single-node batch path), fan the param-valid slots out to the
 // shards, sum raw counts per slot, and scale-and-round each sum exactly
 // once.
-func (c *Coordinator) sizeMany(iface string, door platform.Door, reqs []platform.EstimateRequest) ([]platform.Estimate, error) {
+func (c *Coordinator) sizeMany(ctx context.Context, iface string, door platform.Door, reqs []platform.EstimateRequest) ([]platform.Estimate, error) {
 	p, err := c.meta.ByName(iface)
 	if err != nil {
 		return nil, err
@@ -215,6 +225,13 @@ func (c *Coordinator) sizeMany(iface string, door platform.Door, reqs []platform
 	out := make([]platform.Estimate, len(reqs))
 	if len(reqs) == 0 {
 		return out, nil
+	}
+	span := trace.ChildOf(trace.FromContext(ctx), "cluster.size_many")
+	if span != nil {
+		defer span.End()
+		span.Annotate("interface", iface)
+		span.Annotate("door", door.String())
+		span.AnnotateInt("specs", int64(len(reqs)))
 	}
 	c.mBatches.Inc()
 	c.mBatchSize.Observe(time.Duration(len(reqs)))
@@ -239,27 +256,73 @@ func (c *Coordinator) sizeMany(iface string, door platform.Door, reqs []platform
 		sub[k] = reqs[i]
 	}
 
-	counts, slotErrs, err := c.scatterGather(iface, door, sub)
+	counts, slotErrs, stats, err := c.scatterGather(span, iface, door, sub)
+	if span != nil {
+		span.AnnotateInt("failover_rounds", int64(stats.rounds))
+		span.AnnotateInt("shards", int64(len(stats.shards)))
+	}
 	if err != nil {
+		span.SetError(err)
+		// A withheld partial batch still leaves provenance: which shards
+		// answered, how many failover rounds ran, and that the result was
+		// refused rather than under-counted.
+		if plog := span.ProvenanceLog(); plog != nil {
+			plog.Add(trace.Provenance{
+				Platform:       iface,
+				Source:         "cluster",
+				Shards:         stats.shards,
+				FailoverRounds: stats.rounds,
+				Partial:        true,
+				TraceID:        span.TraceID(),
+			})
+		}
 		return out, err
 	}
+	plog := span.ProvenanceLog()
 	for k, i := range valid {
 		if slotErrs[k] != nil {
 			out[i].Err = slotErrs[k]
 			continue
 		}
 		out[i].Size = p.ScaleAndRound(counts[k], eligible[i], impressions[i])
+		if plog != nil {
+			key := reqs[i].CacheKey
+			if key == "" {
+				key = targeting.Canonical(reqs[i].Spec)
+			}
+			plog.Add(trace.Provenance{
+				Platform:       iface,
+				Key:            key,
+				Source:         "cluster",
+				PlanHash:       trace.PlanHash(iface, door.String(), key),
+				Shards:         stats.shards,
+				FailoverRounds: stats.rounds,
+				TraceID:        span.TraceID(),
+				Value:          out[i].Size,
+			})
+		}
 	}
 	return out, nil
+}
+
+// scatterStats summarizes one scatter-gather for the batch's provenance:
+// which shards contributed counts (sorted) and how many failover rounds ran
+// beyond the primary scatter.
+type scatterStats struct {
+	shards []string
+	rounds int
 }
 
 // scatterGather collects each slot's raw count summed over every partition,
 // failing partitions over to ring replicas when their shard dies. Per-slot
 // errors (spec shapes the shards reject) are deterministic across shards,
-// so the first one reported wins and the slot's counts are discarded.
-func (c *Coordinator) scatterGather(iface string, door platform.Door, reqs []platform.EstimateRequest) ([]int64, []error, error) {
+// so the first one reported wins and the slot's counts are discarded. A
+// non-nil span records one child span per shard attempt; tracing observes
+// the scatter but never steers it.
+func (c *Coordinator) scatterGather(span *trace.Span, iface string, door platform.Door, reqs []platform.EstimateRequest) ([]int64, []error, scatterStats, error) {
 	counts := make([]int64, len(reqs))
 	slotErrs := make([]error, len(reqs))
+	var stats scatterStats
 
 	// Round 0: every partition goes to its primary.
 	pending := make(map[string][]uint32)
@@ -269,6 +332,7 @@ func (c *Coordinator) scatterGather(iface string, door platform.Door, reqs []pla
 		}
 	}
 	dead := make(map[string]bool)
+	served := make(map[string]bool)
 	var missing []uint32
 	var lastErr error
 
@@ -278,11 +342,12 @@ func (c *Coordinator) scatterGather(iface string, door platform.Door, reqs []pla
 		res   []platform.RawCount
 		err   error
 	}
+	round := 0
 	for len(pending) > 0 {
 		results := make(chan shardResult, len(pending))
 		for id, parts := range pending {
 			go func(id string, parts []uint32) {
-				res, err := c.callShard(c.conns[id], iface, door, parts, reqs)
+				res, err := c.callShard(span, round, c.conns[id], iface, door, parts, reqs)
 				results <- shardResult{id: id, parts: parts, res: res, err: err}
 			}(id, parts)
 		}
@@ -290,6 +355,7 @@ func (c *Coordinator) scatterGather(iface string, door platform.Door, reqs []pla
 		for range pending {
 			r := <-results
 			if r.err == nil {
+				served[r.id] = true
 				for k := range reqs {
 					if r.res[k].Err != nil {
 						if slotErrs[k] == nil {
@@ -326,38 +392,73 @@ func (c *Coordinator) scatterGather(iface string, door platform.Door, reqs []pla
 			sort.Slice(next[id], func(i, j int) bool { return next[id][i] < next[id][j] })
 		}
 		pending = next
+		round++
 	}
+	stats.rounds = round - 1
+	stats.shards = make([]string, 0, len(served))
+	for id := range served {
+		stats.shards = append(stats.shards, id)
+	}
+	sort.Strings(stats.shards)
 	if len(missing) > 0 {
 		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
 		c.mPartial.Inc()
-		return nil, nil, &PartialError{Partitions: missing, Cause: lastErr}
+		return nil, nil, stats, &PartialError{Partitions: missing, Cause: lastErr}
 	}
-	return counts, slotErrs, nil
+	return counts, slotErrs, stats, nil
 }
 
 // callShard runs one CountBatch with the per-attempt timeout, retrying on
-// the same shard before the caller fails its partitions over.
-func (c *Coordinator) callShard(conn Conn, iface string, door platform.Door, parts []uint32, reqs []platform.EstimateRequest) ([]platform.RawCount, error) {
+// the same shard before the caller fails its partitions over. Each attempt
+// records its own child span — shard ID, failover round, attempt number,
+// and outcome (ok, retry, or failover) — and carries the trace context into
+// the conn, so a remote shard door continues the same trace.
+func (c *Coordinator) callShard(parent *trace.Span, round int, conn Conn, iface string, door platform.Door, parts []uint32, reqs []platform.EstimateRequest) ([]platform.RawCount, error) {
 	m := c.perShard[conn.ID()]
 	var err error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		m.requests.Inc()
+		sp := trace.ChildOf(parent, "cluster.shard")
+		exID := ""
+		if sp != nil {
+			sp.Annotate("shard", conn.ID())
+			sp.AnnotateInt("round", int64(round))
+			sp.AnnotateInt("attempt", int64(attempt))
+			sp.AnnotateInt("partitions", int64(len(parts)))
+			exID = sp.TraceID()
+		}
 		start := time.Now()
 		ctx := context.Background()
 		cancel := context.CancelFunc(func() {})
 		if c.timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, c.timeout)
 		}
+		if sp != nil {
+			ctx = trace.NewContext(ctx, sp)
+		}
 		var res []platform.RawCount
 		res, err = conn.CountBatch(ctx, iface, door, parts, reqs)
 		cancel()
-		m.latency.Observe(time.Since(start))
+		m.latency.ObserveWithExemplar(time.Since(start), exID)
 		if err == nil {
 			if len(res) != len(reqs) {
 				err = fmt.Errorf("cluster: shard %s returned %d slots for %d requests", conn.ID(), len(res), len(reqs))
 			} else {
+				if sp != nil {
+					sp.Annotate("outcome", "ok")
+					sp.End()
+				}
 				return res, nil
 			}
+		}
+		if sp != nil {
+			outcome := "failover"
+			if attempt < c.retries {
+				outcome = "retry"
+			}
+			sp.Annotate("outcome", outcome)
+			sp.SetError(err)
+			sp.End()
 		}
 		m.failures.Inc()
 	}
@@ -411,16 +512,33 @@ func (cp *clusterProvider) Measure(spec targeting.Spec) (int64, error) {
 	return cp.c.Measure(cp.iface, platform.EstimateRequest{Spec: spec})
 }
 
+// MeasureCtx implements core.ContextMeasurer: one traced single-spec
+// scatter-gather.
+func (cp *clusterProvider) MeasureCtx(ctx context.Context, spec targeting.Spec) (int64, error) {
+	out := cp.MeasureManyCtx(ctx, []targeting.Spec{spec})
+	return out[0].Size, out[0].Err
+}
+
 // MeasureMany implements core.BatchMeasurer: one scatter-gather per batch.
 // A cluster-level failure (partial result) fails every slot — a partial
 // count must never be mistaken for a small audience.
 func (cp *clusterProvider) MeasureMany(specs []targeting.Spec) []core.BatchResult {
+	return cp.measureMany(context.Background(), specs)
+}
+
+// MeasureManyCtx implements core.ContextBatchMeasurer: the scatter-gather
+// under the caller's trace context.
+func (cp *clusterProvider) MeasureManyCtx(ctx context.Context, specs []targeting.Spec) []core.BatchResult {
+	return cp.measureMany(ctx, specs)
+}
+
+func (cp *clusterProvider) measureMany(ctx context.Context, specs []targeting.Spec) []core.BatchResult {
 	reqs := make([]platform.EstimateRequest, len(specs))
 	for i := range specs {
 		reqs[i] = platform.EstimateRequest{Spec: specs[i]}
 	}
 	out := make([]core.BatchResult, len(specs))
-	est, err := cp.c.MeasureMany(cp.iface, reqs)
+	est, err := cp.c.MeasureManyCtx(ctx, cp.iface, reqs)
 	if err != nil {
 		for i := range out {
 			out[i].Err = err

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
+	"strconv"
 
 	"repro/internal/platform"
 	"repro/internal/population"
@@ -50,6 +52,24 @@ func NewLayout(ring *Ring, universeSize, partitionSize int) (*Layout, error) {
 
 // Ring returns the layout's ring.
 func (l *Layout) Ring() *Ring { return l.ring }
+
+// Fingerprint hashes everything two nodes must agree on to form a correct
+// cluster — the ring's node set, vnode and replica counts, the universe
+// size, and the partition size — into one comparable value. Shards echo it
+// from /healthz, so a node started with a mistyped -ring or -universe is
+// caught by comparing fingerprints instead of by a silently wrong count.
+func (l *Layout) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, n := range l.ring.Nodes() {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	for _, v := range []int{l.ring.Vnodes(), l.ring.Replicas(), l.universeSize, l.partitionSize} {
+		h.Write([]byte(strconv.Itoa(v)))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
 
 // UniverseSize returns the global ID-space size.
 func (l *Layout) UniverseSize() int { return l.universeSize }

@@ -21,10 +21,11 @@ var ErrPartitionNotHeld = errors.New("cluster: partition not held by shard")
 // shards; platformd wraps one behind the adapi transport for the real
 // multi-process topology.
 type Shard struct {
-	id    string
-	dep   *platform.Deployment
-	held  []uint32
-	local map[uint32]platform.IndexRange
+	id       string
+	dep      *platform.Deployment
+	held     []uint32
+	local    map[uint32]platform.IndexRange
+	ringHash uint64
 }
 
 // NewShard materializes node id's slice of the deployment described by
@@ -50,11 +51,22 @@ func NewShard(id string, layout *Layout, opts platform.DeployOptions) (*Shard, e
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %s deployment: %w", id, err)
 	}
-	return &Shard{id: id, dep: dep, held: held, local: layout.localRanges(held)}, nil
+	return &Shard{
+		id:       id,
+		dep:      dep,
+		held:     held,
+		local:    layout.localRanges(held),
+		ringHash: layout.Fingerprint(),
+	}, nil
 }
 
 // ID returns the shard's node name.
 func (s *Shard) ID() string { return s.id }
+
+// RingHash returns the fingerprint of the layout the shard was built from
+// (Layout.Fingerprint), echoed from the health endpoint so layout agreement
+// across a cluster is checkable before any count is scattered.
+func (s *Shard) RingHash() uint64 { return s.ringHash }
 
 // Deployment returns the shard's platform deployment (its local slice of
 // every universe).

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/population"
 	"repro/internal/targeting"
 )
@@ -39,6 +40,12 @@ type Measurement struct {
 	// |TA ∩ RA_¬s| for the base (non-excluded) class, retained so rounding
 	// bounds can be re-analysed (§3, "Understanding size estimates").
 	InClass, OutClass int64
+	// TraceID links the measurement to its recorded distributed trace
+	// (/debug/traces, adauditctl -trace) when the process tracer sampled
+	// it; empty otherwise. Provenance records carry the same ID, so a
+	// reported number is attributable to the exact spans — cache tier,
+	// compiled plan, shard set — that produced it.
+	TraceID string `json:",omitempty"`
 }
 
 // Auditor runs the paper's measurements against one platform Provider.
@@ -137,7 +144,18 @@ func (a *Auditor) scoped(spec targeting.Spec) targeting.Spec {
 // measureScoped is the auditor's sole measurement path: every size the
 // methodology consumes is restricted to the scope population.
 func (a *Auditor) measureScoped(spec targeting.Spec) (int64, error) {
-	return a.p.Measure(a.scoped(spec))
+	return a.measureScopedSpan(nil, spec)
+}
+
+// measureScopedSpan is measureScoped under an optional trace span: with a
+// live span the measurement flows through the provider chain's traced
+// doors (cache outcome, platform kernel, cluster fan-out spans); without
+// one it is the plain Measure call.
+func (a *Auditor) measureScopedSpan(span *trace.Span, spec targeting.Spec) (int64, error) {
+	if span == nil {
+		return a.p.Measure(a.scoped(spec))
+	}
+	return MeasureCtx(spanContext(span), a.p, a.scoped(spec))
 }
 
 // Provider returns the underlying (cache-wrapped) provider.
@@ -181,18 +199,23 @@ func (a *Auditor) Describe(spec targeting.Spec) string {
 
 // totals measures (and caches) |RA_s| and |RA_¬s| for the class.
 func (a *Auditor) totals(c Class) (classTotals, error) {
+	return a.totalsSpan(nil, c)
+}
+
+// totalsSpan is totals with the measurements attributed to span's trace.
+func (a *Auditor) totalsSpan(span *trace.Span, c Class) (classTotals, error) {
 	key := c
 	key.Excluded = false
 	if t, ok := a.classTotals[key]; ok {
 		return t, nil
 	}
-	in, err := a.measureScoped(specOf(key.baseClause()))
+	in, err := a.measureScopedSpan(span, specOf(key.baseClause()))
 	if err != nil {
 		return classTotals{}, fmt.Errorf("measuring |RA_s| for %s: %w", key, err)
 	}
 	var out int64
 	for _, cl := range key.otherClauses() {
-		v, err := a.measureScoped(specOf(cl))
+		v, err := a.measureScopedSpan(span, specOf(cl))
 		if err != nil {
 			return classTotals{}, fmt.Errorf("measuring |RA_v| for %s: %w", key, err)
 		}
@@ -227,36 +250,59 @@ func (a *Auditor) Audit(spec targeting.Spec, c Class) (Measurement, error) {
 	a.mSpecs.Inc()
 	m := Measurement{Desc: a.Describe(spec), Spec: spec}
 
-	reach, err := a.measureScoped(spec)
+	// One audited spec = one trace: the root span covers every size query
+	// (reach, class totals, conditioned sizes) the measurement consumes.
+	// With tracing disabled StartRoot returns nil and every traced branch
+	// below is a pointer check.
+	root := trace.Default().StartRoot("audit.measure")
+	if root.Sampled() {
+		root.Annotate("platform", a.p.Name())
+		root.Annotate("spec", m.Desc)
+		root.Annotate("class", c.String())
+		m.TraceID = root.TraceID()
+	}
+	var auditErr error
+	defer func() {
+		root.SetError(auditErr)
+		root.End()
+	}()
+
+	reach, err := a.measureScopedSpan(root, spec)
 	if err != nil {
+		auditErr = err
 		return m, err
 	}
 	m.TotalReach = reach
 	if reach < a.RecallFloor {
 		a.mBelowFloor.Inc()
-		return m, fmt.Errorf("%w: reach %d < %d", ErrBelowFloor, reach, a.RecallFloor)
+		auditErr = fmt.Errorf("%w: reach %d < %d", ErrBelowFloor, reach, a.RecallFloor)
+		return m, auditErr
 	}
 
 	base := c
 	base.Excluded = false
-	tot, err := a.totals(base)
+	tot, err := a.totalsSpan(root, base)
 	if err != nil {
+		auditErr = err
 		return m, err
 	}
-	tIn, err := a.measureScoped(withClause(spec, base.baseClause()))
+	tIn, err := a.measureScopedSpan(root, withClause(spec, base.baseClause()))
 	if err != nil {
+		auditErr = err
 		return m, err
 	}
 	var tOut int64
 	for _, cl := range base.otherClauses() {
-		v, err := a.measureScoped(withClause(spec, cl))
+		v, err := a.measureScopedSpan(root, withClause(spec, cl))
 		if err != nil {
+			auditErr = err
 			return m, err
 		}
 		tOut += v
 	}
 
 	if err := finishMeasurement(&m, c, tot, tIn, tOut); err != nil {
+		auditErr = err
 		return m, err
 	}
 	return m, nil

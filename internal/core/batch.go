@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/targeting"
 )
@@ -72,17 +74,27 @@ func batchCapable(p Provider) bool {
 // MeasureMany implements BatchMeasurer for the in-process simulators via
 // the platform's tiled batch door.
 func (pp *platformProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
-	return pp.measureMany(specs, nil)
+	return pp.measureMany(nil, specs, nil)
 }
 
 // MeasureManyKeyed implements KeyedBatchMeasurer: the canonical keys ride
 // down as plan-cache keys so the platform skips re-canonicalizing specs the
 // measurement cache already hashed.
 func (pp *platformProvider) MeasureManyKeyed(specs []targeting.Spec, keys []string) []BatchResult {
-	return pp.measureMany(specs, keys)
+	return pp.measureMany(nil, specs, keys)
 }
 
-func (pp *platformProvider) measureMany(specs []targeting.Spec, keys []string) []BatchResult {
+// MeasureManyCtx implements ContextBatchMeasurer.
+func (pp *platformProvider) MeasureManyCtx(ctx context.Context, specs []targeting.Spec) []BatchResult {
+	return pp.measureMany(ctx, specs, nil)
+}
+
+// MeasureManyKeyedCtx implements ContextKeyedBatchMeasurer.
+func (pp *platformProvider) MeasureManyKeyedCtx(ctx context.Context, specs []targeting.Spec, keys []string) []BatchResult {
+	return pp.measureMany(ctx, specs, keys)
+}
+
+func (pp *platformProvider) measureMany(ctx context.Context, specs []targeting.Spec, keys []string) []BatchResult {
 	reqs := make([]platform.EstimateRequest, len(specs))
 	for i, s := range specs {
 		reqs[i].Spec = s
@@ -90,7 +102,13 @@ func (pp *platformProvider) measureMany(specs []targeting.Spec, keys []string) [
 			reqs[i].CacheKey = keys[i]
 		}
 	}
-	ests, err := pp.p.MeasureMany(reqs)
+	var ests []platform.Estimate
+	var err error
+	if ctx != nil {
+		ests, err = pp.p.MeasureManyCtx(ctx, reqs)
+	} else {
+		ests, err = pp.p.MeasureMany(reqs)
+	}
 	out := make([]BatchResult, len(specs))
 	if err != nil {
 		for i := range out {
@@ -115,10 +133,22 @@ func (pp *platformProvider) measureMany(specs []targeting.Spec, keys []string) [
 // being published, with failed slots refunded, exactly like the serial
 // path.
 func (cp *cachingProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
+	return cp.measureMany(nil, specs)
+}
+
+// MeasureManyCtx implements ContextBatchMeasurer: the batched partition
+// with the caller's trace span recording per-tier tallies and the trace
+// context riding the upstream batch.
+func (cp *cachingProvider) MeasureManyCtx(ctx context.Context, specs []targeting.Spec) []BatchResult {
+	return cp.measureMany(trace.FromContext(ctx), specs)
+}
+
+func (cp *cachingProvider) measureMany(parent *trace.Span, specs []targeting.Spec) []BatchResult {
 	out := make([]BatchResult, len(specs))
 	if len(specs) == 0 {
 		return out
 	}
+	span := trace.ChildOf(parent, "cache.measure_many")
 	type claim struct {
 		slot int
 		key  string
@@ -137,12 +167,21 @@ func (cp *cachingProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
 	claimIdx := make(map[string]int)
 	var hits, collapsed, refused, storeHits int64
 
+	// Provenance for the slots the cache itself serves (memory/store hits);
+	// claimed misses are recorded by the upstream layer that measures them,
+	// and collapsed slots by the trace that owns the in-flight call.
+	plog := span.ProvenanceLog()
+	var prov []trace.Provenance
+
 	cp.mu.Lock()
 	for i, spec := range specs {
 		key := targeting.Canonical(spec)
 		if v, ok := cp.sizes[key]; ok {
 			out[i].Size = v
 			hits++
+			if plog != nil {
+				prov = append(prov, trace.Provenance{Key: key, Source: "cache", Value: v})
+			}
 			continue
 		}
 		if ci, ok := claimIdx[key]; ok {
@@ -163,6 +202,9 @@ func (cp *cachingProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
 				cp.sizes[key] = v
 				out[i].Size = v
 				storeHits++
+				if plog != nil {
+					prov = append(prov, trace.Provenance{Key: key, Source: "store", Value: v})
+				}
 				continue
 			}
 		}
@@ -187,6 +229,24 @@ func (cp *cachingProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
 		cp.mStoreHits.Add(storeHits)
 		cp.mStoreMisses.Add(int64(len(claims)))
 	}
+	if span != nil {
+		defer span.End()
+		span.AnnotateInt("specs", int64(len(specs)))
+		span.AnnotateInt("hits", hits)
+		span.AnnotateInt("store_hits", storeHits)
+		span.AnnotateInt("collapsed", collapsed)
+		span.AnnotateInt("refused", refused)
+		span.AnnotateInt("misses", int64(len(claims)))
+		if plog != nil {
+			tid := span.TraceID()
+			name := cp.Provider.Name()
+			for i := range prov {
+				prov[i].Platform = name
+				prov[i].TraceID = tid
+				plog.Add(prov[i])
+			}
+		}
+	}
 
 	if len(claims) > 0 {
 		missSpecs := make([]targeting.Spec, len(claims))
@@ -197,10 +257,16 @@ func (cp *cachingProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
 		}
 		start := time.Now()
 		var res []BatchResult
-		if km, ok := cp.Provider.(KeyedBatchMeasurer); ok {
+		if km, ok := cp.Provider.(ContextKeyedBatchMeasurer); ok && span != nil {
+			// Traced + keyed: the canonical keys and the trace context ride
+			// down together.
+			res = km.MeasureManyKeyedCtx(spanContext(span), missSpecs, missKeys)
+		} else if km, ok := cp.Provider.(KeyedBatchMeasurer); ok {
 			// The canonical keys this partition pass computed double as the
 			// downstream plan-cache keys.
 			res = km.MeasureManyKeyed(missSpecs, missKeys)
+		} else if cbm, ok := cp.Provider.(ContextBatchMeasurer); ok && span != nil {
+			res = cbm.MeasureManyCtx(spanContext(span), missSpecs)
 		} else if bm, ok := cp.Provider.(BatchMeasurer); ok {
 			res = bm.MeasureMany(missSpecs)
 		} else {
@@ -209,12 +275,12 @@ func (cp *cachingProvider) MeasureMany(specs []targeting.Spec) []BatchResult {
 			// a serial fan-out would have produced.
 			res = make([]BatchResult, len(claims))
 			for k, s := range missSpecs {
-				res[k].Size, res[k].Err = cp.Provider.Measure(s)
+				res[k].Size, res[k].Err = measureUpstream(span, cp.Provider, s)
 			}
 		}
 		// One observation per upstream exchange (the batch is the unit of
 		// upstream latency, as one HTTP round trip serves the whole batch).
-		cp.mUpstream.Observe(time.Since(start))
+		cp.mUpstream.ObserveWithExemplar(time.Since(start), span.TraceID())
 
 		if cp.store != nil {
 			// Persist before publishing, as in the serial path: once a

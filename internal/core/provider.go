@@ -10,12 +10,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/targeting"
 )
@@ -74,6 +76,12 @@ func (pp *platformProvider) TopicNames() []string {
 
 func (pp *platformProvider) Measure(spec targeting.Spec) (int64, error) {
 	return pp.p.Measure(platform.EstimateRequest{Spec: spec})
+}
+
+// MeasureCtx implements ContextMeasurer through the platform's traced
+// serial door.
+func (pp *platformProvider) MeasureCtx(ctx context.Context, spec targeting.Spec) (int64, error) {
+	return pp.p.MeasureCtx(ctx, platform.EstimateRequest{Spec: spec})
 }
 
 func (pp *platformProvider) CrossFeature() bool {
@@ -151,17 +159,55 @@ func NewCachingProviderWith(p Provider, reg *obs.Registry) Provider {
 }
 
 func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
+	return cp.measure(nil, spec)
+}
+
+// MeasureCtx implements ContextMeasurer: serial Measure with the caller's
+// trace span recording which tier answered (cache/store/inflight/budget)
+// and the trace continuing into the upstream provider on misses.
+func (cp *cachingProvider) MeasureCtx(ctx context.Context, spec targeting.Spec) (int64, error) {
+	return cp.measure(trace.FromContext(ctx), spec)
+}
+
+// provDone ends a cache-layer span and emits its provenance record —
+// only for outcomes the cache itself served (hit/store/inflight/refused);
+// misses are recorded by the upstream layer that actually measured, so
+// one trace shows the full provenance chain without double-counting.
+func (cp *cachingProvider) provDone(span *trace.Span, key, source string, v int64, err error) {
+	if span == nil {
+		return
+	}
+	span.Annotate("outcome", source)
+	span.SetError(err)
+	if err == nil && source != "miss" {
+		if plog := span.ProvenanceLog(); plog != nil {
+			plog.Add(trace.Provenance{
+				Platform: cp.Provider.Name(),
+				Key:      key,
+				Source:   source,
+				TraceID:  span.TraceID(),
+				Value:    v,
+			})
+		}
+	}
+	span.End()
+}
+
+func (cp *cachingProvider) measure(parent *trace.Span, spec targeting.Spec) (int64, error) {
+	span := trace.ChildOf(parent, "cache.measure")
 	key := targeting.Canonical(spec)
 	cp.mu.Lock()
 	if v, ok := cp.sizes[key]; ok {
 		cp.mu.Unlock()
 		cp.mHits.Inc()
+		cp.provDone(span, key, "cache", v, nil)
 		return v, nil
 	}
 	if c, ok := cp.inflight[key]; ok {
 		cp.mu.Unlock()
 		cp.mCollapsed.Inc()
 		<-c.done
+		cp.provDone(span, key, "inflight", c.v, c.err)
 		return c.v, c.err
 	}
 	if cp.store != nil {
@@ -174,13 +220,16 @@ func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
 			cp.sizes[key] = v
 			cp.mu.Unlock()
 			cp.mStoreHits.Inc()
+			cp.provDone(span, key, "store", v, nil)
 			return v, nil
 		}
 	}
 	if cp.budget > 0 && cp.calls >= cp.budget {
 		cp.mu.Unlock()
 		cp.mRefused.Inc()
-		return 0, fmt.Errorf("%w: %d calls made", ErrQueryBudget, cp.budget)
+		err := fmt.Errorf("%w: %d calls made", ErrQueryBudget, cp.budget)
+		cp.provDone(span, key, "refused", 0, err)
+		return 0, err
 	}
 	// Claim the key and charge the budget before releasing the lock so a
 	// burst of distinct misses cannot collectively overshoot the cap.
@@ -194,8 +243,9 @@ func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
 	}
 
 	start := time.Now()
-	v, err := cp.Provider.Measure(spec)
-	cp.mUpstream.Observe(time.Since(start))
+	v, err := measureUpstream(span, cp.Provider, spec)
+	d := time.Since(start)
+	cp.mUpstream.ObserveWithExemplar(d, span.TraceID())
 
 	if err == nil && cp.store != nil {
 		// Persist before publishing: once another caller can read the
@@ -222,6 +272,7 @@ func (cp *cachingProvider) Measure(spec targeting.Spec) (int64, error) {
 	cp.mu.Unlock()
 	c.v, c.err = v, err
 	close(c.done)
+	cp.provDone(span, key, "miss", v, err)
 	return v, err
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs/trace"
 	"repro/internal/targeting"
 )
 
@@ -98,11 +99,26 @@ func (a *Auditor) auditManyBatched(specs []targeting.Spec, c Class, tot classTot
 		results[i].m = Measurement{Desc: a.Describe(spec), Spec: spec}
 	}
 
+	// One batched fan-out = one trace: the root covers both measurement
+	// phases, and every spec in the batch carries the same trace ID.
+	root := trace.Default().StartRoot("audit.measure_many")
+	if root.Sampled() {
+		root.Annotate("platform", a.p.Name())
+		root.Annotate("class", c.String())
+		root.AnnotateInt("specs", int64(len(specs)))
+		tid := root.TraceID()
+		for i := range results {
+			results[i].m.TraceID = tid
+		}
+	}
+	defer root.End()
+	ctx := spanContext(root)
+
 	reachSpecs := make([]targeting.Spec, len(specs))
 	for i, spec := range specs {
 		reachSpecs[i] = a.scoped(spec)
 	}
-	reach := MeasureMany(a.p, reachSpecs)
+	reach := MeasureManyCtx(ctx, a.p, reachSpecs)
 
 	// start[i] indexes spec i's group of 1+len(others) conditioned slots in
 	// the second batch; -1 marks specs already failed or below the floor.
@@ -129,7 +145,7 @@ func (a *Auditor) auditManyBatched(specs []targeting.Spec, c Class, tot classTot
 		}
 	}
 	a.mBelowFloor.Add(belowFloor)
-	condRes := MeasureMany(a.p, cond)
+	condRes := MeasureManyCtx(ctx, a.p, cond)
 
 	total := len(specs)
 	for i := range specs {

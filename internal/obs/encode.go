@@ -66,7 +66,14 @@ func writeSeries(w io.Writer, s SeriesSnapshot) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", formatSeries(s.Name+"_count", s.Labels), s.Hist.Count); err != nil {
+		// Exemplar rides the _count line OpenMetrics-style
+		// (`value # {trace_id="..."} seconds`), linking the series to one
+		// recorded trace in /debug/traces.
+		ex := ""
+		if s.Hist.Exemplar != nil {
+			ex = fmt.Sprintf(" # {trace_id=%q} %s", s.Hist.Exemplar.TraceID, formatFloat(s.Hist.Exemplar.Value.Seconds()))
+		}
+		if _, err := fmt.Fprintf(w, "%s %d%s\n", formatSeries(s.Name+"_count", s.Labels), s.Hist.Count, ex); err != nil {
 			return err
 		}
 		_, err := fmt.Fprintf(w, "%s %s\n", formatSeries(s.Name+"_sum", s.Labels), formatFloat(s.Hist.Sum.Seconds()))

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserveWithExemplar(t *testing.T) {
+	h := NewHistogram()
+	if h.Exemplar() != nil {
+		t.Fatal("fresh histogram has exemplar")
+	}
+	// Empty trace ID records the observation but no exemplar (the
+	// untraced-path contract).
+	h.ObserveWithExemplar(time.Millisecond, "")
+	if h.Exemplar() != nil {
+		t.Fatal("empty trace ID stored an exemplar")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	h.ObserveWithExemplar(2*time.Millisecond, "aaaa")
+	h.ObserveWithExemplar(5*time.Millisecond, "bbbb")
+	ex := h.Exemplar()
+	if ex == nil || ex.TraceID != "bbbb" || ex.Value != 5*time.Millisecond {
+		t.Fatalf("exemplar = %+v, want latest (bbbb, 5ms)", ex)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 3 || snap.Exemplar == nil || snap.Exemplar.TraceID != "bbbb" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestWriteTextRendersExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("adapi_request_seconds", L("iface", "a"))
+	h.ObserveWithExemplar(4*time.Millisecond, "deadbeefdeadbeefdeadbeefdeadbeef")
+	// A second, exemplar-free histogram must render without the suffix.
+	r.Histogram("plain_seconds").Observe(time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `adapi_request_seconds_count{iface="a"} 1 # {trace_id="deadbeefdeadbeefdeadbeefdeadbeef"} 0.004`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "plain_seconds_count") && strings.Contains(line, "#") {
+			t.Fatalf("exemplar leaked onto plain series: %q", line)
+		}
+	}
+}

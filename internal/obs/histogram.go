@@ -19,6 +19,17 @@ const numBuckets = 64
 type Histogram struct {
 	buckets [numBuckets]atomic.Int64
 	sum     atomic.Int64 // total observed nanoseconds
+	ex      atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a latency series to one concrete traced request, so a
+// dashboard's `*_seconds` number can jump straight to the recorded trace
+// that exhibits it.
+type Exemplar struct {
+	// TraceID is the linked trace, as /debug/traces addresses it.
+	TraceID string
+	// Value is the linked observation's duration.
+	Value time.Duration
 }
 
 // NewHistogram returns an empty histogram.
@@ -34,6 +45,21 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sum.Add(ns)
 }
 
+// ObserveWithExemplar records d and, when traceID is non-empty, retains it
+// as the series' exemplar. Latest-sampled wins (the OpenMetrics
+// convention), which also keeps the link pointing at a trace most likely
+// still in the bounded trace buffer. One extra atomic store over Observe;
+// untraced callers keep using Observe and pay nothing.
+func (h *Histogram) ObserveWithExemplar(d time.Duration, traceID string) {
+	h.Observe(d)
+	if traceID != "" {
+		h.ex.Store(&Exemplar{TraceID: traceID, Value: d})
+	}
+}
+
+// Exemplar returns the series' current exemplar (nil when none recorded).
+func (h *Histogram) Exemplar() *Exemplar { return h.ex.Load() }
+
 // HistogramSnapshot is a histogram's state at one instant.
 type HistogramSnapshot struct {
 	// Count is the number of observations.
@@ -42,6 +68,9 @@ type HistogramSnapshot struct {
 	Sum time.Duration
 	// P50, P95, P99 are interpolated quantiles (0 when Count is 0).
 	P50, P95, P99 time.Duration
+	// Exemplar links the series to its most recent traced observation
+	// (nil when tracing is disabled or no sampled request has landed).
+	Exemplar *Exemplar
 }
 
 // Mean returns the average observation (0 when empty).
@@ -63,7 +92,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		counts[i] = h.buckets[i].Load()
 		total += counts[i]
 	}
-	snap := HistogramSnapshot{Count: total, Sum: time.Duration(h.sum.Load())}
+	snap := HistogramSnapshot{Count: total, Sum: time.Duration(h.sum.Load()), Exemplar: h.ex.Load()}
 	if total == 0 {
 		return snap
 	}

@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// spanRecord is one finished span as stored in the buffer. Exported-field
+// JSON doubles as the /debug/traces wire format.
+type spanRecord struct {
+	Trace       TraceID       `json:"-"`
+	Span        SpanID        `json:"span_id"`
+	Parent      SpanID        `json:"parent_id,omitempty"`
+	Name        string        `json:"name"`
+	Start       time.Time     `json:"start"`
+	Duration    time.Duration `json:"-"`
+	Annotations []Annotation  `json:"annotations,omitempty"`
+	Err         string        `json:"error,omitempty"`
+}
+
+// spanJSON is spanRecord's exposition shape: IDs as hex strings, duration
+// in microseconds (traces span nanosecond kernels and second-scale audits;
+// µs keeps both readable).
+type spanJSON struct {
+	SpanID      string       `json:"span_id"`
+	ParentID    string       `json:"parent_id,omitempty"`
+	Name        string       `json:"name"`
+	Start       string       `json:"start"`
+	DurationUS  float64      `json:"duration_us"`
+	Annotations []Annotation `json:"annotations,omitempty"`
+	Err         string       `json:"error,omitempty"`
+}
+
+// traceEntry collects one trace's spans in arrival order.
+type traceEntry struct {
+	id      TraceID
+	first   time.Time
+	spans   []spanRecord
+	dropped int
+}
+
+// buffer is the bounded in-memory trace store: a map for lookup plus a
+// FIFO ring of trace IDs for eviction. Spans arrive individually (a trace
+// has no explicit "end"); /debug/traces serves whatever has landed.
+type buffer struct {
+	mu       sync.Mutex
+	traces   map[TraceID]*traceEntry
+	order    []TraceID // FIFO of live trace IDs, oldest first
+	maxT     int
+	maxSpans int
+
+	mEvicted *obs.Counter // trace_traces_evicted_total
+	mCut     *obs.Counter // trace_spans_dropped_total
+}
+
+func newBuffer(maxTraces, maxSpans int, reg *obs.Registry) *buffer {
+	return &buffer{
+		traces:   make(map[TraceID]*traceEntry, maxTraces),
+		maxT:     maxTraces,
+		maxSpans: maxSpans,
+		mEvicted: reg.Counter("trace_traces_evicted_total"),
+		mCut:     reg.Counter("trace_spans_dropped_total"),
+	}
+}
+
+func (b *buffer) record(r spanRecord) {
+	b.mu.Lock()
+	e := b.traces[r.Trace]
+	if e == nil {
+		if len(b.order) >= b.maxT {
+			oldest := b.order[0]
+			b.order = b.order[1:]
+			delete(b.traces, oldest)
+			b.mEvicted.Inc()
+		}
+		e = &traceEntry{id: r.Trace, first: r.Start}
+		b.traces[r.Trace] = e
+		b.order = append(b.order, r.Trace)
+	}
+	if r.Start.Before(e.first) {
+		e.first = r.Start
+	}
+	if len(e.spans) >= b.maxSpans {
+		e.dropped++
+		b.mCut.Inc()
+		b.mu.Unlock()
+		return
+	}
+	e.spans = append(e.spans, r)
+	b.mu.Unlock()
+}
+
+// TraceSummary is one trace's /debug/traces listing row.
+type TraceSummary struct {
+	TraceID    string  `json:"trace_id"`
+	Root       string  `json:"root"`
+	Start      string  `json:"start"`
+	DurationUS float64 `json:"duration_us"`
+	Spans      int     `json:"spans"`
+	Dropped    int     `json:"dropped_spans,omitempty"`
+	Err        string  `json:"error,omitempty"`
+}
+
+// TraceDump is one full trace as served by /debug/traces?trace=<id> and
+// consumed by the adauditctl -trace renderer.
+type TraceDump struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []spanJSON `json:"spans"`
+	Dropped int        `json:"dropped_spans,omitempty"`
+}
+
+// rootOf finds the trace's local root: the span whose parent is absent
+// from the trace (covers both true roots and remote continuations).
+func rootOf(spans []spanRecord) *spanRecord {
+	present := make(map[SpanID]bool, len(spans))
+	for i := range spans {
+		present[spans[i].Span] = true
+	}
+	for i := range spans {
+		if spans[i].Parent.IsZero() || !present[spans[i].Parent] {
+			return &spans[i]
+		}
+	}
+	return &spans[0]
+}
+
+func toJSON(r *spanRecord) spanJSON {
+	j := spanJSON{
+		SpanID:      r.Span.String(),
+		Name:        r.Name,
+		Start:       r.Start.UTC().Format(time.RFC3339Nano),
+		DurationUS:  float64(r.Duration) / float64(time.Microsecond),
+		Annotations: r.Annotations,
+		Err:         r.Err,
+	}
+	if !r.Parent.IsZero() {
+		j.ParentID = r.Parent.String()
+	}
+	return j
+}
+
+// Summaries lists buffered traces, most recent first, capped at limit
+// (0 = all).
+func (t *Tracer) Summaries(limit int) []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	b := t.buf
+	b.mu.Lock()
+	out := make([]TraceSummary, 0, len(b.order))
+	for i := len(b.order) - 1; i >= 0; i-- {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		e := b.traces[b.order[i]]
+		if e == nil || len(e.spans) == 0 {
+			continue
+		}
+		root := rootOf(e.spans)
+		out = append(out, TraceSummary{
+			TraceID:    e.id.String(),
+			Root:       root.Name,
+			Start:      e.first.UTC().Format(time.RFC3339Nano),
+			DurationUS: float64(root.Duration) / float64(time.Microsecond),
+			Spans:      len(e.spans),
+			Dropped:    e.dropped,
+			Err:        root.Err,
+		})
+	}
+	b.mu.Unlock()
+	return out
+}
+
+// Dump returns one buffered trace's spans ordered by start time, or
+// ok=false when the ID is unknown (or evicted).
+func (t *Tracer) Dump(id TraceID) (TraceDump, bool) {
+	if t == nil {
+		return TraceDump{}, false
+	}
+	b := t.buf
+	b.mu.Lock()
+	e := b.traces[id]
+	if e == nil {
+		b.mu.Unlock()
+		return TraceDump{}, false
+	}
+	spans := make([]spanRecord, len(e.spans))
+	copy(spans, e.spans)
+	dropped := e.dropped
+	b.mu.Unlock()
+
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	d := TraceDump{TraceID: id.String(), Dropped: dropped, Spans: make([]spanJSON, len(spans))}
+	for i := range spans {
+		d.Spans[i] = toJSON(&spans[i])
+	}
+	return d, true
+}
+
+// Len reports how many traces the buffer currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.buf.mu.Lock()
+	n := len(t.buf.order)
+	t.buf.mu.Unlock()
+	return n
+}
+
+// Handler serves the trace buffer as JSON:
+//
+//	GET /debug/traces            → {"traces": [TraceSummary, ...]}
+//	GET /debug/traces?limit=N    → newest N summaries
+//	GET /debug/traces?trace=<id> → TraceDump for one trace (404 unknown)
+//
+// Works on a nil tracer (serves an empty listing) so servers can mount it
+// unconditionally.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, ok := ParseTraceID(q)
+			if !ok {
+				http.Error(w, `{"error":"malformed trace id"}`, http.StatusBadRequest)
+				return
+			}
+			d, ok := t.Dump(id)
+			if !ok {
+				http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+				return
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(d)
+			return
+		}
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		s := t.Summaries(limit)
+		if s == nil {
+			s = []TraceSummary{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Traces []TraceSummary `json:"traces"`
+		}{Traces: s})
+	})
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPlanHashStableAndSeparated(t *testing.T) {
+	a := PlanHash("platform-a", "k1")
+	if a != PlanHash("platform-a", "k1") {
+		t.Fatal("PlanHash not deterministic")
+	}
+	if len(a) != 16 {
+		t.Fatalf("PlanHash width = %d, want 16 hex digits", len(a))
+	}
+	if a == PlanHash("platform-a", "k2") {
+		t.Fatal("distinct keys collided")
+	}
+	// The NUL separator must keep ("ab","c") distinct from ("a","bc").
+	if PlanHash("ab", "c") == PlanHash("a", "bc") {
+		t.Fatal("part boundaries not separated")
+	}
+}
+
+func TestProvenanceLogRingAndPersist(t *testing.T) {
+	var sink bytes.Buffer
+	l := NewProvenanceLog(2, &sink)
+	for i, src := range []string{"cache", "platform", "cluster"} {
+		l.Add(Provenance{Platform: "p", Key: "k", Source: src, Value: int64(i)})
+	}
+	recs := l.Records()
+	if len(recs) != 2 || recs[0].Source != "platform" || recs[1].Source != "cluster" {
+		t.Fatalf("ring records = %+v", recs)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// Persistence saw all three, one JSON line each.
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("persisted lines = %d: %q", len(lines), sink.String())
+	}
+	var p Provenance
+	if err := json.Unmarshal([]byte(lines[0]), &p); err != nil || p.Source != "cache" {
+		t.Fatalf("line 0: err=%v p=%+v", err, p)
+	}
+
+	// Nil log is a no-op.
+	var nilLog *ProvenanceLog
+	nilLog.Add(Provenance{})
+	if nilLog.Records() != nil || nilLog.Len() != 0 {
+		t.Fatal("nil log not empty")
+	}
+}
+
+func TestProvenanceHandlerFilters(t *testing.T) {
+	l := NewProvenanceLog(8, nil)
+	l.Add(Provenance{Platform: "a", Key: "k1", Source: "cluster", Shards: []string{"s0", "s1"}, FailoverRounds: 1, TraceID: "t1", Value: 100})
+	l.Add(Provenance{Platform: "a", Key: "k2", Source: "cache", TraceID: "t2", Value: 200})
+
+	get := func(url string) []Provenance {
+		rec := httptest.NewRecorder()
+		l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var out struct {
+			Records []Provenance `json:"records"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		return out.Records
+	}
+	if got := get("/debug/provenance"); len(got) != 2 {
+		t.Fatalf("all records = %d", len(got))
+	}
+	byKey := get("/debug/provenance?key=k1")
+	if len(byKey) != 1 || byKey[0].FailoverRounds != 1 || len(byKey[0].Shards) != 2 {
+		t.Fatalf("key filter = %+v", byKey)
+	}
+	if got := get("/debug/provenance?trace=t2"); len(got) != 1 || got[0].Key != "k2" {
+		t.Fatalf("trace filter = %+v", got)
+	}
+	if got := get("/debug/provenance?key=missing"); len(got) != 0 {
+		t.Fatalf("missing key filter = %+v", got)
+	}
+
+	// Nil log serves an empty listing.
+	var nilLog *ProvenanceLog
+	rec := httptest.NewRecorder()
+	nilLog.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/provenance", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"records"`) {
+		t.Fatalf("nil handler: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Render pretty-prints one trace as an indented tree with per-span
+// durations and annotations — the adauditctl -trace view:
+//
+//	trace 4a51...  (12 spans, 1.84ms)
+//	└─ audit.measure                      1.84ms  platform=platform-a
+//	   └─ cluster.measure_many            1.71ms  specs=64 shards=3
+//	      ├─ cluster.shard                612µs   shard=s0 round=0 outcome=ok
+//	      ...
+//
+// Orphaned spans (parent evicted or dropped) render as extra roots.
+func Render(w io.Writer, d TraceDump) {
+	if len(d.Spans) == 0 {
+		fmt.Fprintf(w, "trace %s  (no spans)\n", d.TraceID)
+		return
+	}
+	byID := make(map[string]int, len(d.Spans))
+	children := make(map[string][]int, len(d.Spans))
+	for i := range d.Spans {
+		byID[d.Spans[i].SpanID] = i
+	}
+	var roots []int
+	for i := range d.Spans {
+		p := d.Spans[i].ParentID
+		if p == "" {
+			roots = append(roots, i)
+			continue
+		}
+		if _, ok := byID[p]; !ok {
+			roots = append(roots, i)
+			continue
+		}
+		children[p] = append(children[p], i)
+	}
+	// Spans arrive start-sorted from Dump; keep sibling order stable by
+	// start for hand-built dumps too.
+	byStart := func(ix []int) {
+		sort.SliceStable(ix, func(a, b int) bool { return d.Spans[ix[a]].Start < d.Spans[ix[b]].Start })
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	total := 0.0
+	for _, r := range roots {
+		if d.Spans[r].DurationUS > total {
+			total = d.Spans[r].DurationUS
+		}
+	}
+	fmt.Fprintf(w, "trace %s  (%d spans, %s)", d.TraceID, len(d.Spans), fmtDur(total))
+	if d.Dropped > 0 {
+		fmt.Fprintf(w, "  [%d spans dropped]", d.Dropped)
+	}
+	fmt.Fprintln(w)
+
+	var walk func(i int, prefix string, last bool)
+	walk = func(i int, prefix string, last bool) {
+		s := &d.Spans[i]
+		branch, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = "└─ ", prefix+"   "
+		}
+		line := prefix + branch + s.Name
+		pad := 46 - len(line)
+		if pad < 1 {
+			pad = 1
+		}
+		fmt.Fprintf(w, "%s%s%8s", line, strings.Repeat(" ", pad), fmtDur(s.DurationUS))
+		for _, a := range s.Annotations {
+			fmt.Fprintf(w, "  %s=%s", a.Key, a.Value)
+		}
+		if s.Err != "" {
+			fmt.Fprintf(w, "  ERROR=%q", s.Err)
+		}
+		fmt.Fprintln(w)
+		kids := children[s.SpanID]
+		for j, c := range kids {
+			walk(c, childPrefix, j == len(kids)-1)
+		}
+	}
+	for j, r := range roots {
+		walk(r, "", j == len(roots)-1)
+	}
+}
+
+// fmtDur renders microseconds with a human unit (ns/µs/ms/s).
+func fmtDur(us float64) string {
+	d := time.Duration(us * float64(time.Microsecond))
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", us)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	}
+	return fmt.Sprintf("%.2fs", us/1e6)
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestRenderTree(t *testing.T) {
+	tr := New(Options{SampleRate: 1, Metrics: obs.NewRegistry(), Seed: 11})
+	root := tr.StartRoot("audit.measure")
+	root.Annotate("platform", "platform-a")
+	coord := tr.StartChild(root, "cluster.measure_many")
+	coord.AnnotateInt("specs", 64)
+	s0 := tr.StartChild(coord, "cluster.shard")
+	s0.Annotate("shard", "s0")
+	s0.AnnotateInt("round", 0)
+	s0.End()
+	s1 := tr.StartChild(coord, "cluster.shard")
+	s1.Annotate("shard", "s1")
+	s1.SetError(errTest("conn refused"))
+	s1.End()
+	coord.End()
+	root.End()
+
+	d, ok := tr.Dump(root.Context().Trace)
+	if !ok {
+		t.Fatal("dump miss")
+	}
+	var sb strings.Builder
+	Render(&sb, d)
+	out := sb.String()
+
+	for _, want := range []string{
+		"trace " + root.TraceID(),
+		"(4 spans,",
+		"└─ audit.measure",
+		"platform=platform-a",
+		"cluster.measure_many",
+		"specs=64",
+		"shard=s0",
+		"round=0",
+		"shard=s1",
+		`ERROR="conn refused"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Children are indented under the coordinator span.
+	lines := strings.Split(out, "\n")
+	var shardLine string
+	for _, l := range lines {
+		if strings.Contains(l, "shard=s0") {
+			shardLine = l
+		}
+	}
+	if !strings.HasPrefix(shardLine, "      ") {
+		t.Fatalf("shard span not nested: %q", shardLine)
+	}
+}
+
+func TestRenderOrphansAndEmpty(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, TraceDump{TraceID: "abc"})
+	if !strings.Contains(sb.String(), "no spans") {
+		t.Fatalf("empty render = %q", sb.String())
+	}
+	// Orphan (evicted parent) renders as a second root, dropped noted.
+	d := TraceDump{
+		TraceID: "abc",
+		Dropped: 3,
+		Spans: []spanJSON{
+			{SpanID: "aa", Name: "root", Start: "2026-01-01T00:00:00Z", DurationUS: 1500},
+			{SpanID: "bb", ParentID: "gone", Name: "orphan", Start: "2026-01-01T00:00:01Z", DurationUS: 2},
+		},
+	}
+	sb.Reset()
+	Render(&sb, d)
+	out := sb.String()
+	if !strings.Contains(out, "├─ root") || !strings.Contains(out, "└─ orphan") {
+		t.Fatalf("orphan not promoted to root:\n%s", out)
+	}
+	if !strings.Contains(out, "[3 spans dropped]") {
+		t.Fatalf("dropped note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50ms") {
+		t.Fatalf("duration formatting missing:\n%s", out)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	for _, tc := range []struct {
+		us   float64
+		want string
+	}{
+		{0.5, "500ns"},
+		{12, "12µs"},
+		{1500, "1.50ms"},
+		{2.5e6, "2.50s"},
+	} {
+		if got := fmtDur(tc.us); got != tc.want {
+			t.Fatalf("fmtDur(%v) = %q, want %q", tc.us, got, tc.want)
+		}
+	}
+	_ = time.Microsecond // keep the import honest if cases change
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowLog writes one structured JSON line per slow root span, so "why was
+// this query slow" is answerable from a grep even when the trace itself
+// has been evicted: the line carries the trace ID, root name, duration,
+// and the root's annotations.
+type SlowLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // test seam
+}
+
+// NewSlowLog writes slow-query lines to w (typically a file or stderr).
+func NewSlowLog(w io.Writer) *SlowLog {
+	return &SlowLog{w: w, now: time.Now}
+}
+
+// slowEntry is the JSONL schema. Duration is milliseconds: slow queries
+// are by definition human-scale.
+type slowEntry struct {
+	Time        string       `json:"time"`
+	TraceID     string       `json:"trace_id"`
+	SpanID      string       `json:"span_id"`
+	Name        string       `json:"name"`
+	DurationMS  float64      `json:"duration_ms"`
+	Sampled     bool         `json:"sampled"`
+	Annotations []Annotation `json:"annotations,omitempty"`
+	Err         string       `json:"error,omitempty"`
+}
+
+func (l *SlowLog) log(s *Span, d time.Duration) {
+	e := slowEntry{
+		TraceID:     s.sc.Trace.String(),
+		SpanID:      s.sc.Span.String(),
+		Name:        s.name,
+		DurationMS:  float64(d) / float64(time.Millisecond),
+		Sampled:     s.sc.Sampled,
+		Annotations: s.annotations,
+		Err:         s.errMsg,
+	}
+	l.mu.Lock()
+	e.Time = l.now().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(e)
+	if err == nil {
+		b = append(b, '\n')
+		l.w.Write(b)
+	}
+	l.mu.Unlock()
+}

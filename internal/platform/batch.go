@@ -1,11 +1,13 @@
 package platform
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"repro/internal/audience"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/targeting"
 )
 
@@ -26,13 +28,27 @@ type Estimate struct {
 // is independent of both (they only scale the counted statistic).
 // Per-request failures are reported in their slot, never as a batch error.
 func (p *Interface) MeasureMany(reqs []EstimateRequest) ([]Estimate, error) {
-	return p.sizeMany(reqs, p.MeasurementRules(), p.mMeasureQueries)
+	return p.sizeMany(nil, reqs, p.MeasurementRules(), p.mMeasureQueries, "measure")
+}
+
+// MeasureManyCtx is MeasureMany under a trace context: when ctx carries a
+// sampled span, the batch records a platform child span (plan-cache and
+// kernel annotations) and per-slot provenance. With tracing disabled the
+// two doors are byte-identical in behavior and within noise in cost — the
+// only extra work is one context value lookup per batch.
+func (p *Interface) MeasureManyCtx(ctx context.Context, reqs []EstimateRequest) ([]Estimate, error) {
+	return p.sizeMany(trace.FromContext(ctx), reqs, p.MeasurementRules(), p.mMeasureQueries, "measure")
 }
 
 // EstimateMany is the advertiser-door equivalent of MeasureMany: batched
 // Estimate calls under the advertiser rules.
 func (p *Interface) EstimateMany(reqs []EstimateRequest) ([]Estimate, error) {
-	return p.sizeMany(reqs, p.cfg.AdvertiserRules, p.mEstimateQueries)
+	return p.sizeMany(nil, reqs, p.cfg.AdvertiserRules, p.mEstimateQueries, "estimate")
+}
+
+// EstimateManyCtx is EstimateMany under a trace context.
+func (p *Interface) EstimateManyCtx(ctx context.Context, reqs []EstimateRequest) ([]Estimate, error) {
+	return p.sizeMany(trace.FromContext(ctx), reqs, p.cfg.AdvertiserRules, p.mEstimateQueries, "estimate")
 }
 
 // sizeMany answers a batch through the query compiler: every valid spec
@@ -44,11 +60,25 @@ func (p *Interface) EstimateMany(reqs []EstimateRequest) ([]Estimate, error) {
 // keys — and the scaling and rounding are identical to the serial path.
 // When the compiler is disabled (Config.PlanCacheSize < 0) the per-batch
 // lowering path is used instead.
-func (p *Interface) sizeMany(reqs []EstimateRequest, rules targeting.Rules, queries *obs.Counter) ([]Estimate, error) {
+//
+// parent is the caller's trace span (nil on untraced calls — the hot-path
+// default, costing only the nil checks). All tracing work is per batch,
+// never per spec, except provenance emission, which is gated on the parent
+// being a sampled span of a provenance-collecting tracer.
+func (p *Interface) sizeMany(parent *trace.Span, reqs []EstimateRequest, rules targeting.Rules, queries *obs.Counter, door string) ([]Estimate, error) {
+	span := trace.ChildOf(parent, "platform.size_many")
+	if span != nil {
+		defer span.End()
+		span.Annotate("interface", p.cfg.Name)
+		span.Annotate("door", door)
+		span.AnnotateInt("specs", int64(len(reqs)))
+	}
 	if p.plans == nil {
 		if p.cfg.CSetOnly {
+			span.Annotate("path", "cset")
 			return p.sizeManyCSet(reqs, rules, queries)
 		}
+		span.Annotate("path", "legacy")
 		return p.sizeManyLegacy(reqs, rules, queries)
 	}
 	out := make([]Estimate, len(reqs))
@@ -102,7 +132,13 @@ func (p *Interface) sizeMany(reqs []EstimateRequest, rules targeting.Rules, quer
 	var slot []int
 	if pb, ok := p.plans.scheds.getBytes(schedKey); ok && len(valid) > 0 {
 		p.mPlanHits.Add(int64(len(valid)))
+		span.Annotate("sched_cache", "hit")
+		ks := trace.ChildOf(span, "platform.kernel")
 		counts = pb.Exec()
+		if ks != nil {
+			ks.AnnotateInt("blocks", int64(audience.KernelBlocks(p.cfg.Universe.Size())))
+			ks.End()
+		}
 		slot = valid
 	} else {
 		// Miss: resolve each slot's plan (cached by its canonical key),
@@ -111,9 +147,12 @@ func (p *Interface) sizeMany(reqs []EstimateRequest, rules targeting.Rules, quer
 		// cached schedule therefore never owns a resolution error (whose
 		// identity depends on the request's literal clause order, not its
 		// canonical form) or a transient custom-audience plan.
+		span.Annotate("sched_cache", "miss")
+		cs := trace.ChildOf(span, "platform.plan_compile")
 		plans := make([]*audience.Plan, 0, len(valid))
 		slot = make([]int, 0, len(valid))
 		schedulable := true
+		planMisses := int64(0)
 		for _, i := range valid {
 			plan, cached, err := p.planFor(keys[i], reqs[i].Spec)
 			if err != nil {
@@ -125,14 +164,25 @@ func (p *Interface) sizeMany(reqs []EstimateRequest, rules targeting.Rules, quer
 			slot = append(slot, i)
 			if !cached {
 				schedulable = false
+				planMisses++
 			}
+		}
+		if cs != nil {
+			cs.AnnotateInt("plans", int64(len(plans)))
+			cs.AnnotateInt("plan_cache_misses", planMisses)
+			cs.End()
 		}
 		if len(plans) > 0 {
 			pb := audience.CompileBatch(plans)
 			if schedulable {
 				p.plans.scheds.add(string(schedKey), pb)
 			}
+			ks := trace.ChildOf(span, "platform.kernel")
 			counts = pb.Exec()
+			if ks != nil {
+				ks.AnnotateInt("blocks", int64(audience.KernelBlocks(p.cfg.Universe.Size())))
+				ks.End()
+			}
 		}
 	}
 	if len(slot) > 0 {
@@ -144,6 +194,21 @@ func (p *Interface) sizeMany(reqs []EstimateRequest, rules targeting.Rules, quer
 	}
 
 	p.scaleAndRound(out, counts, slot, eligible, impressions)
+	if plog := span.ProvenanceLog(); plog != nil {
+		// Sampled + provenance-collecting: one record per served slot, tying
+		// the size to the canonical key, the compiled plan, and the trace.
+		tid := span.TraceID()
+		for _, i := range slot {
+			plog.Add(trace.Provenance{
+				Platform: p.cfg.Name,
+				Key:      keys[i],
+				Source:   "platform",
+				PlanHash: trace.PlanHash(p.cfg.Name, keys[i]),
+				TraceID:  tid,
+				Value:    out[i].Size,
+			})
+		}
+	}
 	bs.valid, bs.keys, bs.schedKey = valid, keys, schedKey
 	batchScratchPool.Put(bs)
 	return out, nil
