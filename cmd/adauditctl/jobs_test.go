@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// jobsEndpoint serves a real job service the way platformd -jobs does,
+// returning its base URL for the CLI's -endpoint flag.
+func jobsEndpoint(t *testing.T) string {
+	t.Helper()
+	factory := func(ctx context.Context, spec jobs.Spec) ([]core.Provider, error) {
+		d, err := platform.NewDeployment(platform.DeployOptions{
+			Seed:         spec.Seed,
+			UniverseSize: spec.Universe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ifaces := d.Interfaces()
+		out := make([]core.Provider, 0, len(ifaces))
+		for _, p := range ifaces {
+			out = append(out, core.NewPlatformProvider(p))
+		}
+		return out, nil
+	}
+	mgr, err := jobs.Open(jobs.Options{
+		Dir: t.TempDir(), Workers: 1, Factory: factory, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(mgr.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	return ts.URL
+}
+
+func TestJobVerbValidation(t *testing.T) {
+	o := baseOpts("fig1", "http://example.invalid", filepath.Join(t.TempDir(), "out"))
+	o.submit, o.watch = true, true
+	if err := run(context.Background(), o); err == nil ||
+		!strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("two verbs accepted: %v", err)
+	}
+	o = baseOpts("fig1", "", filepath.Join(t.TempDir(), "out"))
+	o.submit = true
+	if err := run(context.Background(), o); err == nil ||
+		!strings.Contains(err.Error(), "-endpoint") {
+		t.Fatalf("submit without endpoint accepted: %v", err)
+	}
+}
+
+// The full CLI path: -submit -follow streams a job to completion and
+// renders the same JSON rows a local -format json run would.
+func TestJobSubmitFollow(t *testing.T) {
+	url := jobsEndpoint(t)
+	out := filepath.Join(t.TempDir(), "out.json")
+	o := baseOpts("fig1", url, out)
+	o.universe, o.k = 2000, 5
+	o.submit, o.follow = true, true
+	o.tenant = "cli"
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result map[string]json.RawMessage
+	if err := json.Unmarshal(data, &result); err != nil {
+		t.Fatalf("followed output is not the result JSON: %v\n%s", err, data)
+	}
+	if len(result["fig1"]) == 0 {
+		t.Fatalf("no fig1 rows in followed output: %s", data)
+	}
+}
+
+// -submit without -follow prints the job ID; -watch picks it up later;
+// -cancel of an unknown job surfaces the server's error.
+func TestJobSubmitWatchCancel(t *testing.T) {
+	url := jobsEndpoint(t)
+	out := filepath.Join(t.TempDir(), "id.txt")
+	o := baseOpts("fig1", url, out)
+	o.universe, o.k = 2000, 5
+	o.submit = true
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := strings.TrimSpace(string(data))
+	if !strings.HasPrefix(id, "j") {
+		t.Fatalf("submit printed %q, want a job ID", id)
+	}
+
+	watchOut := filepath.Join(t.TempDir(), "watch.json")
+	wo := baseOpts(id, url, watchOut)
+	wo.watch = true
+	if err := run(context.Background(), wo); err != nil {
+		t.Fatal(err)
+	}
+	watched, err := os.ReadFile(watchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result map[string]json.RawMessage
+	if err := json.Unmarshal(watched, &result); err != nil {
+		t.Fatalf("watch output is not the result JSON: %v\n%s", err, watched)
+	}
+
+	co := baseOpts("j99999999", url, filepath.Join(t.TempDir(), "c"))
+	co.cancel = true
+	if err := run(context.Background(), co); err == nil {
+		t.Fatal("cancel of unknown job succeeded")
+	}
+}
+
+// An interrupted -store run (the SIGINT path cancels the run context) must
+// exit with the context error, leave a resumable store behind, and a
+// -resume rerun must produce the uninterrupted output.
+func TestRunInterruptedStoreResumes(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "measurements")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// "Signal" as soon as the store has flushed some measurements, so the
+	// interruption lands mid-campaign with a resumable prefix on disk.
+	go func() {
+		wal := filepath.Join(storeDir, "wal.log")
+		for {
+			if fi, err := os.Stat(wal); err == nil && fi.Size() > 4096 {
+				cancel()
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	first := baseOpts("fig1", "", filepath.Join(dir, "out1.txt"))
+	first.storeDir = storeDir
+	if err := run(ctx, first); err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("interrupted run: err = %v, want the context error", err)
+	}
+
+	out2 := filepath.Join(dir, "out2.txt")
+	resumed := baseOpts("fig1", "", out2)
+	resumed.storeDir = storeDir
+	resumed.resume = true
+	if err := run(context.Background(), resumed); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	resumedOut, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := baseOpts("fig1", "", filepath.Join(dir, "out3.txt"))
+	if err := run(context.Background(), baseline); err != nil {
+		t.Fatal(err)
+	}
+	baseOut, err := os.ReadFile(filepath.Join(dir, "out3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resumedOut) != string(baseOut) {
+		t.Error("resumed output differs from an uninterrupted run")
+	}
+}
+
+// -watch of a canceled job logs and exits clean; -watch of a failed job
+// (tenant budget exhausted) surfaces the failure as an error.
+func TestJobWatchTerminalStates(t *testing.T) {
+	url := jobsEndpoint(t)
+
+	// Exhaust a tiny tenant budget: the job fails, -watch reports it.
+	o := baseOpts("rounding", url, filepath.Join(t.TempDir(), "a"))
+	o.universe, o.k = 2000, 5
+	o.submit, o.follow = true, true
+	o.tenant, o.budget = "starved", 5
+	err := run(context.Background(), o)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("followed over-budget job: err = %v, want failure", err)
+	}
+
+	// Watch of an unknown job is an error, not a hang.
+	wo := baseOpts("j99999999", url, filepath.Join(t.TempDir(), "b"))
+	wo.watch = true
+	if err := run(context.Background(), wo); err == nil {
+		t.Fatal("watch of unknown job succeeded")
+	}
+}

@@ -34,6 +34,23 @@
 //	                             newest span trees after the run; with
 //	                             -store, provenance records append to
 //	                             <store>/provenance.jsonl
+//
+// Async jobs (against a platformd started with -jobs):
+//
+//	adauditctl -endpoint URL -submit [-follow] [-tenant T -weight W -budget N] <experiment>
+//	adauditctl -endpoint URL -watch  <job-id>
+//	adauditctl -endpoint URL -cancel <job-id>
+//
+// -submit enqueues the experiment as a durable server-side job and prints
+// its ID; -watch streams a job's progress and renders its results when it
+// completes; -cancel requests cancellation. A killed platformd re-queues
+// unfinished jobs on restart and resumes them from their measurement
+// stores, so a watched job may briefly report extra resumes but always
+// converges to the same result.
+//
+// On SIGINT/SIGTERM a direct (non-job) run stops at the next measurement
+// boundary and flushes its -store before exiting, so an interrupted
+// campaign resumes cleanly with -resume.
 package main
 
 import (
@@ -44,22 +61,22 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/adapi"
 	"repro/internal/catalog"
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/mitigation"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/platform"
-	"repro/internal/population"
 	"repro/internal/store"
 	"repro/internal/targeting"
 )
@@ -89,13 +106,24 @@ func main() {
 		specPlatform = flag.String("spec-platform", "facebook-restricted", "platform for the spec experiment")
 		specAttrs    = flag.String("attrs", "", "spec experiment: attribute ids or name substrings, comma separated")
 		specTopics   = flag.String("topics", "", "spec experiment: topic ids or name substrings (google)")
+
+		submit = flag.Bool("submit", false, "submit the experiment as an async job to -endpoint and print its ID")
+		follow = flag.Bool("follow", false, "with -submit: stream the job's progress and render its results")
+		watch  = flag.Bool("watch", false, "stream an existing job's progress; the argument is the job ID")
+		cancel = flag.Bool("cancel", false, "cancel a job; the argument is the job ID")
+		tenant = flag.String("tenant", "", "tenant the job's queries are accounted to (-submit)")
+		weight = flag.Float64("weight", 0, "tenant fair-share weight, 0 = keep current (-submit)")
+		budget = flag.Int64("budget", 0, "tenant cumulative upstream-query budget, 0 = keep current (-submit)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: adauditctl [flags] <fig1..fig6|tab1..tab3|methodology|rounding|lookalike|mitigation|all>")
+		fmt.Fprintln(os.Stderr, "       adauditctl -endpoint URL -submit <experiment> | -watch <job-id> | -cancel <job-id>")
 		os.Exit(2)
 	}
-	if err := run(runOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, runOptions{
 		experiment: flag.Arg(0),
 		endpoint:   *endpoint,
 		cluster:    *clusterMap,
@@ -116,6 +144,13 @@ func main() {
 		sample:     *traceSample,
 		slow:       *traceSlow,
 		spec:       specArgs{platform: *specPlatform, attrs: *specAttrs, topics: *specTopics},
+		submit:     *submit,
+		follow:     *follow,
+		watch:      *watch,
+		cancel:     *cancel,
+		tenant:     *tenant,
+		weight:     *weight,
+		budget:     *budget,
 	}); err != nil {
 		log.Fatalf("adauditctl: %v", err)
 	}
@@ -143,12 +178,23 @@ type runOptions struct {
 	sample     float64
 	slow       time.Duration
 	spec       specArgs
+
+	// Async-job verbs.
+	submit bool
+	follow bool
+	watch  bool
+	cancel bool
+	tenant string
+	weight float64
+	budget int64
 }
 
-// newRunner builds the runner from either door.
-func newRunner(o runOptions, st *store.Store) (*experiments.Runner, error) {
+// newRunner builds the runner from either door. ctx cancels the run: every
+// auditor stops at its next measurement boundary once the signal context
+// fires.
+func newRunner(ctx context.Context, o runOptions, st *store.Store) (*experiments.Runner, error) {
 	endpoint, universe, seed, k, qps := o.endpoint, o.universe, o.seed, o.k, o.qps
-	cfg := experiments.Config{K: k, Seed: seed + 1}
+	cfg := experiments.Config{K: k, Seed: seed + 1, Context: ctx}
 	if st != nil {
 		cfg.Store = st
 	}
@@ -163,10 +209,19 @@ func newRunner(o runOptions, st *store.Store) (*experiments.Runner, error) {
 		}
 	}
 	if o.cluster != "" {
-		coord, err := newCoordinator(o)
+		coord, err := adapi.NewClusterCoordinator(adapi.ClusterSpec{
+			Shards:        o.cluster,
+			Replicas:      o.replicas,
+			PartitionSize: o.partSize,
+			Universe:      o.universe,
+			Seed:          o.seed,
+		})
 		if err != nil {
 			return nil, err
 		}
+		layout := coord.Layout()
+		log.Printf("auditing sharded cluster (%d partitions of %d users, %d replicas)",
+			layout.NumPartitions(), layout.PartitionSize(), o.replicas)
 		for _, name := range []string{
 			catalog.PlatformFacebookRestricted,
 			catalog.PlatformFacebook,
@@ -191,7 +246,7 @@ func newRunner(o runOptions, st *store.Store) (*experiments.Runner, error) {
 		return experiments.NewRunner(cfg)
 	}
 	log.Printf("auditing remote platformd at %s (rate limit %.0f qps)", endpoint, qps)
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	dialCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
 	for _, name := range []string{
 		catalog.PlatformFacebookRestricted,
@@ -199,56 +254,13 @@ func newRunner(o runOptions, st *store.Store) (*experiments.Runner, error) {
 		catalog.PlatformGoogle,
 		catalog.PlatformLinkedIn,
 	} {
-		c, err := adapi.NewClient(ctx, endpoint, name, adapi.ClientOptions{RateLimit: qps, Burst: qps})
+		c, err := adapi.NewClient(dialCtx, endpoint, name, adapi.ClientOptions{RateLimit: qps, Burst: qps})
 		if err != nil {
 			return nil, fmt.Errorf("connecting to %s: %w", name, err)
 		}
 		cfg.Providers = append(cfg.Providers, c)
 	}
 	return experiments.NewRunner(cfg)
-}
-
-// newCoordinator parses -cluster's name=url shard map and assembles the
-// scatter-gather coordinator. Every shard must have been started with the
-// same -ring node list, -seed, -universe, and -partition-size, or the
-// merge-then-round invariant (and the counts) would silently break.
-func newCoordinator(o runOptions) (*cluster.Coordinator, error) {
-	var nodes []string
-	urls := make(map[string]string)
-	for _, part := range strings.Split(o.cluster, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		name, url, ok := strings.Cut(part, "=")
-		if !ok || name == "" || url == "" {
-			return nil, fmt.Errorf("-cluster entry %q is not name=url", part)
-		}
-		if _, dup := urls[name]; dup {
-			return nil, fmt.Errorf("-cluster names shard %q twice", name)
-		}
-		nodes = append(nodes, name)
-		urls[name] = url
-	}
-	ring, err := cluster.NewRing(nodes, 0, o.replicas)
-	if err != nil {
-		return nil, err
-	}
-	layout, err := cluster.NewLayout(ring, o.universe, o.partSize)
-	if err != nil {
-		return nil, err
-	}
-	conns := make([]cluster.Conn, 0, len(nodes))
-	for _, n := range nodes {
-		conns = append(conns, adapi.NewShardConn(n, urls[n], nil))
-	}
-	log.Printf("auditing %d-shard cluster (%d partitions of %d users, %d replicas)",
-		len(nodes), layout.NumPartitions(), layout.PartitionSize(), o.replicas)
-	return cluster.NewCoordinator(cluster.Options{
-		Layout: layout,
-		Conns:  conns,
-		Deploy: platform.DeployOptions{Seed: o.seed, UniverseSize: o.universe},
-	})
 }
 
 // specArgs carries the ad-hoc spec experiment's selectors.
@@ -366,7 +378,7 @@ func openRunStore(o runOptions) (*store.Store, error) {
 	return st, nil
 }
 
-func run(o runOptions) error {
+func run(ctx context.Context, o runOptions) error {
 	experiment, format, metrics, metricsOut, sa := o.experiment, o.format, o.metrics, o.metricsOut, o.spec
 	granCalls := o.granCalls
 	if format != "text" && format != "json" {
@@ -380,6 +392,9 @@ func run(o runOptions) error {
 		}
 		defer f.Close()
 		w = f
+	}
+	if o.submit || o.watch || o.cancel {
+		return runJobVerb(ctx, w, o)
 	}
 	st, err := openRunStore(o)
 	if err != nil {
@@ -402,137 +417,29 @@ func run(o runOptions) error {
 	if closeTrace != nil {
 		defer closeTrace()
 	}
-	r, err := newRunner(o, st)
+	r, err := newRunner(ctx, o, st)
 	if err != nil {
 		return err
 	}
 	var phases []string
 
-	emit := func(rows any, render func() error) error {
-		if format == "json" {
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			return enc.Encode(rows)
-		}
-		return render()
-	}
-
 	runOne := func(name string) error {
 		start := time.Now()
 		phases = append(phases, name)
 		defer func() { log.Printf("%s done in %v", name, time.Since(start)) }()
-		switch name {
-		case "fig1":
-			rows, err := r.Figure1()
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error {
-				return experiments.RenderBoxRows(w, "Figure 1: rep ratios on Facebook's restricted interface", rows)
-			})
-		case "fig2":
-			rows, err := r.Figure2()
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error {
-				return experiments.RenderBoxRows(w, "Figure 2: rep ratios on Facebook, Google, LinkedIn", rows)
-			})
-		case "fig3":
-			series, err := r.Figure3()
-			if err != nil {
-				return err
-			}
-			return emit(series, func() error {
-				return experiments.RenderRemovalSeries(w, "Figure 3: removal of skewed individual targetings (gender)", series)
-			})
-		case "fig4":
-			rows, err := r.Figure4()
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error {
-				return experiments.RenderBoxRows(w, "Figure 4: rep ratios across age ranges", rows)
-			})
-		case "fig5":
-			rows, err := r.Figure5()
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error {
-				return experiments.RenderRecallRows(w, "Figure 5: recalls of skewed targetings", rows)
-			})
-		case "fig6":
-			series, err := r.Figure6()
-			if err != nil {
-				return err
-			}
-			return emit(series, func() error {
-				return experiments.RenderRemovalSeries(w, "Figure 6: removal sweeps across age ranges", series)
-			})
-		case "tab1":
-			rows, err := r.Table1()
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error { return experiments.RenderTable1(w, rows) })
-		case "tab2":
-			rows, err := r.Table2(5)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error {
-				return experiments.RenderExamples(w, "Table 2: illustrative gender-skewed compositions", rows)
-			})
-		case "tab3":
-			rows, err := r.Table3(5)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error {
-				return experiments.RenderExamples(w, "Table 3: illustrative age-skewed compositions", rows)
-			})
-		case "methodology":
-			rows, err := r.Methodology(experiments.MethodologyConfig{GranularityCalls: granCalls})
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error { return experiments.RenderMethodology(w, rows) })
-		case "rounding":
-			rows, err := r.RoundingBounds(core.GenderClass(population.Male))
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error { return experiments.RenderRoundingBounds(w, rows) })
-		case "lookalike":
-			rows, err := r.LookalikeStudy(core.GenderClass(population.Male), 0, 0)
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error { return experiments.RenderLookalikeRows(w, rows) })
-		case "mitigation":
-			rows, err := r.MitigationStudy(core.GenderClass(population.Male), mitigation.EvalConfig{})
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error { return experiments.RenderMitigationRows(w, rows) })
-		case "delivery":
-			rows, err := r.DeliveryStudy()
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error { return experiments.RenderDeliveryRows(w, rows) })
-		case "retarget":
-			rows, err := r.RetargetingStudy(core.GenderClass(population.Male))
-			if err != nil {
-				return err
-			}
-			return emit(rows, func() error { return experiments.RenderRetargetingRows(w, rows) })
-		case "spec":
+		if name == "spec" {
 			return runSpec(w, r, sa)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
 		}
+		res, err := r.RunExperiment(name, experiments.PhaseOptions{GranularityCalls: granCalls})
+		if err != nil {
+			return err
+		}
+		if format == "json" {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res.Rows)
+		}
+		return res.Render(w)
 	}
 
 	finish := func() error {
@@ -558,10 +465,13 @@ func run(o runOptions) error {
 		return nil
 	}
 	names := []string{experiment}
-	if experiment == "all" {
-		names = []string{"methodology", "rounding", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "tab2", "tab3", "mitigation"}
-		if o.endpoint == "" {
-			names = append(names, "lookalike", "delivery", "retarget")
+	if experiment != "spec" {
+		// The deployment-only studies need in-process internals, so "all"
+		// drops them for remote and cluster audits.
+		remoteOnly := o.endpoint != "" || o.cluster != ""
+		names, err = experiments.ExpandExperiments(names, remoteOnly)
+		if err != nil {
+			return err
 		}
 	}
 	if o.resume {
@@ -575,6 +485,19 @@ func run(o runOptions) error {
 	}
 	for i, name := range names {
 		if err := runOne(name); err != nil {
+			if ctx.Err() != nil {
+				// Interrupted (SIGINT/SIGTERM): the fan-out stopped at a
+				// measurement boundary, and the deferred store close
+				// flushes everything measured so far, so the campaign
+				// resumes from here.
+				if st != nil {
+					log.Printf("interrupted during %s: measurements flushed to %s; rerun with -store %s -resume to continue",
+						name, o.storeDir, o.storeDir)
+				} else {
+					log.Printf("interrupted during %s (no -store: progress is not recoverable)", name)
+				}
+				return fmt.Errorf("%s: %w", name, ctx.Err())
+			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		if err := r.MarkPhaseComplete(name); err != nil {
@@ -585,6 +508,95 @@ func run(o runOptions) error {
 		}
 	}
 	return finish()
+}
+
+// runJobVerb drives the async job service on a platformd started with
+// -jobs: submit (optionally following to completion), watch, or cancel.
+func runJobVerb(ctx context.Context, w io.Writer, o runOptions) error {
+	n := 0
+	for _, on := range []bool{o.submit, o.watch, o.cancel} {
+		if on {
+			n++
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("pass exactly one of -submit, -watch, -cancel")
+	}
+	if o.endpoint == "" {
+		return fmt.Errorf("-submit/-watch/-cancel require -endpoint")
+	}
+	jc := adapi.NewJobsClient(o.endpoint, nil)
+	switch {
+	case o.cancel:
+		if err := jc.Cancel(ctx, o.experiment); err != nil {
+			return err
+		}
+		log.Printf("job %s: cancellation requested", o.experiment)
+		return nil
+	case o.watch:
+		return watchJob(ctx, w, jc, o.experiment)
+	}
+	spec := jobs.Spec{
+		Experiments:      []string{o.experiment},
+		K:                o.k,
+		Seed:             o.seed,
+		Universe:         o.universe,
+		GranularityCalls: o.granCalls,
+		Cluster:          o.cluster,
+		ClusterReplicas:  o.replicas,
+		PartitionSize:    o.partSize,
+		Tenant:           o.tenant,
+		Weight:           o.weight,
+		Budget:           o.budget,
+	}
+	j, err := jc.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	log.Printf("job %s: submitted as tenant %s (%d phases: %s)",
+		j.ID, j.Tenant, len(j.Phases), strings.Join(j.Phases, " "))
+	if !o.follow {
+		fmt.Fprintln(w, j.ID)
+		return nil
+	}
+	return watchJob(ctx, w, jc, j.ID)
+}
+
+// watchJob streams a job's events until it is terminal, then renders its
+// per-phase results (always JSON — the service returns the same rows
+// -format json emits).
+func watchJob(ctx context.Context, w io.Writer, jc *adapi.JobsClient, id string) error {
+	fin, err := jc.Watch(ctx, id, func(ev jobs.Event) {
+		switch ev.Type {
+		case jobs.EventState:
+			if ev.Error != "" {
+				log.Printf("job %s: %s (%s)", id, ev.State, ev.Error)
+			} else {
+				log.Printf("job %s: %s", id, ev.State)
+			}
+		case jobs.EventPhase:
+			log.Printf("job %s: phase %s complete", id, ev.Phase)
+		case jobs.EventProgress:
+			log.Printf("job %s: %s %s %d/%d specs", id, ev.Phase, ev.Platform, ev.Done, ev.Total)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	switch fin.State {
+	case jobs.StateDone:
+		if fin.Resumes > 0 {
+			log.Printf("job %s: done after %d resume(s), %d upstream queries", id, fin.Resumes, fin.Queries)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(fin.Result)
+	case jobs.StateCanceled:
+		log.Printf("job %s: canceled", id)
+		return nil
+	default:
+		return fmt.Errorf("job %s %s: %s", id, fin.State, fin.Error)
+	}
 }
 
 // setupTracing installs the process-wide tracer the -trace flags ask for,

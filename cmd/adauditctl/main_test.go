@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"os"
@@ -34,7 +35,7 @@ func baseOpts(experiment, endpoint, out string) runOptions {
 func runToString(t *testing.T, experiment, endpoint string) string {
 	t.Helper()
 	out := filepath.Join(t.TempDir(), "out.txt")
-	if err := run(baseOpts(experiment, endpoint, out)); err != nil {
+	if err := run(context.Background(), baseOpts(experiment, endpoint, out)); err != nil {
 		t.Fatalf("run(%s): %v", experiment, err)
 	}
 	data, err := os.ReadFile(out)
@@ -88,7 +89,7 @@ func TestRunWithMetricsSummary(t *testing.T) {
 	o := baseOpts("fig1", "", out)
 	o.metrics = true
 	o.metricsOut = snap
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("run(fig1, metrics): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -113,7 +114,7 @@ func TestRunWithMetricsSummary(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(baseOpts("fig99", "", "-")); err == nil {
+	if err := run(context.Background(), baseOpts("fig99", "", "-")); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -148,7 +149,7 @@ func TestRunRemoteRejectsLookalike(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	// The lookalike study needs direct deployment access.
-	if err := run(baseOpts("lookalike", ts.URL, "-")); err == nil {
+	if err := run(context.Background(), baseOpts("lookalike", ts.URL, "-")); err == nil {
 		t.Fatal("remote lookalike study should fail")
 	}
 }
@@ -189,7 +190,7 @@ func TestRunClusterMode(t *testing.T) {
 	o.cluster = strings.Join(entries, ",")
 	o.partSize = 1024
 	o.replicas = 1
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("cluster run: %v", err)
 	}
 
@@ -215,7 +216,7 @@ func TestRunWithTracing(t *testing.T) {
 	o.storeDir = storeDir
 	o.traceOn = true
 	o.sample = 1
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("run(fig1, trace): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -289,7 +290,7 @@ func TestRunClusterMetricsAndTrace(t *testing.T) {
 	o.metrics = true
 	o.traceOn = true
 	o.sample = 1
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("traced cluster run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -311,18 +312,18 @@ func TestRunClusterMetricsAndTrace(t *testing.T) {
 }
 
 func TestNewCoordinatorFlagValidation(t *testing.T) {
-	o := baseOpts("fig1", "", "-")
-	o.cluster = "s0"
-	if _, err := newCoordinator(o); err == nil || !strings.Contains(err.Error(), "name=url") {
+	spec := adapi.ClusterSpec{Universe: 4096, Seed: 7}
+	spec.Shards = "s0"
+	if _, err := adapi.NewClusterCoordinator(spec); err == nil || !strings.Contains(err.Error(), "name=url") {
 		t.Fatalf("malformed -cluster entry: err = %v", err)
 	}
-	o.cluster = "s0=http://x,s0=http://y"
-	if _, err := newCoordinator(o); err == nil || !strings.Contains(err.Error(), "twice") {
+	spec.Shards = "s0=http://x,s0=http://y"
+	if _, err := adapi.NewClusterCoordinator(spec); err == nil || !strings.Contains(err.Error(), "twice") {
 		t.Fatalf("duplicate shard name: err = %v", err)
 	}
-	o.cluster = "s0=http://x"
-	o.replicas = 1 // 1 replica needs 2 nodes
-	if _, err := newCoordinator(o); err == nil {
+	spec.Shards = "s0=http://x"
+	spec.Replicas = 1 // 1 replica needs 2 nodes
+	if _, err := adapi.NewClusterCoordinator(spec); err == nil {
 		t.Fatal("replicas > nodes-1 accepted")
 	}
 }
@@ -334,7 +335,7 @@ func TestRunSpecExperiment(t *testing.T) {
 		platform: "facebook-restricted",
 		attrs:    "Interests — Electrical engineering,Interests — Cars",
 	}
-	err := run(o)
+	err := run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +371,7 @@ func TestResolveOptions(t *testing.T) {
 	}
 	noSel := baseOpts("spec", "", "-")
 	noSel.spec = specArgs{platform: "facebook"}
-	if err := run(noSel); err == nil {
+	if err := run(context.Background(), noSel); err == nil {
 		t.Fatal("spec with no selectors accepted")
 	}
 }
@@ -379,7 +380,7 @@ func TestRunJSONFormat(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.json")
 	o := baseOpts("tab1", "", out)
 	o.format = "json"
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -401,7 +402,7 @@ func TestRunJSONFormat(t *testing.T) {
 func TestRunBadFormat(t *testing.T) {
 	bad := baseOpts("fig1", "", "-")
 	bad.format = "yaml"
-	if err := run(bad); err == nil {
+	if err := run(context.Background(), bad); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }
@@ -418,14 +419,14 @@ func TestRunStoreAndResume(t *testing.T) {
 
 	first := baseOpts("fig1", "", out1)
 	first.storeDir = storeDir
-	if err := run(first); err != nil {
+	if err := run(context.Background(), first); err != nil {
 		t.Fatalf("stored run: %v", err)
 	}
 
 	// A populated store without -resume is refused, not silently reused.
 	again := baseOpts("fig1", "", out2)
 	again.storeDir = storeDir
-	if err := run(again); err == nil || !strings.Contains(err.Error(), "-resume") {
+	if err := run(context.Background(), again); err == nil || !strings.Contains(err.Error(), "-resume") {
 		t.Fatalf("populated store without -resume: err = %v, want refusal mentioning -resume", err)
 	}
 
@@ -437,7 +438,7 @@ func TestRunStoreAndResume(t *testing.T) {
 	resumed := baseOpts("fig1", "", out2)
 	resumed.storeDir = storeDir
 	resumed.resume = true
-	if err := run(resumed); err != nil {
+	if err := run(context.Background(), resumed); err != nil {
 		t.Fatalf("resumed run: %v", err)
 	}
 	if delta := reg.CounterValue("audit_store_misses_total", lbl) - missesBefore; delta != 0 {
@@ -464,12 +465,12 @@ func TestRunStoreFlagValidation(t *testing.T) {
 	// -resume without -store.
 	o := baseOpts("fig1", "", "-")
 	o.resume = true
-	if err := run(o); err == nil || !strings.Contains(err.Error(), "-store") {
+	if err := run(context.Background(), o); err == nil || !strings.Contains(err.Error(), "-store") {
 		t.Fatalf("-resume without -store: err = %v", err)
 	}
 	// -resume against an empty store.
 	o.storeDir = filepath.Join(t.TempDir(), "fresh")
-	if err := run(o); err == nil || !strings.Contains(err.Error(), "resume") {
+	if err := run(context.Background(), o); err == nil || !strings.Contains(err.Error(), "resume") {
 		t.Fatalf("-resume on empty store: err = %v", err)
 	}
 }

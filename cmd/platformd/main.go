@@ -29,6 +29,16 @@
 // the cluster door:
 //
 //	POST /cluster/count-batch   (raw partition counts for a coordinator)
+//
+// With -jobs (and -jobs-dir DIR) the process additionally serves the async
+// audit-job service: audits submitted as durable, queued, multi-tenant jobs
+// that survive restarts and resume from per-phase checkpoints.
+//
+//	POST   /jobs               submit an audit spec
+//	GET    /jobs[/{id}]        list jobs / poll one job
+//	DELETE /jobs/{id}          cancel
+//	GET    /jobs/{id}/events   NDJSON progress stream
+//	GET    /healthz            includes jobs: {enabled, queued, running}
 package main
 
 import (
@@ -46,7 +56,10 @@ import (
 	"time"
 
 	"repro/internal/adapi"
+	"repro/internal/catalog"
 	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/store"
@@ -72,6 +85,11 @@ type config struct {
 	ringReplicas int
 	partSize     int
 
+	// Async job service.
+	jobsOn      bool
+	jobsDir     string
+	jobsWorkers int
+
 	// Tracing.
 	traceOn     bool
 	traceSample float64
@@ -95,6 +113,9 @@ func main() {
 	flag.IntVar(&cfg.ringVnodes, "ring-vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
 	flag.IntVar(&cfg.ringReplicas, "ring-replicas", 1, "replica owners per partition beyond the primary")
 	flag.IntVar(&cfg.partSize, "partition-size", 0, "users per ring partition (0 = default 65536)")
+	flag.BoolVar(&cfg.jobsOn, "jobs", false, "serve the async audit-job service under /jobs (requires -jobs-dir)")
+	flag.StringVar(&cfg.jobsDir, "jobs-dir", "", "job-service state directory: the job WAL plus one measurement store per job")
+	flag.IntVar(&cfg.jobsWorkers, "jobs-workers", 2, "concurrent job executors")
 	flag.BoolVar(&cfg.traceOn, "trace", false, "enable distributed tracing (/debug/traces, /debug/provenance)")
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 1.0, "probability a locally-rooted trace is recorded, in [0,1] (with -trace)")
 	flag.DurationVar(&cfg.traceSlow, "trace-slow", 0, "force-record and log requests slower than this duration (implies -trace)")
@@ -123,9 +144,64 @@ func buildShardLayout(cfg config) (*cluster.Layout, error) {
 	return cluster.NewLayout(ring, cfg.universe, cfg.partSize)
 }
 
-// buildHandler assembles the deployment (full or shard slice) and its HTTP
-// handler.
-func buildHandler(cfg config, st *store.Store) (http.Handler, *platform.Deployment, error) {
+// newJobsFactory builds the async job service's provider factory: a job
+// targeting a remote cluster gets a scatter-gather coordinator; a job whose
+// sizing matches the host deployment shares it (and its warmed audiences);
+// anything else gets a dedicated deployment.
+func newJobsFactory(cfg config, host *platform.Deployment) jobs.ProviderFactory {
+	platforms := []string{
+		catalog.PlatformFacebookRestricted,
+		catalog.PlatformFacebook,
+		catalog.PlatformGoogle,
+		catalog.PlatformLinkedIn,
+	}
+	return func(ctx context.Context, spec jobs.Spec) ([]core.Provider, error) {
+		if spec.Cluster != "" {
+			universe := spec.Universe
+			if universe == 0 {
+				universe = cfg.universe
+			}
+			coord, err := adapi.NewClusterCoordinator(adapi.ClusterSpec{
+				Shards:        spec.Cluster,
+				Replicas:      spec.ClusterReplicas,
+				PartitionSize: spec.PartitionSize,
+				Universe:      universe,
+				Seed:          spec.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			providers := make([]core.Provider, 0, len(platforms))
+			for _, name := range platforms {
+				p, err := coord.Provider(name)
+				if err != nil {
+					return nil, err
+				}
+				providers = append(providers, p)
+			}
+			return providers, nil
+		}
+		d := host
+		if (spec.Universe != 0 && spec.Universe != cfg.universe) ||
+			(spec.Seed != 0 && spec.Seed != cfg.seed) {
+			log.Printf("jobs: building dedicated deployment (universe=%d, seed=%d)", spec.Universe, spec.Seed)
+			var err error
+			d, err = platform.NewDeployment(platform.DeployOptions{Seed: spec.Seed, UniverseSize: spec.Universe})
+			if err != nil {
+				return nil, err
+			}
+		}
+		providers := make([]core.Provider, 0, len(d.Interfaces()))
+		for _, p := range d.Interfaces() {
+			providers = append(providers, core.NewPlatformProvider(p))
+		}
+		return providers, nil
+	}
+}
+
+// buildHandler assembles the deployment (full or shard slice), the optional
+// job service, and the HTTP handler.
+func buildHandler(cfg config, st *store.Store) (http.Handler, *platform.Deployment, *jobs.Manager, error) {
 	dopts := platform.DeployOptions{Seed: cfg.seed, UniverseSize: cfg.universe, Compressed: cfg.comp}
 	var d *platform.Deployment
 	var shard *cluster.Shard
@@ -133,13 +209,13 @@ func buildHandler(cfg config, st *store.Store) (http.Handler, *platform.Deployme
 	if cfg.shardID != "" {
 		layout, err := buildShardLayout(cfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		log.Printf("platformd: building shard %s (universe=%d global, %d partitions of %d, replicas=%d, seed=%d)",
 			cfg.shardID, cfg.universe, layout.NumPartitions(), layout.PartitionSize(), layout.Ring().Replicas(), cfg.seed)
 		shard, err = cluster.NewShard(cfg.shardID, layout, dopts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		d = shard.Deployment()
 		local := 0
@@ -153,7 +229,7 @@ func buildHandler(cfg config, st *store.Store) (http.Handler, *platform.Deployme
 		var err error
 		d, err = platform.NewDeployment(dopts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		log.Printf("platformd: deployment ready in %v", time.Since(start))
 	}
@@ -188,11 +264,34 @@ func buildHandler(cfg config, st *store.Store) (http.Handler, *platform.Deployme
 	if cfg.verbose {
 		opts.Logf = log.Printf
 	}
+	var mgr *jobs.Manager
+	if cfg.jobsOn {
+		if cfg.jobsDir == "" {
+			return nil, nil, nil, fmt.Errorf("-jobs requires -jobs-dir for the durable job state")
+		}
+		var err error
+		mgr, err = jobs.Open(jobs.Options{
+			Dir:     cfg.jobsDir,
+			Workers: cfg.jobsWorkers,
+			Factory: newJobsFactory(cfg, d),
+		})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("opening job service: %w", err)
+		}
+		opts.Jobs = mgr.Handler()
+		opts.JobStats = mgr.Stats
+		queued, running := mgr.Stats()
+		log.Printf("platformd: job service at %s (%d workers, %d jobs re-queued)",
+			cfg.jobsDir, cfg.jobsWorkers, queued+running)
+	}
 	srv, err := adapi.NewServer(d, opts)
 	if err != nil {
-		return nil, nil, err
+		if mgr != nil {
+			mgr.Close()
+		}
+		return nil, nil, nil, err
 	}
-	return srv.Handler(), d, nil
+	return srv.Handler(), d, mgr, nil
 }
 
 func run(cfg config) error {
@@ -212,9 +311,19 @@ func run(cfg config) error {
 		}()
 		log.Printf("platformd: auditor-door cache at %s (%d records loaded)", st.Dir(), st.Len())
 	}
-	handler, d, err := buildHandler(cfg, st)
+	handler, d, mgr, err := buildHandler(cfg, st)
 	if err != nil {
 		return err
+	}
+	if mgr != nil {
+		// Graceful-shutdown order: stop accepting HTTP first, then stop the
+		// job executors. Interrupted jobs stay "running" in the WAL and
+		// resume from their phase checkpoints at the next start.
+		defer func() {
+			if err := mgr.Close(); err != nil {
+				log.Printf("platformd: closing job service: %v", err)
+			}
+		}()
 	}
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
@@ -232,6 +341,9 @@ func run(cfg config) error {
 	}
 	if cfg.shardID != "" {
 		fmt.Printf("  %-20s http://%s/cluster/count-batch\n", "cluster door", ln.Addr())
+	}
+	if mgr != nil {
+		fmt.Printf("  %-20s http://%s/jobs\n", "job service", ln.Addr())
 	}
 	fmt.Printf("  %-20s http://%s/metrics\n", "metrics", ln.Addr())
 	if cfg.traceOn || cfg.traceSlow > 0 {

@@ -2,16 +2,22 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/adapi"
 	"repro/internal/catalog"
 	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/platform"
@@ -20,7 +26,7 @@ import (
 )
 
 func TestBuildHandlerServes(t *testing.T) {
-	handler, d, err := buildHandler(config{seed: 7, universe: 8000, warm: true, comp: true, pprofOn: true}, nil)
+	handler, d, _, err := buildHandler(config{seed: 7, universe: 8000, warm: true, comp: true, pprofOn: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +100,7 @@ func TestBuildHandlerWithStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	handler, _, err := buildHandler(config{seed: 7, universe: 8000}, st)
+	handler, _, _, err := buildHandler(config{seed: 7, universe: 8000}, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +126,7 @@ func TestBuildHandlerWithStore(t *testing.T) {
 // continued into a buffered trace the operator can list.
 func TestBuildHandlerTracing(t *testing.T) {
 	defer trace.SetDefault(nil) // buildHandler installs a process-wide tracer
-	handler, _, err := buildHandler(config{seed: 7, universe: 8000, traceOn: true, traceSample: 1}, nil)
+	handler, _, _, err := buildHandler(config{seed: 7, universe: 8000, traceOn: true, traceSample: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +172,7 @@ func TestBuildHandlerShardMode(t *testing.T) {
 		seed: 7, universe: 8000, comp: true,
 		shardID: "a", ring: "a, b", ringReplicas: 1, partSize: 1024,
 	}
-	handler, d, err := buildHandler(cfg, nil)
+	handler, d, _, err := buildHandler(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,16 +210,16 @@ func TestBuildHandlerShardMode(t *testing.T) {
 }
 
 func TestBuildHandlerShardModeErrors(t *testing.T) {
-	if _, _, err := buildHandler(config{seed: 7, universe: 8000, shardID: "a"}, nil); err == nil {
+	if _, _, _, err := buildHandler(config{seed: 7, universe: 8000, shardID: "a"}, nil); err == nil {
 		t.Fatal("-shard-id without -ring accepted")
 	}
-	if _, _, err := buildHandler(config{seed: 7, universe: 8000, shardID: "zz", ring: "a,b"}, nil); err == nil {
+	if _, _, _, err := buildHandler(config{seed: 7, universe: 8000, shardID: "zz", ring: "a,b"}, nil); err == nil {
 		t.Fatal("shard id outside ring accepted")
 	}
 }
 
 func TestBuildHandlerBadUniverse(t *testing.T) {
-	if _, _, err := buildHandler(config{seed: 7, universe: 10}, nil); err == nil {
+	if _, _, _, err := buildHandler(config{seed: 7, universe: 10}, nil); err == nil {
 		t.Fatal("tiny universe accepted")
 	}
 }
@@ -221,5 +227,183 @@ func TestBuildHandlerBadUniverse(t *testing.T) {
 func TestRunBadAddr(t *testing.T) {
 	if err := run(config{addr: "256.256.256.256:99999", seed: 7, universe: 8000}); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+// -jobs mounts the async audit-job service: /healthz grows the jobs block
+// and a job submitted over HTTP runs to completion against the host
+// deployment.
+func TestBuildHandlerJobsMode(t *testing.T) {
+	if _, _, _, err := buildHandler(config{seed: 7, universe: 8000, jobsOn: true}, nil); err == nil {
+		t.Fatal("-jobs without -jobs-dir accepted")
+	}
+
+	cfg := config{seed: 7, universe: 8000, jobsOn: true, jobsDir: t.TempDir(), jobsWorkers: 1}
+	handler, _, mgr, err := buildHandler(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr == nil {
+		t.Fatal("jobs mode returned no manager")
+	}
+	defer mgr.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"jobs":{"enabled":true`) {
+		t.Fatalf("healthz missing jobs block: %s", body)
+	}
+
+	// Submit a job sized to share the host deployment and follow it home.
+	resp, err = http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"experiments":["fig1"],"k":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs status %d", resp.StatusCode)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			State  string          `json:"state"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch got.State {
+		case "done":
+			if len(got.Result) == 0 {
+				t.Fatal("done job carries no result")
+			}
+			return
+		case "failed", "canceled":
+			t.Fatalf("job %s: %s", got.State, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", got.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// newJobsFactory picks the right backend per spec: the host deployment for
+// matching sizing, a dedicated deployment otherwise, the scatter-gather
+// coordinator for cluster targets — and rejects malformed cluster maps.
+func TestNewJobsFactory(t *testing.T) {
+	cfg := config{seed: 7, universe: 8000}
+	host, err := platform.NewDeployment(platform.DeployOptions{Seed: cfg.seed, UniverseSize: cfg.universe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := newJobsFactory(cfg, host)
+	ctx := context.Background()
+
+	// Matching (or defaulted) sizing shares the host deployment.
+	shared, err := factory(ctx, jobs.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != len(host.Interfaces()) {
+		t.Fatalf("host-shared factory returned %d providers", len(shared))
+	}
+	spec := targeting.Attr(0)
+	want, err := host.Facebook.Measure(platform.EstimateRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range shared {
+		if p.Name() != catalog.PlatformFacebook {
+			continue
+		}
+		got, err := p.Measure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("shared provider measured %d, host %d", got, want)
+		}
+	}
+
+	// Mismatched sizing builds a dedicated deployment.
+	dedicated, err := factory(ctx, jobs.Spec{Universe: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dedicated) != len(host.Interfaces()) {
+		t.Fatalf("dedicated factory returned %d providers", len(dedicated))
+	}
+
+	// A malformed cluster map surfaces the resolver's error.
+	if _, err := factory(ctx, jobs.Spec{Cluster: "not-a-shard-map"}); err == nil {
+		t.Fatal("malformed cluster map accepted")
+	}
+}
+
+// run() end to end: serve on a real port (store, jobs, tracing, pprof all
+// on), answer a request, then shut down gracefully on SIGINT.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	dir := t.TempDir()
+	cfg := config{
+		addr: addr, seed: 7, universe: 8000,
+		storeDir: filepath.Join(dir, "store"),
+		jobsOn:   true, jobsDir: filepath.Join(dir, "jobs"), jobsWorkers: 1,
+		traceOn: true, pprofOn: true,
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(cfg) }()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The serving process handles SIGINT itself: graceful shutdown, nil.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not shut down on SIGINT")
 	}
 }

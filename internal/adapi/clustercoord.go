@@ -1,0 +1,69 @@
+package adapi
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/platform"
+)
+
+// ClusterSpec describes a sharded deployment to audit from outside: the
+// shard map plus the layout parameters every node was started with. Every
+// consumer of a "-cluster name=url,..." flag (adauditctl, the job service)
+// resolves it through NewClusterCoordinator so the parsing and the
+// layout-agreement rules live in one place.
+type ClusterSpec struct {
+	// Shards is the comma-separated name=url shard map, e.g.
+	// "a=http://h1:8700,b=http://h2:8700".
+	Shards string
+	// Replicas is the replica owners per partition beyond the primary.
+	Replicas int
+	// PartitionSize is the users per ring partition (0 = default).
+	PartitionSize int
+	// Universe is the global simulated users per platform.
+	Universe int
+	// Seed is the deployment seed every shard was started with.
+	Seed uint64
+}
+
+// NewClusterCoordinator parses the shard map and assembles the
+// scatter-gather coordinator. Every shard must have been started with the
+// same ring node list, seed, universe, and partition size, or the
+// merge-then-round invariant (and the counts) would silently break.
+func NewClusterCoordinator(spec ClusterSpec) (*cluster.Coordinator, error) {
+	var nodes []string
+	urls := make(map[string]string)
+	for _, part := range strings.Split(spec.Shards, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("adapi: cluster entry %q is not name=url", part)
+		}
+		if _, dup := urls[name]; dup {
+			return nil, fmt.Errorf("adapi: cluster names shard %q twice", name)
+		}
+		nodes = append(nodes, name)
+		urls[name] = url
+	}
+	ring, err := cluster.NewRing(nodes, 0, spec.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := cluster.NewLayout(ring, spec.Universe, spec.PartitionSize)
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]cluster.Conn, 0, len(nodes))
+	for _, n := range nodes {
+		conns = append(conns, NewShardConn(n, urls[n], nil))
+	}
+	return cluster.NewCoordinator(cluster.Options{
+		Layout: layout,
+		Conns:  conns,
+		Deploy: platform.DeployOptions{Seed: spec.Seed, UniverseSize: spec.Universe},
+	})
+}

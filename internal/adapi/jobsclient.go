@@ -1,0 +1,158 @@
+package adapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/jobs"
+)
+
+// JobsClient drives a platformd's async audit-job service (the /jobs API
+// mounted in -jobs mode): submit a spec, poll or stream its progress, fetch
+// results, cancel. It is deliberately transport-thin — retries and rate
+// limiting belong to the measurement path, not the control plane.
+type JobsClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewJobsClient connects to the job service at baseURL (the same address
+// as the measurement API). A nil client selects one without a timeout:
+// Watch holds a streaming response open for the job's whole runtime, so
+// per-request deadlines must come from the context instead.
+func NewJobsClient(baseURL string, hc *http.Client) *JobsClient {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &JobsClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// do issues one control-plane request and decodes the error envelope on
+// non-2xx statuses.
+func (c *JobsClient) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return nil, decodeErrorEnvelope(resp.StatusCode, data)
+	}
+	return resp, nil
+}
+
+// decode reads and closes a JSON response body.
+func decodeJobsBody(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Submit enqueues one audit job and returns its queued snapshot (with the
+// service-assigned ID).
+func (c *JobsClient) Submit(ctx context.Context, spec jobs.Spec) (jobs.Job, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/jobs", spec)
+	if err != nil {
+		return jobs.Job{}, err
+	}
+	var j jobs.Job
+	if err := decodeJobsBody(resp, &j); err != nil {
+		return jobs.Job{}, fmt.Errorf("adapi: decoding job: %w", err)
+	}
+	return j, nil
+}
+
+// Get fetches one job's snapshot: state, per-phase results, live progress.
+func (c *JobsClient) Get(ctx context.Context, id string) (jobs.Job, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil)
+	if err != nil {
+		return jobs.Job{}, err
+	}
+	var j jobs.Job
+	if err := decodeJobsBody(resp, &j); err != nil {
+		return jobs.Job{}, fmt.Errorf("adapi: decoding job: %w", err)
+	}
+	return j, nil
+}
+
+// List fetches every job the service knows, in submission order.
+func (c *JobsClient) List(ctx context.Context) ([]jobs.Job, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	var js []jobs.Job
+	if err := decodeJobsBody(resp, &js); err != nil {
+		return nil, fmt.Errorf("adapi: decoding job list: %w", err)
+	}
+	return js, nil
+}
+
+// Cancel requests cancellation; cancelling a terminal job is a no-op.
+func (c *JobsClient) Cancel(ctx context.Context, id string) error {
+	resp, err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Watch streams a job's NDJSON events, invoking fn per event (nil fn just
+// waits), until the job goes terminal, the stream ends, or ctx is
+// cancelled. It returns the job's final snapshot. Progress ticks are
+// advisory — a slow network drops them, never the terminal state.
+func (c *JobsClient) Watch(ctx context.Context, id string, fn func(jobs.Event)) (jobs.Job, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/events", nil)
+	if err != nil {
+		return jobs.Job{}, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev jobs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			resp.Body.Close()
+			return jobs.Job{}, fmt.Errorf("adapi: decoding job event: %w", err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.Type == jobs.EventState && ev.State.Terminal() {
+			break
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return jobs.Job{}, fmt.Errorf("adapi: job event stream: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return jobs.Job{}, err
+	}
+	return c.Get(ctx, id)
+}

@@ -1,0 +1,185 @@
+package adapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+// jobsService mounts a real job service on an adapi server, the way
+// platformd -jobs does, and returns a client against it.
+func jobsService(t *testing.T) (*JobsClient, *jobs.Manager) {
+	t.Helper()
+	factory := func(ctx context.Context, spec jobs.Spec) ([]core.Provider, error) {
+		d, err := platform.NewDeployment(platform.DeployOptions{
+			Seed:         spec.Seed,
+			UniverseSize: spec.Universe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ifaces := d.Interfaces()
+		out := make([]core.Provider, 0, len(ifaces))
+		for _, p := range ifaces {
+			out = append(out, core.NewPlatformProvider(p))
+		}
+		return out, nil
+	}
+	mgr, err := jobs.Open(jobs.Options{
+		Dir: t.TempDir(), Workers: 1, Factory: factory, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := startServer(t, ServerOptions{Jobs: mgr.Handler(), JobStats: mgr.Stats})
+	t.Cleanup(func() { mgr.Close() })
+	return NewJobsClient(ts.URL, nil), mgr
+}
+
+// One job through the whole control plane: submit over HTTP, stream events,
+// fetch the terminal snapshot, list, cancel-as-no-op.
+func TestJobsClientRoundTrip(t *testing.T) {
+	jc, _ := jobsService(t)
+	ctx := context.Background()
+
+	j, err := jc.Submit(ctx, jobs.Spec{
+		Experiments: []string{"fig1"}, K: 5, Seed: 3, Universe: 2000, Tenant: "rt",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID == "" || j.Tenant != "rt" {
+		t.Fatalf("submitted job = %+v", j)
+	}
+
+	var events []jobs.Event
+	fin, err := jc.Watch(ctx, j.ID, func(ev jobs.Event) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != jobs.StateDone {
+		t.Fatalf("job finished %s (error %q), want done", fin.State, fin.Error)
+	}
+	if len(fin.Result["fig1"]) == 0 {
+		t.Fatal("terminal snapshot carries no fig1 result")
+	}
+	if len(events) == 0 || !events[len(events)-1].State.Terminal() {
+		t.Fatalf("watch events did not end terminally: %+v", events)
+	}
+
+	got, err := jc.Get(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != jobs.StateDone {
+		t.Fatalf("GET after watch: state %s", got.State)
+	}
+	all, err := jc.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].ID != j.ID {
+		t.Fatalf("list = %+v", all)
+	}
+	// Terminal cancel is a no-op, not an error.
+	if err := jc.Cancel(ctx, j.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Client errors surface the server's error envelope, code included.
+func TestJobsClientErrors(t *testing.T) {
+	jc, _ := jobsService(t)
+	ctx := context.Background()
+
+	_, err := jc.Get(ctx, "j99999999")
+	if err == nil || !strings.Contains(err.Error(), "not_found") {
+		t.Fatalf("unknown job error = %v, want the not_found envelope", err)
+	}
+	if _, err := jc.Submit(ctx, jobs.Spec{Experiments: []string{"nope"}}); err == nil {
+		t.Fatal("invalid spec accepted over HTTP")
+	}
+}
+
+// /healthz grows a jobs block when the service is mounted; without it the
+// block is absent entirely.
+func TestHealthzJobsBlock(t *testing.T) {
+	readHealth := func(t *testing.T, ts *httptest.Server) healthResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h healthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	plain, _ := startServer(t, ServerOptions{})
+	if h := readHealth(t, plain); h.Jobs != nil {
+		t.Fatalf("healthz advertises jobs without the service: %+v", h.Jobs)
+	}
+
+	blockCh := make(chan struct{})
+	t.Cleanup(func() { close(blockCh) })
+	factory := func(ctx context.Context, spec jobs.Spec) ([]core.Provider, error) {
+		select {
+		case <-blockCh:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}
+	mgr, err := jobs.Open(jobs.Options{
+		Dir: t.TempDir(), Workers: 1, Factory: factory, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	ts, _ := startServer(t, ServerOptions{Jobs: mgr.Handler(), JobStats: mgr.Stats})
+
+	h := readHealth(t, ts)
+	if h.Jobs == nil || !h.Jobs.Enabled {
+		t.Fatalf("healthz jobs block missing with service mounted: %+v", h.Jobs)
+	}
+	if h.Jobs.Queued != 0 || h.Jobs.Running != 0 {
+		t.Fatalf("idle service reports queued=%d running=%d", h.Jobs.Queued, h.Jobs.Running)
+	}
+
+	// One job occupying the single worker, one behind it in the queue.
+	if _, err := mgr.Submit(jobs.Spec{Experiments: []string{"fig1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Submit(jobs.Spec{Experiments: []string{"fig1"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		h := readHealth(t, ts)
+		return h.Jobs != nil && h.Jobs.Running == 1 && h.Jobs.Queued == 1
+	})
+}

@@ -64,6 +64,13 @@ type ServerOptions struct {
 	// — tracing disabled — in which case headers are ignored at the cost of
 	// one header lookup per request).
 	Tracer *trace.Tracer
+	// Jobs, when set, mounts the async audit-job service (internal/jobs)
+	// under /jobs: submission, polling, cancellation, and event streams.
+	// Set by platformd in -jobs mode.
+	Jobs http.Handler
+	// JobStats, when set alongside Jobs, feeds the /healthz jobs block
+	// (queue depth and in-flight jobs).
+	JobStats func() (queued, running int)
 }
 
 // tracer resolves the serving tracer at request time, so a default tracer
@@ -162,6 +169,10 @@ func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 	if opts.Shard != nil {
 		s.registerClusterRoutes(opts.Shard)
 	}
+	if opts.Jobs != nil {
+		s.mux.Handle("/jobs", opts.Jobs)
+		s.mux.Handle("/jobs/", opts.Jobs)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		s.opts.tracer().Handler().ServeHTTP(w, r)
@@ -202,6 +213,16 @@ type healthResponse struct {
 	RingHash   string `json:"ring_hash,omitempty"`
 	Partitions int    `json:"partitions,omitempty"`
 	Tracing    bool   `json:"tracing"`
+	// Jobs appears when the async audit-job service is mounted: whether it
+	// is enabled plus its live queue depth and in-flight job count.
+	Jobs *jobsHealth `json:"jobs,omitempty"`
+}
+
+// jobsHealth is the /healthz block describing the job service.
+type jobsHealth struct {
+	Enabled bool `json:"enabled"`
+	Queued  int  `json:"queued"`
+	Running int  `json:"running"`
 }
 
 // handleHealthz serves readiness: liveness for a plain server, plus the
@@ -209,6 +230,13 @@ type healthResponse struct {
 // mode.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{Status: "ok", Tracing: s.opts.tracer().Enabled()}
+	if s.opts.Jobs != nil {
+		jh := &jobsHealth{Enabled: true}
+		if s.opts.JobStats != nil {
+			jh.Queued, jh.Running = s.opts.JobStats()
+		}
+		resp.Jobs = jh
+	}
 	if s.opts.Shard != nil {
 		resp.Shard = s.opts.Shard.ID()
 		if sh, ok := s.opts.Shard.(shardHealth); ok {

@@ -324,3 +324,26 @@ func BenchmarkNewFromFunc(b *testing.B) {
 		NewFromFunc(1<<16, func(j int) bool { return j&7 == 0 })
 	}
 }
+
+// Set identity and mutation accessors: ids are process-unique and nonzero,
+// Remove undoes Add, and a compiled plan reports its universe size.
+func TestSetIdentityAndPlanLen(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	if a.ID() == 0 || b.ID() == 0 {
+		t.Fatalf("constructed set with zero id: %d, %d", a.ID(), b.ID())
+	}
+	if a.ID() == b.ID() {
+		t.Fatalf("two sets share id %d", a.ID())
+	}
+	a.Add(5)
+	a.Remove(5)
+	if a.Contains(5) {
+		t.Fatal("Remove left index 5 in the set")
+	}
+	a.Add(7)
+	p := CompilePlan(128, []PlanClause{{Or: []Operand{{Set: a}}}})
+	if p.Len() != 128 {
+		t.Fatalf("plan Len = %d, want 128", p.Len())
+	}
+}

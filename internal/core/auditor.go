@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -62,12 +63,23 @@ type Auditor struct {
 	// concurrent use; the Auditor itself must still be driven from one
 	// goroutine.
 	Concurrency int
-	// Progress, when set, receives live audit progress: it is called once
-	// per completed spec during fan-out scans with the number done so far
-	// and the batch total. Calls may arrive concurrently from worker
-	// goroutines; the callback must be safe for concurrent use and fast
-	// (it sits on the audit path).
+	// Progress, when set, receives live audit progress during fan-out
+	// scans: the number of specs completed so far and the batch total.
+	// Deliveries are serialized and monotonic — done never decreases
+	// within a batch, and the final done == total call is always the last
+	// — but under the concurrent audit pool a callback may coalesce
+	// several completions into one delivery. The callback must be fast
+	// (it sits on the audit path) and may be invoked from worker
+	// goroutines. No callbacks are delivered after Ctx is cancelled and
+	// the in-flight fan-out has returned.
 	Progress func(done, total int)
+	// Ctx, when non-nil, cancels audit campaigns: once the context is
+	// done, Audit and the fan-out scans fail fast with the context's
+	// error instead of issuing further measurements, and progress
+	// callbacks stop. Cancellation takes effect between specs on the
+	// serial and pooled paths and between measurement phases on the
+	// batched path.
+	Ctx context.Context
 
 	attrNames  []string
 	topicNames []string
@@ -120,6 +132,14 @@ func NewAuditorWith(p Provider, reg *obs.Registry) *Auditor {
 		mSpecs:      reg.Counter("audit_specs_total", lbl),
 		mBelowFloor: reg.Counter("audit_below_floor_total", lbl),
 	}
+}
+
+// ctxErr reports the auditor's cancellation state (nil without a Ctx).
+func (a *Auditor) ctxErr() error {
+	if a.Ctx == nil {
+		return nil
+	}
+	return a.Ctx.Err()
 }
 
 // SetScope replaces the location scope ANDed into every measurement
@@ -245,6 +265,9 @@ func (a *Auditor) PopulationSize(c Class) (int64, error) {
 // errors.Is it).
 func (a *Auditor) Audit(spec targeting.Spec, c Class) (Measurement, error) {
 	if err := validateClass(c); err != nil {
+		return Measurement{}, err
+	}
+	if err := a.ctxErr(); err != nil {
 		return Measurement{}, err
 	}
 	a.mSpecs.Inc()

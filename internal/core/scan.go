@@ -29,6 +29,9 @@ func (a *Auditor) auditMany(specs []targeting.Spec, c Class) ([]auditResult, err
 	if err := validateClass(c); err != nil {
 		return nil, err
 	}
+	if err := a.ctxErr(); err != nil {
+		return nil, err
+	}
 	base := c
 	base.Excluded = false
 	tot, err := a.totals(base)
@@ -42,10 +45,25 @@ func (a *Auditor) auditMany(specs []targeting.Spec, c Class) ([]auditResult, err
 	results := make([]auditResult, len(specs))
 	total := len(specs)
 	var done atomic.Int64
+	// Progress deliveries are serialized under a mutex and made monotonic:
+	// a worker that observes completion n but loses the race to a worker
+	// holding a later count skips its delivery instead of reporting done
+	// going backwards. The final done == total delivery is the largest
+	// count, so it is never skipped. After cancellation no further
+	// callbacks are delivered.
+	var progressMu sync.Mutex
+	reported := 0
 	finish := func() {
-		if a.Progress != nil {
-			a.Progress(int(done.Add(1)), total)
+		n := int(done.Add(1))
+		if a.Progress == nil || a.ctxErr() != nil {
+			return
 		}
+		progressMu.Lock()
+		if n > reported {
+			reported = n
+			a.Progress(n, total)
+		}
+		progressMu.Unlock()
 	}
 	workers := a.Concurrency
 	if workers < 1 {
@@ -114,6 +132,15 @@ func (a *Auditor) auditManyBatched(specs []targeting.Spec, c Class, tot classTot
 	defer root.End()
 	ctx := spanContext(root)
 
+	// Cancellation takes effect between the two measurement phases: a
+	// cancelled batch fails every remaining slot with the context's error
+	// instead of issuing the next batched call.
+	if err := a.ctxErr(); err != nil {
+		for i := range results {
+			results[i].err = err
+		}
+		return results
+	}
 	reachSpecs := make([]targeting.Spec, len(specs))
 	for i, spec := range specs {
 		reachSpecs[i] = a.scoped(spec)
@@ -145,6 +172,14 @@ func (a *Auditor) auditManyBatched(specs []targeting.Spec, c Class, tot classTot
 		}
 	}
 	a.mBelowFloor.Add(belowFloor)
+	if err := a.ctxErr(); err != nil {
+		for i := range results {
+			if results[i].err == nil {
+				results[i].err = err
+			}
+		}
+		return results
+	}
 	condRes := MeasureManyCtx(ctx, a.p, cond)
 
 	total := len(specs)
@@ -152,7 +187,7 @@ func (a *Auditor) auditManyBatched(specs []targeting.Spec, c Class, tot classTot
 		if j := start[i]; j >= 0 {
 			results[i].err = finishSlot(&results[i].m, c, tot, condRes[j:j+per])
 		}
-		if a.Progress != nil {
+		if a.Progress != nil && a.ctxErr() == nil {
 			a.Progress(i+1, total)
 		}
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -69,7 +70,17 @@ type Config struct {
 	// Progress, when set, receives live audit progress from every
 	// platform's fan-out scans: the platform name, specs completed, and
 	// the batch total. It may be called concurrently from audit workers.
+	// Per platform, deliveries are serialized and done is monotonic
+	// within a batch; after Context is cancelled and the in-flight
+	// fan-out returns, no further callbacks are delivered.
 	Progress func(platform string, done, total int)
+	// Context, when set, cancels the run: once done, every auditor fails
+	// fast with the context's error instead of issuing further
+	// measurements, and progress callbacks stop. The async job service
+	// (internal/jobs) drives cancellation and crash-safe shutdown through
+	// this, and adauditctl threads its signal context here so an
+	// interrupted -store run exits at a clean measurement boundary.
+	Context context.Context
 }
 
 // withDefaults fills the paper's parameters.
@@ -149,9 +160,19 @@ func NewRunner(cfg Config) (*Runner, error) {
 		// cache collapses duplicate in-flight calls, so scans and
 		// composition audits fan out across all cores by default.
 		a.Concurrency = runtime.GOMAXPROCS(0)
+		a.Ctx = cfg.Context
 		if cfg.Progress != nil {
 			name := p.Name()
-			a.Progress = func(done, total int) { cfg.Progress(name, done, total) }
+			ctx := cfg.Context
+			a.Progress = func(done, total int) {
+				// Belt over the auditor's own suppression: a cancelled run
+				// delivers no further progress even from paths that only
+				// consult the callback.
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
+				cfg.Progress(name, done, total)
+			}
 		}
 		r.auditors[p.Name()] = a
 	}

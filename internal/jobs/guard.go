@@ -1,0 +1,89 @@
+package jobs
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/targeting"
+)
+
+// guardProvider sits between a job's measurement cache and the raw
+// platform provider: every upstream query passes the job's cancellation
+// context and the tenant's cumulative query budget before reaching the
+// platform, and successful queries are counted for fair-share accounting.
+// Cache and store hits never reach the guard, so replayed work is free —
+// exactly the accounting the measurement cache itself uses.
+//
+// The guard wraps the raw provider values unchanged, so a job's
+// measurements are bit-identical to an unguarded run of the same spec.
+type guardProvider struct {
+	core.Provider
+	ctx     context.Context
+	tenant  *tenantState
+	queries *atomic.Int64 // per-run upstream queries (fair-share cost)
+}
+
+// Measure charges one upstream query and forwards; failed calls are
+// refunded (they consumed no answer).
+func (g *guardProvider) Measure(spec targeting.Spec) (int64, error) {
+	if err := g.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := g.tenant.charge(1); err != nil {
+		return 0, err
+	}
+	v, err := g.Provider.Measure(spec)
+	if err != nil {
+		g.tenant.refund(1)
+		return 0, err
+	}
+	g.queries.Add(1)
+	return v, nil
+}
+
+// batchGuardProvider adds batch pass-through when the raw provider answers
+// batches natively, so guarded jobs keep the tiled-kernel path. The whole
+// batch is admitted or refused atomically against the budget; failed slots
+// are refunded afterwards.
+type batchGuardProvider struct {
+	*guardProvider
+}
+
+// MeasureMany implements core.BatchMeasurer over the guarded provider.
+func (g batchGuardProvider) MeasureMany(specs []targeting.Spec) []core.BatchResult {
+	fail := func(err error) []core.BatchResult {
+		out := make([]core.BatchResult, len(specs))
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	if err := g.ctx.Err(); err != nil {
+		return fail(err)
+	}
+	n := int64(len(specs))
+	if err := g.tenant.charge(n); err != nil {
+		return fail(err)
+	}
+	res := g.Provider.(core.BatchMeasurer).MeasureMany(specs)
+	var failed int64
+	for _, r := range res {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	g.tenant.refund(failed)
+	g.queries.Add(n - failed)
+	return res
+}
+
+// guard wraps a raw provider for one job run, preserving native batch
+// capability when the provider has it.
+func guard(ctx context.Context, t *tenantState, queries *atomic.Int64, p core.Provider) core.Provider {
+	g := &guardProvider{Provider: p, ctx: ctx, tenant: t, queries: queries}
+	if _, ok := p.(core.BatchMeasurer); ok {
+		return batchGuardProvider{g}
+	}
+	return g
+}

@@ -1,0 +1,599 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/store"
+)
+
+// ErrNoSuchJob is returned for an unknown job ID.
+var ErrNoSuchJob = errors.New("jobs: no such job")
+
+// ErrClosed is returned by Submit after the manager has shut down.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// ProviderFactory builds the raw providers a job audits, from its spec.
+// The manager wraps them with the tenant's budget guard and the job's
+// measurement cache; the factory only decides what platform backends the
+// spec targets (an in-process deployment, a sharded cluster, ...).
+type ProviderFactory func(ctx context.Context, spec Spec) ([]core.Provider, error)
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the service's state directory: the job WAL plus one
+	// measurement store per job (job-<id>/). Required.
+	Dir string
+	// Workers is the number of concurrent job executors (0 = 2).
+	Workers int
+	// Factory builds each job's providers. Required.
+	Factory ProviderFactory
+	// Metrics receives job-service metrics; nil selects obs.Default().
+	Metrics *obs.Registry
+}
+
+// managedJob is one job's live state: the persisted snapshot plus the
+// runtime fields (scheduler position, cancellation, watcher fan-out) that
+// never hit the WAL.
+type managedJob struct {
+	mu   sync.Mutex // guards snap and the cancel fields
+	snap Job
+
+	tenant  *tenantState
+	estCost float64 // dispatch-time fair-share charge (scheduler-owned)
+
+	// cancelRequested is a user cancellation (DELETE): terminal. A manager
+	// shutdown also cancels the run context but leaves the job running in
+	// the WAL, so the next open resumes it.
+	cancelRequested bool
+	cancel          context.CancelFunc // set while running
+
+	runQueries atomic.Int64 // upstream queries of the current run
+	curPhase   atomic.Value // string: phase being executed
+}
+
+// Manager is the audit-job service: durable queue, worker pool, fair-share
+// scheduler, and watcher fan-out.
+type Manager struct {
+	opts  Options
+	wal   *jobWAL
+	sched *scheduler
+	reg   *obs.Registry
+
+	mu      sync.Mutex
+	jobs    map[string]*managedJob
+	nextSeq uint64
+	closed  bool
+
+	watchMu     sync.Mutex
+	watchers    map[string]map[int]chan Event
+	nextWatcher int
+
+	running atomic.Int64
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mSubmitted *obs.Counter
+	mResumed   *obs.Counter
+	mQueued    *obs.Gauge
+	mRunning   *obs.Gauge
+}
+
+// Open starts the job service over the state directory in opts: the job
+// WAL is replayed, every non-terminal job is re-queued (counting a resume
+// for jobs that were mid-run), and the worker pool starts.
+func Open(opts Options) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("jobs: Options.Dir is required")
+	}
+	if opts.Factory == nil {
+		return nil, fmt.Errorf("jobs: Options.Factory is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Default()
+	}
+	wal, snaps, err := openWAL(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		opts:     opts,
+		wal:      wal,
+		sched:    newScheduler(),
+		reg:      opts.Metrics,
+		jobs:     make(map[string]*managedJob),
+		watchers: make(map[string]map[int]chan Event),
+	}
+	m.baseCtx, m.stop = context.WithCancel(context.Background())
+	m.mSubmitted = m.reg.Counter("jobs_submitted_total")
+	m.mResumed = m.reg.Counter("jobs_resumed_total")
+	m.mQueued = m.reg.Gauge("jobs_queued")
+	m.mRunning = m.reg.Gauge("jobs_running")
+
+	// Rebuild in submission order so tenant weight/budget updates replay
+	// the way they were accepted.
+	ordered := make([]*Job, 0, len(snaps))
+	for _, j := range snaps {
+		ordered = append(ordered, j)
+	}
+	sort.Slice(ordered, func(i, k int) bool { return ordered[i].Seq < ordered[k].Seq })
+	for _, snap := range ordered {
+		if snap.Seq >= m.nextSeq {
+			m.nextSeq = snap.Seq + 1
+		}
+		t := m.sched.tenant(snap.Tenant, snap.Spec.Weight, snap.Spec.Budget)
+		t.used.Add(snap.Queries) // budgets are cumulative across restarts
+		j := &managedJob{snap: *snap, tenant: t}
+		j.snap.Progress = nil // runtime state; reset by recovery
+		m.jobs[j.snap.ID] = j
+		switch j.snap.State {
+		case StateQueued, StateRunning:
+			if j.snap.State == StateRunning {
+				// Interrupted mid-run: the measurement store and phase
+				// checkpoints survived, so re-queue to resume.
+				j.snap.State = StateQueued
+				j.snap.Resumes++
+				m.mResumed.Inc()
+			}
+			if err := m.wal.append(&j.snap); err != nil {
+				m.wal.close()
+				return nil, err
+			}
+			m.sched.enqueue(j)
+		}
+	}
+	m.mQueued.Set(float64(m.sched.queuedLen()))
+
+	m.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go m.worker()
+	}
+	return m, nil
+}
+
+// jobDir is the per-job measurement store directory.
+func (m *Manager) jobDir(id string) string {
+	return filepath.Join(m.opts.Dir, "job-"+id)
+}
+
+// Submit validates and durably enqueues one audit job, returning its
+// snapshot (with the assigned ID) once the queued state is on disk.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	if err := spec.normalize(); err != nil {
+		return Job{}, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	seq := m.nextSeq
+	m.nextSeq++
+	id := fmt.Sprintf("j%08d", seq)
+	t := m.sched.tenant(spec.Tenant, spec.Weight, spec.Budget)
+	j := &managedJob{
+		snap: Job{
+			ID:     id,
+			Tenant: spec.Tenant,
+			Spec:   spec,
+			State:  StateQueued,
+			Phases: append([]string(nil), spec.Experiments...),
+			Seq:    seq,
+		},
+		tenant: t,
+	}
+	m.jobs[id] = j
+	m.mu.Unlock()
+
+	if err := m.wal.append(&j.snap); err != nil {
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		return Job{}, err
+	}
+	m.mSubmitted.Inc()
+	snap := j.snap.clone()
+	m.emit(Event{Type: EventState, JobID: id, State: StateQueued})
+	m.sched.enqueue(j)
+	m.mQueued.Set(float64(m.sched.queuedLen()))
+	return snap, nil
+}
+
+// Get returns a deep-copied snapshot of one job.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %s", ErrNoSuchJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snap.clone(), nil
+}
+
+// List returns snapshots of every known job in submission order.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	all := make([]*managedJob, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		all = append(all, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(all, func(i, k int) bool { return all[i].snap.Seq < all[k].snap.Seq })
+	out := make([]Job, 0, len(all))
+	for _, j := range all {
+		j.mu.Lock()
+		out = append(out, j.snap.clone())
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// Cancel requests cancellation of one job. A queued job goes terminal
+// immediately; a running job stops at its next measurement boundary and
+// then goes terminal. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchJob, id)
+	}
+	j.mu.Lock()
+	if j.snap.State.Terminal() {
+		j.mu.Unlock()
+		return nil
+	}
+	j.cancelRequested = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel() // running: the executor finalizes the canceled state
+		return nil
+	}
+	if m.sched.remove(j) {
+		m.mQueued.Set(float64(m.sched.queuedLen()))
+		m.finalize(j, StateCanceled, context.Canceled)
+		return nil
+	}
+	// Lost the race with a dispatching worker; runJob observes
+	// cancelRequested before executing and finalizes.
+	return nil
+}
+
+// Stats reports queue depth and in-flight jobs (platformd /healthz).
+func (m *Manager) Stats() (queued, running int) {
+	return m.sched.queuedLen(), int(m.running.Load())
+}
+
+// Watch subscribes to a job's event stream. The returned channel receives
+// state transitions, phase completions, and progress ticks until the job
+// goes terminal (the channel is then closed); cancel unsubscribes early.
+// A slow watcher loses ticks rather than stalling the executor, so readers
+// should treat the stream as advisory and Get the snapshot for truth.
+func (m *Manager) Watch(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchJob, id)
+	}
+	ch := make(chan Event, 256)
+	m.watchMu.Lock()
+	j.mu.Lock()
+	terminal := j.snap.State.Terminal()
+	j.mu.Unlock()
+	if terminal {
+		close(ch) // nothing further will ever be emitted
+		m.watchMu.Unlock()
+		return ch, func() {}, nil
+	}
+	id64 := m.nextWatcher
+	m.nextWatcher++
+	if m.watchers[id] == nil {
+		m.watchers[id] = make(map[int]chan Event)
+	}
+	m.watchers[id][id64] = ch
+	m.watchMu.Unlock()
+
+	cancel := func() {
+		m.watchMu.Lock()
+		if set, ok := m.watchers[id]; ok {
+			if _, live := set[id64]; live {
+				delete(set, id64)
+				close(ch)
+			}
+			if len(set) == 0 {
+				delete(m.watchers, id)
+			}
+		}
+		m.watchMu.Unlock()
+	}
+	return ch, cancel, nil
+}
+
+// emit fans one event out to the job's watchers, dropping ticks a slow
+// watcher has no buffer for. Terminal states close the stream.
+func (m *Manager) emit(ev Event) {
+	m.watchMu.Lock()
+	set := m.watchers[ev.JobID]
+	for _, ch := range set {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	if ev.Type == EventState && ev.State.Terminal() {
+		for _, ch := range set {
+			close(ch)
+		}
+		delete(m.watchers, ev.JobID)
+	}
+	m.watchMu.Unlock()
+}
+
+// Close shuts the service down: running jobs are interrupted at their next
+// measurement boundary and stay "running" in the WAL (so the next Open
+// resumes them from their phase checkpoints), workers drain, watcher
+// streams close, and the WAL is closed.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.stop()
+	m.sched.close()
+	m.wg.Wait()
+
+	m.watchMu.Lock()
+	for id, set := range m.watchers {
+		for _, ch := range set {
+			close(ch)
+		}
+		delete(m.watchers, id)
+	}
+	m.watchMu.Unlock()
+	return m.wal.close()
+}
+
+// worker pulls dispatched jobs until the scheduler closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		j := m.sched.next()
+		if j == nil {
+			return
+		}
+		m.mQueued.Set(float64(m.sched.queuedLen()))
+		m.runJob(j)
+	}
+}
+
+// persist WALs the job's current snapshot. Persist failures surface as job
+// failures at the next state transition rather than crashing the worker.
+func (m *Manager) persist(j *managedJob) error {
+	j.mu.Lock()
+	snap := j.snap.clone()
+	j.mu.Unlock()
+	return m.wal.append(&snap)
+}
+
+// finalize moves a job to a terminal state, persists it, and notifies.
+func (m *Manager) finalize(j *managedJob, st State, cause error) {
+	j.mu.Lock()
+	j.snap.State = st
+	j.snap.Progress = nil
+	j.snap.Error = ""
+	if cause != nil && st != StateDone {
+		j.snap.Error = cause.Error()
+	}
+	j.cancel = nil
+	id := j.snap.ID
+	j.mu.Unlock()
+	if err := m.persist(j); err != nil && st == StateDone {
+		// A result we cannot persist is not durably done; surface it.
+		j.mu.Lock()
+		j.snap.State = StateFailed
+		j.snap.Error = err.Error()
+		st = StateFailed
+		j.mu.Unlock()
+		m.persist(j)
+	}
+	m.reg.Counter("jobs_finished_total", obs.L("state", string(st))).Inc()
+	j.mu.Lock()
+	errStr := j.snap.Error
+	j.mu.Unlock()
+	m.emit(Event{Type: EventState, JobID: id, State: st, Error: errStr})
+}
+
+// runJob executes one dispatched job and settles its fair-share charge.
+func (m *Manager) runJob(j *managedJob) {
+	j.mu.Lock()
+	if j.cancelRequested {
+		j.mu.Unlock()
+		m.sched.complete(j, 0)
+		m.finalize(j, StateCanceled, context.Canceled)
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.cancel = cancel
+	j.snap.State = StateRunning
+	j.runQueries.Store(0)
+	id := j.snap.ID
+	j.mu.Unlock()
+	defer cancel()
+
+	m.running.Add(1)
+	m.mRunning.Set(float64(m.running.Load()))
+	defer func() {
+		m.running.Add(-1)
+		m.mRunning.Set(float64(m.running.Load()))
+	}()
+
+	if err := m.persist(j); err != nil {
+		m.sched.complete(j, 0)
+		m.finalize(j, StateFailed, err)
+		return
+	}
+	m.emit(Event{Type: EventState, JobID: id, State: StateRunning})
+
+	err := m.execute(ctx, j)
+	actual := float64(j.runQueries.Load())
+	m.sched.complete(j, actual)
+	m.reg.Gauge("jobs_tenant_queries", obs.L("tenant", j.tenant.name)).
+		Set(float64(j.tenant.used.Load()))
+
+	j.mu.Lock()
+	userCancel := j.cancelRequested
+	j.mu.Unlock()
+	switch {
+	case err == nil:
+		m.finalize(j, StateDone, nil)
+	case userCancel:
+		m.finalize(j, StateCanceled, context.Canceled)
+	case m.baseCtx.Err() != nil:
+		// Shutdown, not cancellation: leave the job running in the WAL so
+		// the next Open re-queues it and it resumes from its checkpoints.
+		j.mu.Lock()
+		j.cancel = nil
+		j.snap.Progress = nil
+		j.mu.Unlock()
+	default:
+		m.finalize(j, StateFailed, err)
+	}
+}
+
+// execute runs a job's remaining phases over its durable measurement store.
+func (m *Manager) execute(ctx context.Context, j *managedJob) error {
+	j.mu.Lock()
+	spec := j.snap.Spec
+	phases := append([]string(nil), j.snap.Phases...)
+	done := make(map[string]bool, len(j.snap.PhasesDone))
+	for _, p := range j.snap.PhasesDone {
+		done[p] = true
+	}
+	id := j.snap.ID
+	j.mu.Unlock()
+
+	raw, err := m.opts.Factory(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("jobs: building providers: %w", err)
+	}
+	guarded := make([]core.Provider, len(raw))
+	for i, p := range raw {
+		guarded[i] = guard(ctx, j.tenant, &j.runQueries, p)
+	}
+
+	st, err := store.Open(m.jobDir(id), store.Options{})
+	if err != nil {
+		return fmt.Errorf("jobs: opening job store: %w", err)
+	}
+	defer st.Close()
+
+	r, err := experiments.NewRunner(experiments.Config{
+		Providers: guarded,
+		K:         spec.K,
+		Seed:      spec.Seed + 1, // adauditctl's convention: deployment seed + 1
+		Store:     st,
+		Metrics:   obs.NewRegistry(), // per-job; service metrics live in m.reg
+		Context:   ctx,
+		Progress: func(platform string, done, total int) {
+			m.progress(j, platform, done, total)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	opt := experiments.PhaseOptions{GranularityCalls: spec.GranularityCalls}
+	for _, phase := range phases {
+		if done[phase] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		j.curPhase.Store(phase)
+		start := time.Now()
+		span := trace.Default().StartRoot("jobs.phase")
+		span.Annotate("job", id)
+		span.Annotate("tenant", j.tenant.name)
+		span.Annotate("phase", phase)
+		res, err := r.RunExperiment(phase, opt)
+		span.SetError(err)
+		span.End()
+		m.reg.Histogram("jobs_phase_seconds", obs.L("phase", phase)).
+			Observe(time.Since(start))
+		if err != nil {
+			return fmt.Errorf("jobs: phase %s: %w", phase, err)
+		}
+		rows, err := json.Marshal(res.Rows)
+		if err != nil {
+			return fmt.Errorf("jobs: encoding %s result: %w", phase, err)
+		}
+		if err := r.MarkPhaseComplete(phase); err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.snap.PhasesDone = append(j.snap.PhasesDone, phase)
+		if j.snap.Result == nil {
+			j.snap.Result = make(map[string]json.RawMessage)
+		}
+		j.snap.Result[phase] = rows
+		j.snap.Progress = nil
+		j.snap.Queries += j.runQueries.Swap(0)
+		j.mu.Unlock()
+		if err := m.persist(j); err != nil {
+			return err
+		}
+		m.emit(Event{Type: EventPhase, JobID: id, Phase: phase})
+	}
+	return nil
+}
+
+// progress records a platform's fan-out position and emits a throttled
+// tick. Snapshots carry it live (GET /jobs/{id}); it is never persisted.
+func (m *Manager) progress(j *managedJob, platform string, done, total int) {
+	phase, _ := j.curPhase.Load().(string)
+	j.mu.Lock()
+	if j.snap.Progress == nil {
+		j.snap.Progress = make(map[string]PlatformProgress)
+	}
+	prev := j.snap.Progress[platform]
+	j.snap.Progress[platform] = PlatformProgress{Done: done, Total: total}
+	id := j.snap.ID
+	j.mu.Unlock()
+	// Throttle the stream: edges plus ~every 5% of a platform's batch.
+	step := total / 20
+	if step < 1 {
+		step = 1
+	}
+	if done != total && done != 1 && done/step == prev.Done/step && total == prev.Total {
+		return
+	}
+	m.emit(Event{
+		Type: EventProgress, JobID: id, Phase: phase,
+		Platform: platform, Done: done, Total: total,
+	})
+}

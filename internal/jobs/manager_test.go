@@ -1,0 +1,300 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// deploymentFactory builds a fresh in-process deployment per job, sized by
+// the spec — the same shape platformd's dedicated-deployment path uses.
+func deploymentFactory() ProviderFactory {
+	return func(ctx context.Context, spec Spec) ([]core.Provider, error) {
+		d, err := platform.NewDeployment(platform.DeployOptions{
+			Seed:         spec.Seed,
+			UniverseSize: spec.Universe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ifaces := d.Interfaces()
+		out := make([]core.Provider, 0, len(ifaces))
+		for _, p := range ifaces {
+			out = append(out, core.NewPlatformProvider(p))
+		}
+		return out, nil
+	}
+}
+
+func openTestManager(t *testing.T, dir string, factory ProviderFactory) *Manager {
+	t.Helper()
+	m, err := Open(Options{Dir: dir, Workers: 1, Factory: factory, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// waitTerminal drains a job's event stream and returns its final snapshot.
+func waitTerminal(t *testing.T, m *Manager, id string) Job {
+	t.Helper()
+	ch, stop, err := m.Watch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	deadline := time.After(120 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				fin, err := m.Get(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !fin.State.Terminal() {
+					t.Fatalf("event stream closed with job in state %s", fin.State)
+				}
+				return fin
+			}
+		case <-deadline:
+			t.Fatalf("job %s did not reach a terminal state", id)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := openTestManager(t, t.TempDir(), deploymentFactory())
+	defer m.Close()
+	if _, err := m.Submit(Spec{}); err == nil {
+		t.Fatal("spec with no experiments accepted")
+	}
+	if _, err := m.Submit(Spec{Experiments: []string{"nonesuch"}}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := m.Submit(Spec{Experiments: []string{"fig1"}, Weight: -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// "all" must expand to the portable battery only: the deployment-only
+	// studies need in-process internals the job service does not expose.
+	j, err := m.Submit(Spec{Experiments: []string{"all"}, K: 5, Universe: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range j.Phases {
+		if p == "lookalike" || p == "delivery" || p == "retarget" {
+			t.Fatalf("deployment-only phase %s in service job", p)
+		}
+	}
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel("j99999999"); !errors.Is(err, ErrNoSuchJob) {
+		t.Fatalf("cancel of unknown job: %v", err)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	m := openTestManager(t, t.TempDir(), deploymentFactory())
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Spec{Experiments: []string{"fig1"}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+// A single blocked worker must not stop cancellation of queued jobs, and a
+// running job must stop when cancelled.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	block := make(chan struct{})
+	factory := func(ctx context.Context, spec Spec) ([]core.Provider, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}
+	m := openTestManager(t, t.TempDir(), factory)
+	defer m.Close()
+
+	running, err := m.Submit(Spec{Experiments: []string{"fig1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(Spec{Experiments: []string{"fig1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The queued job goes terminal immediately, worker still blocked.
+	if err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := m.Get(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateCanceled {
+		t.Fatalf("queued job state after cancel = %s, want canceled", fin.State)
+	}
+
+	// The running job stops at its next boundary once cancelled.
+	if err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin = waitTerminal(t, m, running.ID)
+	if fin.State != StateCanceled {
+		t.Fatalf("running job state after cancel = %s, want canceled", fin.State)
+	}
+}
+
+// A tenant whose cumulative budget runs out sees its job fail with the
+// budget error rather than silently under-measuring.
+func TestTenantBudgetFailsJob(t *testing.T) {
+	m := openTestManager(t, t.TempDir(), deploymentFactory())
+	defer m.Close()
+	j, err := m.Submit(Spec{
+		Experiments: []string{"rounding"},
+		K:           5, Seed: 3, Universe: 2000,
+		Tenant: "starved", Budget: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, m, j.ID)
+	if fin.State != StateFailed {
+		t.Fatalf("over-budget job state = %s, want failed", fin.State)
+	}
+	if !strings.Contains(fin.Error, "budget") {
+		t.Fatalf("over-budget job error = %q, want the budget error", fin.Error)
+	}
+}
+
+// TestJobServiceResume is the crash-resume acceptance check: a job killed
+// mid-phase (manager closed after phase one completes, during phase two's
+// fan-out) must resume from its checkpoints on the next open and finish with
+// a result bit-identical to an uninterrupted run of the same audit.
+func TestJobServiceResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Experiments: []string{"rounding", "fig1"}, K: 25, Seed: 3, Universe: 5000}
+
+	m := openTestManager(t, dir, deploymentFactory())
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, stop, err := m.Watch(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for phase one to be durably recorded and phase two to be
+	// visibly underway, then kill the service mid-fan-out.
+	sawRounding := false
+	deadline := time.After(120 * time.Second)
+wait:
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatal("job went terminal before it could be interrupted")
+			}
+			if ev.Type == EventPhase && ev.Phase == "rounding" {
+				sawRounding = true
+			}
+			if sawRounding && ev.Type == EventProgress && ev.Phase == "fig1" {
+				break wait
+			}
+		case <-deadline:
+			t.Fatal("job never reached the second phase")
+		}
+	}
+	stop()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := openTestManager(t, dir, deploymentFactory())
+	defer m2.Close()
+	fin := waitTerminal(t, m2, j.ID)
+	if fin.State != StateDone {
+		t.Fatalf("resumed job state = %s (error %q), want done", fin.State, fin.Error)
+	}
+	if fin.Resumes < 1 {
+		t.Fatalf("job finished with Resumes = %d, want >= 1", fin.Resumes)
+	}
+	if len(fin.PhasesDone) != 2 {
+		t.Fatalf("resumed job completed phases %v, want both", fin.PhasesDone)
+	}
+
+	// The uninterrupted baseline: same deployment sizing, same audit seed
+	// convention (spec seed + 1), no job service in the path.
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: spec.Seed, UniverseSize: spec.Universe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifaces := d.Interfaces()
+	provs := make([]core.Provider, 0, len(ifaces))
+	for _, p := range ifaces {
+		provs = append(provs, core.NewPlatformProvider(p))
+	}
+	r, err := experiments.NewRunner(experiments.Config{
+		Providers: provs,
+		K:         spec.K,
+		Seed:      spec.Seed + 1,
+		Metrics:   obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range spec.Experiments {
+		res, err := r.RunExperiment(phase, experiments.PhaseOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(res.Rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, fin.Result[phase]) {
+			t.Fatalf("phase %s: resumed result differs from uninterrupted run\nwant %s\ngot  %s",
+				phase, want, fin.Result[phase])
+		}
+	}
+}
+
+// Stats feeds /healthz; Close is idempotent; Get of an unknown job errors.
+func TestManagerStatsAndClose(t *testing.T) {
+	m := openTestManager(t, t.TempDir(), deploymentFactory())
+	if q, r := m.Stats(); q != 0 || r != 0 {
+		t.Fatalf("idle stats = (%d, %d)", q, r)
+	}
+	if _, err := m.Get("j99999999"); !errors.Is(err, ErrNoSuchJob) {
+		t.Fatalf("get of unknown job: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// Open refuses incomplete options rather than limping.
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Options{Factory: deploymentFactory()}); err == nil {
+		t.Fatal("missing Dir accepted")
+	}
+	if _, err := Open(Options{Dir: t.TempDir()}); err == nil {
+		t.Fatal("missing Factory accepted")
+	}
+}

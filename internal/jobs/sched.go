@@ -1,0 +1,200 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrTenantBudget marks an upstream query refused because the tenant's
+// cumulative query budget is exhausted — the service-level form of the
+// paper's §5 ethics constraint ("limiting both the count and rate of API
+// queries"), enforced across all of a tenant's jobs rather than per run.
+var ErrTenantBudget = errors.New("jobs: tenant query budget exhausted")
+
+// tenantState is one auditor's accounting: fair-share position, queued
+// jobs, and the cumulative upstream-query budget its guard providers charge.
+type tenantState struct {
+	name string
+
+	// weight and pass implement stride scheduling: dispatching a job
+	// advances pass by cost/weight, and the scheduler always serves the
+	// backlogged tenant with the smallest pass. Guarded by the
+	// scheduler's mutex.
+	weight  float64
+	pass    float64
+	avgCost float64
+	queue   []*managedJob
+
+	// budget and used are read on every upstream query by guard
+	// providers, concurrently with scheduling — hence atomics. budget 0
+	// means unlimited.
+	budget atomic.Int64
+	used   atomic.Int64
+}
+
+// charge accounts n upstream queries against the tenant's budget,
+// failing (without charging) once the budget is exhausted.
+func (t *tenantState) charge(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	limit := t.budget.Load()
+	if used := t.used.Add(n); limit > 0 && used > limit {
+		t.used.Add(-n)
+		return fmt.Errorf("%w: %d of %d upstream queries used (tenant %s)",
+			ErrTenantBudget, used-n, limit, t.name)
+	}
+	return nil
+}
+
+// refund returns n charged queries (failed upstream calls consume no
+// answer, matching the measurement cache's refund-on-error accounting).
+func (t *tenantState) refund(n int64) {
+	if n > 0 {
+		t.used.Add(-n)
+	}
+}
+
+// scheduler is a weighted fair-share queue over tenants: stride scheduling
+// with per-job cost feedback, so sustained upstream-query throughput
+// converges to the tenants' weight ratio even when job costs differ.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantState
+	queued  int
+	// vtime is the global virtual time: the pass of the last dispatched
+	// tenant. A tenant going from idle to backlogged joins at vtime so
+	// accumulated idleness is not bankable credit.
+	vtime  float64
+	closed bool
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{tenants: make(map[string]*tenantState)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// tenant returns (creating if needed) the named tenant, applying the
+// spec-carried weight and budget updates. New tenants join at the global
+// virtual time with weight 1.
+func (s *scheduler) tenant(name string, weight float64, budget int64) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenantState{name: name, weight: 1, pass: s.vtime, avgCost: 1}
+		s.tenants[name] = t
+	}
+	if weight > 0 {
+		t.weight = weight
+	}
+	if budget > 0 {
+		t.budget.Store(budget)
+	}
+	return t
+}
+
+// enqueue appends a job to its tenant's FIFO queue and wakes a worker. A
+// tenant returning from idle rejoins at the current virtual time.
+func (s *scheduler) enqueue(j *managedJob) {
+	s.mu.Lock()
+	t := j.tenant
+	if len(t.queue) == 0 && t.pass < s.vtime {
+		t.pass = s.vtime
+	}
+	t.queue = append(t.queue, j)
+	s.queued++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// next blocks until a job is dispatchable and returns it, or returns nil
+// once the scheduler is closed. The dispatched tenant's pass advances by
+// its estimated job cost over its weight; complete settles the estimate
+// against the job's actual query consumption.
+func (s *scheduler) next() *managedJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		var pick *tenantState
+		for _, t := range s.tenants {
+			if len(t.queue) == 0 {
+				continue
+			}
+			if pick == nil || t.pass < pick.pass ||
+				(t.pass == pick.pass && t.name < pick.name) {
+				pick = t
+			}
+		}
+		if pick != nil {
+			j := pick.queue[0]
+			pick.queue = pick.queue[1:]
+			s.queued--
+			s.vtime = pick.pass
+			j.estCost = pick.avgCost
+			pick.pass += j.estCost / pick.weight
+			return j
+		}
+		s.cond.Wait()
+	}
+}
+
+// complete settles a dispatched job's fair-share charge: the tenant's pass
+// is corrected from the dispatch-time estimate to the job's actual upstream
+// cost, and the estimate for future jobs tracks an exponential average.
+func (s *scheduler) complete(j *managedJob, actual float64) {
+	if actual < 1 {
+		actual = 1 // a fully-replayed job still occupied a worker slot
+	}
+	s.mu.Lock()
+	t := j.tenant
+	t.pass += (actual - j.estCost) / t.weight
+	if t.pass < s.vtime {
+		// A cheaper-than-estimated job earns credit, but never enough to
+		// replay the past: the tenant's next dispatch competes from the
+		// current virtual time at the earliest.
+		t.pass = s.vtime
+	}
+	t.avgCost = 0.7*t.avgCost + 0.3*actual
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// remove unlinks a still-queued job (cancellation), reporting whether it
+// was found.
+func (s *scheduler) remove(j *managedJob) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := j.tenant.queue
+	for i, qj := range q {
+		if qj == j {
+			j.tenant.queue = append(q[:i:i], q[i+1:]...)
+			s.queued--
+			return true
+		}
+	}
+	return false
+}
+
+// queuedLen reports the number of queued jobs across tenants.
+func (s *scheduler) queuedLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// close wakes all waiting workers with no work; next returns nil forever
+// after.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

@@ -1,0 +1,163 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestFairShareThroughput is the fair-queueing acceptance check: two
+// tenants with 1:3 weights keeping the queue saturated must observe
+// upstream-query throughput within 10% of 1:3. Job costs are equal, so
+// dispatch share equals query share.
+func TestFairShareThroughput(t *testing.T) {
+	s := newScheduler()
+	a := s.tenant("a", 1, 0)
+	b := s.tenant("b", 3, 0)
+	enqueue := func(tn *tenantState) { s.enqueue(&managedJob{tenant: tn}) }
+	for i := 0; i < 4; i++ {
+		enqueue(a)
+		enqueue(b)
+	}
+
+	const rounds = 400
+	const warmup = 40 // let the cost estimator converge
+	counts := map[string]int{}
+	for i := 0; i < rounds; i++ {
+		j := s.next()
+		if j == nil {
+			t.Fatal("scheduler closed unexpectedly")
+		}
+		s.complete(j, 100) // every job costs 100 upstream queries
+		if i >= warmup {
+			counts[j.tenant.name]++
+		}
+		enqueue(j.tenant) // keep the stream saturated
+	}
+	ratio := float64(counts["b"]) / float64(counts["a"])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight-3 tenant got %.2fx the weight-1 tenant's throughput (a=%d, b=%d), want 3.0 +/- 10%%",
+			ratio, counts["a"], counts["b"])
+	}
+}
+
+// A tenant joining after the system has run must enter at the current
+// virtual time: idleness is not bankable credit it could spend monopolizing
+// the workers.
+func TestIdleTenantJoinsAtVirtualTime(t *testing.T) {
+	s := newScheduler()
+	a := s.tenant("a", 1, 0)
+	for i := 0; i < 10; i++ {
+		s.enqueue(&managedJob{tenant: a})
+		s.complete(s.next(), 50)
+	}
+	if s.vtime == 0 {
+		t.Fatal("virtual time did not advance")
+	}
+	c := s.tenant("c", 1, 0)
+	if c.pass != s.vtime {
+		t.Fatalf("late-joining tenant pass = %v, want vtime %v", c.pass, s.vtime)
+	}
+	// Interleave both: after at most one catch-up job (bounded SFQ
+	// unfairness), equal-weight tenants must alternate.
+	for i := 0; i < 4; i++ {
+		s.enqueue(&managedJob{tenant: a})
+		s.enqueue(&managedJob{tenant: c})
+	}
+	var order []string
+	for i := 0; i < 8; i++ {
+		j := s.next()
+		s.complete(j, 50)
+		order = append(order, j.tenant.name)
+	}
+	counts := map[string]int{}
+	for _, name := range order {
+		counts[name]++
+	}
+	if counts["a"] != 4 || counts["c"] != 4 {
+		t.Fatalf("equal-weight tenants not served equally from vtime join: %v", order)
+	}
+	for i := 2; i < len(order); i++ {
+		if order[i] == order[i-1] && order[i-1] == order[i-2] {
+			t.Fatalf("three consecutive dispatches for %s: %v", order[i], order)
+		}
+	}
+}
+
+func TestTenantBudgetCharge(t *testing.T) {
+	ts := &tenantState{name: "a"}
+	ts.budget.Store(100)
+	if err := ts.charge(100); err != nil {
+		t.Fatalf("charge within budget: %v", err)
+	}
+	err := ts.charge(1)
+	if !errors.Is(err, ErrTenantBudget) {
+		t.Fatalf("over-budget charge: %v", err)
+	}
+	if got := ts.used.Load(); got != 100 {
+		t.Fatalf("failed charge not refunded: used = %d", got)
+	}
+	ts.refund(30)
+	if err := ts.charge(30); err != nil {
+		t.Fatalf("charge after refund: %v", err)
+	}
+}
+
+// Concurrent charges must never overshoot the budget: the add-then-check
+// protocol refunds the loser of every race.
+func TestTenantBudgetConcurrent(t *testing.T) {
+	ts := &tenantState{name: "a"}
+	ts.budget.Store(1000)
+	var wg sync.WaitGroup
+	granted := make([]int64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if ts.charge(1) == nil {
+					granted[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range granted {
+		total += n
+	}
+	if total != 1000 {
+		t.Fatalf("granted %d queries against a budget of 1000", total)
+	}
+}
+
+func TestSchedulerCloseUnblocksWorkers(t *testing.T) {
+	s := newScheduler()
+	done := make(chan *managedJob, 1)
+	go func() { done <- s.next() }()
+	s.close()
+	if j := <-done; j != nil {
+		t.Fatalf("next returned %v after close, want nil", j)
+	}
+}
+
+func TestSchedulerRemove(t *testing.T) {
+	s := newScheduler()
+	a := s.tenant("a", 0, 0)
+	j1 := &managedJob{tenant: a}
+	j2 := &managedJob{tenant: a}
+	s.enqueue(j1)
+	s.enqueue(j2)
+	if !s.remove(j1) {
+		t.Fatal("queued job not removed")
+	}
+	if s.remove(j1) {
+		t.Fatal("job removed twice")
+	}
+	if got := s.queuedLen(); got != 1 {
+		t.Fatalf("queuedLen = %d, want 1", got)
+	}
+	if s.next() != j2 {
+		t.Fatal("wrong job dispatched after removal")
+	}
+}

@@ -1,0 +1,200 @@
+// Package jobs is the async audit-job service: audits as durable, queued,
+// multi-tenant jobs.
+//
+// The paper's audits are minutes-long query campaigns, and the
+// delivery-audit sequels require many such campaigns run concurrently by
+// independent auditors. This package turns internal/experiments into a
+// service: a Manager accepts an audit spec (Submit, or POST /jobs through
+// Handler), persists every job state transition through a WAL-backed job
+// store so jobs survive crashes, and executes jobs on a worker pool under a
+// weighted fair-share scheduler with per-tenant upstream-query budgets.
+// Each job audits through its own durable measurement store
+// (internal/store), so a job killed mid-phase resumes from its per-phase
+// checkpoints and produces a result bit-identical to an uninterrupted run.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// DefaultTenant names jobs submitted without a tenant.
+const DefaultTenant = "default"
+
+// Spec is one audit-job request: which experiments to run, how the
+// deployment is sized, and which tenant the work is accounted to.
+type Spec struct {
+	// Experiments names the phases to run, in order; "all" expands to the
+	// portable battery (the deployment-only studies need in-process
+	// internals the service does not expose).
+	Experiments []string `json:"experiments"`
+	// K is the number of compositions per discovered set (0 = paper's
+	// 1,000).
+	K int `json:"k,omitempty"`
+	// Seed drives all sampling (0 = default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Universe is the simulated users per platform the backend should
+	// audit (0 = the backend's default).
+	Universe int `json:"universe,omitempty"`
+	// GranularityCalls bounds the methodology phase's distinct-call study.
+	GranularityCalls int `json:"granularity_calls,omitempty"`
+
+	// Cluster, when set, targets a sharded deployment: a comma-separated
+	// name=url shard map audited through a scatter-gather coordinator.
+	Cluster string `json:"cluster,omitempty"`
+	// ClusterReplicas is the replica owners per partition beyond the
+	// primary (with Cluster).
+	ClusterReplicas int `json:"cluster_replicas,omitempty"`
+	// PartitionSize is the users per ring partition (with Cluster; 0 =
+	// default).
+	PartitionSize int `json:"partition_size,omitempty"`
+
+	// Tenant is the auditor this job's queries are accounted to (empty =
+	// "default"). Jobs of one tenant run FIFO; tenants share the worker
+	// pool under weighted fair queueing.
+	Tenant string `json:"tenant,omitempty"`
+	// Weight is the tenant's fair-share weight (0 = keep the tenant's
+	// current weight, initially 1). A tenant with weight 3 receives three
+	// times the upstream-query throughput of a weight-1 tenant when both
+	// keep the queue saturated.
+	Weight float64 `json:"weight,omitempty"`
+	// Budget, when positive, sets the tenant's cumulative upstream-query
+	// budget: once the tenant's jobs have issued this many upstream
+	// queries, further queries fail with ErrTenantBudget. Zero keeps the
+	// tenant's current budget (initially unlimited).
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// normalize validates the spec and resolves its experiment list.
+func (s *Spec) normalize() error {
+	if s.Tenant == "" {
+		s.Tenant = DefaultTenant
+	}
+	if s.Weight < 0 {
+		return fmt.Errorf("jobs: negative weight %v", s.Weight)
+	}
+	if s.Budget < 0 {
+		return fmt.Errorf("jobs: negative budget %d", s.Budget)
+	}
+	if len(s.Experiments) == 0 {
+		return fmt.Errorf("jobs: spec names no experiments")
+	}
+	names, err := experiments.ExpandExperiments(s.Experiments, true)
+	if err != nil {
+		return err
+	}
+	s.Experiments = names
+	return nil
+}
+
+// State is one job's lifecycle position.
+type State string
+
+// Job states. A job is terminal in StateDone, StateFailed, or
+// StateCanceled; StateQueued and StateRunning survive crashes and are
+// re-queued at the next Manager open.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// PlatformProgress is one platform's live fan-out position within the
+// current phase.
+type PlatformProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Job is one audit job's persisted state — the WAL record, the API body of
+// GET /jobs/{id}, and the snapshot Manager.Get returns.
+type Job struct {
+	// ID identifies the job ("j00000001", ...). IDs are assigned at
+	// submission and survive restarts.
+	ID string `json:"id"`
+	// Tenant is the accounting tenant (Spec.Tenant after defaulting).
+	Tenant string `json:"tenant"`
+	// Spec is the submitted audit spec with its experiment list resolved.
+	Spec Spec `json:"spec"`
+	// State is the lifecycle position.
+	State State `json:"state"`
+	// Phases is the resolved experiment list the job runs, in order.
+	Phases []string `json:"phases"`
+	// PhasesDone lists the phases whose results are durably recorded; a
+	// resumed job re-runs only the rest.
+	PhasesDone []string `json:"phases_done,omitempty"`
+	// Progress is the per-platform fan-out position of the current phase.
+	// It is runtime state: not persisted, reset by a resume.
+	Progress map[string]PlatformProgress `json:"progress,omitempty"`
+	// Result holds each completed phase's rows (the same JSON adauditctl
+	// -format json emits), keyed by phase name.
+	Result map[string]json.RawMessage `json:"result,omitempty"`
+	// Error is the failure or cancellation reason in terminal states.
+	Error string `json:"error,omitempty"`
+	// Queries counts the upstream queries the job has issued (budget
+	// accounting; cache and store hits are free).
+	Queries int64 `json:"queries"`
+	// Resumes counts how many times the job was re-queued after a crash
+	// or shutdown mid-run.
+	Resumes int `json:"resumes,omitempty"`
+	// Seq orders submissions; it also feeds ID assignment after recovery.
+	Seq uint64 `json:"seq"`
+}
+
+// clone deep-copies the snapshot-owned fields so API readers never alias
+// manager-mutated state.
+func (j *Job) clone() Job {
+	out := *j
+	out.Phases = append([]string(nil), j.Phases...)
+	out.PhasesDone = append([]string(nil), j.PhasesDone...)
+	if j.Progress != nil {
+		out.Progress = make(map[string]PlatformProgress, len(j.Progress))
+		for k, v := range j.Progress {
+			out.Progress[k] = v
+		}
+	}
+	if j.Result != nil {
+		out.Result = make(map[string]json.RawMessage, len(j.Result))
+		for k, v := range j.Result {
+			out.Result[k] = v
+		}
+	}
+	return out
+}
+
+// EventType classifies one entry of a job's progress stream.
+type EventType string
+
+// Event types: a state transition, a completed phase, or a progress tick.
+const (
+	EventState    EventType = "state"
+	EventPhase    EventType = "phase"
+	EventProgress EventType = "progress"
+)
+
+// Event is one entry of a job's progress stream (GET /jobs/{id}/events):
+// state transitions, phase completions, and fan-out progress ticks.
+type Event struct {
+	Type  EventType `json:"type"`
+	JobID string    `json:"job_id"`
+	// State accompanies state events.
+	State State `json:"state,omitempty"`
+	// Phase names the phase a phase event completed or a progress event
+	// is inside.
+	Phase string `json:"phase,omitempty"`
+	// Platform, Done, Total carry progress ticks.
+	Platform string `json:"platform,omitempty"`
+	Done     int    `json:"done,omitempty"`
+	Total    int    `json:"total,omitempty"`
+	// Error carries the terminal failure reason.
+	Error string `json:"error,omitempty"`
+}
