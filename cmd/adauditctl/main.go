@@ -77,6 +77,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/platform"
+	"repro/internal/snapshot"
 	"repro/internal/store"
 	"repro/internal/targeting"
 )
@@ -89,6 +90,7 @@ func main() {
 		partSize   = flag.Int("partition-size", 0, "users per ring partition, 0 = default 65536 (-cluster)")
 		universe   = flag.Int("universe", 1<<17, "in-process simulated users per platform")
 		seed       = flag.Uint64("seed", 0, "deployment seed")
+		snapPath   = flag.String("snapshot", "", "boot the in-process deployment from this snapshot file (internal/snapshot) instead of building it")
 		k          = flag.Int("k", 1000, "compositions per discovered set")
 		qps        = flag.Float64("qps", 50, "client-side query rate limit for remote audits")
 		granCalls  = flag.Int("granularity-calls", 80000, "distinct calls for the granularity study")
@@ -131,6 +133,7 @@ func main() {
 		partSize:   *partSize,
 		universe:   *universe,
 		seed:       *seed,
+		snapshot:   *snapPath,
 		k:          *k,
 		qps:        *qps,
 		granCalls:  *granCalls,
@@ -165,6 +168,7 @@ type runOptions struct {
 	partSize   int
 	universe   int
 	seed       uint64
+	snapshot   string
 	k          int
 	qps        float64
 	granCalls  int
@@ -237,10 +241,22 @@ func newRunner(ctx context.Context, o runOptions, st *store.Store) (*experiments
 		return experiments.NewRunner(cfg)
 	}
 	if endpoint == "" {
-		log.Printf("building in-process deployment (universe=%d, seed=%d)", universe, seed)
-		d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
-		if err != nil {
-			return nil, err
+		var d *platform.Deployment
+		if o.snapshot != "" {
+			d2, info, err := snapshot.LoadDeployment(o.snapshot, platform.DeployOptions{Seed: seed, UniverseSize: universe})
+			if err != nil {
+				return nil, fmt.Errorf("loading snapshot: %w", err)
+			}
+			log.Printf("loaded snapshot %s (content %.12s, built %s)",
+				o.snapshot, info.ContentHash, info.CreatedAt.Format(time.RFC3339))
+			d = d2
+		} else {
+			log.Printf("building in-process deployment (universe=%d, seed=%d)", universe, seed)
+			d2, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
+			if err != nil {
+				return nil, err
+			}
+			d = d2
 		}
 		cfg.Deployment = d
 		return experiments.NewRunner(cfg)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/platform"
+	"repro/internal/snapshot"
 )
 
 // baseOpts returns the scaled-down options the CLI tests share.
@@ -472,5 +473,42 @@ func TestRunStoreFlagValidation(t *testing.T) {
 	o.storeDir = filepath.Join(t.TempDir(), "fresh")
 	if err := run(context.Background(), o); err == nil || !strings.Contains(err.Error(), "resume") {
 		t.Fatalf("-resume on empty store: err = %v", err)
+	}
+}
+
+// -snapshot boots the in-process audit from a persisted deployment and
+// produces the same figure 1 text as the built deployment; a stale
+// snapshot fails the run instead of silently auditing the wrong catalog.
+func TestRunFig1FromSnapshot(t *testing.T) {
+	opts := platform.DeployOptions{Seed: 7, UniverseSize: 12000}
+	d, err := platform.NewDeployment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "audit.adusnap")
+	if _, err := snapshot.WriteDeployment(snapPath, d, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(t.TempDir(), "snap.txt")
+	o := baseOpts("fig1", "", out)
+	o.snapshot = snapPath
+	if err := run(context.Background(), o); err != nil {
+		t.Fatalf("run from snapshot: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runToString(t, "fig1", "")
+	if string(got) != want {
+		t.Fatal("fig1 from snapshot differs from built deployment")
+	}
+
+	bad := baseOpts("fig1", "", filepath.Join(t.TempDir(), "bad.txt"))
+	bad.seed = 9
+	bad.snapshot = snapPath
+	if err := run(context.Background(), bad); err == nil {
+		t.Fatal("wrong-seed snapshot accepted")
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-dir results] [-universe 131072] [-seed 0] [-k 1000] [-store DIR]
+//	figures [-dir results] [-universe 131072] [-seed 0] [-k 1000] [-store DIR] [-snapshot FILE]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/population"
+	"repro/internal/snapshot"
 	"repro/internal/store"
 )
 
@@ -31,21 +32,34 @@ func main() {
 		k         = flag.Int("k", 1000, "compositions per discovered set")
 		granCalls = flag.Int("granularity-calls", 80000, "distinct calls for the granularity study")
 		storeDir  = flag.String("store", "", "durable measurement store directory; a re-run over it replays persisted measurements from disk")
+		snapPath  = flag.String("snapshot", "", "load the deployment from this snapshot file (internal/snapshot) instead of building it")
 	)
 	flag.Parse()
-	if err := run(*dir, *universe, *seed, *k, *granCalls, *storeDir); err != nil {
+	if err := run(*dir, *universe, *seed, *k, *granCalls, *storeDir, *snapPath); err != nil {
 		log.Fatalf("figures: %v", err)
 	}
 }
 
-func run(dir string, universe int, seed uint64, k, granCalls int, storeDir string) error {
+func run(dir string, universe int, seed uint64, k, granCalls int, storeDir, snapPath string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	log.Printf("building deployment (universe=%d, seed=%d)", universe, seed)
-	d, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
-	if err != nil {
-		return err
+	var d *platform.Deployment
+	if snapPath != "" {
+		dep, info, err := snapshot.LoadDeployment(snapPath, platform.DeployOptions{Seed: seed, UniverseSize: universe})
+		if err != nil {
+			return fmt.Errorf("loading snapshot: %w", err)
+		}
+		log.Printf("loaded snapshot %s (content %.12s, built %s)",
+			snapPath, info.ContentHash, info.CreatedAt.Format(time.RFC3339))
+		d = dep
+	} else {
+		log.Printf("building deployment (universe=%d, seed=%d)", universe, seed)
+		dep, err := platform.NewDeployment(platform.DeployOptions{Seed: seed, UniverseSize: universe})
+		if err != nil {
+			return err
+		}
+		d = dep
 	}
 	cfg := experiments.Config{Deployment: d, K: k, Seed: seed + 1}
 	if storeDir != "" {

@@ -5,6 +5,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/snapshot"
 )
 
 func TestRunWritesAllArtifacts(t *testing.T) {
@@ -12,7 +16,7 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 		t.Skip("short mode")
 	}
 	dir := t.TempDir()
-	if err := run(dir, 12000, 7, 60, 800, ""); err != nil {
+	if err := run(dir, 12000, 7, 60, 800, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{
@@ -44,7 +48,93 @@ func TestRunBadDir(t *testing.T) {
 	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(filepath.Join(tmp, "sub"), 12000, 7, 50, 500, ""); err == nil {
+	if err := run(filepath.Join(tmp, "sub"), 12000, 7, 50, 500, "", ""); err == nil {
 		t.Fatal("creating results under a file should fail")
+	}
+}
+
+// A snapshot-loaded deployment renders figure 1 byte-identically to the
+// built deployment at the same options — the CLI leg of the snapshot
+// bit-identity guarantee.
+func TestRunFromSnapshotMatchesBuilt(t *testing.T) {
+	opts := platform.DeployOptions{Seed: 7, UniverseSize: 8000}
+	d, err := platform.NewDeployment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "figures.adusnap")
+	if _, err := snapshot.WriteDeployment(snapPath, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	render := func(dir, snap string) string {
+		t.Helper()
+		loaded := d
+		if snap != "" {
+			var err error
+			loaded, _, err = snapshot.LoadDeployment(snap, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := experiments.NewRunner(experiments.Config{Deployment: loaded, K: 25, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := r.Figure1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := experiments.RenderBoxRows(&buf, "Figure 1", rows); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	built := render(t.TempDir(), "")
+	fromSnap := render(t.TempDir(), snapPath)
+	if built != fromSnap {
+		t.Fatal("figure 1 rendered from snapshot differs from built deployment")
+	}
+
+	// The CLI path surfaces a stale snapshot as a hard error.
+	if err := run(t.TempDir(), 8000, 99, 10, 100, "", snapPath); err == nil {
+		t.Fatal("wrong-seed snapshot accepted by figures run")
+	}
+}
+
+// run() with both a snapshot boot and a persistent store: the first run
+// populates the store, the second replays it from disk, and both produce
+// identical figure-1 bytes.
+func TestRunSnapshotWithStoreReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := platform.DeployOptions{Seed: 7, UniverseSize: 8000}
+	d, err := platform.NewDeployment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "store.adusnap")
+	if _, err := snapshot.WriteDeployment(snapPath, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	storeDir := filepath.Join(t.TempDir(), "measurements")
+	first, second := t.TempDir(), t.TempDir()
+	if err := run(first, 8000, 7, 10, 100, storeDir, snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(second, 8000, 7, 10, 100, storeDir, snapPath); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(first, "figure1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(second, "figure1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("store replay changed figure 1")
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"net/http"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/platform"
+	"repro/internal/snapshot"
 	"repro/internal/store"
 	"repro/internal/targeting"
 )
@@ -361,6 +363,62 @@ func TestNewJobsFactory(t *testing.T) {
 	}
 }
 
+// A cluster-targeted spec routes the job through the scatter-gather
+// coordinator: two real shard servers behind name=url entries, providers
+// for all four interfaces, answers matching a single-node deployment.
+func TestNewJobsFactoryClusterTarget(t *testing.T) {
+	cfg := config{seed: 7, universe: 8000}
+	shardServer := func(id string) *httptest.Server {
+		scfg := config{
+			seed: cfg.seed, universe: cfg.universe,
+			shardID: id, ring: "a,b", ringReplicas: 0, partSize: 1024,
+		}
+		handler, _, _, err := buildHandler(scfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(handler)
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b := shardServer("a"), shardServer("b")
+
+	host, err := platform.NewDeployment(platform.DeployOptions{Seed: cfg.seed, UniverseSize: cfg.universe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := newJobsFactory(cfg, host)
+	// Universe 0 defaults to the daemon's own sizing.
+	providers, err := factory(context.Background(), jobs.Spec{
+		Cluster:       "a=" + a.URL + ",b=" + b.URL,
+		PartitionSize: 1024,
+		Seed:          cfg.seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(providers) != len(host.Interfaces()) {
+		t.Fatalf("cluster factory returned %d providers", len(providers))
+	}
+	spec := targeting.Attr(0)
+	want, err := host.Facebook.Measure(platform.EstimateRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range providers {
+		if p.Name() != catalog.PlatformFacebook {
+			continue
+		}
+		got, err := p.Measure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("cluster provider measured %d, single-node %d", got, want)
+		}
+	}
+}
+
 // run() end to end: serve on a real port (store, jobs, tracing, pprof all
 // on), answer a request, then shut down gracefully on SIGINT.
 func TestRunServesAndShutsDown(t *testing.T) {
@@ -405,5 +463,149 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("run did not shut down on SIGINT")
+	}
+}
+
+// -snapshot-write then -snapshot: the reloaded deployment answers
+// identically, /healthz advertises the snapshot identity, and a stale
+// snapshot (wrong seed) is refused at boot with the typed error.
+func TestBuildHandlerSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "full.adusnap")
+	_, built, _, err := buildHandler(config{seed: 7, universe: 8000, snapWrite: path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, loaded, _, err := buildHandler(config{seed: 7, universe: 8000, snapPath: path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := platform.EstimateRequest{Spec: targeting.And(targeting.Attr(0), targeting.Attr(1))}
+	want, err := built.Facebook.Measure(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Facebook.Measure(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("snapshot-booted measure %d, built %d", got, want)
+	}
+
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, field := range []string{`"catalog_hash"`, `"snapshot"`, `"content_hash"`, `"built_at"`} {
+		if !strings.Contains(string(body), field) {
+			t.Errorf("snapshot-booted healthz missing %s: %s", field, body)
+		}
+	}
+
+	if _, _, _, err := buildHandler(config{seed: 8, universe: 8000, snapPath: path}, nil); !errors.Is(err, snapshot.ErrConfigMismatch) {
+		t.Fatalf("wrong-seed snapshot boot: got %v, want ErrConfigMismatch", err)
+	}
+	if _, _, _, err := buildHandler(config{seed: 7, universe: 8000, snapPath: filepath.Join(t.TempDir(), "absent")}, nil); err == nil {
+		t.Fatal("missing snapshot file accepted")
+	}
+}
+
+// Shard mode: the persisted snapshot covers exactly the node's partitions,
+// reloads into a serving shard, and is refused by any other node.
+func TestBuildHandlerShardSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-a.adusnap")
+	// replicas=0 so the two nodes hold disjoint slices — a's snapshot must
+	// not satisfy b's layout.
+	cfg := config{
+		seed: 7, universe: 8000,
+		shardID: "a", ring: "a,b", ringReplicas: 0, partSize: 1024,
+		snapWrite: path,
+	}
+	if _, _, _, err := buildHandler(cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg.snapWrite, cfg.snapPath = "", path
+	handler, _, _, err := buildHandler(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	ring, err := cluster.NewRing([]string{"a", "b"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := cluster.NewLayout(ring, 8000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := layout.HeldPartitions("a")
+	if len(held) == 0 {
+		t.Skip("shard a holds nothing at this size")
+	}
+	conn := adapi.NewShardConn("a", ts.URL, nil)
+	res, err := conn.CountBatch(context.Background(), catalog.PlatformFacebook, platform.DoorMeasure,
+		held[:1], []platform.EstimateRequest{{Spec: targeting.Attr(0)}})
+	if err != nil {
+		t.Fatalf("cluster door after snapshot boot: %v", err)
+	}
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("cluster door result: %+v", res)
+	}
+	if _, err := conn.CatalogHash(); err != nil {
+		t.Fatalf("catalog hash from snapshot-booted shard: %v", err)
+	}
+
+	// Node b's spans differ, so a's snapshot must be refused.
+	bad := cfg
+	bad.shardID = "b"
+	if _, _, _, err := buildHandler(bad, nil); !errors.Is(err, snapshot.ErrSpanMismatch) {
+		t.Fatalf("foreign shard snapshot: got %v, want ErrSpanMismatch", err)
+	}
+}
+
+// The jobs factory shares a snapshot-backed host deployment: every job
+// sized like the host reuses the mmap'd catalog instead of rebuilding a
+// dedicated deployment, and answers identically to the built twin.
+func TestNewJobsFactorySharesSnapshotHost(t *testing.T) {
+	opts := platform.DeployOptions{Seed: 7, UniverseSize: 8000}
+	built, err := platform.NewDeployment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "host.adusnap")
+	if _, err := snapshot.WriteDeployment(path, built, opts); err != nil {
+		t.Fatal(err)
+	}
+	host, _, err := snapshot.LoadDeployment(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := newJobsFactory(config{seed: 7, universe: 8000}, host)
+	providers, err := factory(context.Background(), jobs.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := targeting.And(targeting.Attr(0), targeting.Attr(1))
+	want, err := built.Facebook.Measure(platform.EstimateRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range providers {
+		if p.Name() != catalog.PlatformFacebook {
+			continue
+		}
+		got, err := p.Measure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("snapshot-hosted job provider measured %d, built %d", got, want)
+		}
 	}
 }

@@ -147,7 +147,10 @@ type ShardConn struct {
 	hc   *http.Client
 }
 
-var _ cluster.Conn = (*ShardConn)(nil)
+var (
+	_ cluster.Conn          = (*ShardConn)(nil)
+	_ cluster.CatalogHasher = (*ShardConn)(nil)
+)
 
 // NewShardConn connects shard id at baseURL (e.g. "http://host:8080").
 // httpClient nil selects a default client; per-call deadlines come from the
@@ -161,6 +164,39 @@ func NewShardConn(id, baseURL string, httpClient *http.Client) *ShardConn {
 
 // ID returns the shard's ring node name.
 func (c *ShardConn) ID() string { return c.id }
+
+// CatalogHash fetches the remote shard's catalog fingerprint from its
+// health endpoint, implementing cluster.CatalogHasher so the coordinator's
+// boot preflight covers multi-process rings: a shard that loaded a stale
+// snapshot reports a divergent hash and the coordinator refuses to start.
+// The fetch error is the shard being unreachable mid-boot — the preflight
+// tolerates that and the first scattered batch fails over instead.
+func (c *ShardConn) CatalogHash() (string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("adapi: shard %s: %w", c.id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("adapi: shard %s: healthz HTTP %d", c.id, resp.StatusCode)
+	}
+	var health struct {
+		CatalogHash string `json:"catalog_hash"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return "", fmt.Errorf("adapi: shard %s: malformed healthz: %w", c.id, err)
+	}
+	if health.CatalogHash == "" {
+		return "", fmt.Errorf("adapi: shard %s reports no catalog hash", c.id)
+	}
+	return health.CatalogHash, nil
+}
 
 // CountBatch ships the batch to the remote shard door and decodes the raw
 // counts. Any transport or server-level failure is returned as a call

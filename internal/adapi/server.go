@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/platform"
+	"repro/internal/snapshot"
 )
 
 // errorEnvelope is the common error body shared by all endpoints.
@@ -71,6 +72,12 @@ type ServerOptions struct {
 	// JobStats, when set alongside Jobs, feeds the /healthz jobs block
 	// (queue depth and in-flight jobs).
 	JobStats func() (queued, running int)
+	// Snapshot, when set, identifies the on-disk snapshot the served
+	// deployment was reconstructed from (internal/snapshot.LoadDeployment).
+	// /healthz and /debug/provenance echo its content hash and build time,
+	// so an operator — or a coordinator's preflight — can pin exactly which
+	// catalog bytes a node serves. Set by platformd in -snapshot mode.
+	Snapshot *snapshot.Info
 }
 
 // tracer resolves the serving tracer at request time, so a default tracer
@@ -87,6 +94,11 @@ func (s *ServerOptions) tracer() *trace.Tracer {
 type Server struct {
 	mux  *http.ServeMux
 	opts ServerOptions
+	// catalogHash fingerprints the served deployment's catalogs
+	// (platform.CatalogHash), computed once at construction and echoed from
+	// /healthz so any client — including a remote coordinator's catalog-skew
+	// preflight — can verify this node serves the expected options.
+	catalogHash string
 }
 
 // ifaceHandler serves one platform interface.
@@ -137,7 +149,7 @@ func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.Default()
 	}
-	s := &Server{mux: http.NewServeMux(), opts: opts}
+	s := &Server{mux: http.NewServeMux(), opts: opts, catalogHash: platform.CatalogHash(d)}
 	for _, p := range d.Interfaces() {
 		codec, err := CodecFor(p.Name())
 		if err != nil {
@@ -178,6 +190,14 @@ func NewServer(d *platform.Deployment, opts ServerOptions) (*Server, error) {
 		s.opts.tracer().Handler().ServeHTTP(w, r)
 	})
 	s.mux.HandleFunc("/debug/provenance", func(w http.ResponseWriter, r *http.Request) {
+		// Every provenance listing carries the serving catalog's identity, so
+		// a recorded measurement can be tied back to the exact snapshot (or
+		// built deployment) that produced it even after the node restarts.
+		w.Header().Set("X-Adaudit-Catalog-Hash", s.catalogHash)
+		if info := s.opts.Snapshot; info != nil {
+			w.Header().Set("X-Adaudit-Snapshot-Hash", info.ContentHash)
+			w.Header().Set("X-Adaudit-Snapshot-Built-At", info.CreatedAt.UTC().Format(time.RFC3339))
+		}
 		s.opts.tracer().Provenance().Handler().ServeHTTP(w, r)
 	})
 	s.mux.Handle("/metrics", opts.Metrics.Handler())
@@ -213,9 +233,22 @@ type healthResponse struct {
 	RingHash   string `json:"ring_hash,omitempty"`
 	Partitions int    `json:"partitions,omitempty"`
 	Tracing    bool   `json:"tracing"`
+	// CatalogHash fingerprints the catalogs this node serves; a remote
+	// coordinator's preflight (cluster.CatalogHasher) compares it against
+	// its own before scattering a single count.
+	CatalogHash string `json:"catalog_hash"`
+	// Snapshot appears when the deployment was loaded from a snapshot
+	// rather than built: the snapshot's content hash and build time.
+	Snapshot *snapshotHealth `json:"snapshot,omitempty"`
 	// Jobs appears when the async audit-job service is mounted: whether it
 	// is enabled plus its live queue depth and in-flight job count.
 	Jobs *jobsHealth `json:"jobs,omitempty"`
+}
+
+// snapshotHealth is the /healthz block identifying the loaded snapshot.
+type snapshotHealth struct {
+	ContentHash string `json:"content_hash"`
+	BuiltAt     string `json:"built_at"`
 }
 
 // jobsHealth is the /healthz block describing the job service.
@@ -229,7 +262,13 @@ type jobsHealth struct {
 // shard's identity, layout fingerprint, and held-partition count in shard
 // mode.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := healthResponse{Status: "ok", Tracing: s.opts.tracer().Enabled()}
+	resp := healthResponse{Status: "ok", Tracing: s.opts.tracer().Enabled(), CatalogHash: s.catalogHash}
+	if info := s.opts.Snapshot; info != nil {
+		resp.Snapshot = &snapshotHealth{
+			ContentHash: info.ContentHash,
+			BuiltAt:     info.CreatedAt.UTC().Format(time.RFC3339),
+		}
+	}
 	if s.opts.Jobs != nil {
 		jh := &jobsHealth{Enabled: true}
 		if s.opts.JobStats != nil {

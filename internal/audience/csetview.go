@@ -1,0 +1,538 @@
+package audience
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// This file implements CSetView, the zero-copy twin of CSet: the same
+// chunked array/bitmap/run containers, but with every payload read straight
+// out of an encoded byte buffer instead of heap-allocated Go slices. A
+// snapshot file (internal/snapshot) stores each catalog option as one
+// EncodeCSet blob; loading mmaps the file and wraps each blob in a view, so
+// constructing a deployment's full compressed catalog costs one small
+// directory decode per option while the container payloads stay cold until
+// a query touches them — the kernel page cache, shared across processes,
+// becomes the catalog's resident set.
+//
+// Views are unsafe-free: payloads are encoded little-endian and decoded
+// word-by-word through encoding/binary, which compiles to plain loads on
+// little-endian machines. The view kernels mirror cset.go and setcset.go
+// shape for shape, so a view-backed interface counts bit-identically to a
+// CSet-backed one (property-tested at chunk-boundary sizes).
+//
+// Encoded layout (all little-endian):
+//
+//	header (24 bytes):
+//	  u64 n      universe size
+//	  u64 card   total membership
+//	  u32 nconts non-empty chunk count
+//	  u32 pad    zero
+//	directory (20 bytes per container):
+//	  u32 key    chunk index, strictly ascending
+//	  u8  typ    0 array | 1 bitmap | 2 run
+//	  u8  pad[3] zero
+//	  u32 count  payload elements (members | words | runs)
+//	  u32 card   container membership
+//	  u32 off    payload byte offset (8-aligned, relative to payload base)
+//	payload base: directory end rounded up to 8 bytes
+//	payloads, each 8-aligned:
+//	  array:  count × u16 member offsets, ascending
+//	  bitmap: count × u64 chunk words
+//	  run:    count × (u16 start, u16 last) inclusive intervals, ascending
+const (
+	viewHeaderBytes = 24
+	viewDirEntry    = 20
+)
+
+// ErrBadCSetBlob marks an encoded CSet blob DecodeCSetView rejected:
+// truncation, out-of-bounds offsets, non-ascending keys, or an unknown
+// container form. Match with errors.Is.
+var ErrBadCSetBlob = errors.New("audience: malformed cset blob")
+
+// vcont is one decoded directory entry: where a container's payload lives
+// in the view's data, never the payload itself.
+type vcont struct {
+	typ   ctype
+	card  int
+	count int // payload elements: members (array), words (bitmap), runs (run)
+	off   int // payload byte offset into CSetView.data
+}
+
+// CSetView is a read-only compressed audience set whose container payloads
+// alias an encoded buffer (typically an mmap'd snapshot section). It
+// answers the same queries as CSet and is safe for concurrent use: the
+// buffer is never written.
+type CSetView struct {
+	n     int
+	card  int
+	keys  []uint32
+	conts []vcont
+	data  []byte // payload area (aliased, not owned)
+}
+
+// EncodeCSet serializes a compressed set into the blob format DecodeCSetView
+// reads, appending to dst. Encoding is canonical: the same CSet always
+// yields the same bytes.
+func EncodeCSet(dst []byte, c *CSet) []byte {
+	base := len(dst)
+	var hdr [viewHeaderBytes]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(c.n))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(c.card))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(c.conts)))
+	dst = append(dst, hdr[:]...)
+
+	// Directory pass: payload offsets are assigned 8-aligned in container
+	// order.
+	off := 0
+	var ent [viewDirEntry]byte
+	for i := range c.conts {
+		cont := &c.conts[i]
+		count, size := contPayload(cont)
+		binary.LittleEndian.PutUint32(ent[0:4], c.keys[i])
+		ent[4] = byte(cont.typ)
+		ent[5], ent[6], ent[7] = 0, 0, 0
+		binary.LittleEndian.PutUint32(ent[8:12], uint32(count))
+		binary.LittleEndian.PutUint32(ent[12:16], uint32(cont.card))
+		binary.LittleEndian.PutUint32(ent[16:20], uint32(off))
+		dst = append(dst, ent[:]...)
+		off += align8(size)
+	}
+	for (len(dst)-base)%8 != 0 {
+		dst = append(dst, 0)
+	}
+
+	// Payload pass.
+	var w8 [8]byte
+	for i := range c.conts {
+		cont := &c.conts[i]
+		switch cont.typ {
+		case ctArray:
+			for _, v := range cont.arr {
+				binary.LittleEndian.PutUint16(w8[:2], v)
+				dst = append(dst, w8[:2]...)
+			}
+		case ctBitmap:
+			for _, w := range cont.bits {
+				binary.LittleEndian.PutUint64(w8[:], w)
+				dst = append(dst, w8[:]...)
+			}
+		case ctRun:
+			for _, r := range cont.runs {
+				binary.LittleEndian.PutUint16(w8[0:2], r.start)
+				binary.LittleEndian.PutUint16(w8[2:4], r.last)
+				dst = append(dst, w8[:4]...)
+			}
+		}
+		for (len(dst)-base)%8 != 0 {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// contPayload returns a container's element count and payload byte size.
+func contPayload(cont *container) (count, size int) {
+	switch cont.typ {
+	case ctArray:
+		return len(cont.arr), 2 * len(cont.arr)
+	case ctBitmap:
+		return len(cont.bits), 8 * len(cont.bits)
+	default:
+		return len(cont.runs), 4 * len(cont.runs)
+	}
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// DecodeCSetView wraps an encoded blob in a view without copying payloads.
+// The header and directory are validated eagerly — every payload window must
+// lie inside the blob, keys must ascend, bitmap widths must match their
+// chunk — so a view constructed from a corrupt or truncated blob is rejected
+// here rather than faulting mid-query. Containers of the universe's final
+// short chunk are additionally range-checked eagerly (their offsets index
+// shorter word slices); full-chunk payloads are safe by construction, since
+// a u16 offset cannot escape a 2^16-user chunk. The blob must stay alive
+// and unmodified as long as the view is in use.
+func DecodeCSetView(blob []byte) (*CSetView, error) {
+	if len(blob) < viewHeaderBytes {
+		return nil, fmt.Errorf("%w: %d-byte blob shorter than header", ErrBadCSetBlob, len(blob))
+	}
+	n64 := binary.LittleEndian.Uint64(blob[0:8])
+	card64 := binary.LittleEndian.Uint64(blob[8:16])
+	nconts := int(binary.LittleEndian.Uint32(blob[16:20]))
+	const maxInt = int(^uint(0) >> 1)
+	if n64 > uint64(maxInt) || card64 > n64 {
+		return nil, fmt.Errorf("%w: universe %d / cardinality %d", ErrBadCSetBlob, n64, card64)
+	}
+	n := int(n64)
+	maxChunks := (n + chunkSize - 1) / chunkSize
+	if nconts > maxChunks {
+		return nil, fmt.Errorf("%w: %d containers over a %d-chunk universe", ErrBadCSetBlob, nconts, maxChunks)
+	}
+	dirEnd := viewHeaderBytes + nconts*viewDirEntry
+	payloadBase := align8(dirEnd)
+	if payloadBase > len(blob) {
+		return nil, fmt.Errorf("%w: directory truncated at %d of %d bytes", ErrBadCSetBlob, len(blob), payloadBase)
+	}
+	v := &CSetView{
+		n:     n,
+		card:  int(card64),
+		keys:  make([]uint32, nconts),
+		conts: make([]vcont, nconts),
+		data:  blob[payloadBase:],
+	}
+	lastShortWords := 0 // word width of a trailing partial chunk, 0 if none
+	if rem := n % chunkSize; rem != 0 {
+		lastShortWords = (rem + 63) / 64
+	}
+	cardSum := 0
+	for i := 0; i < nconts; i++ {
+		ent := blob[viewHeaderBytes+i*viewDirEntry:]
+		key := binary.LittleEndian.Uint32(ent[0:4])
+		typ := ctype(ent[4])
+		count := int(binary.LittleEndian.Uint32(ent[8:12]))
+		card := int(binary.LittleEndian.Uint32(ent[12:16]))
+		off := int(binary.LittleEndian.Uint32(ent[16:20]))
+		if i > 0 && key <= v.keys[i-1] {
+			return nil, fmt.Errorf("%w: chunk keys not ascending at entry %d", ErrBadCSetBlob, i)
+		}
+		if int(key) >= maxChunks {
+			return nil, fmt.Errorf("%w: chunk key %d beyond universe %d", ErrBadCSetBlob, key, n)
+		}
+		chunkW := chunkWords
+		isLast := int(key) == maxChunks-1 && lastShortWords != 0
+		if isLast {
+			chunkW = lastShortWords
+		}
+		var size int
+		switch typ {
+		case ctArray:
+			if count == 0 || count != card || count > arrayCutoff {
+				return nil, fmt.Errorf("%w: array container %d count %d card %d", ErrBadCSetBlob, i, count, card)
+			}
+			size = 2 * count
+		case ctBitmap:
+			if count != chunkW {
+				return nil, fmt.Errorf("%w: bitmap container %d has %d words, chunk needs %d", ErrBadCSetBlob, i, count, chunkW)
+			}
+			if card <= 0 || card > count*64 {
+				return nil, fmt.Errorf("%w: bitmap container %d card %d", ErrBadCSetBlob, i, card)
+			}
+			size = 8 * count
+		case ctRun:
+			if count == 0 || card < count || card > chunkSize {
+				return nil, fmt.Errorf("%w: run container %d count %d card %d", ErrBadCSetBlob, i, count, card)
+			}
+			size = 4 * count
+		default:
+			return nil, fmt.Errorf("%w: unknown container form %d", ErrBadCSetBlob, typ)
+		}
+		if off%8 != 0 || off < 0 || off+size > len(v.data) {
+			return nil, fmt.Errorf("%w: container %d payload [%d, %d) outside %d-byte area", ErrBadCSetBlob, i, off, off+size, len(v.data))
+		}
+		v.keys[i] = key
+		v.conts[i] = vcont{typ: typ, card: card, count: count, off: off}
+		if isLast {
+			if err := v.checkShortChunk(&v.conts[i], lastShortWords*64); err != nil {
+				return nil, err
+			}
+		}
+		cardSum += card
+	}
+	if cardSum != v.card {
+		return nil, fmt.Errorf("%w: container cards sum to %d, header says %d", ErrBadCSetBlob, cardSum, v.card)
+	}
+	return v, nil
+}
+
+// checkShortChunk eagerly validates a final-partial-chunk container: its
+// member offsets must stay below the chunk's local bit width, or the expand
+// and subtract kernels would index past a short word slice.
+func (v *CSetView) checkShortChunk(c *vcont, limit int) error {
+	switch c.typ {
+	case ctArray:
+		for i := 0; i < c.count; i++ {
+			if int(v.arr16(c, i)) >= limit {
+				return fmt.Errorf("%w: short-chunk member %d beyond %d", ErrBadCSetBlob, v.arr16(c, i), limit)
+			}
+		}
+	case ctRun:
+		for i := 0; i < c.count; i++ {
+			s, l := v.runAt(c, i)
+			if s > l || l >= limit {
+				return fmt.Errorf("%w: short-chunk run [%d, %d] beyond %d", ErrBadCSetBlob, s, l, limit)
+			}
+		}
+	}
+	return nil
+}
+
+// arr16 reads array member i of a container.
+func (v *CSetView) arr16(c *vcont, i int) uint16 {
+	return binary.LittleEndian.Uint16(v.data[c.off+2*i:])
+}
+
+// word64 reads bitmap word i of a container.
+func (v *CSetView) word64(c *vcont, i int) uint64 {
+	return binary.LittleEndian.Uint64(v.data[c.off+8*i:])
+}
+
+// runAt reads run interval i of a container, inclusive on both ends.
+func (v *CSetView) runAt(c *vcont, i int) (start, last int) {
+	b := v.data[c.off+4*i:]
+	return int(binary.LittleEndian.Uint16(b[0:2])), int(binary.LittleEndian.Uint16(b[2:4]))
+}
+
+// Len returns the universe size.
+func (v *CSetView) Len() int { return v.n }
+
+// Count returns the number of users in the set (cached; O(1)).
+func (v *CSetView) Count() int { return v.card }
+
+// Containers reports how many non-empty chunks the view stores.
+func (v *CSetView) Containers() int { return len(v.keys) }
+
+// Bytes reports the view's aliased payload footprint plus its decoded
+// directory — the per-option boot cost of a snapshot-backed catalog.
+func (v *CSetView) Bytes() int {
+	return len(v.data) + 4*len(v.keys) + len(v.conts)*viewDirEntry
+}
+
+// Contains reports whether user index i is in the set.
+func (v *CSetView) Contains(i int) bool {
+	if i < 0 || i >= v.n {
+		return false
+	}
+	key := uint32(i >> chunkBits)
+	ci := sort.Search(len(v.keys), func(j int) bool { return v.keys[j] >= key })
+	if ci >= len(v.keys) || v.keys[ci] != key {
+		return false
+	}
+	return v.vContains(&v.conts[ci], uint16(i&(chunkSize-1)))
+}
+
+// vContains reports membership of offset x in one container.
+func (v *CSetView) vContains(c *vcont, x uint16) bool {
+	switch c.typ {
+	case ctArray:
+		i := sort.Search(c.count, func(j int) bool { return v.arr16(c, j) >= x })
+		return i < c.count && v.arr16(c, i) == x
+	case ctBitmap:
+		return v.word64(c, int(x>>6))&(1<<uint(x&63)) != 0
+	default:
+		i := sort.Search(c.count, func(j int) bool {
+			_, l := v.runAt(c, j)
+			return l >= int(x)
+		})
+		if i >= c.count {
+			return false
+		}
+		s, _ := v.runAt(c, i)
+		return s <= int(x)
+	}
+}
+
+// CountRange returns the number of members with index in [lo, hi), clamped
+// to the universe — the window kernel shard partition counting runs on.
+func (v *CSetView) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	total := 0
+	for ci, key := range v.keys {
+		base := int(key) << chunkBits
+		if base >= hi {
+			break
+		}
+		if base+chunkSize <= lo {
+			continue
+		}
+		c := &v.conts[ci]
+		if lo <= base && base+chunkSize <= hi {
+			total += c.card
+			continue
+		}
+		clo, chi := lo-base, hi-base
+		if clo < 0 {
+			clo = 0
+		}
+		if chi > chunkSize {
+			chi = chunkSize
+		}
+		total += v.vCountRange(c, clo, chi)
+	}
+	return total
+}
+
+// vCountRange counts members with offset in [lo, hi) within one container.
+func (v *CSetView) vCountRange(c *vcont, lo, hi int) int {
+	switch c.typ {
+	case ctArray:
+		i := sort.Search(c.count, func(j int) bool { return int(v.arr16(c, j)) >= lo })
+		k := sort.Search(c.count, func(j int) bool { return int(v.arr16(c, j)) >= hi })
+		return k - i
+	case ctBitmap:
+		return v.bitmapCountRange(c, lo, hi)
+	default:
+		total := 0
+		for i := 0; i < c.count; i++ {
+			s, l := v.runAt(c, i)
+			if s >= hi {
+				break
+			}
+			if l < lo {
+				continue
+			}
+			if s < lo {
+				s = lo
+			}
+			if l > hi-1 {
+				l = hi - 1
+			}
+			total += l - s + 1
+		}
+		return total
+	}
+}
+
+// bitmapCountRange popcounts bit indices [lo, hi) of a view bitmap,
+// mirroring the slice kernel in cset.go word for word.
+func (v *CSetView) bitmapCountRange(c *vcont, lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)&63)
+	if loW == hiW {
+		return bits.OnesCount64(v.word64(c, loW) & loMask & hiMask)
+	}
+	n := bits.OnesCount64(v.word64(c, loW)&loMask) + bits.OnesCount64(v.word64(c, hiW)&hiMask)
+	for i := loW + 1; i < hiW; i++ {
+		n += bits.OnesCount64(v.word64(c, i))
+	}
+	return n
+}
+
+// ToSet decompresses the view into a dense set (tests and ground-truth
+// verification; queries never call it).
+func (v *CSetView) ToSet() *Set {
+	s := New(v.n)
+	for ci, key := range v.keys {
+		base := int(key) * chunkWords
+		end := base + chunkWords
+		if end > len(s.words) {
+			end = len(s.words)
+		}
+		v.expandVChunk(&v.conts[ci], s.words[base:end])
+	}
+	return s
+}
+
+// expandVChunk ORs one view container's members into dst (the chunk's
+// words), the view twin of expandChunk.
+func (v *CSetView) expandVChunk(c *vcont, dst []uint64) {
+	switch c.typ {
+	case ctArray:
+		for i := 0; i < c.count; i++ {
+			x := v.arr16(c, i)
+			dst[x>>6] |= 1 << uint(x&63)
+		}
+	case ctBitmap:
+		for i := range dst {
+			dst[i] |= v.word64(c, i)
+		}
+	case ctRun:
+		for i := 0; i < c.count; i++ {
+			s, l := v.runAt(c, i)
+			for x := s; x <= l; x++ {
+				dst[x>>6] |= 1 << uint(x&63)
+			}
+		}
+	}
+}
+
+// --- dense-accumulator × view kernels (the setcset.go shapes) ---
+
+// checkCompatV panics if v is not over the same universe as s.
+func (s *Set) checkCompatV(v *CSetView) {
+	if s.n != v.n {
+		panic(fmt.Sprintf("audience: universe size mismatch %d != %d", s.n, v.n))
+	}
+}
+
+// OrWithView sets s = s ∪ v in place. Only v's non-empty chunks are touched.
+func (s *Set) OrWithView(v *CSetView) {
+	s.checkCompatV(v)
+	for ci, key := range v.keys {
+		v.expandVChunk(&v.conts[ci], s.chunkWordsOf(key))
+	}
+}
+
+// AndWithView sets s = s ∩ v in place. Chunks absent from v are cleared
+// wholesale; present chunks intersect container-wise.
+func (s *Set) AndWithView(v *CSetView) {
+	s.checkCompatV(v)
+	var scratch [chunkWords]uint64
+	nChunks := (len(s.words) + chunkWords - 1) / chunkWords
+	ci := 0
+	for key := uint32(0); int(key) < nChunks; key++ {
+		for ci < len(v.keys) && v.keys[ci] < key {
+			ci++
+		}
+		dst := s.chunkWordsOf(key)
+		if ci >= len(v.keys) || v.keys[ci] != key {
+			clear(dst)
+			continue
+		}
+		c := &v.conts[ci]
+		if c.typ == ctBitmap {
+			for i := range dst {
+				dst[i] &= v.word64(c, i)
+			}
+			continue
+		}
+		words := scratch[:len(dst)]
+		clear(words)
+		v.expandVChunk(c, words)
+		for i := range dst {
+			dst[i] &= words[i]
+		}
+	}
+}
+
+// AndNotWithView sets s = s \ v in place. Only v's non-empty chunks are
+// touched; array and run containers subtract without expansion.
+func (s *Set) AndNotWithView(v *CSetView) {
+	s.checkCompatV(v)
+	for ci, key := range v.keys {
+		dst := s.chunkWordsOf(key)
+		c := &v.conts[ci]
+		switch c.typ {
+		case ctArray:
+			for i := 0; i < c.count; i++ {
+				x := v.arr16(c, i)
+				dst[x>>6] &^= 1 << uint(x&63)
+			}
+		case ctBitmap:
+			for i := range dst {
+				dst[i] &^= v.word64(c, i)
+			}
+		case ctRun:
+			for i := 0; i < c.count; i++ {
+				s0, l := v.runAt(c, i)
+				clearBitRange(dst, s0, l+1)
+			}
+		}
+	}
+}

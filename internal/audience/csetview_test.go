@@ -1,0 +1,223 @@
+package audience
+
+import (
+	"bytes"
+	"testing"
+)
+
+// viewFor encodes a set's CSet and decodes it back into a view, failing the
+// test on any codec error — the round trip every view test starts from.
+func viewFor(t *testing.T, s *Set) *CSetView {
+	t.Helper()
+	blob := EncodeCSet(nil, FromSet(s))
+	v, err := DecodeCSetView(blob)
+	if err != nil {
+		t.Fatalf("DecodeCSetView: %v", err)
+	}
+	return v
+}
+
+func TestCSetViewRoundTrip(t *testing.T) {
+	for _, n := range csetSizes {
+		for name, s := range csetShapes(n) {
+			c := FromSet(s)
+			v := viewFor(t, s)
+			if v.Len() != s.Len() || v.Count() != s.Count() {
+				t.Fatalf("n=%d %s: view Len/Count = %d/%d, want %d/%d",
+					n, name, v.Len(), v.Count(), s.Len(), s.Count())
+			}
+			if v.Containers() != c.Containers() {
+				t.Fatalf("n=%d %s: view has %d containers, cset %d", n, name, v.Containers(), c.Containers())
+			}
+			if back := v.ToSet(); !Equal(back, s) {
+				t.Fatalf("n=%d %s: view.ToSet() != s", n, name)
+			}
+		}
+	}
+}
+
+func TestEncodeCSetCanonical(t *testing.T) {
+	s := randomSet(21, 3*chunkSize+777, 0.01)
+	a := EncodeCSet(nil, FromSet(s))
+	b := EncodeCSet(nil, FromSet(s))
+	if !bytes.Equal(a, b) {
+		t.Fatal("EncodeCSet is not deterministic for identical sets")
+	}
+	// Appending to a prefix — 8-aligned or not — must leave the prefix
+	// intact and the blob byte-identical to a fresh encode, since padding is
+	// relative to the blob's own start.
+	pre := []byte("prefix")
+	full := EncodeCSet(append([]byte(nil), pre...), FromSet(s))
+	if !bytes.Equal(full[:len(pre)], pre) {
+		t.Fatal("EncodeCSet corrupted the destination prefix")
+	}
+	if !bytes.Equal(full[len(pre):], a) {
+		t.Fatal("EncodeCSet appended bytes differ from a fresh encode")
+	}
+}
+
+func TestCSetViewContains(t *testing.T) {
+	for _, n := range csetSizes {
+		for name, s := range csetShapes(n) {
+			v := viewFor(t, s)
+			step := n/257 + 1
+			for i := -1; i <= n; i += step {
+				if v.Contains(i) != s.Contains(i) {
+					t.Fatalf("n=%d %s: Contains(%d) = %v, want %v", n, name, i, v.Contains(i), s.Contains(i))
+				}
+			}
+		}
+	}
+}
+
+func TestCSetViewCountRange(t *testing.T) {
+	for _, n := range csetSizes {
+		for name, s := range csetShapes(n) {
+			v := viewFor(t, s)
+			windows := [][2]int{
+				{0, n}, {0, 0}, {n, n}, {-5, n + 5},
+				{0, n / 2}, {n / 2, n}, {n / 3, 2 * n / 3},
+				{chunkSize - 1, chunkSize + 1}, {63, 65}, {1, n - 1},
+			}
+			for _, w := range windows {
+				got, want := v.CountRange(w[0], w[1]), s.CountRange(w[0], w[1])
+				if got != want {
+					t.Fatalf("n=%d %s: CountRange(%d, %d) = %d, want %d", n, name, w[0], w[1], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCSetViewKernels checks the dense-accumulator × view kernels against
+// their CSet twins on every size/shape pair: for each operation the view
+// result must be bit-identical to the setcset.go result.
+func TestCSetViewKernels(t *testing.T) {
+	for _, n := range csetSizes {
+		shapes := csetShapes(n)
+		for aName, a := range shapes {
+			for bName, b := range shapes {
+				c := FromSet(b)
+				v := viewFor(t, b)
+
+				or1, or2 := a.Clone(), a.Clone()
+				or1.OrWithC(c)
+				or2.OrWithView(v)
+				if !Equal(or1, or2) {
+					t.Fatalf("n=%d %s|%s: OrWithView != OrWithC", n, aName, bName)
+				}
+
+				and1, and2 := a.Clone(), a.Clone()
+				and1.AndWithC(c)
+				and2.AndWithView(v)
+				if !Equal(and1, and2) {
+					t.Fatalf("n=%d %s&%s: AndWithView != AndWithC", n, aName, bName)
+				}
+
+				not1, not2 := a.Clone(), a.Clone()
+				not1.AndNotWithC(c)
+				not2.AndNotWithView(v)
+				if !Equal(not1, not2) {
+					t.Fatalf("n=%d %s\\%s: AndNotWithView != AndNotWithC", n, aName, bName)
+				}
+			}
+		}
+	}
+}
+
+func TestCSetViewChecksCompat(t *testing.T) {
+	v := viewFor(t, randomSet(1, 1000, 0.1))
+	s := New(2000)
+	for name, op := range map[string]func(){
+		"or":     func() { s.OrWithView(v) },
+		"and":    func() { s.AndWithView(v) },
+		"andnot": func() { s.AndNotWithView(v) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: universe mismatch did not panic", name)
+				}
+			}()
+			op()
+		}()
+	}
+}
+
+// TestDecodeCSetViewRejects drives the structural validation: every
+// corruption here must produce ErrBadCSetBlob, never a panic or a view.
+func TestDecodeCSetViewRejects(t *testing.T) {
+	s := randomSet(31, 2*chunkSize+100, 0.01)
+	good := EncodeCSet(nil, FromSet(s))
+	if _, err := DecodeCSetView(good); err != nil {
+		t.Fatalf("control blob rejected: %v", err)
+	}
+
+	mut := func(edit func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		edit(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"short header":      good[:viewHeaderBytes-1],
+		"truncated dir":     good[:viewHeaderBytes+viewDirEntry/2],
+		"truncated payload": good[:len(good)-9],
+		"card over universe": mut(func(b []byte) {
+			copy(b[8:16], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+		}),
+		"container count over universe": mut(func(b []byte) {
+			b[16], b[17] = 0xff, 0xff
+		}),
+		"bad container type": mut(func(b []byte) {
+			b[viewHeaderBytes+4] = 9
+		}),
+		"key beyond universe": mut(func(b []byte) {
+			b[viewHeaderBytes+0] = 0xff
+			b[viewHeaderBytes+1] = 0xff
+		}),
+		"misaligned offset": mut(func(b []byte) {
+			b[viewHeaderBytes+16]++
+		}),
+		"card sum mismatch": mut(func(b []byte) {
+			b[8]++
+		}),
+	}
+	for name, blob := range cases {
+		v, err := DecodeCSetView(blob)
+		if err == nil {
+			t.Fatalf("%s: decoded successfully (%d containers)", name, v.Containers())
+		}
+	}
+}
+
+func BenchmarkCSetViewDecode(b *testing.B) {
+	s := randomSet(41, 8*chunkSize, 0.01)
+	blob := EncodeCSet(nil, FromSet(s))
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeCSetView(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSetViewAnd(b *testing.B) {
+	n := 8 * chunkSize
+	acc := randomSet(42, n, 0.3)
+	v := func() *CSetView {
+		blob := EncodeCSet(nil, FromSet(randomSet(43, n, 0.01)))
+		view, err := DecodeCSetView(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return view
+	}()
+	scratch := New(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.CopyFrom(acc)
+		scratch.AndWithView(v)
+	}
+}

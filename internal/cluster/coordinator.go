@@ -26,10 +26,24 @@ type Conn interface {
 	CountBatch(ctx context.Context, iface string, door platform.Door, parts []uint32, reqs []platform.EstimateRequest) ([]platform.RawCount, error)
 }
 
+// CatalogHasher is the optional Conn extension the coordinator's preflight
+// uses: a conn that can report its shard's catalog hash (Shard implements it
+// directly; the adapi conn reads it from the shard's health endpoint).
+type CatalogHasher interface {
+	CatalogHash() (string, error)
+}
+
 // ErrPartial marks a scatter-gather result that could not cover the whole
 // universe: some partitions had no reachable owner. Callers match it with
 // errors.Is.
 var ErrPartial = errors.New("cluster: partial result")
+
+// ErrCatalogSkew marks a ring whose shards do not all serve the coordinator's
+// catalog — e.g. one node loaded a snapshot built from a different seed or an
+// older catalog generator. Mixed rings are refused at construction: summing
+// raw counts across divergent catalogs would silently answer for the wrong
+// options.
+var ErrCatalogSkew = errors.New("cluster: shard catalog differs from coordinator")
 
 // PartialError reports the partitions no live shard could serve after
 // replica failover, with the last shard failure as the cause. Results are
@@ -129,6 +143,25 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	meta, err := platform.NewDeployment(dopts)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: metadata deployment: %w", err)
+	}
+	// Preflight: every conn that can report a catalog hash must match the
+	// metadata deployment's. Fetch failures are tolerated (a remote shard may
+	// be mid-boot; the scatter path will retry it), but a *divergent* answer
+	// is a configuration error no retry fixes, so it refuses construction.
+	wantHash := platform.CatalogHash(meta)
+	for id, cn := range conns {
+		h, ok := cn.(CatalogHasher)
+		if !ok {
+			continue
+		}
+		got, err := h.CatalogHash()
+		if err != nil {
+			continue
+		}
+		if got != wantHash {
+			return nil, fmt.Errorf("%w: shard %s serves catalog %.12s, coordinator derives %.12s",
+				ErrCatalogSkew, id, got, wantHash)
+		}
 	}
 	timeout := opts.Timeout
 	if timeout == 0 {

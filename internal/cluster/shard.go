@@ -44,13 +44,47 @@ func NewShard(id string, layout *Layout, opts platform.DeployOptions) (*Shard, e
 	if !found {
 		return nil, fmt.Errorf("cluster: shard %q not in ring", id)
 	}
-	held := layout.HeldPartitions(id)
 	opts.UniverseSize = layout.UniverseSize()
 	opts.ShardSpans = layout.ShardSpans(id)
 	dep, err := platform.NewDeployment(opts)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %s deployment: %w", id, err)
 	}
+	return NewShardFromDeployment(id, layout, dep)
+}
+
+// NewShardFromDeployment wraps an already-constructed deployment — typically
+// one reconstructed from a snapshot (internal/snapshot.LoadDeployment) — as
+// node id's shard. The deployment must span exactly the global-ID ranges the
+// layout assigns the node; a snapshot written for a different ring or node
+// is refused here before it can serve a single count.
+func NewShardFromDeployment(id string, layout *Layout, dep *platform.Deployment) (*Shard, error) {
+	found := false
+	for _, n := range layout.Ring().Nodes() {
+		if n == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: shard %q not in ring", id)
+	}
+	uni := dep.Facebook.Universe()
+	if got, want := uni.GlobalSize(), layout.UniverseSize(); got != want {
+		return nil, fmt.Errorf("cluster: shard %s deployment spans a %d-user universe, layout has %d", id, got, want)
+	}
+	want := layout.ShardSpans(id)
+	got := uni.Spans()
+	if len(got) != len(want) {
+		return nil, fmt.Errorf("cluster: shard %s deployment holds %d spans, layout assigns %d", id, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return nil, fmt.Errorf("cluster: shard %s span %d is [%d, %d), layout assigns [%d, %d)",
+				id, i, got[i].Lo, got[i].Hi, want[i].Lo, want[i].Hi)
+		}
+	}
+	held := layout.HeldPartitions(id)
 	return &Shard{
 		id:       id,
 		dep:      dep,
@@ -59,6 +93,13 @@ func NewShard(id string, layout *Layout, opts platform.DeployOptions) (*Shard, e
 		ringHash: layout.Fingerprint(),
 	}, nil
 }
+
+// CatalogHash fingerprints the shard's catalogs (platform.CatalogHash): the
+// coordinator's preflight compares it against its own metadata deployment so
+// a shard loaded from a stale snapshot can never contribute counts for the
+// wrong options. The error is always nil in-process; the signature matches
+// CatalogHasher, whose remote implementations can fail to fetch.
+func (s *Shard) CatalogHash() (string, error) { return platform.CatalogHash(s.dep), nil }
 
 // ID returns the shard's node name.
 func (s *Shard) ID() string { return s.id }

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestExperimentNames(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != len(phaseOrder) {
+		t.Fatalf("got %d names, want %d", len(names), len(phaseOrder))
+	}
+	// The returned slice is a copy — mutating it must not corrupt the
+	// package's ordering.
+	names[0] = "clobbered"
+	if ExperimentNames()[0] == "clobbered" {
+		t.Fatal("ExperimentNames exposes internal state")
+	}
+	for _, n := range ExperimentNames() {
+		if !ValidExperiment(n) {
+			t.Errorf("listed experiment %q not valid", n)
+		}
+	}
+	if !ValidExperiment("all") {
+		t.Error(`"all" must be valid`)
+	}
+	if ValidExperiment("nosuch") {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestExpandExperiments(t *testing.T) {
+	full, err := ExpandExperiments([]string{"all"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(phaseOrder) {
+		t.Fatalf("all expanded to %d phases, want %d", len(full), len(phaseOrder))
+	}
+
+	portable, err := ExpandExperiments([]string{"all"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(portable) != len(phaseOrder)-len(deploymentOnly) {
+		t.Fatalf("remote-only expansion kept %d phases", len(portable))
+	}
+	for _, n := range portable {
+		if deploymentOnly[n] {
+			t.Errorf("deployment-only phase %q survived remote expansion", n)
+		}
+	}
+
+	// Duplicates collapse, explicit names pass through in order.
+	few, err := ExpandExperiments([]string{"fig2", "fig1", "fig2"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(few) != 2 || few[0] != "fig2" || few[1] != "fig1" {
+		t.Fatalf("explicit list expanded to %v", few)
+	}
+
+	if _, err := ExpandExperiments([]string{"fig1", "nosuch"}, false); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := ExpandExperiments(nil, false); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+// RunExperiment drives every named phase over the shared small deployment:
+// each must produce rows and render non-trivial text, and the unknown name
+// must be a typed refusal. This is the library entrypoint adauditctl and
+// the job service both call.
+func TestRunExperimentAllPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// A dedicated deployment: the retargeting phase registers pixel sites
+	// on it, so sharing testRunner's would collide with other tests.
+	d, err := platform.NewDeployment(platform.DeployOptions{Seed: 33, UniverseSize: 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		Deployment:      d,
+		K:               60,
+		OverlapTopN:     12,
+		OverlapMaxPairs: 40,
+		UnionTopN:       5,
+		UnionMaxOrder:   3,
+		RemovalSteps:    []float64{0, 10},
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := PhaseOptions{GranularityCalls: 200, Examples: 2}
+	for _, name := range ExperimentNames() {
+		res, err := r.RunExperiment(name, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Name != name {
+			t.Fatalf("%s: result named %q", name, res.Name)
+		}
+		if res.Rows == nil {
+			t.Fatalf("%s: no rows", name)
+		}
+		var buf strings.Builder
+		if err := res.Render(&buf); err != nil {
+			t.Fatalf("%s: render: %v", name, err)
+		}
+		if buf.Len() < 50 {
+			t.Fatalf("%s: render produced %d bytes", name, buf.Len())
+		}
+	}
+	if _, err := r.RunExperiment("nosuch", PhaseOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -74,7 +74,10 @@ func (p *Interface) sizeMany(parent *trace.Span, reqs []EstimateRequest, rules t
 		span.AnnotateInt("specs", int64(len(reqs)))
 	}
 	if p.plans == nil {
-		if p.cfg.CSetOnly {
+		// CSetOnly shards and snapshot-backed (view) interfaces share the
+		// compressed batch door: the legacy lowering would re-materialize
+		// dense catalog sets both postures exist to avoid.
+		if p.cfg.CSetOnly || p.cfg.Views != nil {
 			span.Annotate("path", "cset")
 			return p.sizeManyCSet(reqs, rules, queries)
 		}

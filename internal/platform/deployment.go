@@ -159,6 +159,19 @@ func demoOptionCountP(k targeting.Kind, attrs, topics, placements int) int {
 // user base); Google and LinkedIn have their own universes with the
 // demographic compositions their catalogs' systematic skews suggest.
 func NewDeployment(opts DeployOptions) (*Deployment, error) {
+	return NewDeploymentFrom(opts, nil)
+}
+
+// NewDeploymentFrom is NewDeployment taking prebuilt state: when pre is
+// non-nil, each universe is reconstructed from its persisted per-user arrays
+// (population.FromData — no hash draws) and each interface is assembled over
+// its snapshot option views (Config.Views — no materialization). Every
+// derived structure — catalogs, rules, rounders, objective tables, scale
+// factors, population.Config literals — still comes from this constructor,
+// so a snapshot carries only raw draws and a loaded deployment cannot drift
+// from what NewDeployment(opts) would wire. pre must cover all three
+// universes and all four interfaces; the snapshot loader guarantees it.
+func NewDeploymentFrom(opts DeployOptions, pre *Prebuilt) (*Deployment, error) {
 	opts = opts.withDefaults()
 	if opts.UniverseSize < 1000 {
 		return nil, errors.New("platform: UniverseSize must be at least 1000")
@@ -174,12 +187,38 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		return r
 	}
 	newUni := func(cfg population.Config) (*population.Universe, error) {
+		if pre != nil {
+			owner := ""
+			switch cfg.Seed {
+			case opts.Seed:
+				owner = catalog.PlatformFacebook
+			case opts.Seed + 1:
+				owner = catalog.PlatformGoogle
+			case opts.Seed + 2:
+				owner = catalog.PlatformLinkedIn
+			}
+			data, ok := pre.Universes[owner]
+			if !ok {
+				return nil, fmt.Errorf("population: no prebuilt universe for %q", owner)
+			}
+			return population.FromData(cfg, opts.ShardSpans, data)
+		}
 		if opts.ShardSpans != nil {
 			return population.NewShard(cfg, opts.ShardSpans)
 		}
 		return population.New(cfg)
 	}
-	csetOnly := opts.Compressed && opts.ShardSpans != nil
+	viewsFor := func(name string) (*OptionViews, error) {
+		if pre == nil {
+			return nil, nil
+		}
+		v, ok := pre.Views[name]
+		if !ok {
+			return nil, fmt.Errorf("platform: no prebuilt views for %q", name)
+		}
+		return v, nil
+	}
+	csetOnly := opts.Compressed && opts.ShardSpans != nil && pre == nil
 
 	fbUni, err := newUni(population.Config{
 		Seed:        opts.Seed,
@@ -258,6 +297,10 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 			return demoOptionCount(k, len(fbCat.Attributes), 0)
 		},
 	}
+	fbViews, err := viewsFor(catalog.PlatformFacebook)
+	if err != nil {
+		return nil, err
+	}
 	d.Facebook, err = New(Config{
 		Name:             catalog.PlatformFacebook,
 		Universe:         fbUni,
@@ -269,6 +312,7 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		PlanCacheSize:    opts.planCacheSize(),
 		Compressed:       opts.Compressed,
 		CSetOnly:         csetOnly,
+		Views:            fbViews,
 		Metrics:          opts.Metrics,
 	})
 	if err != nil {
@@ -295,6 +339,10 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		targeting.KindCustomAudience, targeting.KindLocation,
 	}
 	fbrMeasRules.AllowDemographics = true
+	fbrViews, err := viewsFor(catalog.PlatformFacebookRestricted)
+	if err != nil {
+		return nil, err
+	}
 	d.FacebookRestricted, err = New(Config{
 		Name:               catalog.PlatformFacebookRestricted,
 		Universe:           fbUni,
@@ -308,6 +356,7 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		PlanCacheSize:      opts.planCacheSize(),
 		Compressed:         opts.Compressed,
 		CSetOnly:           csetOnly,
+		Views:              fbrViews,
 		Metrics:            opts.Metrics,
 	})
 	if err != nil {
@@ -332,6 +381,10 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 			return demoOptionCountP(k, len(gCat.Attributes), len(gCat.Topics), len(gCat.Placements))
 		},
 	}
+	gViews, err := viewsFor(catalog.PlatformGoogle)
+	if err != nil {
+		return nil, err
+	}
 	d.Google, err = New(Config{
 		Name:                catalog.PlatformGoogle,
 		Universe:            googleUni,
@@ -344,6 +397,7 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		PlanCacheSize:       opts.planCacheSize(),
 		Compressed:          opts.Compressed,
 		CSetOnly:            csetOnly,
+		Views:               gViews,
 		Metrics:             opts.Metrics,
 	})
 	if err != nil {
@@ -367,6 +421,10 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 			return demoOptionCount(k, len(liCat.Attributes), 0)
 		},
 	}
+	liViews, err := viewsFor(catalog.PlatformLinkedIn)
+	if err != nil {
+		return nil, err
+	}
 	d.LinkedIn, err = New(Config{
 		Name:             catalog.PlatformLinkedIn,
 		Universe:         linkedInUni,
@@ -378,6 +436,7 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		PlanCacheSize:    opts.planCacheSize(),
 		Compressed:       opts.Compressed,
 		CSetOnly:         csetOnly,
+		Views:            liViews,
 		Metrics:          opts.Metrics,
 	})
 	if err != nil {

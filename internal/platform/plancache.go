@@ -138,6 +138,36 @@ type planCache struct {
 	plans  *lruCache[*audience.Plan]      // canonical spec key → compiled plan
 	unions *lruCache[audience.Operand]    // canonical clause key → shared union
 	scheds *lruCache[*audience.PlanBatch] // batch key sequence → frozen schedule
+
+	// seenMu guards seenUnions: every union key ever materialized, bounded
+	// by seenUnionCap. A union-cache miss on a seen key is a rebuild — the
+	// eviction-refill churn plan_cache_rebuilds_total counts (each one
+	// re-runs UnionAll and possibly audience.FromSet). Snapshot-backed
+	// interfaces disable the compiler entirely, so their counter pins at 0.
+	seenMu     sync.Mutex
+	seenUnions map[string]struct{}
+}
+
+// seenUnionCap bounds the rebuild-detection key set; beyond it new keys stop
+// being recorded (misses on unrecorded keys count as first builds, so the
+// counter under-reports rather than growing without bound).
+const seenUnionCap = 1 << 16
+
+// noteUnionBuild records that a union key is being materialized and reports
+// whether it had been materialized before — i.e. this build is a rebuild.
+func (pc *planCache) noteUnionBuild(key string) (rebuild bool) {
+	pc.seenMu.Lock()
+	defer pc.seenMu.Unlock()
+	if _, ok := pc.seenUnions[key]; ok {
+		return true
+	}
+	if pc.seenUnions == nil {
+		pc.seenUnions = make(map[string]struct{})
+	}
+	if len(pc.seenUnions) < seenUnionCap {
+		pc.seenUnions[key] = struct{}{}
+	}
+	return false
 }
 
 func newPlanCache(size int) *planCache {
@@ -221,6 +251,9 @@ func (p *Interface) unionOperand(cl targeting.Clause) (audience.Operand, error) 
 	}
 	if op, ok := p.plans.unions.get(key); ok {
 		return op, nil
+	}
+	if p.plans.noteUnionBuild(key) {
+		p.mPlanRebuilds.Inc()
 	}
 	// Resolve in clause order so error positions match the serial path.
 	sets := make([]*audience.Set, len(cl))

@@ -119,6 +119,13 @@ type Config struct {
 	// catalog fits in memory; it implies the query compiler is disabled
 	// (compiled plans hold dense operands).
 	CSetOnly bool
+	// Views supplies every catalog option audience as a zero-copy compressed
+	// view, typically aliasing an mmap'd snapshot (internal/snapshot). When
+	// set, the interface never materializes an option set: queries evaluate
+	// through the dense-scratch × view kernels, Warm is a no-op, and the
+	// query compiler is disabled (compiled plans hold dense operands), the
+	// same posture CSetOnly establishes for shards.
+	Views *OptionViews
 	// Metrics receives the interface's query counters; nil selects the
 	// process-wide obs.Default() registry.
 	Metrics *obs.Registry
@@ -161,6 +168,7 @@ type Interface struct {
 	mPlanHits        *obs.Counter   // plan_cache_hits_total: specs served by a cached plan
 	mPlanMisses      *obs.Counter   // plan_cache_misses_total: cacheable specs that had to compile
 	mPlansCompiled   *obs.Counter   // plans_compiled_total: every CompilePlan run (incl. uncacheable)
+	mPlanRebuilds    *obs.Counter   // plan_cache_rebuilds_total: union operands rematerialized after eviction
 
 	mu      sync.RWMutex // guards custom, dir, tracker
 	custom  []customAudience
@@ -223,8 +231,14 @@ func New(cfg Config) (*Interface, error) {
 		mPlanHits:        reg.Counter("plan_cache_hits_total", iface),
 		mPlanMisses:      reg.Counter("plan_cache_misses_total", iface),
 		mPlansCompiled:   reg.Counter("plans_compiled_total", iface),
+		mPlanRebuilds:    reg.Counter("plan_cache_rebuilds_total", iface),
 	}
-	if cfg.PlanCacheSize >= 0 && !cfg.CSetOnly {
+	if cfg.Views != nil {
+		if err := cfg.Views.validate(cfg.Catalog, cfg.Universe.Size()); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.PlanCacheSize >= 0 && !cfg.CSetOnly && cfg.Views == nil {
 		p.plans = newPlanCache(cfg.PlanCacheSize)
 	}
 	return p, nil
@@ -605,8 +619,14 @@ func (p *Interface) Measure(req EstimateRequest) (int64, error) {
 // the builds out across GOMAXPROCS workers, and returns the interface so
 // deployments can chain it. Optional; useful to front-load cost before
 // serving or benchmarking so first-query latency is not dominated by lazy
-// materialization. Safe to call concurrently with queries.
+// materialization. Safe to call concurrently with queries. On a
+// snapshot-backed interface (Config.Views) every option audience already
+// exists as a view over the mapped file, so Warm is a no-op — cold
+// containers fault in from the page cache on first touch instead.
 func (p *Interface) Warm() *Interface {
+	if p.cfg.Views != nil {
+		return p
+	}
 	warmAttr, warmTopic, warmPlacement := p.attrSet, p.topicSet, p.placementSet
 	if p.cfg.CSetOnly {
 		// Shards warm the compressed forms; the transient dense sets are

@@ -158,7 +158,7 @@ func coversAll(ranges []IndexRange, n int) bool {
 func (p *Interface) countMatchedRanges(spec targeting.Spec, ranges []IndexRange) (int, error) {
 	n := p.cfg.Universe.Size()
 	full := ranges == nil || coversAll(ranges, n)
-	if full && !p.cfg.CSetOnly {
+	if full && !p.cfg.CSetOnly && p.cfg.Views == nil {
 		return p.countMatched(spec)
 	}
 	acc, err := p.audienceScratch(spec)
@@ -178,16 +178,39 @@ func (p *Interface) countMatchedRanges(spec targeting.Spec, ranges []IndexRange)
 
 // refOperand is a resolved targeting ref in whichever form the interface
 // retains: dense (demographics, custom audiences, and every set on a dense
-// interface) or compressed-only (catalog option sets under CSetOnly).
+// interface), compressed-only (catalog option sets under CSetOnly), or a
+// zero-copy snapshot view (catalog option sets under Config.Views).
 type refOperand struct {
 	s *audience.Set
 	c *audience.CSet
+	v *audience.CSetView
 }
 
 // refOperand resolves one ref. Under CSetOnly, catalog option sets are
 // materialized dense transiently, compressed, and the dense form dropped —
-// the interface never retains more than the compressed catalog.
+// the interface never retains more than the compressed catalog. On a
+// snapshot-backed interface the decoded views are returned directly: no
+// materialization, no compression, no copies, ever.
 func (p *Interface) refOperand(r targeting.Ref) (refOperand, error) {
+	if vs := p.cfg.Views; vs != nil {
+		switch r.Kind {
+		case targeting.KindAttribute:
+			if r.ID < 0 || r.ID >= len(vs.Attributes) {
+				return refOperand{}, fmt.Errorf("%w: %s", targeting.ErrUnknownOption, r)
+			}
+			return refOperand{v: vs.Attributes[r.ID]}, nil
+		case targeting.KindTopic:
+			if r.ID < 0 || r.ID >= len(vs.Topics) {
+				return refOperand{}, fmt.Errorf("%w: %s", targeting.ErrUnknownOption, r)
+			}
+			return refOperand{v: vs.Topics[r.ID]}, nil
+		case targeting.KindPlacement:
+			if r.ID < 0 || r.ID >= len(vs.Placements) {
+				return refOperand{}, fmt.Errorf("%w: %s", targeting.ErrUnknownOption, r)
+			}
+			return refOperand{v: vs.Placements[r.ID]}, nil
+		}
+	}
 	if p.cfg.CSetOnly {
 		u := p.cfg.Universe
 		switch r.Kind {
@@ -239,9 +262,12 @@ func (p *Interface) audienceScratch(spec targeting.Spec) (*audience.Set, error) 
 			if err != nil {
 				return err
 			}
-			if op.c != nil {
+			switch {
+			case op.v != nil:
+				dst.OrWithView(op.v)
+			case op.c != nil:
 				dst.OrWithC(op.c)
-			} else {
+			default:
 				dst.OrWith(op.s)
 			}
 		}
@@ -268,6 +294,10 @@ func (p *Interface) audienceScratch(spec targeting.Spec) (*audience.Set, error) 
 				return err
 			}
 			switch {
+			case op.v != nil && exclude:
+				acc.AndNotWithView(op.v)
+			case op.v != nil:
+				acc.AndWithView(op.v)
 			case op.c != nil && exclude:
 				acc.AndNotWithC(op.c)
 			case op.c != nil:

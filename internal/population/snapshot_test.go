@@ -1,0 +1,179 @@
+package population
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/audience"
+)
+
+// snapCfg is a universe config exercising every dimension FromData must
+// reconstruct: skewed demographics, multiple loaded factors, activity
+// spread, and a non-US region mix.
+func snapCfg(size int) Config {
+	return Config{
+		Seed:          77,
+		Size:          size,
+		MaleShare:     0.46,
+		AgeShare:      [NumAgeRanges]float64{0.16, 0.27, 0.33, 0.24},
+		ActivitySigma: 1.7,
+		USShare:       0.85,
+		Factors: []FactorModel{
+			{Rate: 0.2, GenderLoad: 1.1},
+			{Rate: 0.05, AgeLoad: [NumAgeRanges]float64{0.5, 0.2, -0.2, -0.5}},
+			{Rate: 0.4},
+		},
+	}
+}
+
+// snapModels are attribute models whose materialization must be
+// bit-identical on a rebuilt universe.
+var snapModels = []AttrModel{
+	{ID: 1, BaseLogit: -2.5, GenderLoad: 1.4, Factor: 0, FactorBoost: 2.0},
+	{ID: 2, BaseLogit: -4.0, AgeLoad: [NumAgeRanges]float64{1.0, 0.3, -0.3, -1.0}, Factor: 1, FactorBoost: 3.0},
+	{ID: 3, BaseLogit: -1.0, Factor: -1},
+}
+
+// requireSameUniverse asserts every observable of two universes matches:
+// config, sizes, demographic bitsets, per-user accessors, and materialized
+// attribute sets.
+func requireSameUniverse(t *testing.T, want, got *Universe) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Config(), want.Config()) {
+		t.Fatalf("Config = %+v, want %+v", got.Config(), want.Config())
+	}
+	if got.Size() != want.Size() || got.GlobalSize() != want.GlobalSize() {
+		t.Fatalf("Size/GlobalSize = %d/%d, want %d/%d", got.Size(), got.GlobalSize(), want.Size(), want.GlobalSize())
+	}
+	if !audience.Equal(got.All(), want.All()) {
+		t.Fatal("All() differs")
+	}
+	for g := 0; g < NumGenders; g++ {
+		if !audience.Equal(got.GenderSet(Gender(g)), want.GenderSet(Gender(g))) {
+			t.Fatalf("GenderSet(%d) differs", g)
+		}
+	}
+	for a := 0; a < NumAgeRanges; a++ {
+		if !audience.Equal(got.AgeSet(AgeRange(a)), want.AgeSet(AgeRange(a))) {
+			t.Fatalf("AgeSet(%d) differs", a)
+		}
+	}
+	for c := 0; c < NumCells; c++ {
+		if !audience.Equal(got.CellSet(Cell(c)), want.CellSet(Cell(c))) {
+			t.Fatalf("CellSet(%d) differs", c)
+		}
+		for f := 0; f < want.NumFactors(); f++ {
+			if got.FactorRateIn(f, Cell(c)) != want.FactorRateIn(f, Cell(c)) {
+				t.Fatalf("FactorRateIn(%d, %d) differs", f, c)
+			}
+		}
+	}
+	for r := 0; r < NumRegions; r++ {
+		if !audience.Equal(got.RegionSet(Region(r)), want.RegionSet(Region(r))) {
+			t.Fatalf("RegionSet(%d) differs", r)
+		}
+	}
+	step := want.Size()/97 + 1
+	for i := 0; i < want.Size(); i += step {
+		if got.CellOfUser(i) != want.CellOfUser(i) ||
+			got.ActivityTier(i) != want.ActivityTier(i) ||
+			got.RegionOfUser(i) != want.RegionOfUser(i) {
+			t.Fatalf("user %d per-user state differs", i)
+		}
+		for f := 0; f < want.NumFactors(); f++ {
+			if got.HasFactor(i, f) != want.HasFactor(i, f) {
+				t.Fatalf("user %d HasFactor(%d) differs", i, f)
+			}
+		}
+	}
+	for _, m := range snapModels {
+		if !audience.Equal(got.Materialize(m), want.Materialize(m)) {
+			t.Fatalf("Materialize(%d) differs", m.ID)
+		}
+	}
+}
+
+func TestFromDataRebuildsFullUniverse(t *testing.T) {
+	built, err := New(snapCfg(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := FromData(built.Config(), nil, built.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameUniverse(t, built, loaded)
+}
+
+func TestFromDataRebuildsShard(t *testing.T) {
+	cfg := snapCfg(8192)
+	spans := []Span{{Lo: 64, Hi: 2048}, {Lo: 4096, Hi: 8192}}
+	built, err := NewShard(cfg, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := FromData(built.Config(), spans, built.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameUniverse(t, built, loaded)
+	if got := loaded.Spans(); len(got) != len(spans) || got[0] != spans[0] || got[1] != spans[1] {
+		t.Fatalf("Spans = %v, want %v", got, spans)
+	}
+}
+
+func TestFromDataAppliesConfigDefaults(t *testing.T) {
+	// build() maps ScaleFactor 0 → 1 and USShare 0 → 1; FromData must do the
+	// same so a round trip through the raw config is stable.
+	cfg := Config{Seed: 5, Size: 1000, MaleShare: 0.5,
+		AgeShare: [NumAgeRanges]float64{0.25, 0.25, 0.25, 0.25}}
+	built, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := FromData(cfg, nil, built.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Config(), built.Config()) {
+		t.Fatalf("defaults not applied: %+v vs %+v", loaded.Config(), built.Config())
+	}
+}
+
+func TestFromDataRejects(t *testing.T) {
+	cfg := snapCfg(1024)
+	built, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := built.Data()
+	corrupt := func(edit func(d *UniverseData)) UniverseData {
+		d := UniverseData{
+			Cells:   append([]Cell(nil), good.Cells...),
+			Factors: append([]uint32(nil), good.Factors...),
+			Tiers:   append([]uint8(nil), good.Tiers...),
+			Regions: append([]uint8(nil), good.Regions...),
+		}
+		edit(&d)
+		return d
+	}
+	cases := map[string]struct {
+		cfg   Config
+		spans []Span
+		data  UniverseData
+	}{
+		"bad config":       {Config{Size: -1}, nil, good},
+		"bad spans":        {cfg, []Span{{Lo: 3, Hi: 100}}, good},
+		"short arrays":     {cfg, nil, UniverseData{Cells: good.Cells[:10], Factors: good.Factors, Tiers: good.Tiers, Regions: good.Regions}},
+		"span/data length": {cfg, []Span{{Lo: 0, Hi: 512}}, good},
+		"cell range":       {cfg, nil, corrupt(func(d *UniverseData) { d.Cells[7] = NumCells })},
+		"tier range":       {cfg, nil, corrupt(func(d *UniverseData) { d.Tiers[7] = ActivityTiers })},
+		"region range":     {cfg, nil, corrupt(func(d *UniverseData) { d.Regions[7] = NumRegions })},
+		"factor mask":      {cfg, nil, corrupt(func(d *UniverseData) { d.Factors[7] = 1 << 30 })},
+	}
+	for name, tc := range cases {
+		if _, err := FromData(tc.cfg, tc.spans, tc.data); err == nil {
+			t.Fatalf("%s: FromData accepted corrupt input", name)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// FuzzSnapshotDecode throws arbitrary bytes at the full decode path —
+// prelude, directory, universe sections, and view construction. The
+// contract under fuzz is exactly the load path's: reject with a typed
+// error, never panic, never index out of bounds. Seeded with a real
+// snapshot plus the classic corruptions (truncations, flipped CRCs,
+// version skew).
+func FuzzSnapshotDecode(f *testing.F) {
+	opts := platform.DeployOptions{Seed: 7, UniverseSize: 1000, Metrics: obs.NewRegistry()}
+	d, err := platform.NewDeployment(opts)
+	if err != nil {
+		f.Fatalf("NewDeployment: %v", err)
+	}
+	path := f.TempDir() + "/seed.adusnap"
+	if _, err := WriteDeployment(path, d, opts); err != nil {
+		f.Fatalf("WriteDeployment: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(good)
+	f.Add(good[:preludeSize])
+	f.Add(good[:len(good)/2])
+	f.Add(good[:len(good)-7])
+	f.Add([]byte{})
+	f.Add([]byte("ADUSNAP1"))
+	flip := func(i int, mask byte) []byte {
+		b := append([]byte(nil), good...)
+		b[i] ^= mask
+		return b
+	}
+	f.Add(flip(9, 0x01))           // version skew
+	f.Add(flip(17, 0xFF))          // meta offset
+	f.Add(flip(33, 0x80))          // meta CRC
+	f.Add(flip(37, 0x01))          // prelude CRC
+	f.Add(flip(pageAlign, 0x55))   // universe payload
+	f.Add(flip(len(good)-2, 0x20)) // meta tail
+	// Meta offset pointing into the prelude itself.
+	b := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(b[16:24], 8)
+	f.Add(b)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseFile(data)
+		if err != nil {
+			return
+		}
+		// A structurally valid directory must still decode without panicking,
+		// whatever the payload bytes say.
+		if _, err := decodeSections(data, m); err != nil {
+			return
+		}
+	})
+}

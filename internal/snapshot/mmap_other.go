@@ -1,0 +1,19 @@
+//go:build !linux && !darwin
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapRO falls back to reading the whole file when mmap is unavailable; the
+// zero-copy view structure still works, only backed by heap instead of the
+// page cache.
+func mapRO(f *os.File, size int64) ([]byte, func(), error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -1,0 +1,21 @@
+//go:build linux || darwin
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapRO memory-maps size bytes of f read-only and shared, so every process
+// serving the same snapshot shares one copy in the page cache.
+func mapRO(f *os.File, size int64) ([]byte, func(), error) {
+	if int64(int(size)) != size {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, &os.PathError{Op: "mmap", Path: f.Name(), Err: err}
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}
